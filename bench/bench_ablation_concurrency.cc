@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Ablation — per-instance ConcurrencyLevel (Figure 6's coarse-grained
+ * scaling knob): small values force wide scale-out (more, lighter
+ * NameNodes); large values concentrate requests on few instances.
+ */
+#include <cstdio>
+#include <vector>
+
+#include "common/harness.h"
+#include "src/workload/microbench.h"
+
+namespace lfs::bench {
+namespace {
+
+void
+run_ablation()
+{
+    const double vcpus = env_double("LFS_VCPUS", 512.0);
+    const int clients = env_int("LFS_CLIENTS", 512);
+    std::vector<int> levels{1, 2, 4, 8, 16};
+
+    std::printf("\n  %-14s %14s %14s %12s %12s\n", "concurrency", "ops/sec",
+                "mean lat ms", "peak NNs", "cold starts");
+    for (int level : levels) {
+        sim::Simulation sim;
+        core::LambdaFsConfig config = make_lambda_config(vcpus, 8,
+                                                         clients / 8);
+        config.function.concurrency_level = level;
+        core::LambdaFs fs(sim, config);
+        ns::BuiltTree tree = build_bench_tree(fs.authoritative_tree());
+        workload::MicrobenchConfig mcfg;
+        mcfg.op = OpType::kReadFile;
+        mcfg.num_clients = clients;
+        mcfg.ops_per_client = ops_per_client();
+        workload::MicrobenchResult r =
+            workload::run_microbench(sim, fs, std::move(tree), mcfg);
+        std::printf("  %-14d %14.0f %14.2f %12d %12llu\n", level,
+                    r.ops_per_sec, r.mean_latency_ms, fs.active_name_nodes(),
+                    static_cast<unsigned long long>(
+                        fs.platform().total_cold_starts()));
+    }
+    std::printf("\n  (lower ConcurrencyLevel => greater degree of "
+                "auto-scaling, per §3.4)\n");
+}
+
+}  // namespace
+}  // namespace lfs::bench
+
+int
+main()
+{
+    lfs::bench::print_banner("Ablation",
+                             "Function ConcurrencyLevel sweep (Figure 6)");
+    lfs::bench::run_ablation();
+    return 0;
+}

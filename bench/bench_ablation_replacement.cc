@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Ablation — randomized HTTP-TCP replacement probability (§3.4): sweeping
+ * the probability that a TCP-eligible RPC is issued via HTTP instead.
+ * 0 disables platform-visible load (no auto-scaling signal); the paper
+ * finds <= 1% works best; large values pay the HTTP latency tax.
+ */
+#include <cstdio>
+#include <vector>
+
+#include "common/harness.h"
+#include "src/workload/microbench.h"
+
+namespace lfs::bench {
+namespace {
+
+void
+run_ablation()
+{
+    const double vcpus = env_double("LFS_VCPUS", 512.0);
+    const int clients = env_int("LFS_CLIENTS", 512);
+    std::vector<double> probabilities{0.0, 0.001, 0.01, 0.05, 0.2};
+
+    std::printf("\n  %-12s %14s %14s %14s %10s\n", "replace p", "ops/sec",
+                "mean lat ms", "p99 lat ms", "peak NNs");
+    double best = 0;
+    double p0_tput = 0;
+    for (double p : probabilities) {
+        sim::Simulation sim;
+        core::LambdaFsConfig config = make_lambda_config(vcpus, 8,
+                                                         clients / 8);
+        config.client.http_replace_probability = p;
+        core::LambdaFs fs(sim, config);
+        ns::BuiltTree tree = build_bench_tree(fs.authoritative_tree());
+        workload::MicrobenchConfig mcfg;
+        mcfg.op = OpType::kReadFile;
+        mcfg.num_clients = clients;
+        // Warm with a fraction of the fleet: the measured load *growth*
+        // is what the HTTP-TCP replacement signal must make visible to
+        // the platform (with p=0, TCP-only traffic cannot scale out).
+        mcfg.warmup_clients = clients / 8;
+        mcfg.ops_per_client = ops_per_client();
+        workload::MicrobenchResult r =
+            workload::run_microbench(sim, fs, std::move(tree), mcfg);
+        std::printf("  %-12.3f %14.0f %14.2f %14.2f %10d\n", p,
+                    r.ops_per_sec, r.mean_latency_ms, r.p99_latency_ms,
+                    fs.active_name_nodes());
+        if (p == 0.0) {
+            p0_tput = r.ops_per_sec;
+        }
+        best = std::max(best, r.ops_per_sec);
+    }
+    std::printf("\n  Checks:\n");
+    print_check("p=0 (no scaling signal) clearly below the best setting",
+                fmt(p0_tput / best, 3) + "x of best");
+}
+
+}  // namespace
+}  // namespace lfs::bench
+
+int
+main()
+{
+    lfs::bench::print_banner(
+        "Ablation", "HTTP-TCP replacement probability sweep (design §3.4)");
+    lfs::bench::run_ablation();
+    return 0;
+}

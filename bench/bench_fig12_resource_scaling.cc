@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Figure 12 — resource scaling: throughput of the five systems for read,
+ * ls, stat, create, and mkdir as the metadata-service vCPU budget grows
+ * 16 -> 512 with a fixed client population. λFS converts additional
+ * vCPUs into additional serverless NameNodes; HopsFS's store-bound
+ * architecture cannot use them; CephFS's MDS cluster does not scale out.
+ */
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "common/harness.h"
+#include "src/workload/microbench.h"
+
+namespace lfs::bench {
+namespace {
+
+void
+run_figure()
+{
+    const int clients = env_int("LFS_CLIENTS", 512);
+    std::vector<double> budgets;
+    for (double v = 16; v <= 512; v *= 2) {
+        budgets.push_back(v);
+    }
+    std::map<OpType, std::map<std::string, std::vector<double>>> results;
+
+    for (OpType op : microbench_ops()) {
+        for (const std::string& system : microbench_systems()) {
+            for (double vcpus : budgets) {
+                SystemInstance instance = make_system(system, vcpus, clients);
+                workload::MicrobenchConfig mcfg;
+                mcfg.op = op;
+                mcfg.num_clients = clients;
+                mcfg.ops_per_client = ops_per_client();
+                mcfg.seed = 2000 + static_cast<uint64_t>(vcpus);
+                workload::MicrobenchResult r = workload::run_microbench(
+                    *instance.sim, *instance.dfs, std::move(instance.tree),
+                    mcfg);
+                results[op][system].push_back(r.ops_per_sec);
+            }
+        }
+    }
+
+    for (OpType op : microbench_ops()) {
+        std::printf("\n  %s throughput (ops/sec) vs vCPU budget:\n",
+                    op_name(op));
+        std::printf("  %-8s", "vcpus");
+        for (const auto& system : microbench_systems()) {
+            std::printf(" %15s", system.c_str());
+        }
+        std::printf("\n");
+        for (size_t i = 0; i < budgets.size(); ++i) {
+            std::printf("  %-8.0f", budgets[i]);
+            for (const auto& system : microbench_systems()) {
+                std::printf(" %15.0f", results[op][system][i]);
+            }
+            std::printf("\n");
+        }
+    }
+
+    auto& read_lambda = results[OpType::kReadFile]["lambda-fs"];
+    auto& read_hops = results[OpType::kReadFile]["hopsfs"];
+    std::printf("\n  Checks:\n");
+    print_check("lambda-fs read scales ~35x from 16 to 512 vCPUs",
+                fmt(read_lambda.back() / read_lambda.front()) + "x");
+    print_check("hopsfs read barely scales (store-bound)",
+                fmt(read_hops.back() / read_hops.front()) + "x");
+    print_check("lambda-fs read ~31x hopsfs at 512 vCPUs",
+                fmt(read_lambda.back() / read_hops.back()) + "x");
+    print_check("write scaling muted (store is the bottleneck)",
+                fmt(results[OpType::kCreateFile]["lambda-fs"].back() /
+                    results[OpType::kCreateFile]["lambda-fs"].front()) +
+                    "x create scale-up for lambda-fs");
+}
+
+}  // namespace
+}  // namespace lfs::bench
+
+int
+main()
+{
+    lfs::bench::print_banner("Figure 12",
+                             "Resource scaling, 16-512 vCPUs, fixed clients");
+    lfs::bench::run_figure();
+    return 0;
+}

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Figure 13 — performance-per-cost for read-based operations as the
+ * client count grows: λFS (billed with the *simplified* provisioned-time
+ * pricing model, per §5.3.3) vs HopsFS+Cache (billed as a 512-vCPU VM
+ * cluster).
+ */
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "common/harness.h"
+#include "src/cost/pricing.h"
+#include "src/workload/microbench.h"
+
+namespace lfs::bench {
+namespace {
+
+void
+run_figure()
+{
+    const double vcpus = env_double("LFS_VCPUS", 512.0);
+    std::vector<int> client_counts;
+    for (int c = 8; c <= 1024; c *= 2) {
+        client_counts.push_back(c);
+    }
+    std::vector<OpType> ops{OpType::kReadFile, OpType::kLs, OpType::kStat};
+    std::vector<std::string> systems{"lambda-fs", "hopsfs+cache"};
+    std::map<OpType, std::map<std::string, std::vector<double>>> ppc;
+
+    for (OpType op : ops) {
+        for (const std::string& system : systems) {
+            for (int clients : client_counts) {
+                SystemInstance instance = make_system(system, vcpus, clients);
+                double cost_before =
+                    instance.dfs->simplified_cost_so_far();
+                workload::MicrobenchConfig mcfg;
+                mcfg.op = op;
+                mcfg.num_clients = clients;
+                mcfg.ops_per_client = ops_per_client();
+                mcfg.seed = 3000 + static_cast<uint64_t>(clients);
+                workload::MicrobenchResult r = workload::run_microbench(
+                    *instance.sim, *instance.dfs, std::move(instance.tree),
+                    mcfg);
+                double cost =
+                    instance.dfs->simplified_cost_so_far() - cost_before;
+                ppc[op][system].push_back(
+                    cost::perf_per_cost(static_cast<double>(r.completed),
+                                        cost));
+            }
+        }
+    }
+
+    for (OpType op : ops) {
+        std::printf("\n  %s performance-per-cost (ops per $) vs clients:\n",
+                    op_name(op));
+        std::printf("  %-8s %18s %18s %10s\n", "clients", "lambda-fs",
+                    "hopsfs+cache", "ratio");
+        for (size_t i = 0; i < client_counts.size(); ++i) {
+            double l = ppc[op]["lambda-fs"][i];
+            double h = ppc[op]["hopsfs+cache"][i];
+            std::printf("  %-8d %18.3g %18.3g %9.2fx\n", client_counts[i],
+                        l, h, h > 0 ? l / h : 0.0);
+        }
+    }
+
+    std::printf("\n  Checks:\n");
+    print_check("lambda-fs higher perf-per-cost for read at all sizes",
+                fmt(ppc[OpType::kReadFile]["lambda-fs"].back() /
+                    ppc[OpType::kReadFile]["hopsfs+cache"].back()) +
+                    "x at 1024 clients");
+    print_check("ls advantage even larger (paper: +32.7% tput, fewer vCPUs)",
+                fmt(ppc[OpType::kLs]["lambda-fs"].back() /
+                    ppc[OpType::kLs]["hopsfs+cache"].back()) + "x");
+}
+
+}  // namespace
+}  // namespace lfs::bench
+
+int
+main()
+{
+    lfs::bench::print_banner(
+        "Figure 13", "Performance-per-cost vs clients (read ops)");
+    lfs::bench::run_figure();
+    return 0;
+}

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Figure 14 — the auto-scaling ablation: λFS throughput per operation
+ * with intra-deployment auto-scaling enabled (unbounded), limited (at
+ * most 3 instances per deployment), and disabled (1 instance per
+ * deployment).
+ */
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "common/harness.h"
+#include "src/core/lambda_fs.h"
+#include "src/workload/microbench.h"
+
+namespace lfs::bench {
+namespace {
+
+void
+run_figure()
+{
+    const double vcpus = env_double("LFS_VCPUS", 512.0);
+    const int clients = env_int("LFS_CLIENTS", 1024);
+    struct Mode {
+        const char* label;
+        int max_instances;  // 0 = unlimited
+    };
+    std::vector<Mode> modes{{"auto-scaling", 0},
+                            {"limited (<=3)", 3},
+                            {"disabled (1)", 1}};
+    std::map<OpType, std::vector<double>> results;
+
+    for (OpType op : microbench_ops()) {
+        for (const Mode& mode : modes) {
+            sim::Simulation sim;
+            core::LambdaFsConfig config =
+                make_lambda_config(vcpus, 8, clients / 8);
+            core::LambdaFs fs(sim, config);
+            fs.set_max_instances_per_deployment(mode.max_instances);
+            ns::BuiltTree tree = build_bench_tree(fs.authoritative_tree());
+            workload::MicrobenchConfig mcfg;
+            mcfg.op = op;
+            mcfg.num_clients = clients;
+            // The ablation needs steady-state caches in every mode so the
+            // comparison isolates *scaling*, not warm-up (EXPERIMENTS.md
+            // note 8).
+            mcfg.ops_per_client = std::max(256, ops_per_client());
+            mcfg.seed = 4000 + static_cast<uint64_t>(mode.max_instances);
+            workload::MicrobenchResult r = workload::run_microbench(
+                sim, fs, std::move(tree), mcfg);
+            results[op].push_back(r.ops_per_sec);
+        }
+    }
+
+    std::printf("\n  %-10s", "op");
+    for (const Mode& mode : modes) {
+        std::printf(" %16s", mode.label);
+    }
+    std::printf(" %12s %12s\n", "AS/limited", "AS/disabled");
+    for (OpType op : microbench_ops()) {
+        const auto& row = results[op];
+        std::printf("  %-10s %16.0f %16.0f %16.0f %11.2fx %11.2fx\n",
+                    op_name(op), row[0], row[1], row[2],
+                    row[1] > 0 ? row[0] / row[1] : 0.0,
+                    row[2] > 0 ? row[0] / row[2] : 0.0);
+    }
+
+    std::printf("\n  Checks:\n");
+    print_check("read: 2.85-3.17x over limited, 3.53-3.80x over disabled",
+                fmt(results[OpType::kReadFile][0] /
+                    results[OpType::kReadFile][1]) + "x / " +
+                    fmt(results[OpType::kReadFile][0] /
+                        results[OpType::kReadFile][2]) + "x");
+    print_check("ls: 3.07x over limited, 14.37x over disabled",
+                fmt(results[OpType::kLs][0] / results[OpType::kLs][1]) +
+                    "x / " +
+                    fmt(results[OpType::kLs][0] / results[OpType::kLs][2]) +
+                    "x");
+    print_check("write ops far less sensitive (store-bound)",
+                fmt(results[OpType::kCreateFile][0] /
+                    results[OpType::kCreateFile][2]) + "x for create");
+}
+
+}  // namespace
+}  // namespace lfs::bench
+
+int
+main()
+{
+    lfs::bench::print_banner("Figure 14", "Auto-scaling ablation for lambda-fs");
+    lfs::bench::run_figure();
+    return 0;
+}

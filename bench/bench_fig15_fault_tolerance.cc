@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Figure 15 — fault tolerance: the 25k-base Spotify workload on λFS
+ * while one active NameNode is terminated every 30 seconds, targeting
+ * deployments round-robin. The paper's result: the workload still
+ * completes (including the burst); throughput dips briefly after each
+ * kill while blocked clients time out and resubmit, then recovers.
+ */
+#include <cstdio>
+#include <memory>
+
+#include "common/harness.h"
+#include "src/workload/fault_injector.h"
+
+namespace lfs::bench {
+namespace {
+
+void
+run_figure()
+{
+    double s = scale();
+    int num_vms = 8;
+    int clients_per_vm = std::max(1, static_cast<int>(1024 * s) / num_vms);
+    double vcpus = 512.0 * s;
+    workload::SpotifyConfig wcfg;
+    wcfg.base_throughput = 25000.0 * s;
+    wcfg.duration = sim::sec(env_int("LFS_DURATION", 240));
+    wcfg.num_client_vms = num_vms;
+
+    auto run_once = [&](bool with_failures) {
+        sim::Simulation sim;
+        core::LambdaFsConfig config =
+            make_lambda_config(vcpus, num_vms, clients_per_vm, s);
+        core::LambdaFs fs(sim, config);
+        ns::BuiltTree tree = build_scaled_tree(fs.authoritative_tree(), s);
+        std::unique_ptr<workload::FaultInjector> injector;
+        if (with_failures) {
+            injector = std::make_unique<workload::FaultInjector>(
+                sim, sim::sec(30), [&fs](int round) {
+                    return fs.kill_name_node(
+                        round % fs.platform().deployment_count());
+                });
+            injector->start(wcfg.duration + sim::sec(10));
+        }
+        IndustrialRun run = run_industrial(sim, fs, std::move(tree), wcfg);
+        if (injector) {
+            std::printf("  (injected %llu kills)\n",
+                        static_cast<unsigned long long>(injector->kills()));
+        }
+        return run;
+    };
+
+    IndustrialRun failures = run_once(true);
+    IndustrialRun clean = run_once(false);
+
+    std::printf("\n  Throughput timeline (ops/sec), kills every 30 s:\n");
+    std::printf("  %-6s %16s %16s %12s %12s\n", "t(s)", "lfs+failures",
+                "lfs (clean)", "fail NNs", "clean NNs");
+    for (size_t t = 0; t < failures.throughput.size(); t += 10) {
+        std::printf("  %-6zu %16.0f %16.0f %12.1f %12.1f\n", t,
+                    failures.throughput[t],
+                    t < clean.throughput.size() ? clean.throughput[t] : 0,
+                    failures.name_nodes[t],
+                    t < clean.name_nodes.size() ? clean.name_nodes[t] : 0);
+    }
+
+    std::printf("\n  summary: with failures avg %.0f ops/s (%lld/%lld ops), "
+                "clean avg %.0f ops/s\n",
+                failures.avg_throughput,
+                static_cast<long long>(failures.completed),
+                static_cast<long long>(failures.offered),
+                clean.avg_throughput);
+    std::printf("\n  Checks:\n");
+    print_check("workload completes despite a kill every 30s",
+                fmt(100.0 * static_cast<double>(failures.completed) /
+                        static_cast<double>(failures.offered), 1) +
+                    "% of offered ops completed");
+    print_check("average throughput close to the failure-free run",
+                fmt(failures.avg_throughput / clean.avg_throughput, 3) +
+                    "x of clean");
+}
+
+}  // namespace
+}  // namespace lfs::bench
+
+int
+main()
+{
+    lfs::bench::print_banner("Figure 15",
+                             "Fault tolerance under the Spotify workload");
+    lfs::bench::run_figure();
+    return 0;
+}

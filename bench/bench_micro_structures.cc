@@ -1,0 +1,161 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the hot data structures: the trie
+ * metadata cache, the consistent-hash ring, path utilities, latency
+ * histograms, and the DES event loop itself. These guard the simulator's
+ * own performance (millions of simulated ops per experiment).
+ */
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "src/cache/metadata_cache.h"
+#include "src/sim/random.h"
+#include "src/sim/simulation.h"
+#include "src/sim/stats.h"
+#include "src/util/hash.h"
+#include "src/util/path.h"
+
+namespace {
+
+using namespace lfs;
+
+std::vector<std::string>
+make_paths(int n)
+{
+    std::vector<std::string> paths;
+    paths.reserve(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+        paths.push_back("/bench/d" + std::to_string(i % 37) + "/d" +
+                        std::to_string(i % 11) + "/f" + std::to_string(i));
+    }
+    return paths;
+}
+
+ns::INode
+make_inode(int i)
+{
+    ns::INode inode;
+    inode.id = i + 1;
+    inode.name = "f" + std::to_string(i);
+    return inode;
+}
+
+void
+BM_CachePut(benchmark::State& state)
+{
+    auto paths = make_paths(static_cast<int>(state.range(0)));
+    cache::MetadataCache cache;
+    int i = 0;
+    for (auto _ : state) {
+        cache.put(paths[static_cast<size_t>(i) % paths.size()],
+                  make_inode(i));
+        ++i;
+    }
+}
+BENCHMARK(BM_CachePut)->Arg(1024)->Arg(65536);
+
+void
+BM_CacheGetHit(benchmark::State& state)
+{
+    auto paths = make_paths(static_cast<int>(state.range(0)));
+    cache::MetadataCache cache;
+    for (size_t i = 0; i < paths.size(); ++i) {
+        cache.put(paths[i], make_inode(static_cast<int>(i)));
+    }
+    size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.get(paths[i % paths.size()]));
+        ++i;
+    }
+}
+BENCHMARK(BM_CacheGetHit)->Arg(1024)->Arg(65536);
+
+void
+BM_CachePrefixInvalidate(benchmark::State& state)
+{
+    for (auto _ : state) {
+        state.PauseTiming();
+        cache::MetadataCache cache;
+        for (int i = 0; i < state.range(0); ++i) {
+            cache.put("/sub/d" + std::to_string(i % 16) + "/f" +
+                          std::to_string(i),
+                      make_inode(i));
+        }
+        state.ResumeTiming();
+        benchmark::DoNotOptimize(cache.invalidate_prefix("/sub"));
+    }
+}
+BENCHMARK(BM_CachePrefixInvalidate)->Arg(4096);
+
+void
+BM_ConsistentHashLookup(benchmark::State& state)
+{
+    ConsistentHashRing ring(64);
+    for (int m = 0; m < 16; ++m) {
+        ring.add_member(m);
+    }
+    auto paths = make_paths(1024);
+    size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(ring.lookup(paths[i % paths.size()]));
+        ++i;
+    }
+}
+BENCHMARK(BM_ConsistentHashLookup);
+
+void
+BM_PathSplit(benchmark::State& state)
+{
+    std::string p = "/a/b/c/d/e/file.txt";
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(path::split(p));
+    }
+}
+BENCHMARK(BM_PathSplit);
+
+void
+BM_PathSplitterZeroAlloc(benchmark::State& state)
+{
+    std::string p = "/a/b/c/d/e/file.txt";
+    for (auto _ : state) {
+        int n = 0;
+        for (path::Splitter s(p); auto c = s.next();) {
+            benchmark::DoNotOptimize(*c);
+            ++n;
+        }
+        benchmark::DoNotOptimize(n);
+    }
+}
+BENCHMARK(BM_PathSplitterZeroAlloc);
+
+void
+BM_HistogramRecord(benchmark::State& state)
+{
+    sim::Histogram histogram;
+    int64_t v = 1;
+    for (auto _ : state) {
+        histogram.record(v);
+        v = (v * 31) % 1000000 + 1;
+    }
+}
+BENCHMARK(BM_HistogramRecord);
+
+void
+BM_EventLoopScheduleStep(benchmark::State& state)
+{
+    sim::Simulation sim;
+    sim::Rng rng(1);
+    int sink = 0;
+    for (auto _ : state) {
+        sim.schedule(rng.uniform_int(1, 1000), [&sink] { ++sink; });
+        sim.step();
+    }
+    benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_EventLoopScheduleStep);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Shared infrastructure for the experiment harnesses (one binary per
+ * paper table/figure). Provides standard system configurations, scaled
+ * experiment sizing (LFS_BENCH_SCALE), benchmark-tree construction, cost
+ * sampling, and uniform output formatting with PAPER-vs-MEASURED notes.
+ *
+ * Scaling: the paper's testbed runs 1024 clients against 512 vCPUs for
+ * 300 s at 25k-50k ops/s base rates. The simulator reproduces *shape*
+ * (ratios, crossovers, trends); to keep harness runtimes reasonable the
+ * industrial-workload experiments scale clients, rates, platform vCPUs,
+ * and store capacity by LFS_BENCH_SCALE (default 0.125) — the ratios
+ * between systems are scale-invariant. Microbenchmark experiments keep
+ * the paper's client counts/vCPUs and reduce only ops-per-client
+ * (LFS_OPS_PER_CLIENT, default 192 vs the paper's 3072).
+ */
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/cephfs/cephfs.h"
+#include "src/core/lambda_fs.h"
+#include "src/hopsfs/hopsfs.h"
+#include "src/indexfs/indexfs.h"
+#include "src/indexfs/lambda_indexfs.h"
+#include "src/infinicache/infinicache.h"
+#include "src/namespace/tree_builder.h"
+#include "src/workload/dfs_interface.h"
+#include "src/workload/spotify_workload.h"
+
+namespace lfs::bench {
+
+/** LFS_BENCH_SCALE (default 0.125). */
+double scale();
+
+/** LFS_OPS_PER_CLIENT (default 192). */
+int ops_per_client();
+
+/** Integer env with default. */
+int env_int(const char* name, int fallback);
+
+/** Double env with default. */
+double env_double(const char* name, double fallback);
+
+// ----------------------------------------------------------------------
+// Standard system configurations (§5.1)
+// ----------------------------------------------------------------------
+
+/** Store configuration; capacity scales with @p s for industrial runs. */
+store::StoreConfig make_store_config(double s = 1.0);
+
+/** λFS with a given platform vCPU budget and client fleet. */
+core::LambdaFsConfig make_lambda_config(double total_vcpus, int num_vms,
+                                        int clients_per_vm,
+                                        double store_scale = 1.0);
+
+/** HopsFS / HopsFS+Cache with a given NameNode vCPU budget. */
+hopsfs::HopsFsConfig make_hops_config(const std::string& label,
+                                      double total_vcpus, bool cache,
+                                      int num_vms, int clients_per_vm,
+                                      double store_scale = 1.0);
+
+infinicache::InfiniCacheConfig make_infinicache_config(double total_vcpus,
+                                                       int num_vms,
+                                                       int clients_per_vm,
+                                                       double store_scale =
+                                                           1.0);
+
+cephfs::CephFsConfig make_cephfs_config(int num_vms, int clients_per_vm);
+
+// ----------------------------------------------------------------------
+// Benchmark namespaces
+// ----------------------------------------------------------------------
+
+/** The standard microbenchmark tree (≈26k files across ≈5k dirs). */
+ns::BuiltTree build_bench_tree(ns::NamespaceTree& tree);
+
+/** A smaller tree whose size tracks the bench scale (industrial runs). */
+ns::BuiltTree build_scaled_tree(ns::NamespaceTree& tree, double s);
+
+// ----------------------------------------------------------------------
+// System construction for microbenchmark sweeps
+// ----------------------------------------------------------------------
+
+/** One freshly built system under test with its own simulation. */
+struct SystemInstance {
+    std::unique_ptr<sim::Simulation> sim;
+    std::unique_ptr<workload::Dfs> dfs;
+    ns::BuiltTree tree;
+};
+
+/**
+ * Build a system by kind ("lambda-fs", "hopsfs", "hopsfs+cache",
+ * "infinicache", "cephfs") with @p total_vcpus of metadata-service
+ * resources and @p num_clients clients, plus the standard bench tree.
+ */
+SystemInstance make_system(const std::string& kind, double total_vcpus,
+                           int num_clients);
+
+/** The five systems of Figures 11/12. */
+std::vector<std::string> microbench_systems();
+
+/** The five operations of Figures 11/12/14. */
+std::vector<OpType> microbench_ops();
+
+// ----------------------------------------------------------------------
+// Industrial workload execution
+// ----------------------------------------------------------------------
+
+struct IndustrialRun {
+    std::string system;
+    std::vector<double> throughput;   ///< ops/sec per second
+    std::vector<double> name_nodes;   ///< active NN count per second
+    std::vector<double> cost_per_s;   ///< $ accrued in each second
+    std::vector<double> simplified_cost_per_s;
+    double avg_throughput = 0.0;
+    double avg_latency_ms = 0.0;
+    double read_latency_ms = 0.0;
+    double write_latency_ms = 0.0;
+    double peak_throughput = 0.0;
+    double total_cost = 0.0;
+    double total_simplified_cost = 0.0;
+    int64_t completed = 0;
+    int64_t offered = 0;
+    const workload::SystemMetrics* metrics = nullptr;  ///< run-owned
+};
+
+/**
+ * Run the Spotify workload against @p dfs inside @p sim and collect the
+ * per-second series. @p warmup simulated seconds precede the measured
+ * window. Uses simplified-cost sampling when @p dfs is FaaS-based.
+ */
+IndustrialRun run_industrial(sim::Simulation& sim, workload::Dfs& dfs,
+                             ns::BuiltTree tree,
+                             workload::SpotifyConfig config,
+                             sim::SimTime warmup = sim::sec(5));
+
+// ----------------------------------------------------------------------
+// Output formatting
+// ----------------------------------------------------------------------
+
+void print_banner(const char* experiment, const char* title);
+
+/** "PAPER: ... | MEASURED: ..." comparison line. */
+void print_check(const char* claim, const std::string& measured);
+
+std::string fmt(double v, int precision = 2);
+
+}  // namespace lfs::bench

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Coherence protocol demo: two clients on different VMs read the same
+ * file (each warming a different route), one deletes it, and the other's
+ * next read observes the deletion immediately — because the write held
+ * exclusive store locks while INV/ACKs propagated (Algorithm 1). Also
+ * shows a subtree prefix invalidation clearing thousands of cached
+ * entries in one protocol round.
+ *
+ *   ./build/examples/example_coherence_demo
+ */
+#include <cstdio>
+
+#include "src/core/lambda_fs.h"
+#include "src/namespace/tree_builder.h"
+#include "src/sim/simulation.h"
+
+using namespace lfs;
+
+namespace {
+
+sim::Task<void>
+run_op(sim::Simulation& sim, workload::Dfs& fs, size_t client, Op op,
+       const char* note)
+{
+    OpResult result = co_await fs.client(client).execute(op);
+    std::printf("  t=%7.3fs client %zu %-6s %-18s -> %-14s %s\n",
+                sim::to_sec(sim.now()), client, op_name(op.type),
+                op.path.c_str(), result.status.to_string().c_str(), note);
+}
+
+Op
+make(OpType type, const char* p)
+{
+    Op op;
+    op.type = type;
+    op.path = p;
+    return op;
+}
+
+}  // namespace
+
+int
+main()
+{
+    sim::Simulation sim;
+    core::LambdaFsConfig config;
+    config.num_deployments = 4;
+    config.total_vcpus = 64.0;
+    config.function.vcpus = 4.0;
+    config.num_client_vms = 2;
+    config.clients_per_vm = 8;
+    core::LambdaFs fs(sim, config);
+    ns::UserContext admin;
+    fs.authoritative_tree().mkdirs("/shared", admin, 0);
+    fs.authoritative_tree().create_file("/shared/doc", admin, 0);
+    ns::build_flat_directory(fs.authoritative_tree(), "/shared/big", 5000,
+                             admin, 0);
+    sim.run_until(sim::sec(3));
+
+    std::printf("single-inode coherence:\n");
+    // Clients 0 and 9 live on different VMs; both cache routes to the
+    // deployment owning /shared.
+    sim::spawn(run_op(sim, fs, 0, make(OpType::kStat, "/shared/doc"),
+                      "(warms NameNode cache)"));
+    sim.run_until(sim.now() + sim::sec(2));
+    sim::spawn(run_op(sim, fs, 9, make(OpType::kStat, "/shared/doc"), ""));
+    sim.run_until(sim.now() + sim::sec(2));
+    sim::spawn(run_op(sim, fs, 9, make(OpType::kDeleteFile, "/shared/doc"),
+                      "(INV/ACK round, then commit)"));
+    sim.run_until(sim.now() + sim::sec(2));
+    sim::spawn(run_op(sim, fs, 0, make(OpType::kStat, "/shared/doc"),
+                      "(must be NOT_FOUND: no stale cache)"));
+    sim.run_until(sim.now() + sim::sec(2));
+
+    std::printf("\nsubtree coherence (5000-file directory):\n");
+    sim::spawn(run_op(sim, fs, 0, make(OpType::kStat, "/shared/big/f42"),
+                      "(warms the subtree's partition)"));
+    sim.run_until(sim.now() + sim::sec(2));
+    uint64_t invs_before = fs.coordinator().invs_sent();
+    sim::spawn(run_op(sim, fs, 3, make(OpType::kSubtreeDelete, "/shared/big"),
+                      "(one prefix INV per deployment)"));
+    sim.run_until(sim.now() + sim::sec(30));
+    sim::spawn(run_op(sim, fs, 0, make(OpType::kStat, "/shared/big/f42"),
+                      "(gone everywhere)"));
+    sim.run_until(sim.now() + sim::sec(2));
+
+    std::printf("\nprotocol stats: %llu INVs total (%llu for the subtree "
+                "op), %llu coherence rounds\n",
+                static_cast<unsigned long long>(fs.coordinator().invs_sent()),
+                static_cast<unsigned long long>(fs.coordinator().invs_sent() -
+                                                invs_before),
+                static_cast<unsigned long long>(fs.coordinator().rounds()));
+    return 0;
+}

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Cost-model explorer: the same read workload at several utilization
+ * levels, billed three ways — AWS Lambda pay-per-use (λFS's native
+ * model), the "simplified" provisioned-time model of Figure 9, and a
+ * serverful VM cluster (HopsFS's model). Shows *why* the paper's cost
+ * gap grows as utilization drops: idle serverful capacity still bills,
+ * idle functions do not.
+ *
+ *   ./build/examples/example_cost_explorer
+ */
+#include <cstdio>
+
+#include "src/core/lambda_fs.h"
+#include "src/cost/pricing.h"
+#include "src/namespace/tree_builder.h"
+#include "src/sim/simulation.h"
+
+using namespace lfs;
+
+namespace {
+
+sim::Task<void>
+co_paced_reader(sim::Simulation& sim, core::LambdaFs& fs, size_t client,
+                std::vector<std::string> files, sim::SimTime gap,
+                sim::SimTime until, sim::Rng rng, long& completed)
+{
+    while (sim.now() < until) {
+        Op op;
+        op.type = OpType::kStat;
+        op.path = files[rng.index(files.size())];
+        OpResult result = co_await fs.client(client).execute(op);
+        if (result.status.ok()) {
+            ++completed;
+        }
+        co_await sim::delay(sim, gap);
+    }
+}
+
+}  // namespace
+
+int
+main()
+{
+    std::printf("60-second read workload, 32 clients, billed three ways\n");
+    std::printf("\n  %-14s %12s | %14s %16s %14s\n", "think time",
+                "ops done", "pay-per-use $", "simplified $", "VM cluster $");
+    for (sim::SimTime gap : {sim::msec(1), sim::msec(10), sim::msec(100),
+                             sim::msec(1000)}) {
+        sim::Simulation sim;
+        core::LambdaFsConfig config;
+        config.num_deployments = 4;
+        config.total_vcpus = 64.0;
+        config.function.vcpus = 4.0;
+        config.function.memory_gb = 6.0;
+        config.num_client_vms = 2;
+        config.clients_per_vm = 16;
+        core::LambdaFs fs(sim, config);
+        auto built = ns::build_flat_directory(fs.authoritative_tree(),
+                                              "/data", 500, {}, 0);
+        sim.run_until(sim::sec(3));
+        sim::SimTime until = sim.now() + sim::sec(60);
+        sim::Rng rng(1);
+        long completed = 0;
+        for (size_t c = 0; c < fs.client_count(); ++c) {
+            sim::spawn(co_paced_reader(sim, fs, c, built.files, gap, until,
+                                       rng.fork(), completed));
+        }
+        sim.run_until(until + sim::sec(2));
+        // What an equally sized serverful cluster would have cost.
+        double vm_dollars = cost::vm_cost(config.total_vcpus, sim::sec(60));
+        std::printf("  %-14s %12llu | %14.6f %16.6f %14.6f\n",
+                    (std::to_string(gap / sim::msec(1)) + " ms").c_str(),
+                    static_cast<unsigned long long>(completed),
+                    fs.cost_so_far(), fs.simplified_cost_so_far(),
+                    vm_dollars);
+    }
+    std::printf("\n(pay-per-use tracks actual work; the serverful column is "
+                "flat regardless of load —\n the mechanism behind Figure 9's "
+                "7.14x gap)\n");
+    return 0;
+}

@@ -1,0 +1,252 @@
+#include "src/cache/metadata_cache.h"
+
+#include <cassert>
+
+#include "src/util/path.h"
+
+namespace lfs::cache {
+
+/** One trie node; holds a value iff an inode is cached at this path. */
+struct MetadataCache::Node {
+    Node* parent = nullptr;
+    std::string component;  ///< name within parent ("" for root)
+    // Transparent comparator: lookups take string_view without allocating.
+    std::map<std::string, std::unique_ptr<Node>, std::less<>> children;
+    std::optional<ns::INode> value;
+    size_t value_bytes = 0;
+    // Intrusive LRU links (valid only while value is set).
+    Node* lru_prev = nullptr;
+    Node* lru_next = nullptr;
+};
+
+MetadataCache::MetadataCache(CacheConfig config)
+    : config_(config), root_(std::make_unique<Node>())
+{
+}
+
+MetadataCache::~MetadataCache() = default;
+
+MetadataCache::Node*
+MetadataCache::find(const std::string& p) const
+{
+    Node* cur = root_.get();
+    for (path::Splitter s(p); auto comp = s.next();) {
+        auto it = cur->children.find(*comp);
+        if (it == cur->children.end()) {
+            return nullptr;
+        }
+        cur = it->second.get();
+    }
+    return cur;
+}
+
+MetadataCache::Node*
+MetadataCache::find_or_create(const std::string& p)
+{
+    Node* cur = root_.get();
+    for (path::Splitter s(p); auto comp = s.next();) {
+        auto it = cur->children.find(*comp);
+        if (it == cur->children.end()) {
+            auto node = std::make_unique<Node>();
+            node->parent = cur;
+            node->component = std::string(*comp);
+            it = cur->children
+                     .emplace(std::string(*comp), std::move(node))
+                     .first;
+        }
+        cur = it->second.get();
+    }
+    return cur;
+}
+
+void
+MetadataCache::lru_push_front(Node* node)
+{
+    node->lru_prev = nullptr;
+    node->lru_next = lru_head_;
+    if (lru_head_) {
+        lru_head_->lru_prev = node;
+    }
+    lru_head_ = node;
+    if (!lru_tail_) {
+        lru_tail_ = node;
+    }
+}
+
+void
+MetadataCache::lru_unlink(Node* node)
+{
+    if (node->lru_prev) {
+        node->lru_prev->lru_next = node->lru_next;
+    } else if (lru_head_ == node) {
+        lru_head_ = node->lru_next;
+    }
+    if (node->lru_next) {
+        node->lru_next->lru_prev = node->lru_prev;
+    } else if (lru_tail_ == node) {
+        lru_tail_ = node->lru_prev;
+    }
+    node->lru_prev = nullptr;
+    node->lru_next = nullptr;
+}
+
+void
+MetadataCache::set_value(Node* node, const ns::INode& inode)
+{
+    if (node->value.has_value()) {
+        bytes_ -= node->value_bytes;
+        lru_unlink(node);
+    } else {
+        ++entries_;
+    }
+    node->value = inode;
+    node->value_bytes = inode.metadata_bytes();
+    bytes_ += node->value_bytes;
+    lru_push_front(node);
+}
+
+void
+MetadataCache::drop_value(Node* node, bool count_as_invalidation)
+{
+    if (!node->value.has_value()) {
+        return;
+    }
+    bytes_ -= node->value_bytes;
+    --entries_;
+    lru_unlink(node);
+    node->value.reset();
+    node->value_bytes = 0;
+    if (count_as_invalidation) {
+        invalidations_.add();
+    }
+}
+
+void
+MetadataCache::prune(Node* node)
+{
+    // Remove now-empty nodes bottom-up (never the root).
+    while (node != root_.get() && !node->value.has_value() &&
+           node->children.empty()) {
+        Node* parent = node->parent;
+        parent->children.erase(node->component);
+        node = parent;
+    }
+}
+
+void
+MetadataCache::evict_until_within_budget()
+{
+    while (bytes_ > config_.capacity_bytes && lru_tail_) {
+        Node* victim = lru_tail_;
+        drop_value(victim, /*count_as_invalidation=*/false);
+        evictions_.add();
+        prune(victim);
+    }
+}
+
+void
+MetadataCache::put(const std::string& p, const ns::INode& inode)
+{
+    if (config_.capacity_bytes == 0) {
+        return;
+    }
+    set_value(find_or_create(p), inode);
+    evict_until_within_budget();
+}
+
+void
+MetadataCache::put_chain(const std::vector<ns::INode>& chain)
+{
+    if (config_.capacity_bytes == 0) {
+        return;
+    }
+    std::string p = "/";
+    for (const ns::INode& inode : chain) {
+        if (inode.id != ns::kRootId) {
+            p = path::join(p, inode.name);
+        }
+        set_value(find_or_create(p), inode);
+    }
+    evict_until_within_budget();
+}
+
+std::optional<ns::INode>
+MetadataCache::get(const std::string& p)
+{
+    Node* node = find(p);
+    if (!node || !node->value.has_value()) {
+        misses_.add();
+        return std::nullopt;
+    }
+    hits_.add();
+    lru_unlink(node);
+    lru_push_front(node);
+    return node->value;
+}
+
+bool
+MetadataCache::contains(const std::string& p) const
+{
+    Node* node = find(p);
+    return node && node->value.has_value();
+}
+
+void
+MetadataCache::invalidate(const std::string& p)
+{
+    Node* node = find(p);
+    if (!node) {
+        return;
+    }
+    drop_value(node, /*count_as_invalidation=*/true);
+    prune(node);
+}
+
+int64_t
+MetadataCache::drop_subtree_values(Node* node)
+{
+    int64_t dropped = 0;
+    if (node->value.has_value()) {
+        drop_value(node, /*count_as_invalidation=*/true);
+        ++dropped;
+    }
+    for (auto& [name, child] : node->children) {
+        dropped += drop_subtree_values(child.get());
+    }
+    return dropped;
+}
+
+int64_t
+MetadataCache::invalidate_prefix(const std::string& prefix)
+{
+    Node* node = find(prefix);
+    if (!node) {
+        return 0;
+    }
+    int64_t dropped = drop_subtree_values(node);
+    if (node != root_.get()) {
+        Node* parent = node->parent;
+        parent->children.erase(node->component);
+        prune(parent);
+    } else {
+        node->children.clear();
+    }
+    return dropped;
+}
+
+void
+MetadataCache::clear()
+{
+    invalidate_prefix("/");
+}
+
+double
+MetadataCache::hit_rate() const
+{
+    uint64_t total = hits_.value() + misses_.value();
+    return total ? static_cast<double>(hits_.value()) /
+                       static_cast<double>(total)
+                 : 0.0;
+}
+
+}  // namespace lfs::cache

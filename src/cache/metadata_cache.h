@@ -1,0 +1,109 @@
+/**
+ * @file
+ * The in-memory metadata cache held by every λFS serverless NameNode (and
+ * by HopsFS+Cache NameNodes).
+ *
+ * Per §3.3 of the paper, cached metadata is stored in a trie keyed by path
+ * components: a NameNode caches metadata for *all* INodes along a resolved
+ * path, reads that hit serve entirely from the trie, and the subtree
+ * coherence protocol invalidates whole prefixes in one operation. Entries
+ * are evicted LRU under a byte budget.
+ */
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/namespace/inode.h"
+#include "src/sim/stats.h"
+
+namespace lfs::cache {
+
+struct CacheConfig {
+    /** Byte budget for cached metadata (0 disables caching entirely). */
+    size_t capacity_bytes = 256ull * 1024 * 1024;
+};
+
+class MetadataCache {
+  public:
+    explicit MetadataCache(CacheConfig config = {});
+    ~MetadataCache();
+
+    MetadataCache(const MetadataCache&) = delete;
+    MetadataCache& operator=(const MetadataCache&) = delete;
+
+    /**
+     * Cache one inode under @p path, replacing any previous entry. May
+     * evict LRU entries to respect the byte budget.
+     */
+    void put(const std::string& path, const ns::INode& inode);
+
+    /**
+     * Cache a whole resolved chain (root..target). @p chain entries carry
+     * component names; paths are reconstructed from them.
+     */
+    void put_chain(const std::vector<ns::INode>& chain);
+
+    /** Look up @p path; refreshes LRU position and hit/miss statistics. */
+    std::optional<ns::INode> get(const std::string& path);
+
+    /** Presence probe without stats/LRU side effects. */
+    bool contains(const std::string& path) const;
+
+    /** Drop the entry at @p path (point invalidation). */
+    void invalidate(const std::string& path);
+
+    /**
+     * Drop every entry at or under @p prefix — the subtree/prefix
+     * invalidation used by the λFS coherence protocol (Appendix D).
+     * @return number of entries dropped.
+     */
+    int64_t invalidate_prefix(const std::string& prefix);
+
+    /** Remove everything. */
+    void clear();
+
+    size_t entries() const { return entries_; }
+    size_t bytes() const { return bytes_; }
+    size_t capacity_bytes() const { return config_.capacity_bytes; }
+
+    uint64_t hits() const { return hits_.value(); }
+    uint64_t misses() const { return misses_.value(); }
+    uint64_t evictions() const { return evictions_.value(); }
+    uint64_t invalidations() const { return invalidations_.value(); }
+
+    /** Fraction of gets served from cache (0 when no gets yet). */
+    double hit_rate() const;
+
+  private:
+    struct Node;
+
+    Node* find(const std::string& path) const;
+    Node* find_or_create(const std::string& path);
+    void set_value(Node* node, const ns::INode& inode);
+    void drop_value(Node* node, bool count_as_invalidation);
+    void prune(Node* node);
+    void evict_until_within_budget();
+    int64_t drop_subtree_values(Node* node);
+
+    // Intrusive LRU list over nodes holding values.
+    void lru_push_front(Node* node);
+    void lru_unlink(Node* node);
+
+    CacheConfig config_;
+    std::unique_ptr<Node> root_;
+    size_t entries_ = 0;
+    size_t bytes_ = 0;
+    Node* lru_head_ = nullptr;
+    Node* lru_tail_ = nullptr;
+    sim::Counter hits_;
+    sim::Counter misses_;
+    sim::Counter evictions_;
+    sim::Counter invalidations_;
+};
+
+}  // namespace lfs::cache

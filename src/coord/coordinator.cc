@@ -1,0 +1,99 @@
+#include "src/coord/coordinator.h"
+
+#include <algorithm>
+
+namespace lfs::coord {
+
+Coordinator::Coordinator(sim::Simulation& sim, net::Network& network)
+    : sim_(sim), network_(network)
+{
+}
+
+void
+Coordinator::join(int group, CacheMember* member)
+{
+    auto& members = groups_[group];
+    if (std::find(members.begin(), members.end(), member) == members.end()) {
+        members.push_back(member);
+    }
+}
+
+void
+Coordinator::leave(int group, CacheMember* member)
+{
+    auto it = groups_.find(group);
+    if (it == groups_.end()) {
+        return;
+    }
+    auto& members = it->second;
+    members.erase(std::remove(members.begin(), members.end(), member),
+                  members.end());
+}
+
+size_t
+Coordinator::group_size(int group) const
+{
+    auto it = groups_.find(group);
+    return it == groups_.end() ? 0 : it->second.size();
+}
+
+size_t
+Coordinator::total_members() const
+{
+    size_t total = 0;
+    for (const auto& [group, members] : groups_) {
+        total += members.size();
+    }
+    return total;
+}
+
+sim::Task<void>
+Coordinator::deliver_one(CacheMember* member, std::string path, bool subtree,
+                         sim::WaitGroup* wg)
+{
+    // INV hop to the member.
+    co_await network_.transfer(net::LatencyClass::kCoord);
+    invs_.add();
+    // A member that terminated mid-protocol is excused from ACKing.
+    if (member->member_alive()) {
+        co_await member->deliver_invalidation(std::move(path), subtree);
+    }
+    // ACK hop back to the leader.
+    co_await network_.transfer(net::LatencyClass::kCoord);
+    wg->done();
+}
+
+sim::Task<void>
+Coordinator::invalidate(std::vector<InvTarget> targets, CacheMember* exclude)
+{
+    rounds_.add();
+    sim::WaitGroup wg(sim_);
+    for (const InvTarget& target : targets) {
+        auto it = groups_.find(target.group);
+        if (it == groups_.end()) {
+            continue;
+        }
+        // Snapshot: members joining after the INV is issued will read the
+        // post-write state from the store, so they need no invalidation.
+        std::vector<CacheMember*> snapshot = it->second;
+        for (CacheMember* member : snapshot) {
+            if (member == exclude) {
+                continue;
+            }
+            wg.add();
+            sim::spawn(deliver_one(member, target.path, target.subtree, &wg));
+        }
+    }
+    co_await wg.wait();
+}
+
+sim::Task<void>
+Coordinator::invalidate_one(int group, std::string path, bool subtree,
+                            CacheMember* exclude)
+{
+    std::vector<InvTarget> targets;
+    targets.push_back(InvTarget{group, std::move(path), subtree});
+    co_await invalidate(std::move(targets), exclude);
+}
+
+}  // namespace lfs::coord

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * The pluggable "Coordinator" service (ZooKeeper / NDB in the paper, §3.5):
+ * tracks which cache members (NameNode instances) are alive in which
+ * deployment groups, and mediates the INV/ACK rounds of the λFS coherence
+ * protocol. Members that terminate mid-protocol are excused from ACKing
+ * (Algorithm 1, step 1).
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/net/network.h"
+#include "src/sim/primitives.h"
+#include "src/sim/simulation.h"
+#include "src/sim/stats.h"
+#include "src/sim/task.h"
+
+namespace lfs::coord {
+
+/** A cache-holding participant in the coherence protocol. */
+class CacheMember {
+  public:
+    virtual ~CacheMember() = default;
+
+    /** Liveness as observed by the coordinator. */
+    virtual bool member_alive() const = 0;
+
+    /**
+     * Deliver an invalidation for @p path (point) or the subtree rooted
+     * at @p path (when @p subtree). Returning completes the ACK.
+     */
+    virtual sim::Task<void> deliver_invalidation(std::string path,
+                                                 bool subtree) = 0;
+};
+
+class Coordinator {
+  public:
+    Coordinator(sim::Simulation& sim, net::Network& network);
+
+    /** Register @p member as alive in @p group. */
+    void join(int group, CacheMember* member);
+
+    /** Remove @p member from @p group (death or reclamation). */
+    void leave(int group, CacheMember* member);
+
+    /** Live members currently registered in @p group. */
+    size_t group_size(int group) const;
+
+    /** Total live members across all groups. */
+    size_t total_members() const;
+
+    /** One invalidation to deliver to every member of one group. */
+    struct InvTarget {
+        int group;
+        std::string path;
+        bool subtree = false;
+    };
+
+    /**
+     * Run one coherence round: for each target, send an INV (with the
+     * path payload) to every live member of the target's group except
+     * @p exclude (the leader invalidates locally), then wait for all
+     * ACKs. Each INV/ACK pays a coordinator network round trip; targets
+     * fan out in parallel.
+     */
+    sim::Task<void> invalidate(std::vector<InvTarget> targets,
+                               CacheMember* exclude);
+
+    /** Convenience: one target. */
+    sim::Task<void> invalidate_one(int group, std::string path, bool subtree,
+                                   CacheMember* exclude);
+
+    uint64_t invs_sent() const { return invs_.value(); }
+    uint64_t rounds() const { return rounds_.value(); }
+
+  private:
+    sim::Task<void> deliver_one(CacheMember* member, std::string path,
+                                bool subtree, sim::WaitGroup* wg);
+
+    sim::Simulation& sim_;
+    net::Network& network_;
+    std::unordered_map<int, std::vector<CacheMember*>> groups_;
+    sim::Counter invs_;
+    sim::Counter rounds_;
+};
+
+}  // namespace lfs::coord

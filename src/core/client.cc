@@ -1,0 +1,261 @@
+#include "src/core/client.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/sim/log.h"
+#include "src/util/path.h"
+
+namespace lfs::core {
+
+namespace {
+
+/** Errors worth retrying (system faults, not user errors). */
+bool
+retryable(const Status& status)
+{
+    switch (status.code()) {
+      case Code::kUnavailable:
+      case Code::kDeadlineExceeded:
+      case Code::kAborted:
+      case Code::kInternal:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/** Run @p task and race it into @p cell (late results are discarded). */
+sim::Task<void>
+co_run_into(sim::Task<OpResult> task,
+            std::shared_ptr<sim::OneShot<OpResult>> cell)
+{
+    OpResult result = co_await std::move(task);
+    cell->try_set(std::move(result));
+}
+
+/** Fire a DEADLINE_EXCEEDED into @p cell after @p timeout. */
+void
+arm_timeout(sim::Simulation& sim, sim::SimTime timeout,
+            std::shared_ptr<sim::OneShot<OpResult>> cell)
+{
+    sim.schedule(timeout, [cell = std::move(cell)] {
+        if (!cell->is_set()) {
+            OpResult result;
+            result.status = Status::deadline_exceeded("client-side timeout");
+            cell->try_set(std::move(result));
+        }
+    });
+}
+
+sim::Task<OpResult>
+co_with_timeout(sim::Simulation& sim, sim::Task<OpResult> task,
+                sim::SimTime timeout)
+{
+    auto cell = std::make_shared<sim::OneShot<OpResult>>(sim);
+    sim::spawn(co_run_into(std::move(task), cell));
+    arm_timeout(sim, timeout, cell);
+    OpResult result = co_await cell->wait();
+    co_return result;
+}
+
+/** One TCP round trip: hop, serve, hop back. */
+sim::Task<OpResult>
+co_tcp_round(LfsRuntime& rt, faas::FunctionInstance* instance,
+             faas::Invocation inv)
+{
+    co_await rt.network.transfer(net::LatencyClass::kTcp);
+    OpResult result = co_await instance->serve_tcp(std::move(inv));
+    co_await rt.network.transfer(net::LatencyClass::kTcp);
+    co_return result;
+}
+
+/**
+ * TCP responses from an instance that died mid-request are never
+ * delivered — a reclaimed container just vanishes (§7's "relatively
+ * complicated error states"). The client's timeout detects the silence.
+ */
+sim::Task<void>
+co_run_into_unless_dead(sim::Task<OpResult> task,
+                        std::shared_ptr<sim::OneShot<OpResult>> cell)
+{
+    OpResult result = co_await std::move(task);
+    if (result.status.code() == Code::kUnavailable) {
+        co_return;  // silence: the timeout path resolves the cell
+    }
+    cell->try_set(std::move(result));
+}
+
+}  // namespace
+
+LfsClient::LfsClient(LfsRuntime& runtime, faas::Platform& platform,
+                     ClientConfig config, int global_id, int vm,
+                     int tcp_server, sim::Rng rng)
+    : rt_(runtime),
+      platform_(platform),
+      config_(config),
+      global_id_(global_id),
+      vm_(vm),
+      tcp_server_(tcp_server),
+      rng_(rng)
+{
+}
+
+double
+LfsClient::avg_latency_us() const
+{
+    if (latency_window_.empty()) {
+        return 2000.0;  // prior: ~2ms before any sample exists
+    }
+    return latency_sum_ / static_cast<double>(latency_window_.size());
+}
+
+void
+LfsClient::record_latency(sim::SimTime latency)
+{
+    double v = static_cast<double>(latency);
+    size_t window = static_cast<size_t>(std::max(config_.latency_window, 1));
+    if (latency_window_.size() < window) {
+        latency_window_.push_back(v);
+        latency_sum_ += v;
+    } else {
+        latency_sum_ += v - latency_window_[latency_cursor_];
+        latency_window_[latency_cursor_] = v;
+        latency_cursor_ = (latency_cursor_ + 1) % window;
+    }
+}
+
+bool
+LfsClient::in_anti_thrash_mode() const
+{
+    return config_.anti_thrashing && rt_.sim.now() < anti_thrash_until_;
+}
+
+sim::Task<OpResult>
+LfsClient::issue_tcp(faas::FunctionInstance* instance, faas::Invocation inv,
+                     sim::SimTime timeout)
+{
+    ++tcp_rpcs_;
+    auto cell = std::make_shared<sim::OneShot<OpResult>>(rt_.sim);
+    arm_timeout(rt_.sim, timeout, cell);
+    sim::spawn(co_run_into_unless_dead(
+        co_tcp_round(rt_, instance, std::move(inv)), cell));
+    OpResult result = co_await cell->wait();
+    co_return result;
+}
+
+sim::Task<OpResult>
+LfsClient::issue_http(int deployment, faas::Invocation inv,
+                      sim::SimTime timeout)
+{
+    ++http_rpcs_;
+    OpResult result = co_await co_with_timeout(
+        rt_.sim,
+        platform_.deployment(deployment).invoke_via_gateway(std::move(inv)),
+        timeout);
+    co_return result;
+}
+
+sim::Task<void>
+LfsClient::backoff(int attempt)
+{
+    // Exponential backoff with randomized jitter (§3.2).
+    double factor = std::pow(2.0, std::min(attempt - 1, 8));
+    auto base = static_cast<sim::SimTime>(
+        static_cast<double>(config_.backoff_base) * factor);
+    base = std::min(base, config_.backoff_max);
+    auto jittered = static_cast<sim::SimTime>(
+        static_cast<double>(base) * rng_.uniform(0.5, 1.5));
+    co_await sim::delay(rt_.sim, jittered);
+}
+
+sim::Task<OpResult>
+LfsClient::execute(Op op)
+{
+    op.op_id = (static_cast<uint64_t>(global_id_ + 1) << 40) | ++next_seq_;
+    const int target = rt_.partitioner.deployment_for(op.path);
+
+    OpResult result;
+    for (int attempt = 1; attempt <= config_.max_attempts; ++attempt) {
+        if (attempt > 1) {
+            ++resubmissions_;
+        }
+        // Connection choice: own TCP server first, then connection
+        // sharing across the VM's other TCP servers (Figure 4).
+        faas::FunctionInstance* conn =
+            rt_.tcp_registry.find_on_vm(vm_, tcp_server_, target);
+        bool use_http;
+        if (conn == nullptr) {
+            use_http = true;
+            if (in_anti_thrash_mode()) {
+                // Anti-thrashing: reuse *any* live connection on this VM
+                // rather than triggering more container provisioning.
+                for (int d = 0; d < rt_.partitioner.deployment_count() &&
+                                conn == nullptr;
+                     ++d) {
+                    conn = rt_.tcp_registry.find_on_vm(vm_, tcp_server_, d);
+                }
+                if (conn != nullptr) {
+                    use_http = false;
+                }
+            }
+        } else if (in_anti_thrash_mode()) {
+            use_http = false;
+        } else {
+            // Randomized HTTP-TCP replacement keeps the FaaS platform's
+            // auto-scaler aware of TCP-carried load (§3.4).
+            use_http = rng_.bernoulli(config_.http_replace_probability);
+        }
+
+        sim::SimTime attempt_start = rt_.sim.now();
+        faas::Invocation inv;
+        inv.op = op;
+        inv.client_vm = vm_;
+        inv.tcp_server = tcp_server_;
+        inv.via_http = use_http;
+        if (use_http) {
+            if (attempt > 1) {
+                co_await backoff(attempt);
+            }
+            // Subtree operations legitimately run for many seconds
+            // (Table 3): they must not be resubmitted on a timeout.
+            sim::SimTime http_timeout = is_subtree_op(op.type)
+                                            ? sim::sec(1800)
+                                            : config_.http_timeout;
+            result = co_await issue_http(target, std::move(inv),
+                                         http_timeout);
+        } else {
+            sim::SimTime timeout =
+                config_.straggler_mitigation
+                    ? std::max(config_.tcp_timeout_floor,
+                               static_cast<sim::SimTime>(
+                                   config_.straggler_threshold *
+                                   avg_latency_us()))
+                    : config_.tcp_timeout_default;
+            // Subtree operations legitimately run for many seconds
+            // (Table 3); straggler mitigation must not resubmit them.
+            if (is_subtree_op(op.type)) {
+                timeout = sim::sec(1800);
+            }
+            result = co_await issue_tcp(conn, std::move(inv), timeout);
+        }
+        sim::SimTime latency = rt_.sim.now() - attempt_start;
+
+        if (result.status.code() == Code::kDeadlineExceeded) {
+            ++timeouts_;
+        }
+        if (!retryable(result.status)) {
+            record_latency(latency);
+            if (config_.anti_thrashing &&
+                static_cast<double>(latency) >
+                    config_.thrash_threshold * avg_latency_us()) {
+                anti_thrash_until_ =
+                    rt_.sim.now() + config_.anti_thrash_duration;
+            }
+            co_return result;
+        }
+    }
+    co_return result;  // exhausted retries: report the last failure
+}
+
+}  // namespace lfs::core

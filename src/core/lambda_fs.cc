@@ -1,0 +1,102 @@
+#include "src/core/lambda_fs.h"
+
+#include <algorithm>
+
+namespace lfs::core {
+
+namespace {
+
+int
+tcp_servers_per_vm(const LambdaFsConfig& config)
+{
+    int per_server = std::max(config.max_clients_per_tcp_server, 1);
+    return std::max(1, (config.clients_per_vm + per_server - 1) / per_server);
+}
+
+}  // namespace
+
+LambdaFs::LambdaFs(sim::Simulation& sim, LambdaFsConfig config)
+    : sim_(sim),
+      config_(config),
+      rng_(config.seed),
+      network_(sim, rng_.fork(), config.network),
+      store_(sim, network_, rng_.fork(), config.store),
+      coordinator_(sim, network_),
+      partitioner_(config.num_deployments),
+      tcp_registry_(config.num_client_vms, tcp_servers_per_vm(config)),
+      platform_(sim, network_, rng_.fork(),
+                faas::PlatformConfig{config.total_vcpus, config.function})
+{
+    runtime_ = std::make_unique<LfsRuntime>(LfsRuntime{
+        sim_, network_, store_, coordinator_, partitioner_, tcp_registry_});
+
+    for (int d = 0; d < config_.num_deployments; ++d) {
+        auto& deployment = platform_.create_deployment(
+            "NameNode" + std::to_string(d), config_.function,
+            [this](faas::FunctionInstance& instance) {
+                return std::make_unique<NameNode>(*runtime_, instance,
+                                                  config_.name_node);
+            });
+        deployment.prewarm(config_.prewarm_per_deployment);
+    }
+
+    int servers = tcp_servers_per_vm(config_);
+    int total_clients = config_.num_client_vms * config_.clients_per_vm;
+    clients_.reserve(static_cast<size_t>(total_clients));
+    for (int i = 0; i < total_clients; ++i) {
+        int vm = i / config_.clients_per_vm;
+        int within_vm = i % config_.clients_per_vm;
+        int server = std::min(within_vm / config_.max_clients_per_tcp_server,
+                              servers - 1);
+        clients_.push_back(std::make_unique<LfsClient>(
+            *runtime_, platform_, config_.client, i, vm, server,
+            rng_.fork()));
+    }
+}
+
+LambdaFs::~LambdaFs() = default;
+
+workload::DfsClient&
+LambdaFs::client(size_t index)
+{
+    return *clients_.at(index);
+}
+
+int
+LambdaFs::active_name_nodes() const
+{
+    return platform_.total_alive_instances();
+}
+
+double
+LambdaFs::cost_so_far() const
+{
+    return cost::lambda_cost(platform_.total_busy_gb_us(),
+                             platform_.total_gateway_invocations());
+}
+
+double
+LambdaFs::simplified_cost_so_far() const
+{
+    return cost::simplified_cost(platform_.total_provisioned_gb_us(),
+                                 platform_.total_gateway_invocations());
+}
+
+bool
+LambdaFs::kill_name_node(int deployment)
+{
+    if (deployment < 0 || deployment >= platform_.deployment_count()) {
+        return false;
+    }
+    return platform_.deployment(deployment).kill_one() != nullptr;
+}
+
+void
+LambdaFs::set_max_instances_per_deployment(int max)
+{
+    for (int d = 0; d < platform_.deployment_count(); ++d) {
+        platform_.deployment(d).set_max_instances(max);
+    }
+}
+
+}  // namespace lfs::core

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * λFS system assembly: wires the FaaS platform, persistent metadata
+ * store, coordinator, namespace partitioner, TCP registry, serverless
+ * NameNode deployments, and client VMs into one deployable system
+ * implementing the workload::Dfs interface (Figure 2).
+ */
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/coord/coordinator.h"
+#include "src/core/client.h"
+#include "src/core/name_node.h"
+#include "src/core/partitioning.h"
+#include "src/core/tcp_registry.h"
+#include "src/cost/pricing.h"
+#include "src/faas/platform.h"
+#include "src/net/network.h"
+#include "src/store/metadata_store.h"
+#include "src/workload/dfs_interface.h"
+
+namespace lfs::core {
+
+struct LambdaFsConfig {
+    /** Number of function deployments the namespace is hashed across. */
+    int num_deployments = 16;
+    /** Platform resource cap (the paper's fairness normalization). */
+    double total_vcpus = 512.0;
+    faas::FunctionConfig function = {
+        /*vcpus=*/6.25,
+        /*memory_gb=*/30.0,
+        /*concurrency_level=*/4,
+        /*cold_start_min=*/sim::msec(500),
+        /*cold_start_max=*/sim::msec(1200),
+        /*idle_reclaim=*/sim::sec(60),
+    };
+    NameNodeConfig name_node;
+    ClientConfig client;
+    store::StoreConfig store;
+    net::NetworkConfig network;
+    int num_client_vms = 8;
+    int clients_per_vm = 128;
+    /** At-most-n clients per TCP server (§3.2). */
+    int max_clients_per_tcp_server = 64;
+    /** Instances pre-provisioned per deployment before the workload. */
+    int prewarm_per_deployment = 1;
+    uint64_t seed = 42;
+};
+
+class LambdaFs : public workload::Dfs {
+  public:
+    LambdaFs(sim::Simulation& sim, LambdaFsConfig config);
+    ~LambdaFs() override;
+
+    // workload::Dfs
+    std::string name() const override { return "lambda-fs"; }
+    workload::DfsClient& client(size_t index) override;
+    size_t client_count() const override { return clients_.size(); }
+    workload::SystemMetrics& metrics() override { return metrics_; }
+    ns::NamespaceTree& authoritative_tree() override
+    {
+        return store_.tree();
+    }
+    int active_name_nodes() const override;
+    double cost_so_far() const override;
+    double simplified_cost_so_far() const override;
+
+    // λFS specifics
+    faas::Platform& platform() { return platform_; }
+    store::MetadataStore& store() { return store_; }
+    coord::Coordinator& coordinator() { return coordinator_; }
+    TcpRegistry& tcp_registry() { return tcp_registry_; }
+    const NamespacePartitioner& partitioner() const { return partitioner_; }
+    LfsClient& lfs_client(size_t index) { return *clients_[index]; }
+    const LambdaFsConfig& config() const { return config_; }
+
+    /** Kill one NameNode of deployment @p deployment (fault injection). */
+    bool kill_name_node(int deployment);
+
+    /** Cap instances per deployment (auto-scaling ablation, Fig. 14). */
+    void set_max_instances_per_deployment(int max);
+
+  private:
+    sim::Simulation& sim_;
+    LambdaFsConfig config_;
+    sim::Rng rng_;
+    net::Network network_;
+    store::MetadataStore store_;
+    coord::Coordinator coordinator_;
+    NamespacePartitioner partitioner_;
+    TcpRegistry tcp_registry_;
+    faas::Platform platform_;
+    std::unique_ptr<LfsRuntime> runtime_;
+    std::vector<std::unique_ptr<LfsClient>> clients_;
+    workload::SystemMetrics metrics_;
+};
+
+}  // namespace lfs::core

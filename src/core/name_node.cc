@@ -1,0 +1,292 @@
+#include "src/core/name_node.h"
+
+#include <algorithm>
+
+#include "src/sim/log.h"
+#include "src/util/path.h"
+
+namespace lfs::core {
+
+NameNode::NameNode(LfsRuntime& runtime, faas::FunctionInstance& instance,
+                   NameNodeConfig config)
+    : rt_(runtime),
+      instance_(instance),
+      config_(config),
+      cache_(cache::CacheConfig{config.cache_bytes})
+{
+    rt_.coordinator.join(instance_.deployment_id(), this);
+    in_coordinator_ = true;
+    if (config_.report_interval > 0) {
+        sim::spawn(report_loop());
+    }
+}
+
+NameNode::~NameNode() = default;
+
+void
+NameNode::on_shutdown()
+{
+    if (in_coordinator_) {
+        rt_.coordinator.leave(instance_.deployment_id(), this);
+        in_coordinator_ = false;
+    }
+}
+
+sim::Task<void>
+NameNode::report_loop()
+{
+    while (instance_.alive()) {
+        co_await sim::delay(rt_.sim, config_.report_interval);
+        if (!instance_.alive()) {
+            break;
+        }
+        // Publish block-report/liveness info to the persistent store.
+        co_await rt_.network.round_trip(net::LatencyClass::kStore);
+        ++block_reports_;
+    }
+}
+
+sim::Task<void>
+NameNode::deliver_invalidation(std::string p, bool subtree)
+{
+    co_await instance_.compute(sim::usec(30));
+    if (subtree) {
+        cache_.invalidate_prefix(p);
+    } else {
+        cache_.invalidate(p);
+    }
+}
+
+void
+NameNode::invalidate_local(const Op& op)
+{
+    cache_.invalidate(op.path);
+    cache_.invalidate(path::parent(op.path));
+    if (op.type == OpType::kMv) {
+        cache_.invalidate(op.dst);
+        cache_.invalidate(path::parent(op.dst));
+    }
+}
+
+sim::Task<void>
+NameNode::run_coherence(const Op& op)
+{
+    // The leader invalidates its own cache directly (Algorithm 1 excludes
+    // it from the INV fan-out).
+    invalidate_local(op);
+    std::vector<coord::Coordinator::InvTarget> targets;
+    auto add_path = [&](const std::string& p) {
+        targets.push_back(coord::Coordinator::InvTarget{
+            rt_.partitioner.deployment_for(p), p, false});
+        std::string parent = path::parent(p);
+        targets.push_back(coord::Coordinator::InvTarget{
+            rt_.partitioner.deployment_for(parent), parent, false});
+    };
+    add_path(op.path);
+    if (op.type == OpType::kMv) {
+        add_path(op.dst);
+    }
+    co_await rt_.coordinator.invalidate(std::move(targets), this);
+}
+
+sim::Task<void>
+NameNode::run_subtree_coherence(Op op)
+{
+    cache_.invalidate_prefix(op.path);
+    invalidate_local(op);
+    // A large subtree hashes across essentially every deployment, so the
+    // prefix INV is issued to all of them (Appendix D), plus point INVs
+    // for the parent directories whose mtimes change.
+    std::vector<coord::Coordinator::InvTarget> targets;
+    for (int d : rt_.partitioner.all_deployments()) {
+        targets.push_back(coord::Coordinator::InvTarget{d, op.path, true});
+    }
+    std::string src_parent = path::parent(op.path);
+    targets.push_back(coord::Coordinator::InvTarget{
+        rt_.partitioner.deployment_for(src_parent), src_parent, false});
+    if (op.type == OpType::kMv || op.type == OpType::kSubtreeMv) {
+        std::string dst_parent = path::parent(op.dst);
+        targets.push_back(coord::Coordinator::InvTarget{
+            rt_.partitioner.deployment_for(dst_parent), dst_parent, false});
+    }
+    co_await rt_.coordinator.invalidate(std::move(targets), this);
+}
+
+sim::Task<OpResult>
+NameNode::handle_read(const Op& op)
+{
+    sim::SimTime cpu = config_.read_cpu;
+    if (op.type == OpType::kReadFile) {
+        cpu += config_.read_block_cpu;
+    }
+    co_await instance_.compute(cpu);
+    // Only the deployment that owns a path's partition may cache it; an
+    // instance serving out-of-partition traffic (anti-thrashing mode
+    // routes to any connected NameNode) reads through to the store so
+    // the coherence protocol's deployment targeting stays sound.
+    const bool home_partition =
+        rt_.partitioner.deployment_for(op.path) == instance_.deployment_id();
+    auto cached = home_partition ? cache_.get(op.path)
+                                 : std::optional<ns::INode>();
+    if (cached.has_value()) {
+        OpResult result;
+        if (op.type == OpType::kReadFile && !cached->is_file()) {
+            result.status =
+                Status::failed_precondition("not a file: " + op.path);
+            co_return result;
+        }
+        result.status = Status::make_ok();
+        result.inode = *cached;
+        result.cache_hit = true;
+        if (op.type == OpType::kLs) {
+            // Child names come from the store's directory index; the
+            // cached inode avoids the expensive path-resolve round trip.
+            auto listed = rt_.store.tree().list(op.path, op.user);
+            if (!listed.ok()) {
+                result.status = listed.status();
+                co_return result;
+            }
+            result.children = listed.take();
+        }
+        co_return result;
+    }
+    OpResult result = co_await rt_.store.read_op(op);
+    if (result.status.ok() && home_partition) {
+        cache_own_partition_entries(result.chain);
+        co_await instance_.compute(config_.miss_extra_cpu);
+    }
+    // The chain was only needed for cache installation; dropping it here
+    // avoids copying it through the RPC reply path and result cache.
+    result.chain.clear();
+    co_return result;
+}
+
+void
+NameNode::cache_own_partition_entries(const std::vector<ns::INode>& chain)
+{
+    // Cache only the chain entries whose partition this deployment owns.
+    // Caching ancestors that hash elsewhere would break the coherence
+    // protocol's deterministic INV targeting: a write invalidates an
+    // inode only at deployment_for(path), so that must be the sole
+    // deployment ever caching it.
+    std::string p = "/";
+    for (const ns::INode& inode : chain) {
+        if (inode.id != ns::kRootId) {
+            p = path::join(p, inode.name);
+        }
+        if (rt_.partitioner.deployment_for(p) == instance_.deployment_id()) {
+            cache_.put(p, inode);
+        }
+    }
+}
+
+sim::Task<OpResult>
+NameNode::handle_write(const Op& op)
+{
+    co_await instance_.compute(config_.write_cpu);
+    // Path resolution: a write must validate/permission-check the parent
+    // chain. With the parent cached (the "INode Hint Cache" effect) this
+    // is free; otherwise it costs one batched resolve round trip.
+    std::string parent = path::parent(op.path);
+    if (!cache_.contains(parent)) {
+        Op resolve;
+        resolve.type = OpType::kStat;
+        resolve.path = parent;
+        resolve.user = op.user;
+        OpResult resolved = co_await rt_.store.read_op(resolve);
+        if (!resolved.status.ok()) {
+            co_return resolved;
+        }
+        if (rt_.partitioner.deployment_for(op.path) ==
+            instance_.deployment_id()) {
+            cache_own_partition_entries(resolved.chain);
+        }
+    }
+    // Algorithm 1: the INV/ACK round runs while the store's exclusive row
+    // locks are held, so no other NameNode can re-read-and-cache stale
+    // metadata between invalidation and commit.
+    OpResult result = co_await rt_.store.write_op(
+        op, [this, &op]() { return run_coherence(op); });
+    co_return result;
+}
+
+sim::Task<OpResult>
+NameNode::handle_subtree(const Op& op)
+{
+    co_await instance_.compute(config_.write_cpu);
+    int helpers = 1;
+    if (config_.offload_subtree) {
+        int candidates =
+            static_cast<int>(rt_.coordinator.total_members()) - 1;
+        helpers = std::clamp(candidates, 1, config_.max_offload_helpers);
+    }
+    store::MetadataStore::SubtreeExecution exec;
+    exec.after_lock = [this, &op]() { return run_subtree_coherence(op); };
+    exec.per_row_nn_cost = config_.subtree_per_row_cpu / helpers;
+    OpResult result = co_await rt_.store.subtree_op(op, exec);
+    co_return result;
+}
+
+void
+NameNode::remember_result(uint64_t op_id, const OpResult& result)
+{
+    if (op_id == 0 || config_.result_cache_entries == 0) {
+        return;
+    }
+    auto [it, inserted] = result_cache_.emplace(op_id, result);
+    if (!inserted) {
+        it->second = result;
+        return;
+    }
+    result_order_.push_back(op_id);
+    while (result_order_.size() > config_.result_cache_entries) {
+        result_cache_.erase(result_order_.front());
+        result_order_.pop_front();
+    }
+}
+
+sim::Task<OpResult>
+NameNode::handle(faas::Invocation inv)
+{
+    // An HTTP-served request lets the NameNode learn the client's TCP
+    // server coordinates; it proactively connects back (§3.2).
+    if (inv.via_http && inv.client_vm >= 0 && inv.tcp_server >= 0) {
+        rt_.tcp_registry.add_connection(inv.client_vm, inv.tcp_server,
+                                        &instance_);
+    }
+    const Op& op = inv.op;
+    // Transparently-resubmitted requests are answered from the retained
+    // result cache instead of being re-performed (§3.2).
+    if (op.op_id != 0) {
+        auto it = result_cache_.find(op.op_id);
+        if (it != result_cache_.end()) {
+            co_await instance_.compute(sim::usec(20));
+            co_return it->second;
+        }
+    }
+    OpResult result;
+    if (is_read_op(op.type)) {
+        result = co_await handle_read(op);
+    } else if (is_subtree_op(op.type) || requires_subtree_protocol(op)) {
+        result = co_await handle_subtree(op);
+    } else {
+        result = co_await handle_write(op);
+    }
+    remember_result(op.op_id, result);
+    co_return result;
+}
+
+bool
+NameNode::requires_subtree_protocol(const Op& op) const
+{
+    // mv of a directory relocates every descendant path, so cached
+    // entries under the old prefix must be invalidated subtree-wide.
+    if (op.type != OpType::kMv) {
+        return false;
+    }
+    ns::UserContext root;
+    auto target = rt_.store.tree().stat(op.path, root);
+    return target.ok() && target->is_dir();
+}
+
+}  // namespace lfs::core

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * The λFS serverless NameNode — the paper's primary contribution. One
+ * NameNode runs inside each function instance and retains, across
+ * invocations: the trie metadata cache (§3.3), a result cache for
+ * transparently resubmitted requests (§3.2), and its coherence-protocol
+ * membership. Writes run Algorithm 1 (INV to all deployments caching
+ * affected metadata, ACKs collected via the Coordinator, exclusive store
+ * locks held throughout); subtree operations use prefix invalidations and
+ * serverless offloading (Appendix D).
+ */
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "src/cache/metadata_cache.h"
+#include "src/coord/coordinator.h"
+#include "src/core/partitioning.h"
+#include "src/core/tcp_registry.h"
+#include "src/faas/function_instance.h"
+#include "src/namespace/op.h"
+#include "src/net/network.h"
+#include "src/sim/random.h"
+#include "src/sim/simulation.h"
+#include "src/store/metadata_store.h"
+
+namespace lfs::core {
+
+/** NameNode behaviour knobs (service costs calibrated in DESIGN.md §5). */
+struct NameNodeConfig {
+    /** CPU per metadata read served from the local cache. */
+    sim::SimTime read_cpu = sim::usec(360);
+    /** Extra CPU for open-for-read (block-location assembly). */
+    sim::SimTime read_block_cpu = sim::usec(60);
+    /** Extra CPU on a cache miss (deserialize + install). */
+    sim::SimTime miss_extra_cpu = sim::usec(150);
+    /** CPU per write operation (excluding coherence + store time). */
+    sim::SimTime write_cpu = sim::usec(700);
+    /** Local cache budget in bytes. */
+    size_t cache_bytes = 1ull * 1024 * 1024 * 1024;
+    /** NameNode-side per-inode cost of subtree batch processing. */
+    sim::SimTime subtree_per_row_cpu = sim::usec(8);
+    /** Offload subtree batches to helper NameNodes (Appendix D). */
+    bool offload_subtree = true;
+    /** Max helper NameNodes recruited for one subtree operation. */
+    int max_offload_helpers = 8;
+    /** Retained results for resubmitted-request deduplication. */
+    size_t result_cache_entries = 4096;
+    /** Interval for publishing block reports / liveness to the store. */
+    sim::SimTime report_interval = sim::sec(10);
+};
+
+/** Shared services a NameNode uses (owned by the LambdaFs system). */
+struct LfsRuntime {
+    sim::Simulation& sim;
+    net::Network& network;
+    store::MetadataStore& store;
+    coord::Coordinator& coordinator;
+    NamespacePartitioner& partitioner;
+    TcpRegistry& tcp_registry;
+};
+
+class NameNode : public faas::FunctionApp, public coord::CacheMember {
+  public:
+    NameNode(LfsRuntime& runtime, faas::FunctionInstance& instance,
+             NameNodeConfig config);
+    ~NameNode() override;
+
+    // faas::FunctionApp
+    sim::Task<OpResult> handle(faas::Invocation inv) override;
+    void on_shutdown() override;
+
+    // coord::CacheMember
+    bool member_alive() const override { return instance_.alive(); }
+    sim::Task<void> deliver_invalidation(std::string path,
+                                         bool subtree) override;
+
+    cache::MetadataCache& cache() { return cache_; }
+    uint64_t block_reports_published() const { return block_reports_; }
+
+  private:
+    sim::Task<OpResult> handle_read(const Op& op);
+    sim::Task<OpResult> handle_write(const Op& op);
+    sim::Task<OpResult> handle_subtree(const Op& op);
+
+    /** Coherence round for a single-inode write on @p op. */
+    sim::Task<void> run_coherence(const Op& op);
+
+    /** Prefix-invalidation round for the subtree op @p op. */
+    sim::Task<void> run_subtree_coherence(Op op);
+
+    /** Invalidate the local cache entries a write on @p op touches. */
+    void invalidate_local(const Op& op);
+
+    /** Cache the chain entries whose partition this deployment owns. */
+    void cache_own_partition_entries(const std::vector<ns::INode>& chain);
+
+    /** True if @p op must escalate to the subtree protocol. */
+    bool requires_subtree_protocol(const Op& op) const;
+
+    void remember_result(uint64_t op_id, const OpResult& result);
+
+    /**
+     * Periodic serverless-compatible maintenance: publishes block-report
+     * and liveness info to the persistent store (§1: "re-implements many
+     * DFS maintenance features ... by publishing information to the
+     * persistent metadata store on a regular interval").
+     */
+    sim::Task<void> report_loop();
+
+    LfsRuntime& rt_;
+    faas::FunctionInstance& instance_;
+    NameNodeConfig config_;
+    cache::MetadataCache cache_;
+    bool in_coordinator_ = false;
+    uint64_t block_reports_ = 0;
+    std::unordered_map<uint64_t, OpResult> result_cache_;
+    std::deque<uint64_t> result_order_;
+};
+
+}  // namespace lfs::core

@@ -1,0 +1,51 @@
+#include "src/core/partitioning.h"
+
+#include <algorithm>
+
+#include "src/util/path.h"
+
+namespace lfs::core {
+
+NamespacePartitioner::NamespacePartitioner(int num_deployments, int vnodes)
+    : num_deployments_(num_deployments), ring_(vnodes)
+{
+    for (int d = 0; d < num_deployments; ++d) {
+        ring_.add_member(d);
+    }
+}
+
+int
+NamespacePartitioner::deployment_for(const std::string& p) const
+{
+    return ring_.lookup(path::parent(p));
+}
+
+int
+NamespacePartitioner::deployment_for_dir(const std::string& dir) const
+{
+    return ring_.lookup(path::normalize(dir));
+}
+
+std::vector<int>
+NamespacePartitioner::write_target_deployments(const std::string& p) const
+{
+    std::vector<int> out;
+    out.push_back(deployment_for(p));
+    int parent_home = deployment_for(path::parent(p));
+    if (parent_home != out[0]) {
+        out.push_back(parent_home);
+    }
+    return out;
+}
+
+std::vector<int>
+NamespacePartitioner::all_deployments() const
+{
+    std::vector<int> out(static_cast<size_t>(num_deployments_));
+    for (int d = 0; d < num_deployments_; ++d) {
+        out[static_cast<size_t>(d)] = d;
+    }
+    return out;
+}
+
+}  // namespace lfs::core

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * λFS namespace partitioning (§3.3): the file-system namespace is divided
+ * among n function deployments by consistently hashing the *parent
+ * directory* of each path, so all entries of one directory are cached by
+ * the same deployment and a single directory read never fans out.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/util/hash.h"
+
+namespace lfs::core {
+
+class NamespacePartitioner {
+  public:
+    /** Partition across deployments 0..n-1. */
+    explicit NamespacePartitioner(int num_deployments, int vnodes = 64);
+
+    int deployment_count() const { return num_deployments_; }
+
+    /**
+     * Deployment responsible for caching the metadata of @p p — the one
+     * hashing its parent directory.
+     */
+    int deployment_for(const std::string& p) const;
+
+    /** Deployment caching the entries of directory @p dir itself. */
+    int deployment_for_dir(const std::string& dir) const;
+
+    /**
+     * Deployments that a single-inode write on @p p must invalidate: the
+     * partition holding p (keyed by p's parent) and the partition
+     * holding p's parent (keyed by the grandparent), deduplicated.
+     */
+    std::vector<int> write_target_deployments(const std::string& p) const;
+
+    /** All deployment ids (subtree operations invalidate everywhere). */
+    std::vector<int> all_deployments() const;
+
+  private:
+    int num_deployments_;
+    ConsistentHashRing ring_;
+};
+
+}  // namespace lfs::core

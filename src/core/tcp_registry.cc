@@ -1,0 +1,101 @@
+#include "src/core/tcp_registry.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace lfs::core {
+
+TcpRegistry::TcpRegistry(int num_vms, int servers_per_vm)
+    : num_vms_(num_vms), servers_per_vm_(servers_per_vm)
+{
+    tables_.resize(static_cast<size_t>(num_vms) *
+                   static_cast<size_t>(servers_per_vm));
+}
+
+TcpRegistry::ServerTable&
+TcpRegistry::table(int vm, int server)
+{
+    assert(vm >= 0 && vm < num_vms_ && server >= 0 &&
+           server < servers_per_vm_);
+    return tables_[static_cast<size_t>(vm) *
+                       static_cast<size_t>(servers_per_vm_) +
+                   static_cast<size_t>(server)];
+}
+
+void
+TcpRegistry::add_connection(int vm, int server,
+                            faas::FunctionInstance* instance)
+{
+    auto& conns = table(vm, server).conns[instance->deployment_id()];
+    if (std::find(conns.begin(), conns.end(), instance) == conns.end()) {
+        conns.push_back(instance);
+        ++established_;
+    }
+}
+
+faas::FunctionInstance*
+TcpRegistry::pick_live(std::vector<faas::FunctionInstance*>& instances)
+{
+    // Prune dead connections lazily, then pick the least-loaded live one.
+    instances.erase(std::remove_if(instances.begin(), instances.end(),
+                                   [](faas::FunctionInstance* inst) {
+                                       return !inst->alive();
+                                   }),
+                    instances.end());
+    faas::FunctionInstance* best = nullptr;
+    for (faas::FunctionInstance* inst : instances) {
+        if (!inst->warm()) {
+            continue;
+        }
+        if (!best || inst->inflight() < best->inflight()) {
+            best = inst;
+        }
+    }
+    return best;
+}
+
+faas::FunctionInstance*
+TcpRegistry::find(int vm, int server, int deployment)
+{
+    auto& conns_by_dep = table(vm, server).conns;
+    auto it = conns_by_dep.find(deployment);
+    if (it == conns_by_dep.end()) {
+        return nullptr;
+    }
+    return pick_live(it->second);
+}
+
+faas::FunctionInstance*
+TcpRegistry::find_on_vm(int vm, int home_server, int deployment)
+{
+    if (auto* inst = find(vm, home_server, deployment)) {
+        return inst;
+    }
+    for (int server = 0; server < servers_per_vm_; ++server) {
+        if (server == home_server) {
+            continue;
+        }
+        if (auto* inst = find(vm, server, deployment)) {
+            return inst;
+        }
+    }
+    return nullptr;
+}
+
+size_t
+TcpRegistry::live_connections()
+{
+    size_t total = 0;
+    for (auto& t : tables_) {
+        for (auto& [deployment, conns] : t.conns) {
+            for (auto* inst : conns) {
+                if (inst->alive()) {
+                    ++total;
+                }
+            }
+        }
+    }
+    return total;
+}
+
+}  // namespace lfs::core

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Registry of direct TCP connections between client-VM TCP servers and
+ * serverless NameNode instances (§3.2). Every client VM runs one or more
+ * TCP servers; NameNodes proactively connect back to a client's server
+ * after serving its first HTTP request. Clients prefer these connections
+ * for subsequent RPCs and temporarily *share* connections owned by other
+ * TCP servers on the same VM (Figure 4).
+ */
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/faas/function_instance.h"
+
+namespace lfs::core {
+
+class TcpRegistry {
+  public:
+    TcpRegistry(int num_vms, int servers_per_vm);
+
+    int num_vms() const { return num_vms_; }
+    int servers_per_vm() const { return servers_per_vm_; }
+
+    /**
+     * Record a connection from NameNode @p instance back to TCP server
+     * @p server on VM @p vm (idempotent).
+     */
+    void add_connection(int vm, int server, faas::FunctionInstance* instance);
+
+    /**
+     * A live connected instance of @p deployment reachable from
+     * (vm, server), or nullptr. Dead instances are pruned on access.
+     */
+    faas::FunctionInstance* find(int vm, int server, int deployment);
+
+    /**
+     * Connection sharing: a live connected instance of @p deployment via
+     * *any* TCP server on @p vm, preferring @p home_server. Returns
+     * nullptr if no server on the VM has one.
+     */
+    faas::FunctionInstance* find_on_vm(int vm, int home_server,
+                                       int deployment);
+
+    /** Total live connections currently registered (diagnostics). */
+    size_t live_connections();
+
+    uint64_t connections_established() const { return established_; }
+
+  private:
+    struct ServerTable {
+        // deployment id -> connected instances
+        std::unordered_map<int, std::vector<faas::FunctionInstance*>> conns;
+    };
+
+    ServerTable& table(int vm, int server);
+    static faas::FunctionInstance* pick_live(
+        std::vector<faas::FunctionInstance*>& instances);
+
+    int num_vms_;
+    int servers_per_vm_;
+    std::vector<ServerTable> tables_;  // vm * servers_per_vm + server
+    uint64_t established_ = 0;
+};
+
+}  // namespace lfs::core

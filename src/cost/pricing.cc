@@ -1,0 +1,33 @@
+#include "src/cost/pricing.h"
+
+namespace lfs::cost {
+
+double
+lambda_cost(double busy_gb_us, uint64_t requests, const LambdaPricing& pricing)
+{
+    double gb_seconds = busy_gb_us / 1e6;
+    return gb_seconds * pricing.per_gb_second +
+           static_cast<double>(requests) / 1e6 * pricing.per_million_requests;
+}
+
+double
+simplified_cost(double provisioned_gb_us, uint64_t requests,
+                const LambdaPricing& pricing)
+{
+    return lambda_cost(provisioned_gb_us, requests, pricing);
+}
+
+double
+vm_cost(double vcpus, sim::SimTime duration, const VmPricing& pricing)
+{
+    double hours = sim::to_sec(duration) / 3600.0;
+    return vcpus * hours * pricing.per_vcpu_hour;
+}
+
+double
+perf_per_cost(double ops_per_second, double dollars)
+{
+    return dollars > 0 ? ops_per_second / dollars : 0.0;
+}
+
+}  // namespace lfs::cost

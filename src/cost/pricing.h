@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Monetary cost models (§5.2.5, Figure 9):
+ *  - AWS Lambda pay-per-use: $0.0000166667 per GB-second billed at 1 ms
+ *    granularity plus $0.20 per 1M requests; a NameNode is billed only
+ *    while actively serving a request.
+ *  - "Simplified" model: active instances are billed for their whole
+ *    provisioned lifetime (like VMs), which roughly doubles λFS's cost.
+ *  - Serverful VM pricing for HopsFS clusters (r5.4xlarge-derived
+ *    per-vCPU-hour rate).
+ * Plus the performance-per-cost metric (ops per second per dollar).
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "src/sim/time.h"
+
+namespace lfs::cost {
+
+/** AWS Lambda prices (us-east-1, as cited by the paper). */
+struct LambdaPricing {
+    double per_gb_second = 0.0000166667;
+    double per_million_requests = 0.20;
+};
+
+/** Serverful VM pricing: r5.4xlarge = $1.008/h for 16 vCPUs. */
+struct VmPricing {
+    double per_vcpu_hour = 1.008 / 16.0;
+};
+
+/**
+ * Pay-per-use Lambda cost: @p busy_gb_us is the sum over instances of
+ * (busy time in microseconds x memory GB); @p requests the invocation
+ * count.
+ */
+double lambda_cost(double busy_gb_us, uint64_t requests,
+                   const LambdaPricing& pricing = {});
+
+/**
+ * The paper's "simplified" model: bill provisioned (container-alive)
+ * GB-time rather than busy GB-time.
+ */
+double simplified_cost(double provisioned_gb_us, uint64_t requests,
+                       const LambdaPricing& pricing = {});
+
+/** Serverful cluster cost: @p vcpus running for @p duration. */
+double vm_cost(double vcpus, sim::SimTime duration,
+               const VmPricing& pricing = {});
+
+/**
+ * Performance-per-cost (ops/second/$). Returns 0 when cost is zero to
+ * keep plots finite.
+ */
+double perf_per_cost(double ops_per_second, double dollars);
+
+}  // namespace lfs::cost

@@ -1,0 +1,225 @@
+#include "src/faas/deployment.h"
+
+#include <cassert>
+#include <utility>
+
+#include "src/sim/log.h"
+
+namespace lfs::faas {
+
+FunctionDeployment::FunctionDeployment(sim::Simulation& sim,
+                                       net::Network& network,
+                                       ResourcePool& pool, sim::Rng rng,
+                                       int id, std::string name,
+                                       FunctionConfig config,
+                                       AppFactory factory)
+    : sim_(sim),
+      network_(network),
+      pool_(pool),
+      rng_(rng),
+      id_(id),
+      name_(std::move(name)),
+      config_(config),
+      factory_(std::move(factory))
+{
+}
+
+FunctionInstance*
+FunctionDeployment::find_http_slot()
+{
+    // Prefer the warm instance with the fewest in-flight requests; fall
+    // back to a provisioning (cold-starting) instance with a free slot.
+    FunctionInstance* best = nullptr;
+    FunctionInstance* cold = nullptr;
+    for (auto& inst : instances_) {
+        if (!inst->http_slot_available()) {
+            continue;
+        }
+        if (inst->warm()) {
+            if (!best || inst->inflight() + inst->http_inflight() <
+                             best->inflight() + best->http_inflight()) {
+                best = inst.get();
+            }
+        } else if (!cold) {
+            cold = inst.get();
+        }
+    }
+    return best ? best : cold;
+}
+
+FunctionInstance*
+FunctionDeployment::try_scale_out(bool cold)
+{
+    if (max_instances_ > 0 && alive_count_ >= max_instances_) {
+        return nullptr;
+    }
+    if (!pool_.try_allocate(config_.vcpus)) {
+        return nullptr;
+    }
+    int instance_id = next_instance_id_++;
+    auto instance = std::make_unique<FunctionInstance>(
+        sim_, rng_.fork(), id_, instance_id, config_, factory_,
+        [this](FunctionInstance& inst) { handle_instance_dead(inst); });
+    FunctionInstance* raw = instance.get();
+    raw->on_request_done = [this] { drain_queue(); };
+    instances_.push_back(std::move(instance));
+    ++alive_count_;
+    if (cold) {
+        cold_starts_.add();
+    }
+    raw->start_cold();
+    sim::spawn(watch_warm(raw));
+    LFS_DEBUG(sim_, "faas", "deployment " << name_ << " scale-out to "
+                                          << alive_count_ << " instances");
+    return raw;
+}
+
+sim::Task<void>
+FunctionDeployment::watch_warm(FunctionInstance* inst)
+{
+    // Membership + queue service once the instance warms up.
+    co_await inst->warm_gate().wait();
+    if (inst->alive() && on_instance_warm) {
+        on_instance_warm(*inst);
+    }
+    drain_queue();
+}
+
+void
+FunctionDeployment::prewarm(int n)
+{
+    for (int i = 0; i < n; ++i) {
+        try_scale_out(/*cold=*/false);
+    }
+}
+
+void
+FunctionDeployment::drain_queue()
+{
+    while (!wait_queue_.empty()) {
+        FunctionInstance* inst = find_http_slot();
+        if (!inst) {
+            inst = try_scale_out(/*cold=*/true);
+        }
+        if (!inst) {
+            break;  // at capacity: requests stay queued
+        }
+        auto cell = wait_queue_.front();
+        wait_queue_.pop_front();
+        inst->reserve_http_slot();
+        cell->try_set(inst);
+    }
+}
+
+sim::Task<OpResult>
+FunctionDeployment::invoke_via_gateway(Invocation inv)
+{
+    gateway_invocations_.add();
+    co_await network_.transfer(net::LatencyClass::kHttpGateway);
+    auto cell = std::make_shared<sim::OneShot<FunctionInstance*>>(sim_);
+    wait_queue_.push_back(cell);
+    drain_queue();
+    FunctionInstance* inst = co_await cell->wait();
+    assert(inst != nullptr);
+    OpResult result = co_await inst->serve_http(std::move(inv));
+    co_await network_.transfer(net::LatencyClass::kHttpGateway);
+    co_return result;
+}
+
+void
+FunctionDeployment::handle_instance_dead(FunctionInstance& instance)
+{
+    pool_.release(config_.vcpus);
+    --alive_count_;
+    assert(alive_count_ >= 0);
+    reclamations_.add();
+    if (on_instance_dead) {
+        on_instance_dead(instance);
+    }
+    // Queued work may now be servable by a replacement instance.
+    sim_.schedule(0, [this] { drain_queue(); });
+}
+
+int
+FunctionDeployment::warm_count() const
+{
+    int count = 0;
+    for (const auto& inst : instances_) {
+        if (inst->warm()) {
+            ++count;
+        }
+    }
+    return count;
+}
+
+std::vector<FunctionInstance*>
+FunctionDeployment::alive_instances() const
+{
+    std::vector<FunctionInstance*> out;
+    for (const auto& inst : instances_) {
+        if (inst->alive()) {
+            out.push_back(inst.get());
+        }
+    }
+    return out;
+}
+
+FunctionInstance*
+FunctionDeployment::kill_one()
+{
+    if (instances_.empty()) {
+        return nullptr;
+    }
+    // Round-robin over the instance list, skipping dead entries.
+    for (size_t probe = 0; probe < instances_.size(); ++probe) {
+        FunctionInstance* inst =
+            instances_[kill_cursor_++ % instances_.size()].get();
+        if (inst->alive()) {
+            inst->kill();
+            return inst;
+        }
+    }
+    return nullptr;
+}
+
+sim::SimTime
+FunctionDeployment::total_busy_time() const
+{
+    sim::SimTime total = 0;
+    for (const auto& inst : instances_) {
+        total += inst->busy_time();
+    }
+    return total;
+}
+
+sim::SimTime
+FunctionDeployment::total_provisioned_time() const
+{
+    sim::SimTime total = 0;
+    for (const auto& inst : instances_) {
+        total += inst->provisioned_time();
+    }
+    return total;
+}
+
+double
+FunctionDeployment::total_busy_gb_us() const
+{
+    double total = 0;
+    for (const auto& inst : instances_) {
+        total += static_cast<double>(inst->busy_time()) * config_.memory_gb;
+    }
+    return total;
+}
+
+uint64_t
+FunctionDeployment::total_requests() const
+{
+    uint64_t total = 0;
+    for (const auto& inst : instances_) {
+        total += inst->requests_served();
+    }
+    return total;
+}
+
+}  // namespace lfs::faas

@@ -1,0 +1,180 @@
+#include "src/faas/function_instance.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace lfs::faas {
+
+FunctionInstance::FunctionInstance(
+    sim::Simulation& sim, sim::Rng rng, int deployment_id, int instance_id,
+    FunctionConfig config, const AppFactory& factory,
+    std::function<void(FunctionInstance&)> on_dead)
+    : sim_(sim),
+      rng_(rng),
+      deployment_id_(deployment_id),
+      instance_id_(instance_id),
+      config_(config),
+      on_dead_(std::move(on_dead)),
+      warm_gate_(sim),
+      cpu_(sim, std::max<int64_t>(1, std::llround(config.vcpus))),
+      created_at_(sim.now()),
+      last_activity_(sim.now())
+{
+    app_ = factory(*this);
+}
+
+FunctionInstance::~FunctionInstance() = default;
+
+void
+FunctionInstance::start_cold()
+{
+    sim::SimTime cold =
+        rng_.uniform_duration(config_.cold_start_min, config_.cold_start_max);
+    sim_.schedule(cold, [this] {
+        if (state_ == State::kColdStarting) {
+            state_ = State::kWarm;
+            last_activity_ = sim_.now();
+            warm_gate_.set();
+            schedule_idle_check();
+        }
+    });
+}
+
+void
+FunctionInstance::kill()
+{
+    if (state_ == State::kDead) {
+        return;
+    }
+    state_ = State::kDead;
+    died_at_ = sim_.now();
+    if (busy_since_ >= 0) {
+        busy_accum_ += sim_.now() - busy_since_;
+        busy_since_ = -1;
+    }
+    // Open the warm gate so invocations parked on a cold start observe the
+    // death instead of hanging forever.
+    warm_gate_.set();
+    app_->on_shutdown();
+    if (on_dead_) {
+        on_dead_(*this);
+    }
+}
+
+bool
+FunctionInstance::http_slot_available() const
+{
+    return alive() && http_inflight_ < config_.concurrency_level;
+}
+
+void
+FunctionInstance::begin_request()
+{
+    if (inflight_ == 0) {
+        busy_since_ = sim_.now();
+    }
+    ++inflight_;
+    last_activity_ = sim_.now();
+}
+
+void
+FunctionInstance::end_request()
+{
+    assert(inflight_ > 0);
+    --inflight_;
+    last_activity_ = sim_.now();
+    if (inflight_ == 0 && busy_since_ >= 0) {
+        busy_accum_ += sim_.now() - busy_since_;
+        busy_since_ = -1;
+        schedule_idle_check();
+    }
+    if (on_request_done) {
+        on_request_done();
+    }
+}
+
+void
+FunctionInstance::schedule_idle_check()
+{
+    if (config_.idle_reclaim <= 0) {
+        return;  // reclamation disabled
+    }
+    sim::SimTime snapshot = last_activity_;
+    sim_.schedule(config_.idle_reclaim, [this, snapshot] {
+        if (alive() && inflight_ == 0 && last_activity_ == snapshot) {
+            kill();
+        }
+    });
+}
+
+sim::Task<OpResult>
+FunctionInstance::serve(Invocation inv, bool via_http)
+{
+    if (!warm()) {
+        co_await warm_gate_.wait();
+    }
+    if (!alive()) {
+        OpResult result;
+        result.status = Status::unavailable("function instance dead");
+        if (via_http) {
+            --http_inflight_;
+        }
+        co_return result;
+    }
+    begin_request();
+    requests_.add();
+    OpResult result = co_await app_->handle(std::move(inv));
+    // Release the HTTP concurrency slot before end_request() so the
+    // deployment's queue-drain hook sees this slot as free.
+    if (via_http) {
+        --http_inflight_;
+    }
+    end_request();
+    if (!alive()) {
+        result.status = Status::unavailable("function instance died");
+    }
+    co_return result;
+}
+
+sim::Task<OpResult>
+FunctionInstance::serve_http(Invocation inv)
+{
+    assert(http_inflight_ > 0 && "serve_http requires reserve_http_slot()");
+    OpResult result = co_await serve(std::move(inv), /*via_http=*/true);
+    co_return result;
+}
+
+sim::Task<OpResult>
+FunctionInstance::serve_tcp(Invocation inv)
+{
+    OpResult result = co_await serve(std::move(inv), /*via_http=*/false);
+    co_return result;
+}
+
+sim::Task<void>
+FunctionInstance::compute(sim::SimTime cpu_time)
+{
+    co_await cpu_.acquire();
+    co_await sim::delay(sim_, cpu_time);
+    cpu_.release();
+}
+
+sim::SimTime
+FunctionInstance::busy_time() const
+{
+    sim::SimTime total = busy_accum_;
+    if (busy_since_ >= 0) {
+        total += sim_.now() - busy_since_;
+    }
+    return total;
+}
+
+sim::SimTime
+FunctionInstance::provisioned_time() const
+{
+    sim::SimTime end = died_at_ >= 0 ? died_at_ : sim_.now();
+    return end - created_at_;
+}
+
+}  // namespace lfs::faas

@@ -1,0 +1,87 @@
+#include "src/faas/platform.h"
+
+namespace lfs::faas {
+
+Platform::Platform(sim::Simulation& sim, net::Network& network, sim::Rng rng,
+                   PlatformConfig config)
+    : sim_(sim),
+      network_(network),
+      rng_(rng),
+      config_(config),
+      pool_(config.total_vcpus)
+{
+}
+
+FunctionDeployment&
+Platform::create_deployment(const std::string& name, FunctionConfig config,
+                            AppFactory factory)
+{
+    int id = static_cast<int>(deployments_.size());
+    deployments_.push_back(std::make_unique<FunctionDeployment>(
+        sim_, network_, pool_, rng_.fork(), id, name, config,
+        std::move(factory)));
+    return *deployments_.back();
+}
+
+int
+Platform::total_alive_instances() const
+{
+    int total = 0;
+    for (const auto& d : deployments_) {
+        total += d->alive_count();
+    }
+    return total;
+}
+
+uint64_t
+Platform::total_cold_starts() const
+{
+    uint64_t total = 0;
+    for (const auto& d : deployments_) {
+        total += d->cold_starts();
+    }
+    return total;
+}
+
+double
+Platform::total_busy_gb_us() const
+{
+    double total = 0;
+    for (const auto& d : deployments_) {
+        total += d->total_busy_gb_us();
+    }
+    return total;
+}
+
+double
+Platform::total_provisioned_gb_us() const
+{
+    double total = 0;
+    for (const auto& d : deployments_) {
+        total += static_cast<double>(d->total_provisioned_time()) *
+                 d->config().memory_gb;
+    }
+    return total;
+}
+
+uint64_t
+Platform::total_requests() const
+{
+    uint64_t total = 0;
+    for (const auto& d : deployments_) {
+        total += d->total_requests();
+    }
+    return total;
+}
+
+uint64_t
+Platform::total_gateway_invocations() const
+{
+    uint64_t total = 0;
+    for (const auto& d : deployments_) {
+        total += d->gateway_invocations();
+    }
+    return total;
+}
+
+}  // namespace lfs::faas

@@ -1,0 +1,28 @@
+#include "src/faas/resource_pool.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace lfs::faas {
+
+bool
+ResourcePool::try_allocate(double vcpus)
+{
+    // Tolerate floating-point dust at the boundary.
+    if (used_ + vcpus > capacity_ + 1e-9) {
+        return false;
+    }
+    used_ += vcpus;
+    peak_used_ = std::max(peak_used_, used_);
+    return true;
+}
+
+void
+ResourcePool::release(double vcpus)
+{
+    used_ -= vcpus;
+    assert(used_ > -1e-6);
+    used_ = std::max(used_, 0.0);
+}
+
+}  // namespace lfs::faas

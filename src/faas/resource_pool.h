@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Cluster-wide resource accounting for the FaaS platform. The paper's
+ * experiments cap the platform at a fixed number of vCPUs (e.g. 512) to
+ * compare fairly against serverful systems; scale-out requests beyond the
+ * cap are denied and invocations queue instead (Appendix C discusses why).
+ */
+#pragma once
+
+#include <cstddef>
+
+namespace lfs::faas {
+
+/** Tracks vCPU allocation against a fixed capacity. */
+class ResourcePool {
+  public:
+    explicit ResourcePool(double total_vcpus) : capacity_(total_vcpus) {}
+
+    /** Try to reserve @p vcpus; returns false if it would exceed capacity. */
+    bool try_allocate(double vcpus);
+
+    /** Return @p vcpus to the pool. */
+    void release(double vcpus);
+
+    double capacity() const { return capacity_; }
+    double used() const { return used_; }
+    double available() const { return capacity_ - used_; }
+
+    /** High-water mark of vCPUs ever simultaneously allocated. */
+    double peak_used() const { return peak_used_; }
+
+    /** Fraction of capacity currently allocated. */
+    double utilization() const
+    {
+        return capacity_ > 0 ? used_ / capacity_ : 0.0;
+    }
+
+  private:
+    double capacity_;
+    double used_ = 0.0;
+    double peak_used_ = 0.0;
+};
+
+}  // namespace lfs::faas

@@ -1,0 +1,169 @@
+#include "src/hdfs/hdfs.h"
+
+#include <cmath>
+
+#include "src/store/lock_table.h"
+
+namespace lfs::hdfs {
+
+namespace {
+
+/** Sentinel row id representing the global FSNamesystem lock. */
+constexpr ns::INodeId kGlobalLock = 1;
+
+}  // namespace
+
+Hdfs::Hdfs(sim::Simulation& sim, HdfsConfig config)
+    : sim_(sim),
+      config_(config),
+      rng_(config.seed),
+      network_(sim, rng_.fork(), config.network)
+{
+    cpu_ = std::make_unique<sim::Semaphore>(
+        sim_, std::max<int64_t>(1, std::llround(config_.vcpus)));
+    // The namespace lock is shared/exclusive; we reuse the store's
+    // FIFO-fair lock table with a single sentinel row.
+    lock_table_ = std::make_unique<store::LockTable>(sim_);
+    journal_ =
+        std::make_unique<sim::Semaphore>(sim_, config_.journal_concurrency);
+    int total_clients = config_.num_client_vms * config_.clients_per_vm;
+    for (int i = 0; i < total_clients; ++i) {
+        clients_.push_back(
+            std::make_unique<HdfsClient>(*this, i, rng_.fork()));
+    }
+}
+
+Hdfs::~Hdfs() = default;
+
+sim::Task<OpResult>
+Hdfs::name_node_serve(Op op)
+{
+    OpResult result;
+    if (is_read_op(op.type)) {
+        co_await cpu_->acquire();
+        co_await sim::delay(sim_, config_.read_cpu);
+        cpu_->release();
+        // Short shared hold of the global namespace lock.
+        co_await lock_table_->lock_shared(kGlobalLock);
+        co_await sim::delay(sim_, config_.read_lock_hold);
+        lock_table_->unlock_shared(kGlobalLock);
+        switch (op.type) {
+          case OpType::kReadFile: {
+            auto read = tree_.read_file(op.path, op.user);
+            if (!read.ok()) {
+                result.status = read.status();
+                co_return result;
+            }
+            result.inode = read.take();
+            break;
+          }
+          case OpType::kStat: {
+            auto st = tree_.stat(op.path, op.user);
+            if (!st.ok()) {
+                result.status = st.status();
+                co_return result;
+            }
+            result.inode = st.take();
+            break;
+          }
+          default: {
+            auto listed = tree_.list(op.path, op.user);
+            if (!listed.ok()) {
+                result.status = listed.status();
+                co_return result;
+            }
+            result.children = listed.take();
+            break;
+          }
+        }
+        result.status = Status::make_ok();
+        co_return result;
+    }
+
+    // Mutations: exclusive namespace lock across the edit + journal sync.
+    co_await cpu_->acquire();
+    co_await sim::delay(sim_, config_.write_cpu);
+    cpu_->release();
+    co_await lock_table_->lock_exclusive(kGlobalLock);
+    co_await sim::delay(sim_, config_.write_lock_hold);
+    sim::SimTime now = sim_.now();
+    switch (op.type) {
+      case OpType::kCreateFile: {
+        auto created = tree_.create_file(op.path, op.user, now);
+        if (!created.ok()) {
+            result.status = created.status();
+        } else {
+            result.inode = created.take();
+            result.status = Status::make_ok();
+        }
+        break;
+      }
+      case OpType::kMkdir: {
+        auto made = tree_.mkdirs(op.path, op.user, now);
+        if (!made.ok()) {
+            result.status = made.status();
+        } else {
+            result.inode = made.take();
+            result.status = Status::make_ok();
+        }
+        break;
+      }
+      case OpType::kDeleteFile: {
+        auto removed = tree_.remove(op.path, op.user, false, now);
+        result.status = removed.ok() ? Status::make_ok() : removed.status();
+        break;
+      }
+      case OpType::kSubtreeDelete: {
+        auto removed = tree_.remove(op.path, op.user, true, now);
+        if (removed.ok()) {
+            result.inodes_touched = *removed;
+            result.status = Status::make_ok();
+        } else {
+            result.status = removed.status();
+        }
+        break;
+      }
+      case OpType::kMv:
+      case OpType::kSubtreeMv:
+        result.status = tree_.rename(op.path, op.dst, op.user, now);
+        break;
+      default:
+        result.status = Status::invalid_argument("bad op");
+        break;
+    }
+    lock_table_->unlock_exclusive(kGlobalLock);
+    if (result.status.ok() && !is_read_op(op.type)) {
+        // Edit-log append to the JournalNode quorum (and the Standby).
+        co_await journal_->acquire();
+        co_await network_.round_trip(net::LatencyClass::kTcp);
+        co_await sim::delay(sim_, config_.journal_service);
+        journal_->release();
+        ++journal_entries_;
+    }
+    co_return result;
+}
+
+HdfsClient::HdfsClient(Hdfs& fs, int id, sim::Rng rng)
+    : fs_(fs), id_(id), rng_(rng)
+{
+}
+
+sim::Task<OpResult>
+HdfsClient::execute(Op op)
+{
+    (void)id_;
+    (void)rng_;
+    co_await fs_.network().transfer(net::LatencyClass::kTcp);
+    OpResult result = co_await fs_.name_node_serve(std::move(op));
+    co_await fs_.network().transfer(net::LatencyClass::kTcp);
+    co_return result;
+}
+
+double
+Hdfs::cost_so_far() const
+{
+    // Active + Standby NameNodes are provisioned around the clock.
+    return cost::vm_cost(config_.vcpus * 2.0, sim_.now());
+}
+
+}  // namespace lfs::hdfs

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Vanilla HDFS baseline (§2, Figure 1a): a *single* Active NameNode
+ * holding the whole namespace in memory, journaling every mutation to a
+ * JournalNode quorum and replicating to a Standby NameNode used only for
+ * failover. This is the first-generation MDS architecture whose
+ * scalability ceiling motivated HopsFS (and, in turn, λFS): all
+ * metadata operations serialize through one server's lock and journal.
+ */
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/cost/pricing.h"
+#include "src/namespace/namespace_tree.h"
+#include "src/net/network.h"
+#include "src/sim/primitives.h"
+#include "src/sim/random.h"
+#include "src/store/lock_table.h"
+#include "src/workload/dfs_interface.h"
+
+namespace lfs::hdfs {
+
+struct HdfsConfig {
+    std::string label = "hdfs";
+    /** Active NameNode size (the paper's era: one big server). */
+    double vcpus = 32.0;
+    /** CPU per namespace operation under the global FS lock regions. */
+    sim::SimTime read_cpu = sim::usec(60);
+    sim::SimTime write_cpu = sim::usec(90);
+    /**
+     * Fraction of a read's work done under the global namespace lock
+     * (HDFS's FSNamesystem lock is the famous scalability limiter).
+     */
+    sim::SimTime read_lock_hold = sim::usec(25);
+    sim::SimTime write_lock_hold = sim::usec(90);
+    /** Journal quorum append: service time and width (batched syncs). */
+    sim::SimTime journal_service = sim::usec(400);
+    int journal_concurrency = 4;
+    net::NetworkConfig network;
+    int num_client_vms = 8;
+    int clients_per_vm = 128;
+    uint64_t seed = 48;
+};
+
+class Hdfs;
+
+class HdfsClient : public workload::DfsClient {
+  public:
+    HdfsClient(Hdfs& fs, int id, sim::Rng rng);
+
+    sim::Task<OpResult> execute(Op op) override;
+
+  private:
+    Hdfs& fs_;
+    int id_;
+    sim::Rng rng_;
+};
+
+class Hdfs : public workload::Dfs {
+  public:
+    Hdfs(sim::Simulation& sim, HdfsConfig config);
+    ~Hdfs() override;
+
+    // workload::Dfs
+    std::string name() const override { return config_.label; }
+    workload::DfsClient& client(size_t index) override
+    {
+        return *clients_.at(index);
+    }
+    size_t client_count() const override { return clients_.size(); }
+    workload::SystemMetrics& metrics() override { return metrics_; }
+    ns::NamespaceTree& authoritative_tree() override { return tree_; }
+    int active_name_nodes() const override { return 1; }
+    double cost_so_far() const override;
+
+    // internals used by the client
+    sim::Simulation& simulation() { return sim_; }
+    net::Network& network() { return network_; }
+    const HdfsConfig& config() const { return config_; }
+
+    /** Execute one op on the Active NameNode. */
+    sim::Task<OpResult> name_node_serve(Op op);
+
+    uint64_t journal_entries() const { return journal_entries_; }
+
+  private:
+    sim::Simulation& sim_;
+    HdfsConfig config_;
+    sim::Rng rng_;
+    net::Network network_;
+    ns::NamespaceTree tree_;
+    std::unique_ptr<sim::Semaphore> cpu_;
+    /** The global FSNamesystem lock: shared for reads, exclusive writes. */
+    std::unique_ptr<store::LockTable> lock_table_;
+    std::unique_ptr<sim::Semaphore> journal_;
+    uint64_t journal_entries_ = 0;
+    std::vector<std::unique_ptr<HdfsClient>> clients_;
+    workload::SystemMetrics metrics_;
+};
+
+}  // namespace lfs::hdfs

@@ -1,0 +1,332 @@
+#include "src/indexfs/lambda_indexfs.h"
+
+#include <algorithm>
+
+#include "src/util/path.h"
+
+namespace lfs::indexfs {
+
+namespace {
+
+sim::Task<void>
+co_run_into(sim::Task<OpResult> task,
+            std::shared_ptr<sim::OneShot<OpResult>> cell)
+{
+    OpResult result = co_await std::move(task);
+    cell->try_set(std::move(result));
+}
+
+void
+arm_timeout(sim::Simulation& sim, sim::SimTime timeout,
+            std::shared_ptr<sim::OneShot<OpResult>> cell)
+{
+    sim.schedule(timeout, [cell] {
+        if (!cell->is_set()) {
+            OpResult result;
+            result.status = Status::deadline_exceeded("client-side timeout");
+            cell->try_set(std::move(result));
+        }
+    });
+}
+
+sim::Task<OpResult>
+co_tcp_round(net::Network& network, faas::FunctionInstance* instance,
+             faas::Invocation inv)
+{
+    co_await network.transfer(net::LatencyClass::kTcp);
+    OpResult result = co_await instance->serve_tcp(std::move(inv));
+    co_await network.transfer(net::LatencyClass::kTcp);
+    co_return result;
+}
+
+sim::Task<void>
+preload_put(lsm::LsmTree& tree, std::string key, ns::INode inode)
+{
+    Status st = co_await tree.put(std::move(key), std::move(inode));
+    (void)st;
+}
+
+ns::INode
+synth_inode(const std::string& p, ns::INodeType type)
+{
+    ns::INode inode;
+    inode.name = path::basename(p);
+    inode.type = type;
+    inode.id = static_cast<ns::INodeId>(mix64(fnv1a(p)) >> 1) + 2;
+    return inode;
+}
+
+}  // namespace
+
+LambdaIndexNode::LambdaIndexNode(LambdaIndexFs& fs,
+                                 faas::FunctionInstance& instance)
+    : fs_(fs),
+      instance_(instance),
+      cache_(cache::CacheConfig{fs.config().cache_bytes})
+{
+    fs_.coordinator().join(instance_.deployment_id(), this);
+    joined_ = true;
+}
+
+LambdaIndexNode::~LambdaIndexNode() = default;
+
+void
+LambdaIndexNode::on_shutdown()
+{
+    if (joined_) {
+        fs_.coordinator().leave(instance_.deployment_id(), this);
+        joined_ = false;
+    }
+}
+
+bool
+LambdaIndexNode::member_alive() const
+{
+    return instance_.alive();
+}
+
+sim::Task<void>
+LambdaIndexNode::deliver_invalidation(std::string p, bool subtree)
+{
+    co_await instance_.compute(sim::usec(30));
+    if (subtree) {
+        cache_.invalidate_prefix(p);
+    } else {
+        cache_.invalidate(p);
+    }
+}
+
+sim::Task<void>
+LambdaIndexNode::write_coherence(Op op)
+{
+    cache_.invalidate(op.path);
+    std::vector<coord::Coordinator::InvTarget> targets;
+    targets.push_back(coord::Coordinator::InvTarget{
+        fs_.deployment_for(op.path), op.path, false});
+    co_await fs_.coordinator().invalidate(std::move(targets), this);
+}
+
+sim::Task<OpResult>
+LambdaIndexNode::handle(faas::Invocation inv)
+{
+    if (inv.via_http && inv.client_vm >= 0 && inv.tcp_server >= 0) {
+        fs_.tcp_registry().add_connection(inv.client_vm, inv.tcp_server,
+                                          &instance_);
+    }
+    const Op& op = inv.op;
+    const bool home =
+        fs_.deployment_for(op.path) == instance_.deployment_id();
+
+    if (is_read_op(op.type)) {
+        co_await instance_.compute(fs_.config().fn_read_cpu);
+        if (home) {
+            auto cached = cache_.get(op.path);
+            if (cached.has_value()) {
+                OpResult result;
+                result.status = Status::make_ok();
+                result.inode = *cached;
+                result.cache_hit = true;
+                co_return result;
+            }
+        }
+        auto got = co_await fs_.lsm_for(op.path).get(op.path);
+        OpResult result;
+        if (!got.ok()) {
+            result.status = got.status();
+            co_return result;
+        }
+        result.status = Status::make_ok();
+        result.inode = got.take();
+        if (home) {
+            cache_.put(op.path, result.inode);
+        }
+        co_return result;
+    }
+
+    co_await instance_.compute(fs_.config().fn_write_cpu);
+    // Coherence: in the flat metadata-table keyspace, creating a
+    // never-before-seen key cannot invalidate cached state (there is no
+    // negative caching), so only deletes/overwrites pay the INV round.
+    if (op.type == OpType::kDeleteFile ||
+        fs_.lsm_for(op.path).contains(op.path)) {
+        co_await write_coherence(op);
+    }
+    OpResult result;
+    switch (op.type) {
+      case OpType::kCreateFile:
+      case OpType::kMkdir: {
+        ns::INode inode = synth_inode(
+            op.path, op.type == OpType::kMkdir ? ns::INodeType::kDirectory
+                                               : ns::INodeType::kFile);
+        inode.mtime = fs_.simulation().now();
+        result.status =
+            co_await fs_.lsm_for(op.path).put(op.path, inode);
+        result.inode = inode;
+        break;
+      }
+      case OpType::kDeleteFile:
+        result.status = co_await fs_.lsm_for(op.path).del(op.path);
+        break;
+      default:
+        result.status =
+            Status::invalid_argument("unsupported lambda-indexfs op");
+        break;
+    }
+    if (result.status.ok()) {
+        fs_.apply_to_mirror(op);
+    }
+    co_return result;
+}
+
+LambdaIndexClient::LambdaIndexClient(LambdaIndexFs& fs, int id, int vm,
+                                     int tcp_server, sim::Rng rng)
+    : fs_(fs), id_(id), vm_(vm), tcp_server_(tcp_server), rng_(rng)
+{
+}
+
+sim::Task<OpResult>
+LambdaIndexClient::execute(Op op)
+{
+    op.op_id = (static_cast<uint64_t>(id_ + 1) << 40) | ++next_seq_;
+    int target = fs_.deployment_for(op.path);
+    OpResult result;
+    for (int attempt = 1; attempt <= fs_.config().max_attempts; ++attempt) {
+        faas::FunctionInstance* conn =
+            fs_.tcp_registry().find_on_vm(vm_, tcp_server_, target);
+        bool use_http =
+            conn == nullptr ||
+            rng_.bernoulli(fs_.config().http_replace_probability);
+        faas::Invocation inv;
+        inv.op = op;
+        inv.client_vm = vm_;
+        inv.tcp_server = tcp_server_;
+        inv.via_http = use_http;
+        if (use_http) {
+            result = co_await fs_.platform()
+                         .deployment(target)
+                         .invoke_via_gateway(std::move(inv));
+        } else {
+            auto cell = std::make_shared<sim::OneShot<OpResult>>(
+                fs_.simulation());
+            arm_timeout(fs_.simulation(), fs_.config().request_timeout,
+                        cell);
+            sim::spawn(co_run_into(
+                co_tcp_round(fs_.network(), conn, std::move(inv)), cell));
+            result = co_await cell->wait();
+        }
+        bool retry = result.status.code() == Code::kUnavailable ||
+                     result.status.code() == Code::kDeadlineExceeded ||
+                     result.status.code() == Code::kInternal;
+        if (!retry) {
+            co_return result;
+        }
+        co_await sim::delay(fs_.simulation(),
+                            rng_.uniform_duration(sim::msec(20),
+                                                  sim::msec(100)));
+    }
+    co_return result;
+}
+
+LambdaIndexFs::LambdaIndexFs(sim::Simulation& sim, LambdaIndexFsConfig config)
+    : sim_(sim),
+      config_(config),
+      rng_(config.seed),
+      network_(sim, rng_.fork(), config.network),
+      coordinator_(sim, network_),
+      tcp_registry_(config.num_client_vms,
+                    std::max(1, (config.clients_per_vm +
+                                 config.max_clients_per_tcp_server - 1) /
+                                    config.max_clients_per_tcp_server)),
+      platform_(sim, network_, rng_.fork(),
+                faas::PlatformConfig{config.total_vcpus, config.function})
+{
+    for (int i = 0; i < config_.num_lsm_instances; ++i) {
+        lsm_instances_.push_back(std::make_unique<lsm::LsmTree>(
+            sim_, rng_.fork(), config_.lsm));
+        lsm_ring_.add_member(i);
+    }
+    for (int d = 0; d < config_.num_deployments; ++d) {
+        auto& deployment = platform_.create_deployment(
+            "IndexNode" + std::to_string(d), config_.function,
+            [this](faas::FunctionInstance& instance) {
+                return std::make_unique<LambdaIndexNode>(*this, instance);
+            });
+        deployment.prewarm(config_.prewarm_per_deployment);
+        deployment_ring_.add_member(d);
+    }
+    int servers = std::max(1, (config_.clients_per_vm +
+                               config_.max_clients_per_tcp_server - 1) /
+                                  config_.max_clients_per_tcp_server);
+    int total_clients = config_.num_client_vms * config_.clients_per_vm;
+    for (int i = 0; i < total_clients; ++i) {
+        int vm = i / config_.clients_per_vm;
+        int within = i % config_.clients_per_vm;
+        int server = std::min(within / config_.max_clients_per_tcp_server,
+                              servers - 1);
+        clients_.push_back(std::make_unique<LambdaIndexClient>(
+            *this, i, vm, server, rng_.fork()));
+    }
+}
+
+LambdaIndexFs::~LambdaIndexFs() = default;
+
+int
+LambdaIndexFs::deployment_for(const std::string& p) const
+{
+    return deployment_ring_.lookup(path::parent(p));
+}
+
+lsm::LsmTree&
+LambdaIndexFs::lsm_for(const std::string& p)
+{
+    return *lsm_instances_[static_cast<size_t>(
+        lsm_ring_.lookup(path::parent(p)))];
+}
+
+void
+LambdaIndexFs::apply_to_mirror(const Op& op)
+{
+    ns::UserContext root;
+    switch (op.type) {
+      case OpType::kCreateFile:
+        mirror_.mkdirs(path::parent(op.path), root, sim_.now());
+        mirror_.create_file(op.path, root, sim_.now());
+        break;
+      case OpType::kMkdir:
+        mirror_.mkdirs(op.path, root, sim_.now());
+        break;
+      case OpType::kDeleteFile:
+        mirror_.remove(op.path, root, false, sim_.now());
+        break;
+      default:
+        break;
+    }
+}
+
+void
+LambdaIndexFs::preload(const std::string& p, ns::INodeType type)
+{
+    ns::UserContext root;
+    if (type == ns::INodeType::kDirectory) {
+        mirror_.mkdirs(p, root, 0);
+    } else {
+        mirror_.mkdirs(path::parent(p), root, 0);
+        mirror_.create_file(p, root, 0);
+    }
+    sim::spawn(preload_put(lsm_for(p), p, synth_inode(p, type)));
+}
+
+int
+LambdaIndexFs::active_name_nodes() const
+{
+    return platform_.total_alive_instances();
+}
+
+double
+LambdaIndexFs::cost_so_far() const
+{
+    return cost::lambda_cost(platform_.total_busy_gb_us(),
+                             platform_.total_gateway_invocations());
+}
+
+}  // namespace lfs::indexfs

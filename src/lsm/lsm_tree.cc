@@ -1,0 +1,210 @@
+#include "src/lsm/lsm_tree.h"
+
+#include <map>
+#include <utility>
+
+namespace lfs::lsm {
+
+LsmTree::LsmTree(sim::Simulation& sim, sim::Rng rng, LsmConfig config)
+    : sim_(sim),
+      rng_(rng),
+      config_(config),
+      op_slots_(sim, config.op_concurrency),
+      io_slots_(sim, config.io_concurrency)
+{
+}
+
+sim::Task<Status>
+LsmTree::write(std::string key, Entry entry)
+{
+    co_await op_slots_.acquire();
+    co_await sim::delay(sim_, config_.put_service);
+    op_slots_.release();
+
+    // Write stall: memtable full while the previous one is still
+    // flushing (LevelDB's backpressure).
+    while (memtable_.bytes() >= config_.memtable_bytes && immutable_) {
+        co_await sim::delay(sim_, sim::usec(200));
+    }
+    entry.seq = next_seq_++;
+    memtable_.put(key, std::move(entry));
+    if (memtable_.bytes() >= config_.memtable_bytes && !immutable_) {
+        trigger_flush();
+    }
+    co_return Status::make_ok();
+}
+
+sim::Task<Status>
+LsmTree::put(std::string key, ns::INode inode)
+{
+    Entry entry;
+    entry.inode = std::move(inode);
+    Status st = co_await write(std::move(key), std::move(entry));
+    co_return st;
+}
+
+sim::Task<Status>
+LsmTree::del(std::string key)
+{
+    Entry entry;
+    entry.tombstone = true;
+    Status st = co_await write(std::move(key), std::move(entry));
+    co_return st;
+}
+
+void
+LsmTree::trigger_flush()
+{
+    immutable_ = std::make_unique<MemTable>();
+    std::swap(*immutable_, memtable_);
+    sim::spawn(flush_immutable());
+}
+
+sim::Task<void>
+LsmTree::flush_immutable()
+{
+    co_await io_slots_.acquire();
+    sim::SemaphoreGuard guard(io_slots_);
+    size_t entries = immutable_->entries();
+    co_await sim::delay(sim_, config_.flush_io_per_entry *
+                                  static_cast<int64_t>(entries));
+    std::vector<std::pair<std::string, Entry>> sorted;
+    sorted.reserve(entries);
+    for (const auto& [key, entry] : immutable_->contents()) {
+        sorted.emplace_back(key, entry);
+    }
+    if (!sorted.empty()) {
+        l0_.push_back(std::make_unique<SSTable>(std::move(sorted)));
+    }
+    immutable_.reset();
+    flushes_.add();
+    if (static_cast<int>(l0_.size()) >= config_.l0_compaction_trigger &&
+        !compacting_) {
+        compacting_ = true;
+        sim::spawn(compact_l0());
+    }
+}
+
+sim::Task<void>
+LsmTree::compact_l0()
+{
+    // Snapshot the runs to merge; flushes racing with the compaction
+    // append new runs that stay in L0 for the next round.
+    size_t merged_runs = l0_.size();
+    std::map<std::string, Entry> merged;
+    if (l1_) {
+        for (const auto& [key, entry] : l1_->contents()) {
+            merged[key] = entry;
+        }
+    }
+    int64_t total = static_cast<int64_t>(merged.size());
+    for (size_t i = 0; i < merged_runs; ++i) {  // oldest -> newest wins
+        for (const auto& [key, entry] : l0_[i]->contents()) {
+            merged[key] = entry;
+            ++total;
+        }
+    }
+
+    co_await io_slots_.acquire();
+    sim::SemaphoreGuard guard(io_slots_);
+    co_await sim::delay(sim_, config_.compact_io_per_entry * total);
+
+    std::vector<std::pair<std::string, Entry>> sorted;
+    sorted.reserve(merged.size());
+    for (auto& [key, entry] : merged) {
+        if (!entry.tombstone) {  // bottom level: tombstones drop out
+            sorted.emplace_back(key, std::move(entry));
+        }
+    }
+    l1_ = sorted.empty() ? nullptr
+                         : std::make_unique<SSTable>(std::move(sorted));
+    l0_.erase(l0_.begin(),
+              l0_.begin() + static_cast<std::ptrdiff_t>(merged_runs));
+    compactions_.add();
+    compacting_ = false;
+    if (static_cast<int>(l0_.size()) >= config_.l0_compaction_trigger) {
+        compacting_ = true;
+        sim::spawn(compact_l0());
+    }
+}
+
+sim::Task<StatusOr<ns::INode>>
+LsmTree::get(std::string key)
+{
+    co_await op_slots_.acquire();
+    co_await sim::delay(sim_, config_.get_service);
+    op_slots_.release();
+
+    // Memtable and immutable memtable probes are covered by get_service.
+    const Entry* found = memtable_.get(key);
+    if (!found && immutable_) {
+        found = immutable_->get(key);
+    }
+    if (!found) {
+        // L0 newest-first, then L1; each bloom-passing probe costs I/O.
+        for (auto it = l0_.rbegin(); it != l0_.rend() && !found; ++it) {
+            bool io_needed = false;
+            const Entry* entry = (*it)->get(key, &io_needed);
+            if (io_needed) {
+                sstable_reads_.add();
+                co_await sim::delay(sim_, config_.sstable_read_io);
+            }
+            found = entry;
+        }
+        if (!found && l1_) {
+            bool io_needed = false;
+            const Entry* entry = l1_->get(key, &io_needed);
+            if (io_needed) {
+                sstable_reads_.add();
+                co_await sim::delay(sim_, config_.sstable_read_io);
+            }
+            found = entry;
+        }
+    }
+    if (!found || found->tombstone) {
+        co_return Status::not_found("no such key: " + key);
+    }
+    co_return found->inode;
+}
+
+const Entry*
+LsmTree::find(const std::string& key, int* tables_probed) const
+{
+    *tables_probed = 0;
+    if (const Entry* entry = memtable_.get(key)) {
+        return entry;
+    }
+    if (immutable_) {
+        if (const Entry* entry = immutable_->get(key)) {
+            return entry;
+        }
+    }
+    for (auto it = l0_.rbegin(); it != l0_.rend(); ++it) {
+        bool io_needed = false;
+        if (const Entry* entry = (*it)->get(key, &io_needed)) {
+            ++*tables_probed;
+            return entry;
+        }
+        if (io_needed) {
+            ++*tables_probed;
+        }
+    }
+    if (l1_) {
+        bool io_needed = false;
+        if (const Entry* entry = l1_->get(key, &io_needed)) {
+            ++*tables_probed;
+            return entry;
+        }
+    }
+    return nullptr;
+}
+
+bool
+LsmTree::contains(const std::string& key) const
+{
+    int probed = 0;
+    const Entry* entry = find(key, &probed);
+    return entry != nullptr && !entry->tombstone;
+}
+
+}  // namespace lfs::lsm

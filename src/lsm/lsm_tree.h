@@ -1,0 +1,103 @@
+/**
+ * @file
+ * The timed LSM tree (the LevelDB model used as λIndexFS/IndexFS'
+ * persistent metadata store). Writes land in the memtable (fast,
+ * sequential); a full memtable flushes to an L0 SSTable in the
+ * background; L0 runs compact into a single L1 run once enough
+ * accumulate. Reads probe memtable -> immutable memtable -> L0 (newest
+ * first) -> L1, paying a simulated page-read only when a bloom filter
+ * passes.
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/lsm/memtable.h"
+#include "src/lsm/sstable.h"
+#include "src/sim/primitives.h"
+#include "src/sim/random.h"
+#include "src/sim/simulation.h"
+#include "src/sim/stats.h"
+#include "src/sim/task.h"
+#include "src/util/status.h"
+
+namespace lfs::lsm {
+
+struct LsmConfig {
+    size_t memtable_bytes = 8ull * 1024 * 1024;
+    /** L0 run count that triggers compaction into L1. */
+    int l0_compaction_trigger = 6;
+    /** CPU/WAL service per put. */
+    sim::SimTime put_service = sim::usec(60);
+    /** Service for a memtable-resident get. */
+    sim::SimTime get_service = sim::usec(40);
+    /** I/O cost per SSTable page read (bloom-passing probe). */
+    sim::SimTime sstable_read_io = sim::usec(250);
+    /** Flush I/O cost per entry. */
+    sim::SimTime flush_io_per_entry = sim::usec(2);
+    /** Compaction I/O cost per entry merged. */
+    sim::SimTime compact_io_per_entry = sim::usec(3);
+    /** Width of the put/get service stations. */
+    int op_concurrency = 8;
+    /** Background I/O width shared by flush and compaction. */
+    int io_concurrency = 2;
+};
+
+class LsmTree {
+  public:
+    LsmTree(sim::Simulation& sim, sim::Rng rng, LsmConfig config = {});
+
+    /** Insert or overwrite the record for @p key. */
+    sim::Task<Status> put(std::string key, ns::INode inode);
+
+    /** Write a tombstone for @p key. */
+    sim::Task<Status> del(std::string key);
+
+    /** Point lookup (NOT_FOUND for absent or tombstoned keys). */
+    sim::Task<StatusOr<ns::INode>> get(std::string key);
+
+    // ------------------------------------------------------------------
+    // Introspection (untimed; used by tests and stats)
+    // ------------------------------------------------------------------
+
+    size_t memtable_bytes() const { return memtable_.bytes(); }
+    size_t l0_tables() const { return l0_.size(); }
+    bool has_l1() const { return l1_ != nullptr; }
+    uint64_t flushes() const { return flushes_.value(); }
+    uint64_t compactions() const { return compactions_.value(); }
+    uint64_t sstable_reads() const { return sstable_reads_.value(); }
+
+    /** Untimed presence check (test oracle). */
+    bool contains(const std::string& key) const;
+
+  private:
+    sim::Task<Status> write(std::string key, Entry entry);
+
+    /** Move the full memtable aside and flush it in the background. */
+    void trigger_flush();
+    sim::Task<void> flush_immutable();
+    sim::Task<void> compact_l0();
+
+    /** Untimed lookup through all levels. */
+    const Entry* find(const std::string& key, int* tables_probed) const;
+
+    sim::Simulation& sim_;
+    sim::Rng rng_;
+    LsmConfig config_;
+    sim::Semaphore op_slots_;
+    sim::Semaphore io_slots_;
+    MemTable memtable_;
+    std::unique_ptr<MemTable> immutable_;
+    std::vector<std::unique_ptr<SSTable>> l0_;  // oldest first
+    std::unique_ptr<SSTable> l1_;
+    uint64_t next_seq_ = 1;
+    bool compacting_ = false;
+    sim::Counter flushes_;
+    sim::Counter compactions_;
+    sim::Counter sstable_reads_;
+};
+
+}  // namespace lfs::lsm

@@ -1,0 +1,34 @@
+#include "src/lsm/memtable.h"
+
+namespace lfs::lsm {
+
+size_t
+MemTable::put(const std::string& key, Entry entry)
+{
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+        bytes_ -= it->second.bytes();
+        it->second = std::move(entry);
+        bytes_ += it->second.bytes();
+    } else {
+        bytes_ += entry.bytes() + key.size();
+        entries_.emplace(key, std::move(entry));
+    }
+    return bytes_;
+}
+
+const Entry*
+MemTable::get(const std::string& key) const
+{
+    auto it = entries_.find(key);
+    return it == entries_.end() ? nullptr : &it->second;
+}
+
+void
+MemTable::clear()
+{
+    entries_.clear();
+    bytes_ = 0;
+}
+
+}  // namespace lfs::lsm

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * LSM memtable: the sorted, in-memory write buffer of the LevelDB-model
+ * store behind IndexFS / λIndexFS. Entries are inode records keyed by
+ * path; deletes are tombstones so they mask older SSTable versions.
+ */
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "src/namespace/inode.h"
+
+namespace lfs::lsm {
+
+/** One versioned record (tombstones mark deletion). */
+struct Entry {
+    ns::INode inode;
+    bool tombstone = false;
+    uint64_t seq = 0;
+
+    size_t bytes() const { return 48 + inode.metadata_bytes(); }
+};
+
+class MemTable {
+  public:
+    /** Insert or overwrite; returns the table's new byte footprint. */
+    size_t put(const std::string& key, Entry entry);
+
+    /** Latest entry for @p key, if present (tombstones included). */
+    const Entry* get(const std::string& key) const;
+
+    size_t bytes() const { return bytes_; }
+    size_t entries() const { return entries_.size(); }
+    bool empty() const { return entries_.empty(); }
+
+    /** Ordered access for flushing into an SSTable. */
+    const std::map<std::string, Entry>& contents() const { return entries_; }
+
+    void clear();
+
+  private:
+    std::map<std::string, Entry> entries_;
+    size_t bytes_ = 0;
+};
+
+}  // namespace lfs::lsm

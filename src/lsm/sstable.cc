@@ -1,0 +1,76 @@
+#include "src/lsm/sstable.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/util/hash.h"
+
+namespace lfs::lsm {
+
+BloomFilter::BloomFilter(size_t expected_keys)
+{
+    // ~10 bits per key, rounded up to whole 64-bit words.
+    size_t bits = std::max<size_t>(64, expected_keys * 10);
+    words_.assign((bits + 63) / 64, 0);
+}
+
+void
+BloomFilter::insert(const std::string& key)
+{
+    uint64_t h = fnv1a(key);
+    size_t bits = words_.size() * 64;
+    for (int i = 0; i < kProbes; ++i) {
+        uint64_t probe = mix64(h + static_cast<uint64_t>(i) *
+                                       0x9e3779b97f4a7c15ULL);
+        size_t bit = static_cast<size_t>(probe % bits);
+        words_[bit / 64] |= 1ULL << (bit % 64);
+    }
+}
+
+bool
+BloomFilter::may_contain(const std::string& key) const
+{
+    uint64_t h = fnv1a(key);
+    size_t bits = words_.size() * 64;
+    for (int i = 0; i < kProbes; ++i) {
+        uint64_t probe = mix64(h + static_cast<uint64_t>(i) *
+                                       0x9e3779b97f4a7c15ULL);
+        size_t bit = static_cast<size_t>(probe % bits);
+        if ((words_[bit / 64] & (1ULL << (bit % 64))) == 0) {
+            return false;
+        }
+    }
+    return true;
+}
+
+SSTable::SSTable(std::vector<std::pair<std::string, Entry>> entries)
+    : entries_(std::move(entries)), bloom_(entries_.size())
+{
+    assert(!entries_.empty());
+    assert(std::is_sorted(entries_.begin(), entries_.end(),
+                          [](const auto& a, const auto& b) {
+                              return a.first < b.first;
+                          }));
+    for (const auto& [key, entry] : entries_) {
+        bloom_.insert(key);
+    }
+}
+
+const Entry*
+SSTable::get(const std::string& key, bool* io_needed) const
+{
+    if (key < min_key() || key > max_key() || !bloom_.may_contain(key)) {
+        *io_needed = false;
+        return nullptr;
+    }
+    *io_needed = true;
+    auto it = std::lower_bound(
+        entries_.begin(), entries_.end(), key,
+        [](const auto& pair, const std::string& k) { return pair.first < k; });
+    if (it == entries_.end() || it->first != key) {
+        return nullptr;  // bloom false positive
+    }
+    return &it->second;
+}
+
+}  // namespace lfs::lsm

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Immutable sorted runs with bloom filters — the on-"disk" format of the
+ * LevelDB-model store. A get() probes the bloom filter first and only
+ * pays a simulated page read when the filter passes, reproducing the
+ * read-amplification asymmetry that IndexFS' evaluation depends on.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/lsm/memtable.h"
+
+namespace lfs::lsm {
+
+/** Simple blocked bloom filter (k = 4 hash probes). */
+class BloomFilter {
+  public:
+    explicit BloomFilter(size_t expected_keys);
+
+    void insert(const std::string& key);
+
+    /** May return false positives, never false negatives. */
+    bool may_contain(const std::string& key) const;
+
+    size_t bits() const { return words_.size() * 64; }
+
+  private:
+    static constexpr int kProbes = 4;
+    std::vector<uint64_t> words_;
+};
+
+/** One immutable sorted run. */
+class SSTable {
+  public:
+    /** Build from ordered (key, entry) pairs. */
+    explicit SSTable(std::vector<std::pair<std::string, Entry>> entries);
+
+    /**
+     * Point lookup. Returns nullptr when absent. @p io_needed is set to
+     * true when the bloom filter passed (i.e. a page read was required),
+     * false when the filter short-circuited the probe.
+     */
+    const Entry* get(const std::string& key, bool* io_needed) const;
+
+    size_t entries() const { return entries_.size(); }
+    const std::string& min_key() const { return entries_.front().first; }
+    const std::string& max_key() const { return entries_.back().first; }
+
+    /** Ordered contents (compaction input). */
+    const std::vector<std::pair<std::string, Entry>>& contents() const
+    {
+        return entries_;
+    }
+
+  private:
+    std::vector<std::pair<std::string, Entry>> entries_;
+    BloomFilter bloom_;
+};
+
+}  // namespace lfs::lsm

@@ -1,0 +1,22 @@
+#include "src/namespace/inode.h"
+
+namespace lfs::ns {
+
+bool
+check_access(const INode& inode, const UserContext& user, Access access)
+{
+    if (user.is_superuser()) {
+        return true;
+    }
+    uint16_t bits = static_cast<uint16_t>(access);
+    uint16_t mode = inode.perms.mode;
+    if (inode.perms.owner == user.uid) {
+        return ((mode >> 6) & bits) == bits;
+    }
+    if (inode.perms.group == user.gid) {
+        return ((mode >> 3) & bits) == bits;
+    }
+    return (mode & bits) == bits;
+}
+
+}  // namespace lfs::ns

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * INode: the unit of DFS metadata. Every system in this repository (λFS,
+ * HopsFS, IndexFS, CephFS-like) manipulates the same INode records; what
+ * differs is where they are stored, cached, and locked.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/sim/time.h"
+
+namespace lfs::ns {
+
+/** Unique inode identifier. Root is kRootId; 0 is "invalid". */
+using INodeId = int64_t;
+
+constexpr INodeId kInvalidId = 0;
+constexpr INodeId kRootId = 1;
+
+enum class INodeType : uint8_t { kFile = 0, kDirectory = 1 };
+
+/** POSIX-ish permission bits (only user/other read-write-execute used). */
+struct Permissions {
+    uint16_t mode = 0755;
+    int32_t owner = 0;
+    int32_t group = 0;
+};
+
+/** A single file or directory metadata record. */
+struct INode {
+    INodeId id = kInvalidId;
+    INodeId parent = kInvalidId;
+    std::string name;  ///< final path component ("" for root)
+    INodeType type = INodeType::kFile;
+    Permissions perms;
+    int64_t size = 0;          ///< logical file size in bytes
+    int32_t block_count = 0;   ///< number of data blocks (files only)
+    sim::SimTime mtime = 0;
+    sim::SimTime ctime = 0;
+    uint64_t version = 0;  ///< bumped on every mutation (cache validation)
+
+    bool is_dir() const { return type == INodeType::kDirectory; }
+    bool is_file() const { return type == INodeType::kFile; }
+
+    /**
+     * Approximate serialized size, used for cache capacity accounting.
+     * Mirrors HopsFS' on-NDB row footprint: fixed fields plus the name.
+     */
+    size_t metadata_bytes() const { return 96 + name.size(); }
+};
+
+/** Identity of the principal performing an operation. */
+struct UserContext {
+    int32_t uid = 0;
+    int32_t gid = 0;
+
+    bool is_superuser() const { return uid == 0; }
+};
+
+/** Permission classes checked during path resolution. */
+enum class Access : uint8_t { kRead = 4, kWrite = 2, kExecute = 1 };
+
+/** True if @p user may perform @p access on @p inode. */
+bool check_access(const INode& inode, const UserContext& user, Access access);
+
+}  // namespace lfs::ns

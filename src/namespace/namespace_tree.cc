@@ -1,0 +1,396 @@
+#include "src/namespace/namespace_tree.h"
+
+#include <cassert>
+
+#include "src/util/path.h"
+
+namespace lfs::ns {
+
+NamespaceTree::NamespaceTree()
+{
+    INode root;
+    root.id = kRootId;
+    root.parent = kInvalidId;
+    root.name = "";
+    root.type = INodeType::kDirectory;
+    root.perms.mode = 0777;
+    nodes_[kRootId] = root;
+    children_[kRootId] = {};
+}
+
+StatusOr<ResolvedPath>
+NamespaceTree::resolve(const std::string& p, const UserContext& user) const
+{
+    if (!path::is_valid(p)) {
+        return Status::invalid_argument("bad path: " + p);
+    }
+    ResolvedPath out;
+    const INode* cur = &nodes_.at(kRootId);
+    out.chain.push_back(*cur);
+    for (const std::string& comp : path::split(p)) {
+        if (!cur->is_dir()) {
+            return Status::not_found("not a directory on path: " + p);
+        }
+        if (!check_access(*cur, user, Access::kExecute)) {
+            return Status::permission_denied("no traverse on " +
+                                             full_path(cur->id));
+        }
+        INodeId child = lookup_child(cur->id, comp);
+        if (child == kInvalidId) {
+            return Status::not_found("no such path: " + p);
+        }
+        cur = &nodes_.at(child);
+        out.chain.push_back(*cur);
+    }
+    return out;
+}
+
+StatusOr<INode>
+NamespaceTree::stat(const std::string& p, const UserContext& user) const
+{
+    auto resolved = resolve(p, user);
+    if (!resolved.ok()) {
+        return resolved.status();
+    }
+    return resolved->target();
+}
+
+StatusOr<INode>
+NamespaceTree::read_file(const std::string& p, const UserContext& user) const
+{
+    auto resolved = resolve(p, user);
+    if (!resolved.ok()) {
+        return resolved.status();
+    }
+    const INode& target = resolved->target();
+    if (!target.is_file()) {
+        return Status::failed_precondition("not a file: " + p);
+    }
+    if (!check_access(target, user, Access::kRead)) {
+        return Status::permission_denied("no read on " + p);
+    }
+    return target;
+}
+
+StatusOr<std::vector<std::string>>
+NamespaceTree::list(const std::string& p, const UserContext& user) const
+{
+    auto resolved = resolve(p, user);
+    if (!resolved.ok()) {
+        return resolved.status();
+    }
+    const INode& target = resolved->target();
+    if (target.is_file()) {
+        // ls on a file lists the file itself (HDFS semantics).
+        return std::vector<std::string>{target.name};
+    }
+    if (!check_access(target, user, Access::kRead)) {
+        return Status::permission_denied("no read on " + p);
+    }
+    std::vector<std::string> names;
+    auto it = children_.find(target.id);
+    if (it != children_.end()) {
+        names.reserve(it->second.size());
+        for (const auto& [name, id] : it->second) {
+            names.push_back(name);
+        }
+    }
+    return names;
+}
+
+StatusOr<INode*>
+NamespaceTree::resolve_mutable_parent(const std::string& p,
+                                      const UserContext& user)
+{
+    auto resolved = resolve(path::parent(p), user);
+    if (!resolved.ok()) {
+        return resolved.status();
+    }
+    INode* parent = &nodes_.at(resolved->target().id);
+    if (!parent->is_dir()) {
+        return Status::failed_precondition("parent not a directory: " + p);
+    }
+    if (!check_access(*parent, user, Access::kWrite)) {
+        return Status::permission_denied("no write on parent of " + p);
+    }
+    return parent;
+}
+
+INode&
+NamespaceTree::add_node(INodeId parent, const std::string& name,
+                        INodeType type, const UserContext& user,
+                        sim::SimTime now)
+{
+    INode node;
+    node.id = next_id_++;
+    node.parent = parent;
+    node.name = name;
+    node.type = type;
+    node.perms.mode = type == INodeType::kDirectory ? 0755 : 0644;
+    node.perms.owner = user.uid;
+    node.perms.group = user.gid;
+    node.mtime = now;
+    node.ctime = now;
+    children_[parent][name] = node.id;
+    if (type == INodeType::kDirectory) {
+        children_[node.id] = {};
+    }
+    INode& parent_node = nodes_.at(parent);
+    parent_node.mtime = now;
+    ++parent_node.version;
+    auto [it, inserted] = nodes_.emplace(node.id, std::move(node));
+    assert(inserted);
+    return it->second;
+}
+
+StatusOr<INode>
+NamespaceTree::create_file(const std::string& p, const UserContext& user,
+                           sim::SimTime now)
+{
+    if (!path::is_valid(p) || p == "/") {
+        return Status::invalid_argument("bad path: " + p);
+    }
+    auto parent = resolve_mutable_parent(p, user);
+    if (!parent.ok()) {
+        return parent.status();
+    }
+    std::string name = path::basename(p);
+    if (lookup_child((*parent)->id, name) != kInvalidId) {
+        return Status::already_exists("exists: " + p);
+    }
+    return add_node((*parent)->id, name, INodeType::kFile, user, now);
+}
+
+StatusOr<INode>
+NamespaceTree::mkdirs(const std::string& p, const UserContext& user,
+                      sim::SimTime now)
+{
+    if (!path::is_valid(p)) {
+        return Status::invalid_argument("bad path: " + p);
+    }
+    INode* cur = &nodes_.at(kRootId);
+    for (const std::string& comp : path::split(p)) {
+        if (!cur->is_dir()) {
+            return Status::failed_precondition("file on path: " + p);
+        }
+        if (!check_access(*cur, user, Access::kExecute)) {
+            return Status::permission_denied("no traverse on " +
+                                             full_path(cur->id));
+        }
+        INodeId child = lookup_child(cur->id, comp);
+        if (child == kInvalidId) {
+            if (!check_access(*cur, user, Access::kWrite)) {
+                return Status::permission_denied("no write on " +
+                                                 full_path(cur->id));
+            }
+            INode& made =
+                add_node(cur->id, comp, INodeType::kDirectory, user, now);
+            cur = &made;
+        } else {
+            cur = &nodes_.at(child);
+        }
+    }
+    if (!cur->is_dir()) {
+        return Status::already_exists("file exists: " + p);
+    }
+    return *cur;
+}
+
+void
+NamespaceTree::remove_subtree(INodeId id, int64_t* removed)
+{
+    auto it = children_.find(id);
+    if (it != children_.end()) {
+        // Copy ids: removal mutates the child map.
+        std::vector<INodeId> kids;
+        kids.reserve(it->second.size());
+        for (const auto& [name, cid] : it->second) {
+            kids.push_back(cid);
+        }
+        for (INodeId cid : kids) {
+            remove_subtree(cid, removed);
+        }
+        children_.erase(id);
+    }
+    nodes_.erase(id);
+    ++*removed;
+}
+
+StatusOr<int64_t>
+NamespaceTree::remove(const std::string& p, const UserContext& user,
+                      bool recursive, sim::SimTime now)
+{
+    if (p == "/") {
+        return Status::invalid_argument("cannot delete root");
+    }
+    auto resolved = resolve(p, user);
+    if (!resolved.ok()) {
+        return resolved.status();
+    }
+    INode target = resolved->target();
+    INode& parent = nodes_.at(target.parent);
+    if (!check_access(parent, user, Access::kWrite)) {
+        return Status::permission_denied("no write on parent of " + p);
+    }
+    if (target.is_dir() && !recursive && !children_[target.id].empty()) {
+        return Status::failed_precondition("directory not empty: " + p);
+    }
+    int64_t removed = 0;
+    remove_subtree(target.id, &removed);
+    children_[parent.id].erase(target.name);
+    parent.mtime = now;
+    ++parent.version;
+    return removed;
+}
+
+bool
+NamespaceTree::is_ancestor(INodeId maybe_ancestor, INodeId node) const
+{
+    for (INodeId cur = node; cur != kInvalidId;) {
+        if (cur == maybe_ancestor) {
+            return true;
+        }
+        auto it = nodes_.find(cur);
+        cur = it == nodes_.end() ? kInvalidId : it->second.parent;
+    }
+    return false;
+}
+
+Status
+NamespaceTree::rename(const std::string& src, const std::string& dst,
+                      const UserContext& user, sim::SimTime now)
+{
+    if (src == "/" || !path::is_valid(src) || !path::is_valid(dst)) {
+        return Status::invalid_argument("bad rename: " + src + " -> " + dst);
+    }
+    auto resolved = resolve(src, user);
+    if (!resolved.ok()) {
+        return resolved.status();
+    }
+    INode target = resolved->target();
+    if (path::is_under(dst, src)) {
+        return Status::invalid_argument("cannot move under itself");
+    }
+    auto dst_parent_resolved = resolve(path::parent(dst), user);
+    if (!dst_parent_resolved.ok()) {
+        return dst_parent_resolved.status();
+    }
+    INodeId dst_parent_id = dst_parent_resolved->target().id;
+    if (!nodes_.at(dst_parent_id).is_dir()) {
+        return Status::failed_precondition("destination parent not a dir");
+    }
+    std::string dst_name = path::basename(dst);
+    if (lookup_child(dst_parent_id, dst_name) != kInvalidId) {
+        return Status::already_exists("destination exists: " + dst);
+    }
+    INode& src_parent = nodes_.at(target.parent);
+    INode& dst_parent = nodes_.at(dst_parent_id);
+    if (!check_access(src_parent, user, Access::kWrite) ||
+        !check_access(dst_parent, user, Access::kWrite)) {
+        return Status::permission_denied("no write for rename");
+    }
+    if (is_ancestor(target.id, dst_parent_id)) {
+        return Status::invalid_argument("cannot move under itself");
+    }
+
+    children_[src_parent.id].erase(target.name);
+    src_parent.mtime = now;
+    ++src_parent.version;
+    INode& node = nodes_.at(target.id);
+    node.parent = dst_parent_id;
+    node.name = dst_name;
+    node.mtime = now;
+    ++node.version;
+    children_[dst_parent_id][dst_name] = node.id;
+    dst_parent.mtime = now;
+    ++dst_parent.version;
+    return Status::make_ok();
+}
+
+const INode*
+NamespaceTree::get(INodeId id) const
+{
+    auto it = nodes_.find(id);
+    return it == nodes_.end() ? nullptr : &it->second;
+}
+
+INodeId
+NamespaceTree::lookup_child(INodeId parent, const std::string& name) const
+{
+    auto it = children_.find(parent);
+    if (it == children_.end()) {
+        return kInvalidId;
+    }
+    auto cit = it->second.find(name);
+    return cit == it->second.end() ? kInvalidId : cit->second;
+}
+
+std::vector<INodeId>
+NamespaceTree::children(INodeId dir) const
+{
+    std::vector<INodeId> out;
+    auto it = children_.find(dir);
+    if (it != children_.end()) {
+        out.reserve(it->second.size());
+        for (const auto& [name, id] : it->second) {
+            out.push_back(id);
+        }
+    }
+    return out;
+}
+
+StatusOr<int64_t>
+NamespaceTree::subtree_size(const std::string& p,
+                            const UserContext& user) const
+{
+    auto resolved = resolve(p, user);
+    if (!resolved.ok()) {
+        return resolved.status();
+    }
+    int64_t count = 0;
+    std::vector<INodeId> stack{resolved->target().id};
+    while (!stack.empty()) {
+        INodeId id = stack.back();
+        stack.pop_back();
+        ++count;
+        for (INodeId c : children(id)) {
+            stack.push_back(c);
+        }
+    }
+    return count;
+}
+
+std::string
+NamespaceTree::full_path(INodeId id) const
+{
+    if (id == kRootId) {
+        return "/";
+    }
+    std::vector<const INode*> chain;
+    for (INodeId cur = id; cur != kInvalidId && cur != kRootId;) {
+        auto it = nodes_.find(cur);
+        if (it == nodes_.end()) {
+            return "";
+        }
+        chain.push_back(&it->second);
+        cur = it->second.parent;
+    }
+    std::string out;
+    for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+        out += '/';
+        out += (*it)->name;
+    }
+    return out;
+}
+
+size_t
+NamespaceTree::total_metadata_bytes() const
+{
+    size_t total = 0;
+    for (const auto& [id, node] : nodes_) {
+        total += node.metadata_bytes();
+    }
+    return total;
+}
+
+}  // namespace lfs::ns

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * The authoritative, in-memory file-system namespace: the semantic engine
+ * behind every persistent metadata store in this repository.
+ *
+ * NamespaceTree implements hierarchical path resolution with permission
+ * checks and the HDFS namespace operations (create, mkdirs, delete, mv,
+ * stat, ls, read). It is purely functional w.r.t. time — callers provide
+ * timestamps — and has no performance model; timing, locking, and
+ * queueing are layered on by lfs::store::MetadataStore.
+ */
+#pragma once
+
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/namespace/inode.h"
+#include "src/namespace/op.h"
+#include "src/util/status.h"
+
+namespace lfs::ns {
+
+/** Result of resolving a path: the inode chain from root to target. */
+struct ResolvedPath {
+    std::vector<INode> chain;  ///< root first, target last
+
+    const INode& target() const { return chain.back(); }
+};
+
+class NamespaceTree {
+  public:
+    /** Creates the tree containing only "/" owned by the superuser. */
+    NamespaceTree();
+
+    // ------------------------------------------------------------------
+    // Resolution and reads
+    // ------------------------------------------------------------------
+
+    /**
+     * Resolve @p path, checking execute permission on every ancestor
+     * directory. Returns the full inode chain (root..target).
+     */
+    StatusOr<ResolvedPath> resolve(const std::string& path,
+                                   const UserContext& user) const;
+
+    /** getattr. */
+    StatusOr<INode> stat(const std::string& path,
+                         const UserContext& user) const;
+
+    /** Open-for-read on a file: requires read permission on the target. */
+    StatusOr<INode> read_file(const std::string& path,
+                              const UserContext& user) const;
+
+    /** List child names of a directory (requires read on the dir). */
+    StatusOr<std::vector<std::string>> list(const std::string& path,
+                                            const UserContext& user) const;
+
+    // ------------------------------------------------------------------
+    // Mutations
+    // ------------------------------------------------------------------
+
+    /** Create an empty file. Parent must exist and be writable. */
+    StatusOr<INode> create_file(const std::string& path,
+                                const UserContext& user, sim::SimTime now);
+
+    /** Create a directory, making intermediate directories as needed. */
+    StatusOr<INode> mkdirs(const std::string& path, const UserContext& user,
+                           sim::SimTime now);
+
+    /**
+     * Delete a file, an empty directory, or (when @p recursive) a whole
+     * subtree. @return number of inodes removed.
+     */
+    StatusOr<int64_t> remove(const std::string& path, const UserContext& user,
+                             bool recursive, sim::SimTime now);
+
+    /**
+     * Rename @p src to @p dst. The destination must not exist; its parent
+     * must. Moving a directory moves the whole subtree.
+     */
+    Status rename(const std::string& src, const std::string& dst,
+                  const UserContext& user, sim::SimTime now);
+
+    // ------------------------------------------------------------------
+    // Introspection (used by stores, caches, and tests)
+    // ------------------------------------------------------------------
+
+    /** Inode by id, or nullptr. */
+    const INode* get(INodeId id) const;
+
+    /** Child inode id by (parent, name), or kInvalidId. */
+    INodeId lookup_child(INodeId parent, const std::string& name) const;
+
+    /** Ids of all children of @p dir (empty for files/unknown ids). */
+    std::vector<INodeId> children(INodeId dir) const;
+
+    /** Number of inodes in the subtree rooted at @p path (incl. root). */
+    StatusOr<int64_t> subtree_size(const std::string& path,
+                                   const UserContext& user) const;
+
+    /** Reconstruct the absolute path of inode @p id. */
+    std::string full_path(INodeId id) const;
+
+    /** Total number of inodes (including "/"). */
+    size_t inode_count() const { return nodes_.size(); }
+
+    /** Sum of metadata_bytes over every inode (working-set size). */
+    size_t total_metadata_bytes() const;
+
+  private:
+    StatusOr<INode*> resolve_mutable_parent(const std::string& path,
+                                            const UserContext& user);
+    INode& add_node(INodeId parent, const std::string& name, INodeType type,
+                    const UserContext& user, sim::SimTime now);
+    void remove_subtree(INodeId id, int64_t* removed);
+    bool is_ancestor(INodeId maybe_ancestor, INodeId node) const;
+
+    std::unordered_map<INodeId, INode> nodes_;
+    std::unordered_map<INodeId, std::map<std::string, INodeId>> children_;
+    INodeId next_id_ = kRootId + 1;
+};
+
+}  // namespace lfs::ns

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * The client-visible metadata operation vocabulary shared by every file
+ * system in this repository. The mix of these operations in the Spotify
+ * industrial workload is given in Table 2 of the paper.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/namespace/inode.h"
+#include "src/util/status.h"
+
+namespace lfs {
+
+/** Metadata operation kinds (HDFS namespace subset used by the paper). */
+enum class OpType : uint8_t {
+    kCreateFile = 0,  ///< create empty file
+    kMkdir,           ///< create directory (with parents, as `mkdirs`)
+    kDeleteFile,      ///< delete file or empty directory
+    kMv,              ///< rename/move file or directory
+    kReadFile,        ///< open-for-read: fetch metadata + block locations
+    kStat,            ///< getattr on file or directory
+    kLs,              ///< list directory children
+    kSubtreeMv,       ///< recursive mv of a large directory (Table 3)
+    kSubtreeDelete,   ///< recursive delete
+    kCount,
+};
+
+/** Human-readable short name ("read", "mkdir", ...). */
+const char* op_name(OpType type);
+
+/** True for operations that only read metadata. */
+constexpr bool
+is_read_op(OpType type)
+{
+    return type == OpType::kReadFile || type == OpType::kStat ||
+           type == OpType::kLs;
+}
+
+/** True for subtree-granularity operations. */
+constexpr bool
+is_subtree_op(OpType type)
+{
+    return type == OpType::kSubtreeMv || type == OpType::kSubtreeDelete;
+}
+
+/** One client metadata request. */
+struct Op {
+    OpType type = OpType::kStat;
+    std::string path;        ///< primary target
+    std::string dst;         ///< destination (mv only)
+    ns::UserContext user;    ///< principal
+    uint64_t op_id = 0;      ///< unique id (dedup of resubmitted requests)
+};
+
+/** Result payload for read-type operations. */
+struct OpResult {
+    Status status;
+    ns::INode inode;                    ///< target inode (read/stat/create)
+    std::vector<ns::INode> chain;       ///< resolved path chain (root..target)
+    std::vector<std::string> children;  ///< ls results
+    bool cache_hit = false;             ///< served from a metadata cache
+    int64_t inodes_touched = 1;         ///< rows affected (subtree ops)
+};
+
+inline const char*
+op_name(OpType type)
+{
+    switch (type) {
+      case OpType::kCreateFile:
+        return "create";
+      case OpType::kMkdir:
+        return "mkdir";
+      case OpType::kDeleteFile:
+        return "delete";
+      case OpType::kMv:
+        return "mv";
+      case OpType::kReadFile:
+        return "read";
+      case OpType::kStat:
+        return "stat";
+      case OpType::kLs:
+        return "ls";
+      case OpType::kSubtreeMv:
+        return "subtree_mv";
+      case OpType::kSubtreeDelete:
+        return "subtree_delete";
+      case OpType::kCount:
+        break;
+    }
+    return "?";
+}
+
+}  // namespace lfs

@@ -1,0 +1,117 @@
+#include "src/namespace/tree_builder.h"
+
+#include <cassert>
+#include <string>
+
+#include "src/util/path.h"
+
+namespace lfs::ns {
+
+namespace {
+
+void
+build_level(NamespaceTree& tree, const std::string& dir, int levels_left,
+            const TreeSpec& spec, const UserContext& user, sim::SimTime now,
+            BuiltTree* out)
+{
+    out->dirs.push_back(dir);
+    for (int f = 0; f < spec.files_per_dir; ++f) {
+        std::string file = path::join(dir, "f" + std::to_string(f));
+        auto created = tree.create_file(file, user, now);
+        assert(created.ok());
+        (void)created;
+        out->files.push_back(file);
+    }
+    if (levels_left == 0) {
+        return;
+    }
+    for (int d = 0; d < spec.fanout; ++d) {
+        std::string sub = path::join(dir, "d" + std::to_string(d));
+        auto made = tree.mkdirs(sub, user, now);
+        assert(made.ok());
+        (void)made;
+        build_level(tree, sub, levels_left - 1, spec, user, now, out);
+    }
+}
+
+}  // namespace
+
+BuiltTree
+build_balanced_tree(NamespaceTree& tree, const TreeSpec& spec,
+                    const UserContext& user, sim::SimTime now)
+{
+    BuiltTree out;
+    auto made = tree.mkdirs(spec.root, user, now);
+    assert(made.ok());
+    (void)made;
+    build_level(tree, path::normalize(spec.root), spec.depth, spec, user, now,
+                &out);
+    return out;
+}
+
+BuiltTree
+build_flat_directory(NamespaceTree& tree, const std::string& dir,
+                     int64_t num_files, const UserContext& user,
+                     sim::SimTime now)
+{
+    BuiltTree out;
+    auto made = tree.mkdirs(dir, user, now);
+    assert(made.ok());
+    (void)made;
+    out.dirs.push_back(path::normalize(dir));
+    out.files.reserve(static_cast<size_t>(num_files));
+    for (int64_t i = 0; i < num_files; ++i) {
+        std::string file = path::join(dir, "f" + std::to_string(i));
+        auto created = tree.create_file(file, user, now);
+        assert(created.ok());
+        (void)created;
+        out.files.push_back(std::move(file));
+    }
+    return out;
+}
+
+BuiltTree
+build_wide_subtree(NamespaceTree& tree, const std::string& root,
+                   int64_t total_inodes, int fanout, const UserContext& user,
+                   sim::SimTime now)
+{
+    BuiltTree out;
+    auto made = tree.mkdirs(root, user, now);
+    assert(made.ok());
+    (void)made;
+    std::string nroot = path::normalize(root);
+    out.dirs.push_back(nroot);
+    int64_t created = 1;
+    // Breadth-first: create `fanout` subdirectories per directory, then fill
+    // each with files until the budget is spent.
+    std::vector<std::string> frontier{nroot};
+    while (created < total_inodes) {
+        std::vector<std::string> next;
+        for (const std::string& dir : frontier) {
+            for (int d = 0; d < fanout && created < total_inodes; ++d) {
+                std::string sub = path::join(dir, "d" + std::to_string(d));
+                auto sub_made = tree.mkdirs(sub, user, now);
+                assert(sub_made.ok());
+                (void)sub_made;
+                out.dirs.push_back(sub);
+                next.push_back(sub);
+                ++created;
+            }
+            for (int f = 0; f < fanout * 4 && created < total_inodes; ++f) {
+                std::string file = path::join(dir, "f" + std::to_string(f));
+                auto file_made = tree.create_file(file, user, now);
+                assert(file_made.ok());
+                (void)file_made;
+                out.files.push_back(file);
+                ++created;
+            }
+        }
+        frontier = std::move(next);
+        if (frontier.empty()) {
+            break;
+        }
+    }
+    return out;
+}
+
+}  // namespace lfs::ns

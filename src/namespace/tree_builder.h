@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Deterministic construction of benchmark directory trees. The scalability
+ * microbenchmarks (§5.3) operate on "random files and directories across an
+ * existing directory tree"; these helpers build that tree and return the
+ * path population to sample from.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/namespace/namespace_tree.h"
+
+namespace lfs::ns {
+
+/** Shape of a balanced benchmark tree. */
+struct TreeSpec {
+    std::string root = "/bench";  ///< subtree root (created if missing)
+    int depth = 3;                ///< directory levels below the root
+    int fanout = 4;               ///< subdirectories per directory
+    int files_per_dir = 8;        ///< files in every directory
+};
+
+/** The path population produced by a builder. */
+struct BuiltTree {
+    std::vector<std::string> dirs;   ///< every directory incl. the root
+    std::vector<std::string> files;  ///< every file
+};
+
+/** Build a balanced tree per @p spec. Paths are deterministic. */
+BuiltTree build_balanced_tree(NamespaceTree& tree, const TreeSpec& spec,
+                              const UserContext& user, sim::SimTime now);
+
+/**
+ * Build one directory containing @p num_files files — the "large flat
+ * directory" shape used for the subtree-mv experiment (Table 3).
+ */
+BuiltTree build_flat_directory(NamespaceTree& tree, const std::string& dir,
+                               int64_t num_files, const UserContext& user,
+                               sim::SimTime now);
+
+/**
+ * Build a multi-level subtree with a total of approximately
+ * @p total_inodes inodes (used for subtree operations that must span
+ * several cache partitions).
+ */
+BuiltTree build_wide_subtree(NamespaceTree& tree, const std::string& root,
+                             int64_t total_inodes, int fanout,
+                             const UserContext& user, sim::SimTime now);
+
+}  // namespace lfs::ns

@@ -1,0 +1,60 @@
+#include "src/net/network.h"
+
+#include <cassert>
+
+namespace lfs::net {
+
+Network::Network(sim::Simulation& sim, sim::Rng rng, NetworkConfig config)
+    : sim_(sim), rng_(rng), config_(config)
+{
+}
+
+const LatencyModel&
+Network::model(LatencyClass cls) const
+{
+    switch (cls) {
+      case LatencyClass::kLocal:
+        return config_.local;
+      case LatencyClass::kTcp:
+        return config_.tcp;
+      case LatencyClass::kHttpGateway:
+        return config_.http;
+      case LatencyClass::kStore:
+        return config_.store;
+      case LatencyClass::kCoord:
+        return config_.coord;
+      case LatencyClass::kCount:
+        break;
+    }
+    assert(false && "bad latency class");
+    return config_.local;
+}
+
+sim::SimTime
+Network::sample(LatencyClass cls)
+{
+    const LatencyModel& m = model(cls);
+    ++sent_[static_cast<size_t>(cls)];
+    return rng_.uniform_duration(m.min, m.max);
+}
+
+sim::Task<void>
+Network::transfer(LatencyClass cls)
+{
+    co_await sim::delay(sim_, sample(cls));
+}
+
+sim::Task<void>
+Network::round_trip(LatencyClass cls)
+{
+    co_await sim::delay(sim_, sample(cls));
+    co_await sim::delay(sim_, sample(cls));
+}
+
+uint64_t
+Network::messages(LatencyClass cls) const
+{
+    return sent_[static_cast<size_t>(cls)];
+}
+
+}  // namespace lfs::net

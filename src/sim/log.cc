@@ -1,0 +1,99 @@
+#include "src/sim/log.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace lfs::sim {
+
+namespace {
+
+LogLevel g_level = LogLevel::kWarn;
+bool g_initialized = false;
+
+LogLevel
+parse_level(const char* s)
+{
+    if (std::strcmp(s, "trace") == 0) {
+        return LogLevel::kTrace;
+    }
+    if (std::strcmp(s, "debug") == 0) {
+        return LogLevel::kDebug;
+    }
+    if (std::strcmp(s, "info") == 0) {
+        return LogLevel::kInfo;
+    }
+    if (std::strcmp(s, "warn") == 0) {
+        return LogLevel::kWarn;
+    }
+    if (std::strcmp(s, "error") == 0) {
+        return LogLevel::kError;
+    }
+    if (std::strcmp(s, "off") == 0) {
+        return LogLevel::kOff;
+    }
+    return LogLevel::kWarn;
+}
+
+const char*
+level_name(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::kTrace:
+        return "TRACE";
+      case LogLevel::kDebug:
+        return "DEBUG";
+      case LogLevel::kInfo:
+        return "INFO";
+      case LogLevel::kWarn:
+        return "WARN";
+      case LogLevel::kError:
+        return "ERROR";
+      case LogLevel::kOff:
+        return "OFF";
+    }
+    return "?";
+}
+
+void
+ensure_initialized()
+{
+    if (!g_initialized) {
+        g_initialized = true;
+        if (const char* env = std::getenv("LFS_LOG")) {
+            g_level = parse_level(env);
+        }
+    }
+}
+
+}  // namespace
+
+LogLevel
+log_level()
+{
+    ensure_initialized();
+    return g_level;
+}
+
+void
+set_log_level(LogLevel level)
+{
+    g_initialized = true;
+    g_level = level;
+}
+
+bool
+log_enabled(LogLevel level)
+{
+    return static_cast<int>(level) >= static_cast<int>(log_level());
+}
+
+void
+log_message(LogLevel level, SimTime now, const std::string& component,
+            const std::string& message)
+{
+    std::fprintf(stderr, "[%12.6f] %-5s %-12s %s\n", to_sec(now),
+                 level_name(level), component.c_str(), message.c_str());
+}
+
+}  // namespace lfs::sim

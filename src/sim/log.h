@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Minimal leveled logging with simulated-time prefixes.
+ *
+ * Log volume must not perturb simulation results, so formatting happens
+ * only when the active level admits the message. The level defaults to
+ * WARN and can be raised with the LFS_LOG environment variable
+ * (trace|debug|info|warn|error|off).
+ */
+#pragma once
+
+#include <sstream>
+#include <string>
+
+#include "src/sim/time.h"
+
+namespace lfs::sim {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/** Global log level (initialized from LFS_LOG on first use). */
+LogLevel log_level();
+
+/** Override the global log level (tests use this). */
+void set_log_level(LogLevel level);
+
+/** True if messages at @p level are currently emitted. */
+bool log_enabled(LogLevel level);
+
+/** Emit one log line. Prefer the LFS_LOG_* macros below. */
+void log_message(LogLevel level, SimTime now, const std::string& component,
+                 const std::string& message);
+
+}  // namespace lfs::sim
+
+/**
+ * Logging macros: evaluate the streamed expression only when enabled.
+ * `sim_` must be an in-scope Simulation (used for the timestamp).
+ */
+#define LFS_LOG_AT(level, sim_ref, component, expr)                           \
+    do {                                                                      \
+        if (::lfs::sim::log_enabled(level)) {                                 \
+            std::ostringstream lfs_log_oss_;                                  \
+            lfs_log_oss_ << expr;                                             \
+            ::lfs::sim::log_message(level, (sim_ref).now(), component,        \
+                                    lfs_log_oss_.str());                      \
+        }                                                                     \
+    } while (0)
+
+#define LFS_TRACE(sim_ref, component, expr)                                   \
+    LFS_LOG_AT(::lfs::sim::LogLevel::kTrace, sim_ref, component, expr)
+#define LFS_DEBUG(sim_ref, component, expr)                                   \
+    LFS_LOG_AT(::lfs::sim::LogLevel::kDebug, sim_ref, component, expr)
+#define LFS_INFO(sim_ref, component, expr)                                    \
+    LFS_LOG_AT(::lfs::sim::LogLevel::kInfo, sim_ref, component, expr)
+#define LFS_WARN(sim_ref, component, expr)                                    \
+    LFS_LOG_AT(::lfs::sim::LogLevel::kWarn, sim_ref, component, expr)
+#define LFS_ERROR(sim_ref, component, expr)                                   \
+    LFS_LOG_AT(::lfs::sim::LogLevel::kError, sim_ref, component, expr)

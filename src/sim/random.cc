@@ -1,0 +1,97 @@
+#include "src/sim/random.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace lfs::sim {
+
+Rng
+Rng::fork()
+{
+    // Mix the next raw draw so children of successive fork() calls differ.
+    uint64_t child_seed = engine_() ^ 0x9e3779b97f4a7c15ULL;
+    return Rng(child_seed);
+}
+
+double
+Rng::uniform()
+{
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+}
+
+int64_t
+Rng::uniform_int(int64_t lo, int64_t hi)
+{
+    assert(lo <= hi);
+    return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+}
+
+bool
+Rng::bernoulli(double p)
+{
+    if (p <= 0.0) {
+        return false;
+    }
+    if (p >= 1.0) {
+        return true;
+    }
+    return uniform() < p;
+}
+
+double
+Rng::exponential(double mean)
+{
+    assert(mean > 0.0);
+    return std::exponential_distribution<double>(1.0 / mean)(engine_);
+}
+
+double
+Rng::pareto(double alpha, double x_m, double cap)
+{
+    assert(alpha > 0.0 && x_m > 0.0);
+    // Inverse-CDF sampling: X = x_m * U^(-1/alpha).
+    double u = 1.0 - uniform();  // in (0, 1]
+    double x = x_m * std::pow(u, -1.0 / alpha);
+    if (cap > 0.0) {
+        x = std::min(x, cap);
+    }
+    return x;
+}
+
+double
+Rng::lognormal(double mu, double sigma)
+{
+    return std::lognormal_distribution<double>(mu, sigma)(engine_);
+}
+
+double
+Rng::normal(double mean, double stddev, double min)
+{
+    double v = std::normal_distribution<double>(mean, stddev)(engine_);
+    return std::max(v, min);
+}
+
+SimTime
+Rng::uniform_duration(SimTime lo, SimTime hi)
+{
+    if (hi <= lo) {
+        return lo;
+    }
+    return uniform_int(lo, hi);
+}
+
+size_t
+Rng::index(size_t n)
+{
+    assert(n > 0);
+    return static_cast<size_t>(uniform_int(0, static_cast<int64_t>(n) - 1));
+}
+
+}  // namespace lfs::sim

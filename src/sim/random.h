@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Seeded random number generation for the simulator.
+ *
+ * Every stochastic component owns (or borrows) an Rng; all randomness flows
+ * through explicitly seeded mt19937_64 engines so a run is reproducible from
+ * its root seed. Rng::fork() derives independent child streams.
+ */
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace lfs::sim {
+
+/** Deterministic random source with the samplers the models need. */
+class Rng {
+  public:
+    explicit Rng(uint64_t seed) : engine_(seed), seed_(seed) {}
+
+    /** Root seed this stream was created with. */
+    uint64_t seed() const { return seed_; }
+
+    /** Derive an independent child stream (stable w.r.t. call order). */
+    Rng fork();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [lo, hi] (inclusive). */
+    int64_t uniform_int(int64_t lo, int64_t hi);
+
+    /** Bernoulli trial with success probability p. */
+    bool bernoulli(double p);
+
+    /** Exponential with the given mean (>0). */
+    double exponential(double mean);
+
+    /**
+     * Pareto sample with shape alpha and scale (minimum) x_m, optionally
+     * capped at @p cap (cap <= 0 means uncapped). This is the burst
+     * generator distribution used by the Spotify workload (alpha = 2).
+     */
+    double pareto(double alpha, double x_m, double cap = 0.0);
+
+    /** Lognormal with the given underlying mu/sigma. */
+    double lognormal(double mu, double sigma);
+
+    /** Normal with mean/stddev, truncated below at @p min. */
+    double normal(double mean, double stddev, double min = 0.0);
+
+    /**
+     * Duration sampled uniformly in [lo, hi] — the common "latency with
+     * jitter" helper used by the network model.
+     */
+    SimTime uniform_duration(SimTime lo, SimTime hi);
+
+    /** Fisher-Yates shuffle. */
+    template <typename T>
+    void
+    shuffle(std::vector<T>& v)
+    {
+        for (size_t i = v.size(); i > 1; --i) {
+            size_t j = static_cast<size_t>(uniform_int(0, static_cast<int64_t>(i) - 1));
+            std::swap(v[i - 1], v[j]);
+        }
+    }
+
+    /** Pick a uniformly random index in [0, n). Requires n > 0. */
+    size_t index(size_t n);
+
+  private:
+    std::mt19937_64 engine_;
+    uint64_t seed_;
+};
+
+}  // namespace lfs::sim

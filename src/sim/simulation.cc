@@ -1,0 +1,58 @@
+#include "src/sim/simulation.h"
+
+#include <utility>
+
+namespace lfs::sim {
+
+void
+Simulation::schedule(SimTime delay, std::function<void()> fn)
+{
+    if (delay < 0) {
+        delay = 0;
+    }
+    schedule_at(now_ + delay, std::move(fn));
+}
+
+void
+Simulation::schedule_at(SimTime when, std::function<void()> fn)
+{
+    if (when < now_) {
+        when = now_;
+    }
+    heap_.push(Event{when, next_seq_++, std::move(fn)});
+}
+
+bool
+Simulation::step()
+{
+    if (stopped_ || heap_.empty()) {
+        return false;
+    }
+    // Move the event out before popping so the callback may schedule more.
+    Event ev = std::move(const_cast<Event&>(heap_.top()));
+    heap_.pop();
+    now_ = ev.when;
+    ++executed_;
+    ev.fn();
+    return true;
+}
+
+void
+Simulation::run()
+{
+    while (step()) {
+    }
+}
+
+void
+Simulation::run_until(SimTime t)
+{
+    while (!stopped_ && !heap_.empty() && heap_.top().when <= t) {
+        step();
+    }
+    if (!stopped_ && now_ < t) {
+        now_ = t;
+    }
+}
+
+}  // namespace lfs::sim

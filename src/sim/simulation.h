@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Deterministic single-threaded discrete-event simulation loop.
+ *
+ * The Simulation owns a min-heap of timestamped events. Events scheduled at
+ * the same instant fire in FIFO order (a monotonically increasing sequence
+ * number breaks ties), which makes every run with the same seed bit-for-bit
+ * reproducible.
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace lfs::sim {
+
+/**
+ * The discrete-event simulation kernel.
+ *
+ * Components schedule callbacks at future simulated times; coroutine-based
+ * processes (see task.h / primitives.h) are layered on top of the same
+ * mechanism. The loop is strictly single-threaded.
+ */
+class Simulation {
+  public:
+    Simulation() = default;
+    Simulation(const Simulation&) = delete;
+    Simulation& operator=(const Simulation&) = delete;
+
+    /** Current simulated time. */
+    SimTime now() const { return now_; }
+
+    /** Schedule @p fn to run @p delay from now. Negative delays clamp to 0. */
+    void schedule(SimTime delay, std::function<void()> fn);
+
+    /** Schedule @p fn at absolute time @p when (clamped to >= now). */
+    void schedule_at(SimTime when, std::function<void()> fn);
+
+    /**
+     * Run the next pending event, advancing the clock to its timestamp.
+     * @return false if no events remain or the simulation was stopped.
+     */
+    bool step();
+
+    /** Run until the event heap drains or stop() is called. */
+    void run();
+
+    /**
+     * Run all events with timestamp <= @p t, then set the clock to @p t.
+     * Events scheduled exactly at @p t do fire.
+     */
+    void run_until(SimTime t);
+
+    /** Stop the loop; pending events stay queued. */
+    void stop() { stopped_ = true; }
+
+    /** True once stop() has been called (cleared by resume()). */
+    bool stopped() const { return stopped_; }
+
+    /** Clear the stop flag so run()/run_until() may continue. */
+    void resume() { stopped_ = false; }
+
+    /** Number of events executed so far (for diagnostics and tests). */
+    uint64_t events_executed() const { return executed_; }
+
+    /** Number of events currently queued. */
+    size_t pending() const { return heap_.size(); }
+
+  private:
+    struct Event {
+        SimTime when;
+        uint64_t seq;
+        std::function<void()> fn;
+    };
+    struct Later {
+        bool operator()(const Event& a, const Event& b) const
+        {
+            return a.when != b.when ? a.when > b.when : a.seq > b.seq;
+        }
+    };
+
+    SimTime now_ = 0;
+    uint64_t next_seq_ = 0;
+    uint64_t executed_ = 0;
+    bool stopped_ = false;
+    std::priority_queue<Event, std::vector<Event>, Later> heap_;
+};
+
+}  // namespace lfs::sim

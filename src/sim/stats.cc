@@ -1,0 +1,188 @@
+#include "src/sim/stats.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cmath>
+
+namespace lfs::sim {
+
+Histogram::Histogram() : buckets_(kOctaves * kSubBuckets, 0) {}
+
+size_t
+Histogram::bucket_index(int64_t value)
+{
+    if (value < 0) {
+        value = 0;
+    }
+    uint64_t v = static_cast<uint64_t>(value);
+    if (v < kSubBuckets) {
+        return static_cast<size_t>(v);  // exact for small values
+    }
+    // Octave = position of the highest set bit above the sub-bucket range.
+    int msb = 63 - std::countl_zero(v);
+    int octave = msb - 4;  // kSubBuckets == 2^5; first octave is [32, 64)
+    uint64_t sub = (v >> (msb - 5)) - kSubBuckets;  // 0..kSubBuckets-1
+    size_t index =
+        static_cast<size_t>(octave) * kSubBuckets + static_cast<size_t>(sub);
+    return std::min(index, static_cast<size_t>(kOctaves * kSubBuckets - 1));
+}
+
+int64_t
+Histogram::bucket_upper_edge(size_t index)
+{
+    if (index < kSubBuckets) {
+        return static_cast<int64_t>(index);
+    }
+    size_t octave = index / kSubBuckets;
+    size_t sub = index % kSubBuckets;
+    // Invert bucket_index: values in this bucket have msb = octave + 4 and
+    // sub-bucket 'sub'; the upper edge is the largest such value.
+    int msb = static_cast<int>(octave) + 4;
+    uint64_t base = (static_cast<uint64_t>(sub) + kSubBuckets) << (msb - 5);
+    uint64_t width = 1ULL << (msb - 5);
+    return static_cast<int64_t>(base + width - 1);
+}
+
+void
+Histogram::record(int64_t value)
+{
+    record_n(value, 1);
+}
+
+void
+Histogram::record_n(int64_t value, uint64_t n)
+{
+    if (n == 0) {
+        return;
+    }
+    if (value < 0) {
+        value = 0;
+    }
+    buckets_[bucket_index(value)] += n;
+    count_ += n;
+    sum_ += static_cast<double>(value) * static_cast<double>(n);
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+}
+
+double
+Histogram::mean() const
+{
+    return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+int64_t
+Histogram::percentile(double p) const
+{
+    if (count_ == 0) {
+        return 0;
+    }
+    p = std::clamp(p, 0.0, 100.0);
+    uint64_t target = static_cast<uint64_t>(
+        std::ceil(p / 100.0 * static_cast<double>(count_)));
+    target = std::max<uint64_t>(target, 1);
+    uint64_t seen = 0;
+    for (size_t i = 0; i < buckets_.size(); ++i) {
+        seen += buckets_[i];
+        if (seen >= target) {
+            return std::min(bucket_upper_edge(i), max_);
+        }
+    }
+    return max_;
+}
+
+std::vector<std::pair<int64_t, double>>
+Histogram::cdf() const
+{
+    std::vector<std::pair<int64_t, double>> points;
+    if (count_ == 0) {
+        return points;
+    }
+    uint64_t seen = 0;
+    for (size_t i = 0; i < buckets_.size(); ++i) {
+        if (buckets_[i] == 0) {
+            continue;
+        }
+        seen += buckets_[i];
+        points.emplace_back(bucket_upper_edge(i),
+                            static_cast<double>(seen) /
+                                static_cast<double>(count_));
+    }
+    return points;
+}
+
+void
+Histogram::merge(const Histogram& other)
+{
+    assert(buckets_.size() == other.buckets_.size());
+    for (size_t i = 0; i < buckets_.size(); ++i) {
+        buckets_[i] += other.buckets_[i];
+    }
+    count_ += other.count_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+void
+Histogram::reset()
+{
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    count_ = 0;
+    sum_ = 0.0;
+    min_ = std::numeric_limits<int64_t>::max();
+    max_ = std::numeric_limits<int64_t>::min();
+}
+
+void
+TimeSeries::add(SimTime t, double value)
+{
+    if (t < 0) {
+        t = 0;
+    }
+    size_t bin = static_cast<size_t>(t / bin_width_);
+    if (bin >= sums_.size()) {
+        sums_.resize(bin + 1, 0.0);
+        counts_.resize(bin + 1, 0);
+    }
+    sums_[bin] += value;
+    counts_[bin] += 1;
+}
+
+double
+TimeSeries::sum_at(size_t i) const
+{
+    return i < sums_.size() ? sums_[i] : 0.0;
+}
+
+uint64_t
+TimeSeries::count_at(size_t i) const
+{
+    return i < counts_.size() ? counts_[i] : 0;
+}
+
+double
+TimeSeries::mean_at(size_t i) const
+{
+    uint64_t c = count_at(i);
+    return c ? sum_at(i) / static_cast<double>(c) : 0.0;
+}
+
+double
+TimeSeries::rate_at(size_t i) const
+{
+    return sum_at(i) / to_sec(bin_width_);
+}
+
+double
+TimeSeries::total() const
+{
+    double t = 0.0;
+    for (double s : sums_) {
+        t += s;
+    }
+    return t;
+}
+
+}  // namespace lfs::sim

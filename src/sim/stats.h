@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Measurement collection for experiments: counters, log-bucketed latency
+ * histograms with percentile queries, and fixed-interval time series used
+ * to produce the paper's throughput timelines and latency CDFs.
+ */
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace lfs::sim {
+
+/** Simple monotonically increasing counter. */
+class Counter {
+  public:
+    void add(uint64_t n = 1) { value_ += n; }
+    uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    uint64_t value_ = 0;
+};
+
+/**
+ * Log-linear histogram of non-negative integer samples (e.g. latencies in
+ * microseconds). Values are grouped into octaves, each split into
+ * kSubBuckets linear sub-buckets, giving ~3% relative error on percentile
+ * queries across a 1 us .. ~1 hour range at constant memory.
+ */
+class Histogram {
+  public:
+    static constexpr int kSubBuckets = 32;
+    static constexpr int kOctaves = 42;  // covers up to 2^42 us (~50 days)
+
+    Histogram();
+
+    /** Record one sample. Negative values clamp to zero. */
+    void record(int64_t value);
+
+    /** Record @p n identical samples. */
+    void record_n(int64_t value, uint64_t n);
+
+    uint64_t count() const { return count_; }
+    int64_t min() const { return count_ ? min_ : 0; }
+    int64_t max() const { return count_ ? max_ : 0; }
+    double mean() const;
+
+    /**
+     * Approximate value at percentile @p p in [0, 100]. Returns the upper
+     * edge of the bucket containing the p-th sample.
+     */
+    int64_t percentile(double p) const;
+
+    /** Convenience wrappers. */
+    int64_t p50() const { return percentile(50.0); }
+    int64_t p99() const { return percentile(99.0); }
+
+    /**
+     * Emit a CDF as (value, cumulative fraction) points, one per non-empty
+     * bucket — the source data for the paper's Figure 10.
+     */
+    std::vector<std::pair<int64_t, double>> cdf() const;
+
+    /** Merge another histogram into this one. */
+    void merge(const Histogram& other);
+
+    void reset();
+
+  private:
+    static size_t bucket_index(int64_t value);
+    static int64_t bucket_upper_edge(size_t index);
+
+    std::vector<uint64_t> buckets_;
+    uint64_t count_ = 0;
+    double sum_ = 0.0;
+    int64_t min_ = std::numeric_limits<int64_t>::max();
+    int64_t max_ = std::numeric_limits<int64_t>::min();
+};
+
+/**
+ * Fixed-width time-binned series. Each bin accumulates a sum and a count,
+ * so the same object can express throughput (sum of completions per bin)
+ * or an average gauge (sum / count per bin).
+ */
+class TimeSeries {
+  public:
+    explicit TimeSeries(SimTime bin_width) : bin_width_(bin_width) {}
+
+    /** Accumulate @p value into the bin containing time @p t. */
+    void add(SimTime t, double value);
+
+    SimTime bin_width() const { return bin_width_; }
+    size_t bins() const { return sums_.size(); }
+
+    /** Sum accumulated in bin @p i (0 if empty/out of range). */
+    double sum_at(size_t i) const;
+
+    /** Number of samples in bin @p i. */
+    uint64_t count_at(size_t i) const;
+
+    /** Mean of samples in bin @p i (0 if empty). */
+    double mean_at(size_t i) const;
+
+    /**
+     * Sum per *second* for bin @p i — i.e. throughput when add() records
+     * one unit per completed operation.
+     */
+    double rate_at(size_t i) const;
+
+    /** Total across all bins. */
+    double total() const;
+
+  private:
+    SimTime bin_width_;
+    std::vector<double> sums_;
+    std::vector<uint64_t> counts_;
+};
+
+}  // namespace lfs::sim

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Simulated-time representation for the λFS discrete-event simulator.
+ *
+ * All simulated clocks are integer microseconds. Using a plain integer
+ * (rather than std::chrono) keeps event-heap keys trivially comparable and
+ * makes arithmetic in models explicit and cheap.
+ */
+#pragma once
+
+#include <cstdint>
+
+namespace lfs::sim {
+
+/** Simulated time or duration, in microseconds. */
+using SimTime = int64_t;
+
+/** A duration of @p v microseconds. */
+constexpr SimTime usec(int64_t v) { return v; }
+
+/** A duration of @p v milliseconds. */
+constexpr SimTime msec(int64_t v) { return v * 1000; }
+
+/** A duration of @p v seconds. */
+constexpr SimTime sec(int64_t v) { return v * 1'000'000; }
+
+/** Convert a SimTime to (floating point) seconds. */
+constexpr double to_sec(SimTime t) { return static_cast<double>(t) / 1e6; }
+
+/** Convert a SimTime to (floating point) milliseconds. */
+constexpr double to_msec(SimTime t) { return static_cast<double>(t) / 1e3; }
+
+/** Convert (floating point) milliseconds to SimTime, rounding down. */
+constexpr SimTime from_msec(double v) { return static_cast<SimTime>(v * 1e3); }
+
+/** Convert (floating point) seconds to SimTime, rounding down. */
+constexpr SimTime from_sec(double v) { return static_cast<SimTime>(v * 1e6); }
+
+/** Sentinel for "no deadline". */
+constexpr SimTime kNever = INT64_MAX;
+
+}  // namespace lfs::sim

@@ -1,0 +1,48 @@
+#include "src/store/data_node.h"
+
+namespace lfs::store {
+
+DataNode::DataNode(sim::Simulation& sim, sim::Rng rng, DataNodeConfig config)
+    : sim_(sim),
+      rng_(rng),
+      config_(config),
+      read_slots_(sim, config.concurrency),
+      write_slots_(sim, config.concurrency)
+{
+}
+
+sim::Task<void>
+DataNode::execute_read(int components)
+{
+    co_await read_slots_.acquire();
+    sim::SemaphoreGuard guard(read_slots_);
+    sim::SimTime service =
+        rng_.uniform_duration(config_.read_service_min,
+                              config_.read_service_max) +
+        config_.per_component_cost * std::max(0, components - 1);
+    co_await sim::delay(sim_, service);
+    busy_time_ += service;
+    reads_.add();
+}
+
+sim::Task<void>
+DataNode::execute_write(int rows)
+{
+    co_await write_slots_.acquire();
+    sim::SemaphoreGuard guard(write_slots_);
+    sim::SimTime service =
+        rng_.uniform_duration(config_.write_service_min,
+                              config_.write_service_max) +
+        config_.per_component_cost * std::max(0, rows - 1);
+    co_await sim::delay(sim_, service);
+    busy_time_ += service;
+    writes_.add();
+}
+
+size_t
+DataNode::queue_depth() const
+{
+    return read_slots_.waiting() + write_slots_.waiting();
+}
+
+}  // namespace lfs::store

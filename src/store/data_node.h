@@ -1,0 +1,71 @@
+/**
+ * @file
+ * A single storage shard of the persistent metadata store (one "NDB data
+ * node"): a finite-concurrency queueing server whose service times define
+ * the store's read/write capacity. Queueing delay under load is what caps
+ * HopsFS throughput in the paper's experiments.
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "src/sim/primitives.h"
+#include "src/sim/random.h"
+#include "src/sim/simulation.h"
+#include "src/sim/stats.h"
+#include "src/sim/task.h"
+
+namespace lfs::store {
+
+/** Service characteristics of a data node. */
+struct DataNodeConfig {
+    /**
+     * Parallel transactions per class. Reads and writes run in separate
+     * service pools (NDB separates fast read paths from its commit
+     * machinery), so a read flood does not stall commits — matching the
+     * paper's observation that HopsFS write latency stays moderate even
+     * while its reads saturate the store.
+     */
+    int concurrency = 16;
+    sim::SimTime read_service_min = sim::usec(1200);
+    sim::SimTime read_service_max = sim::usec(1900);
+    sim::SimTime write_service_min = sim::usec(3200);
+    sim::SimTime write_service_max = sim::usec(4800);
+    /** Extra service per additional path component in a batched resolve. */
+    sim::SimTime per_component_cost = sim::usec(35);
+};
+
+class DataNode {
+  public:
+    DataNode(sim::Simulation& sim, sim::Rng rng, DataNodeConfig config);
+
+    /**
+     * Execute one read transaction that touches @p components inode rows
+     * (a batched path resolve is a single transaction).
+     */
+    sim::Task<void> execute_read(int components = 1);
+
+    /** Execute one write transaction touching @p rows inode rows. */
+    sim::Task<void> execute_write(int rows = 1);
+
+    uint64_t reads_served() const { return reads_.value(); }
+    uint64_t writes_served() const { return writes_.value(); }
+
+    /** Requests currently queued for a slot (read + write). */
+    size_t queue_depth() const;
+
+    /** Total busy server time accumulated (for utilization reporting). */
+    sim::SimTime busy_time() const { return busy_time_; }
+
+  private:
+    sim::Simulation& sim_;
+    sim::Rng rng_;
+    DataNodeConfig config_;
+    sim::Semaphore read_slots_;
+    sim::Semaphore write_slots_;
+    sim::Counter reads_;
+    sim::Counter writes_;
+    sim::SimTime busy_time_ = 0;
+};
+
+}  // namespace lfs::store

@@ -1,0 +1,358 @@
+#include "src/store/metadata_store.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/util/hash.h"
+#include "src/util/path.h"
+
+namespace lfs::store {
+
+MetadataStore::MetadataStore(sim::Simulation& sim, net::Network& network,
+                             sim::Rng rng, StoreConfig config)
+    : sim_(sim), network_(network), config_(config), locks_(sim)
+{
+    shards_.reserve(static_cast<size_t>(config_.num_data_nodes));
+    for (int i = 0; i < config_.num_data_nodes; ++i) {
+        shards_.push_back(
+            std::make_unique<DataNode>(sim, rng.fork(), config_.data_node));
+    }
+}
+
+DataNode&
+MetadataStore::shard_for(const std::string& parent_path)
+{
+    size_t idx = fnv1a(parent_path) % shards_.size();
+    return *shards_[idx];
+}
+
+OpResult
+MetadataStore::apply_read(const Op& op) const
+{
+    OpResult result;
+    switch (op.type) {
+      case OpType::kReadFile: {
+        auto resolved = tree_.resolve(op.path, op.user);
+        if (!resolved.ok()) {
+            result.status = resolved.status();
+            return result;
+        }
+        if (!resolved->target().is_file()) {
+            result.status = Status::failed_precondition("not a file: " + op.path);
+            return result;
+        }
+        result.chain = resolved->chain;
+        result.inode = resolved->target();
+        break;
+      }
+      case OpType::kStat: {
+        auto resolved = tree_.resolve(op.path, op.user);
+        if (!resolved.ok()) {
+            result.status = resolved.status();
+            return result;
+        }
+        result.chain = resolved->chain;
+        result.inode = resolved->target();
+        break;
+      }
+      case OpType::kLs: {
+        auto resolved = tree_.resolve(op.path, op.user);
+        if (!resolved.ok()) {
+            result.status = resolved.status();
+            return result;
+        }
+        result.chain = resolved->chain;
+        result.inode = resolved->target();
+        auto listed = tree_.list(op.path, op.user);
+        if (!listed.ok()) {
+            result.status = listed.status();
+            return result;
+        }
+        result.children = listed.take();
+        break;
+      }
+      default:
+        result.status = Status::invalid_argument("not a read op");
+        return result;
+    }
+    result.status = Status::make_ok();
+    return result;
+}
+
+OpResult
+MetadataStore::apply_write(const Op& op)
+{
+    OpResult result;
+    sim::SimTime now = sim_.now();
+    switch (op.type) {
+      case OpType::kCreateFile: {
+        auto created = tree_.create_file(op.path, op.user, now);
+        if (!created.ok()) {
+            result.status = created.status();
+            return result;
+        }
+        result.inode = created.take();
+        break;
+      }
+      case OpType::kMkdir: {
+        auto made = tree_.mkdirs(op.path, op.user, now);
+        if (!made.ok()) {
+            result.status = made.status();
+            return result;
+        }
+        result.inode = made.take();
+        break;
+      }
+      case OpType::kDeleteFile: {
+        auto removed = tree_.remove(op.path, op.user, /*recursive=*/false, now);
+        if (!removed.ok()) {
+            result.status = removed.status();
+            return result;
+        }
+        result.inodes_touched = removed.take();
+        break;
+      }
+      case OpType::kMv: {
+        Status st = tree_.rename(op.path, op.dst, op.user, now);
+        if (!st.ok()) {
+            result.status = st;
+            return result;
+        }
+        break;
+      }
+      case OpType::kSubtreeDelete: {
+        auto removed = tree_.remove(op.path, op.user, /*recursive=*/true, now);
+        if (!removed.ok()) {
+            result.status = removed.status();
+            return result;
+        }
+        result.inodes_touched = removed.take();
+        break;
+      }
+      case OpType::kSubtreeMv: {
+        Status st = tree_.rename(op.path, op.dst, op.user, now);
+        if (!st.ok()) {
+            result.status = st;
+            return result;
+        }
+        break;
+      }
+      default:
+        result.status = Status::invalid_argument("not a write op");
+        return result;
+    }
+    result.status = Status::make_ok();
+    return result;
+}
+
+std::vector<ns::INodeId>
+MetadataStore::write_lock_set(const Op& op) const
+{
+    std::vector<ns::INodeId> ids;
+    auto add_path = [&](const std::string& p) {
+        ns::UserContext root;  // lock-set computation ignores permissions
+        auto resolved = tree_.resolve(p, root);
+        if (resolved.ok()) {
+            ids.push_back(resolved->target().id);
+        }
+    };
+    add_path(path::parent(op.path));
+    add_path(op.path);
+    if (op.type == OpType::kMv || op.type == OpType::kSubtreeMv) {
+        add_path(path::parent(op.dst));
+    }
+    std::sort(ids.begin(), ids.end());
+    ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+    return ids;
+}
+
+std::vector<ns::INodeId>
+MetadataStore::read_lock_set(const std::string& p) const
+{
+    std::vector<ns::INodeId> ids;
+    ns::UserContext root;
+    auto resolved = tree_.resolve(p, root);
+    if (resolved.ok()) {
+        ids.push_back(resolved->target().id);
+        if (resolved->chain.size() > 1) {
+            ids.push_back(resolved->chain[resolved->chain.size() - 2].id);
+        }
+    } else {
+        auto parent_resolved = tree_.resolve(path::parent(p), root);
+        if (parent_resolved.ok()) {
+            ids.push_back(parent_resolved->target().id);
+        }
+    }
+    std::sort(ids.begin(), ids.end());
+    ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+    return ids;
+}
+
+sim::Task<OpResult>
+MetadataStore::read_op(Op op)
+{
+    co_await network_.transfer(net::LatencyClass::kStore);
+    OpResult result;
+    while (true) {
+        // While a subtree operation is in flight over this path, reads
+        // block behind it (the subtree flag acts as an intention lock).
+        while (locks_.overlaps_active_subtree(op.path)) {
+            co_await sim::delay(sim_, config_.subtree_retry_delay);
+        }
+        // Shared row locks on target + parent serialize the read against
+        // concurrent writers, so a reader can never cache a value that a
+        // lock-holding writer is about to overwrite.
+        std::vector<ns::INodeId> lock_ids = read_lock_set(op.path);
+        for (ns::INodeId id : lock_ids) {
+            co_await locks_.lock_shared(id);
+        }
+        DataNode& shard = shard_for(path::parent(op.path));
+        co_await shard.execute_read(path::depth(op.path) + 1);
+        result = apply_read(op);
+        for (ns::INodeId id : lock_ids) {
+            locks_.unlock_shared(id);
+        }
+        // A subtree operation may have flagged this path while the read
+        // was in flight (its quiesce phase drains readers like us). The
+        // result would be cached *after* the subtree INV round cleared
+        // the caches — stale forever — so retry behind the flag instead.
+        if (!locks_.overlaps_active_subtree(op.path)) {
+            break;
+        }
+    }
+    co_await network_.transfer(net::LatencyClass::kStore);
+    co_return result;
+}
+
+sim::Task<OpResult>
+MetadataStore::write_op(Op op, LockedHook after_lock)
+{
+    co_await network_.transfer(net::LatencyClass::kStore);
+    while (locks_.overlaps_active_subtree(op.path) ||
+           (op.type == OpType::kMv &&
+            locks_.overlaps_active_subtree(op.dst))) {
+        co_await sim::delay(sim_, config_.subtree_retry_delay);
+    }
+    std::vector<ns::INodeId> lock_ids = write_lock_set(op);
+    co_await locks_.lock_exclusive_ordered(lock_ids);
+    if (after_lock) {
+        co_await after_lock();
+    }
+    DataNode& shard = shard_for(path::parent(op.path));
+    co_await shard.execute_write(static_cast<int>(lock_ids.size()));
+    OpResult result = apply_write(op);
+    locks_.unlock_exclusive_all(lock_ids);
+    co_await network_.transfer(net::LatencyClass::kStore);
+    co_return result;
+}
+
+sim::Task<void>
+MetadataStore::quiesce_rows(const std::string& shard_key, int64_t rows)
+{
+    DataNode& shard = shard_for(shard_key);
+    int batch = config_.subtree_batch_size;
+    for (int64_t done = 0; done < rows; done += batch) {
+        int64_t n = std::min<int64_t>(batch, rows - done);
+        co_await shard.execute_read(1);
+        co_await sim::delay(sim_, config_.subtree_row_read_cost * n);
+    }
+}
+
+sim::Task<void>
+MetadataStore::commit_subtree_batch(const std::string& shard_key, int64_t rows)
+{
+    DataNode& shard = shard_for(shard_key);
+    co_await shard.execute_write(1);
+    co_await sim::delay(sim_, config_.subtree_row_write_cost * rows);
+}
+
+sim::Task<OpResult>
+MetadataStore::subtree_op(Op op)
+{
+    OpResult result = co_await subtree_op(std::move(op), SubtreeExecution{});
+    co_return result;
+}
+
+sim::Task<OpResult>
+MetadataStore::subtree_op(Op op, SubtreeExecution exec)
+{
+    co_await network_.transfer(net::LatencyClass::kStore);
+
+    // Phase 1: set the subtree-lock flag; retry on overlap.
+    while (true) {
+        Status st = locks_.try_acquire_subtree(op.path);
+        if (st.ok()) {
+            break;
+        }
+        co_await sim::delay(sim_, config_.subtree_retry_delay);
+    }
+
+    OpResult result;
+    ns::UserContext root;
+    auto size = tree_.subtree_size(op.path, root);
+    if (!size.ok()) {
+        locks_.release_subtree(op.path);
+        result.status = size.status();
+        co_await network_.transfer(net::LatencyClass::kStore);
+        co_return result;
+    }
+    int64_t rows = size.take();
+
+    // λFS: prefix-invalidation round, while the subtree flag blocks
+    // conflicting reads/writes.
+    if (exec.after_lock) {
+        co_await exec.after_lock();
+    }
+
+    // Phase 2: quiesce the subtree (ordered lock walk).
+    co_await quiesce_rows(op.path, rows);
+
+    // Phase 3: batched sub-transactions, each preceded by the calling
+    // NameNode cluster's own batch processing cost.
+    int batch = config_.subtree_batch_size;
+    for (int64_t done = 0; done < rows; done += batch) {
+        int64_t n = std::min<int64_t>(batch, rows - done);
+        if (exec.per_row_nn_cost > 0) {
+            co_await sim::delay(sim_, exec.per_row_nn_cost * n);
+        }
+        co_await commit_subtree_batch(op.path, n);
+    }
+
+    result = apply_write(op);
+    result.inodes_touched = rows;
+    locks_.release_subtree(op.path);
+    co_await network_.transfer(net::LatencyClass::kStore);
+    co_return result;
+}
+
+uint64_t
+MetadataStore::total_reads() const
+{
+    uint64_t total = 0;
+    for (const auto& shard : shards_) {
+        total += shard->reads_served();
+    }
+    return total;
+}
+
+uint64_t
+MetadataStore::total_writes() const
+{
+    uint64_t total = 0;
+    for (const auto& shard : shards_) {
+        total += shard->writes_served();
+    }
+    return total;
+}
+
+size_t
+MetadataStore::queue_depth() const
+{
+    size_t total = 0;
+    for (const auto& shard : shards_) {
+        total += shard->queue_depth();
+    }
+    return total;
+}
+
+}  // namespace lfs::store

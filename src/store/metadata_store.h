@@ -1,0 +1,143 @@
+/**
+ * @file
+ * The persistent, strongly-consistent metadata store — the model of MySQL
+ * Cluster NDB that HopsFS and λFS share (and, with different parameters,
+ * of any sharded transactional metadata backend).
+ *
+ * The store owns the authoritative NamespaceTree and exposes *timed*
+ * transactional operations: every call pays a NameNode<->store network
+ * round trip, queues for a slot on the shard that owns the target's parent
+ * directory, holds exclusive row locks for writes, and then applies the
+ * semantic mutation atomically.
+ */
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/namespace/namespace_tree.h"
+#include "src/namespace/op.h"
+#include "src/net/network.h"
+#include "src/sim/random.h"
+#include "src/sim/simulation.h"
+#include "src/sim/task.h"
+#include "src/store/data_node.h"
+#include "src/store/lock_table.h"
+
+namespace lfs::store {
+
+/** Store-wide configuration. */
+struct StoreConfig {
+    int num_data_nodes = 4;
+    DataNodeConfig data_node;
+    /** Per-row costs of subtree batch transactions (Appendix D model). */
+    sim::SimTime subtree_row_read_cost = sim::usec(4);
+    sim::SimTime subtree_row_write_cost = sim::usec(14);
+    /** Rows per subtree batch transaction. */
+    int subtree_batch_size = 512;
+    /** Delay between retries when a subtree lock conflicts. */
+    sim::SimTime subtree_retry_delay = sim::msec(20);
+};
+
+class MetadataStore {
+  public:
+    MetadataStore(sim::Simulation& sim, net::Network& network, sim::Rng rng,
+                  StoreConfig config = {});
+
+    /** Untimed access to the authoritative namespace (setup, verification). */
+    ns::NamespaceTree& tree() { return tree_; }
+    const ns::NamespaceTree& tree() const { return tree_; }
+
+    LockTable& locks() { return locks_; }
+    const StoreConfig& config() const { return config_; }
+
+    // ------------------------------------------------------------------
+    // Timed transactional operations (called by NameNodes)
+    // ------------------------------------------------------------------
+
+    /**
+     * Coroutine-producing hook awaited while a transaction's locks are
+     * held. λFS injects its coherence protocol's INV/ACK round here so no
+     * other NameNode can read-and-cache between invalidation and commit
+     * (§3.5: the leader "will have taken exclusive write-locks ... so it
+     * will be impossible for another NameNode to read and cache the
+     * metadata before it is updated").
+     */
+    using LockedHook = std::function<sim::Task<void>()>;
+
+    /** NameNode-side execution parameters for a subtree operation. */
+    struct SubtreeExecution {
+        /** Awaited after the subtree flag is acquired (prefix INV round). */
+        LockedHook after_lock;
+        /**
+         * Per-row NameNode processing cost added to each batch commit
+         * (callers divide by their offload parallelism, Appendix D).
+         */
+        sim::SimTime per_row_nn_cost = 0;
+    };
+
+    /**
+     * Execute a read operation (read/stat/ls) as one batched path-resolve
+     * transaction (the "INode Hint Cache" single-round-trip query), under
+     * shared row locks on the target and its parent. The result includes
+     * the full resolved chain for caching.
+     */
+    sim::Task<OpResult> read_op(Op op);
+
+    /**
+     * Execute a single-inode write (create/mkdir/delete/mv): acquires
+     * exclusive row locks in ascending-id order, awaits @p after_lock
+     * (if any) while holding them, runs one write transaction on the
+     * owning shard, applies the mutation, releases.
+     */
+    sim::Task<OpResult> write_op(Op op, LockedHook after_lock = nullptr);
+
+    /**
+     * Execute a subtree operation (recursive mv/delete) with the HopsFS
+     * three-phase protocol: subtree-lock flag, quiesce (batched lock
+     * walk), then batched sub-transactions (Appendix D).
+     */
+    sim::Task<OpResult> subtree_op(Op op, SubtreeExecution exec);
+    sim::Task<OpResult> subtree_op(Op op);
+
+    /** One quiesce walk over @p rows rows (exposed for λFS's protocol). */
+    sim::Task<void> quiesce_rows(const std::string& shard_key, int64_t rows);
+
+    /** One batched subtree commit of @p rows rows on the owning shard. */
+    sim::Task<void> commit_subtree_batch(const std::string& shard_key,
+                                         int64_t rows);
+
+    // ------------------------------------------------------------------
+    // Statistics
+    // ------------------------------------------------------------------
+
+    uint64_t total_reads() const;
+    uint64_t total_writes() const;
+    size_t queue_depth() const;
+
+  private:
+    /** Shard owning metadata for paths under @p parent_path. */
+    DataNode& shard_for(const std::string& parent_path);
+
+    /** Ids that a write on @p op must lock (parent, target, dst parent). */
+    std::vector<ns::INodeId> write_lock_set(const Op& op) const;
+
+    /** Ids that a read on @p p locks shared (parent and target). */
+    std::vector<ns::INodeId> read_lock_set(const std::string& p) const;
+
+    /** Apply the semantic mutation (no timing). */
+    OpResult apply_write(const Op& op);
+
+    /** Perform the semantic read (no timing). */
+    OpResult apply_read(const Op& op) const;
+
+    sim::Simulation& sim_;
+    net::Network& network_;
+    StoreConfig config_;
+    ns::NamespaceTree tree_;
+    LockTable locks_;
+    std::vector<std::unique_ptr<DataNode>> shards_;
+};
+
+}  // namespace lfs::store

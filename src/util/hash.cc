@@ -1,0 +1,82 @@
+#include "src/util/hash.h"
+
+#include <cassert>
+
+namespace lfs {
+
+uint64_t
+fnv1a(std::string_view s)
+{
+    uint64_t h = 14695981039346656037ULL;
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
+uint64_t
+mix64(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+void
+ConsistentHashRing::add_member(int id)
+{
+    // Idempotence: probe one virtual point for presence.
+    uint64_t first =
+        mix64(static_cast<uint64_t>(id) * 0x100000001b3ULL + 0);
+    auto it = ring_.find(first);
+    if (it != ring_.end() && it->second == id) {
+        return;
+    }
+    for (int v = 0; v < vnodes_; ++v) {
+        uint64_t point = mix64(static_cast<uint64_t>(id) * 0x100000001b3ULL +
+                               static_cast<uint64_t>(v));
+        ring_[point] = id;
+    }
+    ++members_;
+}
+
+void
+ConsistentHashRing::remove_member(int id)
+{
+    size_t removed = 0;
+    for (int v = 0; v < vnodes_; ++v) {
+        uint64_t point = mix64(static_cast<uint64_t>(id) * 0x100000001b3ULL +
+                               static_cast<uint64_t>(v));
+        auto it = ring_.find(point);
+        if (it != ring_.end() && it->second == id) {
+            ring_.erase(it);
+            ++removed;
+        }
+    }
+    if (removed > 0) {
+        --members_;
+    }
+}
+
+int
+ConsistentHashRing::lookup(std::string_view key) const
+{
+    // FNV-1a of short, similar keys clusters in a narrow range; finalize
+    // with mix64 so keys spread uniformly around the ring.
+    return lookup_hash(mix64(fnv1a(key)));
+}
+
+int
+ConsistentHashRing::lookup_hash(uint64_t hash) const
+{
+    assert(!ring_.empty());
+    auto it = ring_.lower_bound(hash);
+    if (it == ring_.end()) {
+        it = ring_.begin();  // wrap around
+    }
+    return it->second;
+}
+
+}  // namespace lfs

@@ -1,0 +1,123 @@
+#include "src/util/path.h"
+
+namespace lfs::path {
+
+bool
+is_valid(std::string_view p)
+{
+    if (p.empty() || p[0] != '/') {
+        return false;
+    }
+    for (const std::string& c : split(p)) {
+        if (c.empty() || c == "." || c == "..") {
+            return false;
+        }
+    }
+    return true;
+}
+
+std::string
+normalize(std::string_view p)
+{
+    std::string out = "/";
+    for (const std::string& c : split(p)) {
+        if (out.size() > 1) {
+            out += '/';
+        }
+        out += c;
+    }
+    return out;
+}
+
+std::vector<std::string>
+split(std::string_view p)
+{
+    std::vector<std::string> parts;
+    size_t i = 0;
+    while (i < p.size()) {
+        while (i < p.size() && p[i] == '/') {
+            ++i;
+        }
+        size_t start = i;
+        while (i < p.size() && p[i] != '/') {
+            ++i;
+        }
+        if (i > start) {
+            parts.emplace_back(p.substr(start, i - start));
+        }
+    }
+    return parts;
+}
+
+std::string
+parent(std::string_view p)
+{
+    auto parts = split(p);
+    if (parts.size() <= 1) {
+        return "/";
+    }
+    std::string out;
+    for (size_t i = 0; i + 1 < parts.size(); ++i) {
+        out += '/';
+        out += parts[i];
+    }
+    return out;
+}
+
+std::string
+basename(std::string_view p)
+{
+    auto parts = split(p);
+    return parts.empty() ? std::string() : parts.back();
+}
+
+std::string
+join(std::string_view dir, std::string_view name)
+{
+    std::string out = normalize(dir);
+    if (out.size() > 1) {
+        out += '/';
+    }
+    out += name;
+    return out;
+}
+
+int
+depth(std::string_view p)
+{
+    return static_cast<int>(split(p).size());
+}
+
+bool
+is_under(std::string_view p, std::string_view prefix)
+{
+    std::string np = normalize(p);
+    std::string npre = normalize(prefix);
+    if (npre == "/") {
+        return true;
+    }
+    if (np.size() < npre.size()) {
+        return false;
+    }
+    if (np.compare(0, npre.size(), npre) != 0) {
+        return false;
+    }
+    return np.size() == npre.size() || np[npre.size()] == '/';
+}
+
+std::vector<std::string>
+ancestors(std::string_view p)
+{
+    std::vector<std::string> out;
+    out.emplace_back("/");
+    auto parts = split(p);
+    std::string cur;
+    for (size_t i = 0; i + 1 < parts.size(); ++i) {
+        cur += '/';
+        cur += parts[i];
+        out.push_back(cur);
+    }
+    return out;
+}
+
+}  // namespace lfs::path

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * File-system path manipulation shared by every layer: normalization,
+ * component splitting, parent/basename extraction, and prefix tests (the
+ * latter drive subtree invalidations in the coherence protocol).
+ *
+ * Paths are absolute, '/'-separated, with "/" denoting the root.
+ */
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lfs::path {
+
+/** True if @p p is a syntactically valid absolute path. */
+bool is_valid(std::string_view p);
+
+/**
+ * Normalize: collapse duplicate '/', drop trailing '/', keep leading '/'.
+ * "." and ".." components are rejected upstream by is_valid.
+ */
+std::string normalize(std::string_view p);
+
+/** Split into components; "/" yields an empty vector. */
+std::vector<std::string> split(std::string_view p);
+
+/** Parent directory ("/a/b" -> "/a"; "/a" -> "/"; "/" -> "/"). */
+std::string parent(std::string_view p);
+
+/** Final component ("/a/b" -> "b"; "/" -> ""). */
+std::string basename(std::string_view p);
+
+/** Join a directory and a child name. */
+std::string join(std::string_view dir, std::string_view name);
+
+/** Depth in components ("/" -> 0, "/a/b" -> 2). */
+int depth(std::string_view p);
+
+/**
+ * True if @p p equals @p prefix or lies underneath it
+ * (is_under("/a/b/c", "/a/b") == true; is_under("/ab", "/a") == false).
+ */
+bool is_under(std::string_view p, std::string_view prefix);
+
+/** All ancestor paths from "/" down to parent(p), inclusive. */
+std::vector<std::string> ancestors(std::string_view p);
+
+/**
+ * Zero-allocation component iterator:
+ *   for (Splitter s(p); auto c = s.next();) use(*c);
+ * Hot paths (the cache trie) use this instead of split().
+ */
+class Splitter {
+  public:
+    explicit Splitter(std::string_view p) : rest_(p) {}
+
+    /** Next component, or nullopt when exhausted. */
+    std::optional<std::string_view>
+    next()
+    {
+        size_t i = 0;
+        while (i < rest_.size() && rest_[i] == '/') {
+            ++i;
+        }
+        size_t start = i;
+        while (i < rest_.size() && rest_[i] != '/') {
+            ++i;
+        }
+        if (i == start) {
+            return std::nullopt;
+        }
+        std::string_view component = rest_.substr(start, i - start);
+        rest_ = rest_.substr(i);
+        return component;
+    }
+
+  private:
+    std::string_view rest_;
+};
+
+}  // namespace lfs::path

@@ -1,0 +1,49 @@
+#include "src/util/status.h"
+
+namespace lfs {
+
+const char*
+code_name(Code code)
+{
+    switch (code) {
+      case Code::kOk:
+        return "OK";
+      case Code::kNotFound:
+        return "NOT_FOUND";
+      case Code::kAlreadyExists:
+        return "ALREADY_EXISTS";
+      case Code::kPermissionDenied:
+        return "PERMISSION_DENIED";
+      case Code::kInvalidArgument:
+        return "INVALID_ARGUMENT";
+      case Code::kDeadlineExceeded:
+        return "DEADLINE_EXCEEDED";
+      case Code::kUnavailable:
+        return "UNAVAILABLE";
+      case Code::kAborted:
+        return "ABORTED";
+      case Code::kFailedPrecondition:
+        return "FAILED_PRECONDITION";
+      case Code::kResourceExhausted:
+        return "RESOURCE_EXHAUSTED";
+      case Code::kInternal:
+        return "INTERNAL";
+    }
+    return "UNKNOWN";
+}
+
+std::string
+Status::to_string() const
+{
+    if (ok()) {
+        return "OK";
+    }
+    std::string s = code_name(code_);
+    if (!message_.empty()) {
+        s += ": ";
+        s += message_;
+    }
+    return s;
+}
+
+}  // namespace lfs

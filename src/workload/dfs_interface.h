@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The system-under-test abstraction. Every file system in this repository
+ * (λFS, HopsFS, HopsFS+Cache, InfiniCache, CephFS-like, IndexFS,
+ * λIndexFS) exposes clients that execute metadata operations; workload
+ * drivers are written once against this interface.
+ */
+#pragma once
+
+#include <string>
+
+#include "src/namespace/namespace_tree.h"
+#include "src/namespace/op.h"
+#include "src/sim/task.h"
+#include "src/workload/metrics.h"
+
+namespace lfs::workload {
+
+/** One client session (the paper runs up to 1,024 of these). */
+class DfsClient {
+  public:
+    virtual ~DfsClient() = default;
+
+    /**
+     * Execute one metadata operation end to end, including the client
+     * library's routing, retry, and resubmission policies.
+     */
+    virtual sim::Task<OpResult> execute(Op op) = 0;
+};
+
+/** A complete file system deployment under test. */
+class Dfs {
+  public:
+    virtual ~Dfs() = default;
+
+    virtual std::string name() const = 0;
+
+    virtual DfsClient& client(size_t index) = 0;
+    virtual size_t client_count() const = 0;
+
+    virtual SystemMetrics& metrics() = 0;
+
+    /**
+     * Untimed access to the authoritative namespace, used by workload
+     * setup (building directory trees) and by verification.
+     */
+    virtual ns::NamespaceTree& authoritative_tree() = 0;
+
+    /** Currently active metadata servers (Fig. 8's right axis). */
+    virtual int active_name_nodes() const = 0;
+
+    /**
+     * Dollars accrued since t=0 under this system's native pricing model
+     * (pay-per-use for FaaS systems, VM-hours for serverful ones).
+     */
+    virtual double cost_so_far() const = 0;
+
+    /** Cost under the paper's "simplified" provisioned-time model. */
+    virtual double simplified_cost_so_far() const { return cost_so_far(); }
+};
+
+}  // namespace lfs::workload

@@ -1,0 +1,35 @@
+#include "src/workload/fault_injector.h"
+
+#include <utility>
+
+namespace lfs::workload {
+
+FaultInjector::FaultInjector(sim::Simulation& sim, sim::SimTime interval,
+                             std::function<bool(int round)> kill)
+    : sim_(sim), interval_(interval), kill_(std::move(kill))
+{
+}
+
+void
+FaultInjector::start(sim::SimTime until)
+{
+    until_ = until;
+    schedule_next();
+}
+
+void
+FaultInjector::schedule_next()
+{
+    sim_.schedule(interval_, [this] {
+        if (sim_.now() > until_) {
+            return;
+        }
+        if (kill_(round_)) {
+            kills_.add();
+        }
+        ++round_;
+        schedule_next();
+    });
+}
+
+}  // namespace lfs::workload

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Fault injection for the fault-tolerance experiment (§5.6): terminate
+ * one active NameNode every interval, targeting deployments round-robin.
+ */
+#pragma once
+
+#include <functional>
+
+#include "src/sim/simulation.h"
+#include "src/sim/stats.h"
+
+namespace lfs::workload {
+
+class FaultInjector {
+  public:
+    /**
+     * @param kill invoked once per round with the round index; it should
+     *        terminate one server/instance (e.g. of deployment
+     *        round % n) and return true if something was killed.
+     */
+    FaultInjector(sim::Simulation& sim, sim::SimTime interval,
+                  std::function<bool(int round)> kill);
+
+    /** Begin injecting until @p until (simulated time). */
+    void start(sim::SimTime until);
+
+    uint64_t kills() const { return kills_.value(); }
+    int rounds() const { return round_; }
+
+  private:
+    void schedule_next();
+
+    sim::Simulation& sim_;
+    sim::SimTime interval_;
+    sim::SimTime until_ = 0;
+    std::function<bool(int)> kill_;
+    int round_ = 0;
+    sim::Counter kills_;
+};
+
+}  // namespace lfs::workload

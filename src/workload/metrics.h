@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Per-system measurement collection shared by every file system under
+ * test. Workload drivers record each completed operation here; experiment
+ * harnesses read the series/histograms back out to print the paper's
+ * figures (throughput timelines, latency CDFs, per-op throughput).
+ */
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "src/namespace/op.h"
+#include "src/sim/stats.h"
+#include "src/sim/time.h"
+
+namespace lfs::workload {
+
+class SystemMetrics {
+  public:
+    explicit SystemMetrics(sim::SimTime bin_width = sim::sec(1))
+        : throughput_(bin_width), active_nodes_(bin_width)
+    {
+    }
+
+    /** Record one finished operation. */
+    void
+    record(sim::SimTime now, OpType type, sim::SimTime latency, bool ok)
+    {
+        if (!ok) {
+            failed_.add();
+            return;
+        }
+        completed_.add();
+        throughput_.add(now, 1.0);
+        overall_latency_.record(latency);
+        latency_by_type_[static_cast<size_t>(type)].record(latency);
+        if (is_read_op(type)) {
+            read_latency_.record(latency);
+        } else {
+            write_latency_.record(latency);
+        }
+    }
+
+    /** Record a retry/resubmission event. */
+    void record_retry() { retries_.add(); }
+
+    /** Sample the current NameNode count (for the Fig. 8 right axis). */
+    void
+    sample_active_nodes(sim::SimTime now, int count)
+    {
+        active_nodes_.add(now, static_cast<double>(count));
+    }
+
+    const sim::TimeSeries& throughput() const { return throughput_; }
+    const sim::TimeSeries& active_nodes() const { return active_nodes_; }
+    const sim::Histogram& overall_latency() const { return overall_latency_; }
+    const sim::Histogram& read_latency() const { return read_latency_; }
+    const sim::Histogram& write_latency() const { return write_latency_; }
+    const sim::Histogram&
+    latency(OpType type) const
+    {
+        return latency_by_type_[static_cast<size_t>(type)];
+    }
+
+    uint64_t completed() const { return completed_.value(); }
+    uint64_t failed() const { return failed_.value(); }
+    uint64_t retries() const { return retries_.value(); }
+
+    /** Mean throughput over [0, now] in ops/sec. */
+    double
+    average_throughput(sim::SimTime now) const
+    {
+        return now > 0 ? static_cast<double>(completed_.value()) /
+                             sim::to_sec(now)
+                       : 0.0;
+    }
+
+  private:
+    sim::TimeSeries throughput_;
+    sim::TimeSeries active_nodes_;
+    sim::Histogram overall_latency_;
+    sim::Histogram read_latency_;
+    sim::Histogram write_latency_;
+    std::array<sim::Histogram, static_cast<size_t>(OpType::kCount)>
+        latency_by_type_;
+    sim::Counter completed_;
+    sim::Counter failed_;
+    sim::Counter retries_;
+};
+
+}  // namespace lfs::workload

@@ -1,0 +1,62 @@
+#include "src/workload/op_mix.h"
+
+#include <cassert>
+
+namespace lfs::workload {
+
+OpMix::OpMix(std::vector<Entry> entries) : entries_(std::move(entries))
+{
+    for (const Entry& e : entries_) {
+        assert(e.weight >= 0.0);
+        total_weight_ += e.weight;
+    }
+    assert(total_weight_ > 0.0);
+}
+
+OpMix
+OpMix::spotify()
+{
+    return OpMix({
+        {OpType::kReadFile, 69.22},
+        {OpType::kStat, 17.0},
+        {OpType::kLs, 9.01},
+        {OpType::kCreateFile, 2.7},
+        {OpType::kMv, 1.3},
+        {OpType::kDeleteFile, 0.75},
+        {OpType::kMkdir, 0.02},
+    });
+}
+
+OpMix
+OpMix::single(OpType type)
+{
+    return OpMix({{type, 1.0}});
+}
+
+OpType
+OpMix::sample(sim::Rng& rng) const
+{
+    double pick = rng.uniform(0.0, total_weight_);
+    double acc = 0.0;
+    for (const Entry& e : entries_) {
+        acc += e.weight;
+        if (pick < acc) {
+            return e.type;
+        }
+    }
+    return entries_.back().type;
+}
+
+double
+OpMix::read_fraction() const
+{
+    double reads = 0.0;
+    for (const Entry& e : entries_) {
+        if (is_read_op(e.type)) {
+            reads += e.weight;
+        }
+    }
+    return reads / total_weight_;
+}
+
+}  // namespace lfs::workload

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Operation-mix sampling. The industrial workload's mix (Table 2 of the
+ * paper, derived from Spotify's 1600-node HDFS cluster traces) is 95.23%
+ * reads: read 69.22%, stat 17%, ls 9.01%, create 2.7%, mv 1.3%,
+ * delete 0.75%, mkdir 0.02%.
+ */
+#pragma once
+
+#include <vector>
+
+#include "src/namespace/op.h"
+#include "src/sim/random.h"
+
+namespace lfs::workload {
+
+class OpMix {
+  public:
+    struct Entry {
+        OpType type;
+        double weight;
+    };
+
+    explicit OpMix(std::vector<Entry> entries);
+
+    /** The Table-2 Spotify mix. */
+    static OpMix spotify();
+
+    /** A mix containing a single operation type. */
+    static OpMix single(OpType type);
+
+    /** Sample an operation type. */
+    OpType sample(sim::Rng& rng) const;
+
+    /** Weight fraction of read operations. */
+    double read_fraction() const;
+
+  private:
+    std::vector<Entry> entries_;
+    double total_weight_ = 0.0;
+};
+
+}  // namespace lfs::workload

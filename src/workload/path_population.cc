@@ -1,0 +1,99 @@
+#include "src/workload/path_population.h"
+
+#include <cassert>
+
+#include "src/util/path.h"
+
+namespace lfs::workload {
+
+PathPopulation::PathPopulation(ns::BuiltTree base, sim::Rng rng)
+    : base_(std::move(base)), rng_(rng)
+{
+    assert(!base_.files.empty() && !base_.dirs.empty());
+}
+
+std::string
+PathPopulation::random_file()
+{
+    return base_.files[rng_.index(base_.files.size())];
+}
+
+std::string
+PathPopulation::random_dir()
+{
+    return base_.dirs[rng_.index(base_.dirs.size())];
+}
+
+std::string
+PathPopulation::fresh_name(const std::string& dir, const char* prefix)
+{
+    return path::join(dir, prefix + std::to_string(next_unique_++));
+}
+
+Op
+PathPopulation::make_op(OpType type)
+{
+    Op op;
+    op.type = type;
+    switch (type) {
+      case OpType::kReadFile:
+      case OpType::kStat:
+        op.path = random_file();
+        break;
+      case OpType::kLs:
+        op.path = random_dir();
+        break;
+      case OpType::kCreateFile: {
+        op.path = fresh_name(random_dir(), "w");
+        created_.push_back(op.path);
+        break;
+      }
+      case OpType::kMkdir:
+        op.path = fresh_name(random_dir(), "newdir");
+        break;
+      case OpType::kDeleteFile: {
+        if (created_.empty()) {
+            // Nothing created yet: delete a fresh file we create
+            // implicitly never existed — fall back to a stat-able target
+            // that will return NOT_FOUND; instead synthesize a create
+            // first by deleting a name we just reserve. Simplest: target
+            // a created-pool style name that does not exist yet is
+            // wasteful, so delete a random base file is avoided; reuse
+            // mv-source semantics by converting to a create.
+            op.type = OpType::kCreateFile;
+            op.path = fresh_name(random_dir(), "w");
+            created_.push_back(op.path);
+            break;
+        }
+        size_t idx = rng_.index(created_.size());
+        op.path = created_[idx];
+        created_[idx] = created_.back();
+        created_.pop_back();
+        break;
+      }
+      case OpType::kMv: {
+        if (created_.empty()) {
+            op.type = OpType::kCreateFile;
+            op.path = fresh_name(random_dir(), "w");
+            created_.push_back(op.path);
+            break;
+        }
+        size_t idx = rng_.index(created_.size());
+        op.path = created_[idx];
+        // Rename within the same directory most of the time; across
+        // directories occasionally (both occur in the trace).
+        std::string dst_dir = rng_.bernoulli(0.25)
+                                  ? random_dir()
+                                  : path::parent(op.path);
+        op.dst = fresh_name(dst_dir, "mv");
+        created_[idx] = op.dst;
+        break;
+      }
+      default:
+        op.path = random_file();
+        break;
+    }
+    return op;
+}
+
+}  // namespace lfs::workload

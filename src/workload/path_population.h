@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Target-path generation for workload drivers. Holds the benchmark
+ * tree's path population plus the pool of files/directories created
+ * during the run, and turns a sampled OpType into a concrete Op:
+ * reads/stats target random existing files, ls targets random
+ * directories, creates get fresh unique names, deletes/mvs consume
+ * previously created files (so the base population stays intact for the
+ * read mix).
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/namespace/op.h"
+#include "src/namespace/tree_builder.h"
+#include "src/sim/random.h"
+
+namespace lfs::workload {
+
+class PathPopulation {
+  public:
+    PathPopulation(ns::BuiltTree base, sim::Rng rng);
+
+    /** Build a concrete operation of the given type. */
+    Op make_op(OpType type);
+
+    size_t base_files() const { return base_.files.size(); }
+    size_t created_pool() const { return created_.size(); }
+
+  private:
+    std::string random_file();
+    std::string random_dir();
+    std::string fresh_name(const std::string& dir, const char* prefix);
+
+    ns::BuiltTree base_;
+    sim::Rng rng_;
+    std::vector<std::string> created_;  ///< files created by the workload
+    uint64_t next_unique_ = 0;
+};
+
+}  // namespace lfs::workload

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * IndexFS' tree-test benchmark (§5.7, Figure 16): each client performs a
+ * phase of mknod (create) operations followed by a phase of random
+ * getattr (stat) reads over the created files. Two variants:
+ *  - variable-sized: 10,000 writes then 10,000 reads per client;
+ *  - fixed-sized: 1M writes then 1M reads total, split across clients.
+ */
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "src/sim/simulation.h"
+#include "src/workload/dfs_interface.h"
+
+namespace lfs::workload {
+
+struct TreeTestConfig {
+    int num_clients = 16;
+    /** Per-client op count (variable-sized workload). */
+    int64_t ops_per_client = 10000;
+    /** When > 0: total op budget split across clients (fixed-sized). */
+    int64_t fixed_total_ops = 0;
+    /** Directories the created files spread across. */
+    int num_dirs = 128;
+    std::string root = "/tt";
+    uint64_t seed = 17;
+};
+
+struct TreeTestResult {
+    double write_ops_per_sec = 0.0;
+    double read_ops_per_sec = 0.0;
+    /** Aggregate over the writes-followed-by-reads run. */
+    double agg_ops_per_sec = 0.0;
+    int64_t writes = 0;
+    int64_t reads = 0;
+    int64_t failures = 0;
+};
+
+/**
+ * Run tree-test against @p dfs. @p prepare_dir is invoked for each of
+ * the num_dirs directories before the run (systems preload them into
+ * their stores).
+ */
+TreeTestResult run_tree_test(
+    sim::Simulation& sim, Dfs& dfs, TreeTestConfig config,
+    const std::function<void(const std::string& dir)>& prepare_dir);
+
+}  // namespace lfs::workload

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Edge-case tests for the CephFS-like and IndexFS baselines: capability
+ * churn under mixed traffic, lease expiry, LSM-backed read-after-flush
+ * behaviour through the full IndexFS stack, and rename/caps interaction.
+ */
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/cephfs/cephfs.h"
+#include "src/indexfs/indexfs.h"
+#include "src/sim/simulation.h"
+
+namespace lfs {
+namespace {
+
+using sim::Simulation;
+using sim::Task;
+
+Op
+make_op(OpType type, std::string p, std::string dst = "")
+{
+    Op op;
+    op.type = type;
+    op.path = std::move(p);
+    op.dst = std::move(dst);
+    return op;
+}
+
+Task<void>
+co_execute_timed(Simulation& sim, workload::DfsClient& client, Op op,
+                 OpResult& out, sim::SimTime& done_at)
+{
+    out = co_await client.execute(std::move(op));
+    done_at = sim.now();
+}
+
+OpResult
+run_one(Simulation& sim, workload::Dfs& fs, size_t client, Op op)
+{
+    OpResult result;
+    sim::SimTime done = -1;
+    sim::spawn(co_execute_timed(sim, fs.client(client), std::move(op),
+                                result, done));
+    while (done < 0 && sim.step()) {
+    }
+    return result;
+}
+
+// ---------------------------------------------------------------------
+// CephFS capabilities under churn
+// ---------------------------------------------------------------------
+
+TEST(CephFsEdge, RenameRevokesCapsOnWholeSubtree)
+{
+    Simulation sim;
+    cephfs::CephFsConfig config;
+    config.num_mds = 2;
+    config.num_client_vms = 2;
+    config.clients_per_vm = 4;
+    cephfs::CephFs fs(sim, config);
+    ns::UserContext root;
+    fs.authoritative_tree().mkdirs("/a/b", root, 0);
+    fs.authoritative_tree().create_file("/a/b/f", root, 0);
+    fs.authoritative_tree().mkdirs("/z", root, 0);
+
+    // Client 0 holds a cap on /a/b/f.
+    ASSERT_TRUE(run_one(sim, fs, 0, make_op(OpType::kStat, "/a/b/f"))
+                    .status.ok());
+    ASSERT_TRUE(run_one(sim, fs, 0, make_op(OpType::kStat, "/a/b/f"))
+                    .cache_hit);
+    // A rename of the ancestor must revoke it.
+    ASSERT_TRUE(run_one(sim, fs, 3, make_op(OpType::kSubtreeMv, "/a", "/z/a"))
+                    .status.ok());
+    OpResult stale = run_one(sim, fs, 0, make_op(OpType::kStat, "/a/b/f"));
+    EXPECT_EQ(stale.status.code(), Code::kNotFound);
+    OpResult fresh =
+        run_one(sim, fs, 0, make_op(OpType::kStat, "/z/a/b/f"));
+    EXPECT_TRUE(fresh.status.ok());
+}
+
+TEST(CephFsEdge, CapMissAfterEvictionStillCorrect)
+{
+    Simulation sim;
+    cephfs::CephFsConfig config;
+    config.num_mds = 2;
+    config.caps_per_client = 4;  // tiny cap cache forces eviction
+    config.num_client_vms = 1;
+    config.clients_per_vm = 2;
+    cephfs::CephFs fs(sim, config);
+    ns::UserContext root;
+    for (int i = 0; i < 32; ++i) {
+        fs.authoritative_tree().create_file("/f" + std::to_string(i), root,
+                                            0);
+    }
+    // Sweep far more files than the cap budget; every read must still be
+    // correct (cap hits or MDS round trips alike).
+    for (int round = 0; round < 3; ++round) {
+        for (int i = 0; i < 32; ++i) {
+            OpResult r = run_one(sim, fs, 0,
+                                 make_op(OpType::kStat,
+                                         "/f" + std::to_string(i)));
+            ASSERT_TRUE(r.status.ok()) << i;
+            EXPECT_EQ(r.inode.name, "f" + std::to_string(i));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// IndexFS lease + LSM integration
+// ---------------------------------------------------------------------
+
+TEST(IndexFsEdge, LeaseExpiryForcesServerRead)
+{
+    Simulation sim;
+    indexfs::IndexFsConfig config;
+    config.num_servers = 2;
+    config.lease_ttl = sim::msec(100);
+    config.num_client_vms = 1;
+    config.clients_per_vm = 2;
+    indexfs::IndexFs fs(sim, config);
+    fs.preload("/tt/f", ns::INodeType::kFile);
+    sim.run_until(sim::sec(1));
+
+    OpResult first = run_one(sim, fs, 0, make_op(OpType::kStat, "/tt/f"));
+    ASSERT_TRUE(first.status.ok());
+    EXPECT_FALSE(first.cache_hit);
+    // Within the lease: client-local.
+    OpResult second = run_one(sim, fs, 0, make_op(OpType::kStat, "/tt/f"));
+    ASSERT_TRUE(second.status.ok());
+    EXPECT_TRUE(second.cache_hit);
+    // After expiry: back to the server.
+    sim.run_until(sim.now() + sim::msec(300));
+    OpResult third = run_one(sim, fs, 0, make_op(OpType::kStat, "/tt/f"));
+    ASSERT_TRUE(third.status.ok());
+    EXPECT_FALSE(third.cache_hit);
+}
+
+TEST(IndexFsEdge, ReadsSurviveMemtableFlushes)
+{
+    Simulation sim;
+    indexfs::IndexFsConfig config;
+    config.num_servers = 1;
+    config.lsm.memtable_bytes = 4096;  // flush constantly
+    config.lease_ttl = 0;              // no client caching: hit the LSM
+    config.num_client_vms = 1;
+    config.clients_per_vm = 2;
+    indexfs::IndexFs fs(sim, config);
+    fs.preload("/tt/d", ns::INodeType::kDirectory);
+    sim.run_until(sim::sec(1));
+
+    for (int i = 0; i < 300; ++i) {
+        ASSERT_TRUE(run_one(sim, fs, 0,
+                            make_op(OpType::kCreateFile,
+                                    "/tt/d/n" + std::to_string(i)))
+                        .status.ok())
+            << i;
+    }
+    EXPECT_GT(fs.server(0).lsm().flushes(), 0u);
+    // Every record is readable, whichever level it settled in.
+    for (int i = 0; i < 300; i += 13) {
+        OpResult r = run_one(sim, fs, 1,
+                             make_op(OpType::kStat,
+                                     "/tt/d/n" + std::to_string(i)));
+        ASSERT_TRUE(r.status.ok()) << i;
+    }
+    EXPECT_GT(fs.server(0).lsm().sstable_reads(), 0u);
+}
+
+TEST(IndexFsEdge, DeleteIsVisibleThroughLeaselessReads)
+{
+    Simulation sim;
+    indexfs::IndexFsConfig config;
+    config.num_servers = 2;
+    config.lease_ttl = 0;
+    config.num_client_vms = 1;
+    config.clients_per_vm = 2;
+    indexfs::IndexFs fs(sim, config);
+    fs.preload("/tt/f", ns::INodeType::kFile);
+    sim.run_until(sim::sec(1));
+    ASSERT_TRUE(
+        run_one(sim, fs, 0, make_op(OpType::kStat, "/tt/f")).status.ok());
+    ASSERT_TRUE(run_one(sim, fs, 1, make_op(OpType::kDeleteFile, "/tt/f"))
+                    .status.ok());
+    EXPECT_EQ(run_one(sim, fs, 0, make_op(OpType::kStat, "/tt/f"))
+                  .status.code(),
+              Code::kNotFound);
+}
+
+}  // namespace
+}  // namespace lfs

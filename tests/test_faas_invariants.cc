@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Property-style invariants of the FaaS platform model under randomized
+ * churn (bursty traffic + kills + reclamation): resource-pool accounting
+ * never leaks, busy time never exceeds provisioned time, billing
+ * counters are monotone, and deployment queues eventually drain.
+ */
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/faas/platform.h"
+#include "src/net/network.h"
+#include "src/sim/random.h"
+#include "src/sim/simulation.h"
+
+namespace lfs::faas {
+namespace {
+
+using sim::Simulation;
+using sim::Task;
+
+class ChurnApp : public FunctionApp {
+  public:
+    ChurnApp(FunctionInstance& instance, sim::SimTime cpu)
+        : instance_(instance), cpu_(cpu)
+    {
+    }
+
+    Task<OpResult>
+    handle(Invocation) override
+    {
+        co_await instance_.compute(cpu_);
+        OpResult result;
+        result.status = Status::make_ok();
+        co_return result;
+    }
+
+  private:
+    FunctionInstance& instance_;
+    sim::SimTime cpu_;
+};
+
+Task<void>
+co_invoke_count(FunctionDeployment& deployment, int& ok, int& failed)
+{
+    Invocation inv;
+    OpResult result = co_await deployment.invoke_via_gateway(std::move(inv));
+    if (result.status.ok()) {
+        ++ok;
+    } else {
+        ++failed;
+    }
+}
+
+class FaasChurnTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FaasChurnTest, AccountingInvariantsUnderChurn)
+{
+    Simulation sim;
+    net::Network network(sim, sim::Rng(GetParam()));
+    FunctionConfig fn;
+    fn.vcpus = 2.0;
+    fn.concurrency_level = 2;
+    fn.idle_reclaim = sim::sec(4);
+    Platform platform(sim, network, sim::Rng(GetParam() + 1),
+                      PlatformConfig{16.0, fn});
+    auto& deployment = platform.create_deployment(
+        "churn", fn, [](FunctionInstance& instance) {
+            return std::make_unique<ChurnApp>(instance, sim::msec(5));
+        });
+
+    sim::Rng rng(GetParam() * 3 + 1);
+    int ok = 0;
+    int failed = 0;
+    // Random bursts of invocations and kills over 2 simulated minutes.
+    for (int burst = 0; burst < 40; ++burst) {
+        sim::SimTime at = sim::sec(3) * burst;
+        int count = static_cast<int>(rng.uniform_int(1, 12));
+        for (int i = 0; i < count; ++i) {
+            sim.schedule(at + sim::msec(rng.uniform_int(0, 500)),
+                         [&deployment, &ok, &failed] {
+                             sim::spawn(
+                                 co_invoke_count(deployment, ok, failed));
+                         });
+        }
+        if (rng.bernoulli(0.3)) {
+            sim.schedule(at + sim::msec(rng.uniform_int(0, 2000)),
+                         [&deployment] { deployment.kill_one(); });
+        }
+        // Invariant probes sprinkled through the run.
+        sim.schedule(at + sim::sec(1), [&platform, &deployment] {
+            EXPECT_GE(platform.pool().used(), -1e-9);
+            EXPECT_LE(platform.pool().used(),
+                      platform.pool().capacity() + 1e-9);
+            EXPECT_GE(deployment.alive_count(), 0);
+            EXPECT_LE(deployment.total_busy_time(),
+                      deployment.total_provisioned_time());
+        });
+    }
+    sim.run();
+
+    // Everything submitted either completed or failed visibly.
+    EXPECT_GT(ok, 0);
+    EXPECT_EQ(deployment.queue_length(), 0u);
+    // After the final idle window, every instance is reclaimed and the
+    // pool is fully released.
+    EXPECT_EQ(deployment.alive_count(), 0);
+    EXPECT_DOUBLE_EQ(platform.pool().used(), 0.0);
+    // Billing sanity: busy <= provisioned; gateway count matches the
+    // invocations we issued.
+    EXPECT_LE(deployment.total_busy_time(),
+              deployment.total_provisioned_time());
+    EXPECT_EQ(deployment.gateway_invocations(),
+              static_cast<uint64_t>(ok + failed));
+    EXPECT_GE(deployment.total_requests(), static_cast<uint64_t>(ok));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FaasChurnTest,
+                         ::testing::Values(1u, 7u, 13u, 29u));
+
+TEST(FaasInvariants, ColdStartCountMatchesInstanceCreations)
+{
+    Simulation sim;
+    net::Network network(sim, sim::Rng(5));
+    FunctionConfig fn;
+    fn.vcpus = 4.0;
+    fn.concurrency_level = 1;
+    fn.idle_reclaim = sim::sec(2);
+    Platform platform(sim, network, sim::Rng(6), PlatformConfig{8.0, fn});
+    auto& deployment = platform.create_deployment(
+        "cold", fn, [](FunctionInstance& instance) {
+            return std::make_unique<ChurnApp>(instance, sim::msec(2));
+        });
+    int ok = 0;
+    int failed = 0;
+    // Three well-separated invocations: each arrives after the previous
+    // instance was reclaimed, so each must cold-start anew.
+    for (int i = 0; i < 3; ++i) {
+        sim.schedule(sim::sec(10) * i, [&deployment, &ok, &failed] {
+            sim::spawn(co_invoke_count(deployment, ok, failed));
+        });
+    }
+    sim.run();
+    EXPECT_EQ(ok, 3);
+    EXPECT_EQ(deployment.cold_starts(), 3u);
+    EXPECT_EQ(deployment.reclamations(), 3u);
+}
+
+}  // namespace
+}  // namespace lfs::faas

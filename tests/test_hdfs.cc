@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Tests for the vanilla-HDFS baseline (§2, Figure 1a): single Active
+ * NameNode semantics, global-namespace-lock serialization of writes,
+ * journal accounting, and the scalability ceiling relative to HopsFS.
+ */
+#include <gtest/gtest.h>
+
+#include "src/hdfs/hdfs.h"
+#include "src/namespace/tree_builder.h"
+#include "src/sim/simulation.h"
+#include "src/workload/microbench.h"
+
+namespace lfs::hdfs {
+namespace {
+
+using sim::Simulation;
+using sim::Task;
+
+HdfsConfig
+small_config()
+{
+    HdfsConfig config;
+    config.num_client_vms = 2;
+    config.clients_per_vm = 8;
+    return config;
+}
+
+Op
+make_op(OpType type, std::string p, std::string dst = "")
+{
+    Op op;
+    op.type = type;
+    op.path = std::move(p);
+    op.dst = std::move(dst);
+    return op;
+}
+
+Task<void>
+co_execute(workload::DfsClient& client, Op op, OpResult& out)
+{
+    out = co_await client.execute(std::move(op));
+}
+
+OpResult
+run_one(Simulation& sim, Hdfs& fs, size_t client, Op op)
+{
+    OpResult result;
+    sim::spawn(co_execute(fs.client(client), std::move(op), result));
+    sim.run_until(sim.now() + sim::sec(10));
+    return result;
+}
+
+TEST(Hdfs, BasicOperations)
+{
+    Simulation sim;
+    Hdfs fs(sim, small_config());
+    ASSERT_TRUE(run_one(sim, fs, 0, make_op(OpType::kMkdir, "/d")).status.ok());
+    ASSERT_TRUE(
+        run_one(sim, fs, 1, make_op(OpType::kCreateFile, "/d/f")).status.ok());
+    OpResult stat = run_one(sim, fs, 2, make_op(OpType::kStat, "/d/f"));
+    ASSERT_TRUE(stat.status.ok());
+    EXPECT_EQ(stat.inode.name, "f");
+    OpResult mv =
+        run_one(sim, fs, 3, make_op(OpType::kMv, "/d/f", "/d/g"));
+    ASSERT_TRUE(mv.status.ok());
+    EXPECT_EQ(run_one(sim, fs, 0, make_op(OpType::kStat, "/d/f"))
+                  .status.code(),
+              Code::kNotFound);
+}
+
+TEST(Hdfs, WritesAreJournaled)
+{
+    Simulation sim;
+    Hdfs fs(sim, small_config());
+    for (int i = 0; i < 5; ++i) {
+        ASSERT_TRUE(run_one(sim, fs, 0,
+                            make_op(OpType::kCreateFile,
+                                    "/f" + std::to_string(i)))
+                        .status.ok());
+    }
+    run_one(sim, fs, 0, make_op(OpType::kStat, "/f0"));
+    EXPECT_EQ(fs.journal_entries(), 5u);  // reads never journal
+}
+
+TEST(Hdfs, FailedWritesAreNotJournaled)
+{
+    Simulation sim;
+    Hdfs fs(sim, small_config());
+    EXPECT_FALSE(run_one(sim, fs, 0,
+                         make_op(OpType::kCreateFile, "/no/such/dir/f"))
+                     .status.ok());
+    EXPECT_EQ(fs.journal_entries(), 0u);
+}
+
+TEST(Hdfs, SingleNameNodeCapsThroughputBelowScaledOutSystems)
+{
+    // The motivating comparison of §2: vanilla HDFS's single NameNode
+    // with a global lock cannot match even a small HopsFS-style cluster
+    // for writes (exclusive global lock + quorum journal sync).
+    Simulation sim;
+    Hdfs fs(sim, small_config());
+    ns::UserContext root;
+    fs.authoritative_tree().mkdirs("/bench", root, 0);
+    workload::MicrobenchConfig mcfg;
+    mcfg.op = OpType::kCreateFile;
+    mcfg.num_clients = 16;
+    mcfg.ops_per_client = 120;
+    ns::BuiltTree tree;
+    ns::TreeSpec spec;
+    spec.root = "/bench";
+    spec.depth = 2;
+    spec.fanout = 3;
+    spec.files_per_dir = 3;
+    tree = ns::build_balanced_tree(fs.authoritative_tree(), spec, root, 0);
+    workload::MicrobenchResult r =
+        workload::run_microbench(sim, fs, std::move(tree), mcfg);
+    EXPECT_GT(r.completed, 0);
+    // Global exclusive lock hold (~90us) + journal sync: writes cap in
+    // the few-thousands ops/sec band regardless of client count.
+    EXPECT_LT(r.ops_per_sec, 12000.0);
+    EXPECT_GT(r.ops_per_sec, 500.0);
+}
+
+TEST(Hdfs, CostBillsActiveAndStandby)
+{
+    Simulation sim;
+    Hdfs fs(sim, small_config());
+    sim.run_until(sim::sec(3600));
+    // 32 vCPUs x 2 NameNodes x $0.063/vCPU-h.
+    EXPECT_NEAR(fs.cost_so_far(), 64.0 * 1.008 / 16.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace lfs::hdfs

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Tests for the HopsFS baseline: stateless serving, store-bound
+ * behaviour, the +Cache variant's routing and invalidation, and subtree
+ * operations.
+ */
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/hopsfs/hopsfs.h"
+#include "src/namespace/tree_builder.h"
+#include "src/sim/simulation.h"
+
+namespace lfs::hopsfs {
+namespace {
+
+using sim::Simulation;
+using sim::Task;
+
+HopsFsConfig
+small_config(bool cached)
+{
+    HopsFsConfig config;
+    config.num_name_nodes = 4;
+    config.num_client_vms = 2;
+    config.clients_per_vm = 8;
+    if (cached) {
+        config.label = "hopsfs-cache";
+        config.cache_bytes_per_nn = 64ull * 1024 * 1024;
+    }
+    return config;
+}
+
+Op
+make_op(OpType type, std::string p, std::string dst = "")
+{
+    Op op;
+    op.type = type;
+    op.path = std::move(p);
+    op.dst = std::move(dst);
+    return op;
+}
+
+Task<void>
+co_execute(workload::DfsClient& client, Op op, OpResult& out)
+{
+    out = co_await client.execute(std::move(op));
+}
+
+OpResult
+run_one(Simulation& sim, HopsFs& fs, size_t client, Op op)
+{
+    OpResult result;
+    sim::spawn(co_execute(fs.client(client), std::move(op), result));
+    sim.run_until(sim.now() + sim::sec(60));
+    return result;
+}
+
+TEST(HopsFs, BasicReadWrite)
+{
+    Simulation sim;
+    HopsFs fs(sim, small_config(false));
+    ns::UserContext root;
+    fs.authoritative_tree().mkdirs("/d", root, 0);
+
+    OpResult create =
+        run_one(sim, fs, 0, make_op(OpType::kCreateFile, "/d/f"));
+    ASSERT_TRUE(create.status.ok());
+    OpResult read = run_one(sim, fs, 1, make_op(OpType::kReadFile, "/d/f"));
+    ASSERT_TRUE(read.status.ok());
+    EXPECT_EQ(read.inode.name, "f");
+    EXPECT_FALSE(read.cache_hit);  // stateless: never a cache hit
+}
+
+TEST(HopsFs, VanillaAlwaysHitsTheStore)
+{
+    Simulation sim;
+    HopsFs fs(sim, small_config(false));
+    ns::UserContext root;
+    fs.authoritative_tree().create_file("/f", root, 0);
+    for (int i = 0; i < 5; ++i) {
+        OpResult r = run_one(sim, fs, 0, make_op(OpType::kStat, "/f"));
+        ASSERT_TRUE(r.status.ok());
+        EXPECT_FALSE(r.cache_hit);
+    }
+    EXPECT_EQ(fs.store().total_reads(), 5u);
+}
+
+TEST(HopsFsCache, SecondReadHitsCache)
+{
+    Simulation sim;
+    HopsFs fs(sim, small_config(true));
+    ns::UserContext root;
+    fs.authoritative_tree().create_file("/f", root, 0);
+    OpResult first = run_one(sim, fs, 0, make_op(OpType::kStat, "/f"));
+    ASSERT_TRUE(first.status.ok());
+    EXPECT_FALSE(first.cache_hit);
+    OpResult second = run_one(sim, fs, 1, make_op(OpType::kStat, "/f"));
+    ASSERT_TRUE(second.status.ok());
+    EXPECT_TRUE(second.cache_hit);  // deterministic routing: same NN
+    EXPECT_EQ(fs.store().total_reads(), 1u);
+}
+
+TEST(HopsFsCache, WriteInvalidatesOwningNameNode)
+{
+    Simulation sim;
+    HopsFs fs(sim, small_config(true));
+    ns::UserContext root;
+    fs.authoritative_tree().mkdirs("/d", root, 0);
+    fs.authoritative_tree().create_file("/d/f", root, 0);
+
+    OpResult read1 = run_one(sim, fs, 0, make_op(OpType::kStat, "/d/f"));
+    ASSERT_TRUE(read1.status.ok());
+    OpResult del =
+        run_one(sim, fs, 5, make_op(OpType::kDeleteFile, "/d/f"));
+    ASSERT_TRUE(del.status.ok());
+    OpResult read2 = run_one(sim, fs, 0, make_op(OpType::kStat, "/d/f"));
+    EXPECT_EQ(read2.status.code(), Code::kNotFound);
+}
+
+TEST(HopsFsCache, DirectoryMvUsesSubtreeInvalidation)
+{
+    Simulation sim;
+    HopsFs fs(sim, small_config(true));
+    ns::UserContext root;
+    fs.authoritative_tree().mkdirs("/a/b", root, 0);
+    fs.authoritative_tree().create_file("/a/b/f", root, 0);
+    fs.authoritative_tree().mkdirs("/z", root, 0);
+
+    ASSERT_TRUE(
+        run_one(sim, fs, 0, make_op(OpType::kStat, "/a/b/f")).status.ok());
+    OpResult mv = run_one(sim, fs, 2, make_op(OpType::kMv, "/a", "/z/a"));
+    ASSERT_TRUE(mv.status.ok());
+    OpResult stale = run_one(sim, fs, 0, make_op(OpType::kStat, "/a/b/f"));
+    EXPECT_EQ(stale.status.code(), Code::kNotFound);
+    OpResult fresh =
+        run_one(sim, fs, 0, make_op(OpType::kStat, "/z/a/b/f"));
+    EXPECT_TRUE(fresh.status.ok());
+}
+
+TEST(HopsFs, SubtreeDelete)
+{
+    Simulation sim;
+    HopsFs fs(sim, small_config(false));
+    ns::UserContext root;
+    ns::build_flat_directory(fs.authoritative_tree(), "/big", 1000, root, 0);
+    OpResult del =
+        run_one(sim, fs, 0, make_op(OpType::kSubtreeDelete, "/big"));
+    ASSERT_TRUE(del.status.ok());
+    EXPECT_EQ(del.inodes_touched, 1001);
+}
+
+TEST(HopsFs, CostGrowsLinearlyWithTime)
+{
+    Simulation sim;
+    HopsFs fs(sim, small_config(false));
+    sim.run_until(sim::sec(3600));
+    double one_hour = fs.cost_so_far();
+    sim.run_until(sim::sec(7200));
+    EXPECT_NEAR(fs.cost_so_far(), 2.0 * one_hour, 1e-9);
+    // 4 NameNodes x 16 vCPUs at $1.008/16vCPU-h = $4.032/h.
+    EXPECT_NEAR(one_hour, 4.032, 1e-6);
+}
+
+TEST(HopsFs, ConcurrentClientsAllComplete)
+{
+    Simulation sim;
+    HopsFs fs(sim, small_config(false));
+    ns::UserContext root;
+    auto built =
+        ns::build_flat_directory(fs.authoritative_tree(), "/d", 50, root, 0);
+    std::vector<OpResult> results(16);
+    for (int i = 0; i < 16; ++i) {
+        sim::spawn(co_execute(
+            fs.client(static_cast<size_t>(i)),
+            make_op(OpType::kStat, built.files[static_cast<size_t>(i) %
+                                               built.files.size()]),
+            results[static_cast<size_t>(i)]));
+    }
+    sim.run_until(sim::sec(30));
+    for (const auto& r : results) {
+        EXPECT_TRUE(r.status.ok());
+    }
+}
+
+}  // namespace
+}  // namespace lfs::hopsfs

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Cross-system integration tests: every Dfs implementation is driven
+ * through the same workload machinery and checked for the paper's
+ * *qualitative* relationships at miniature scale — λFS reads beat
+ * stateless HopsFS once caches are warm, writes are store-bound
+ * everywhere, InfiniCache pays gateway latency per op, and the
+ * industrial workload driver completes on all systems.
+ */
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/cephfs/cephfs.h"
+#include "src/core/lambda_fs.h"
+#include "src/hopsfs/hopsfs.h"
+#include "src/infinicache/infinicache.h"
+#include "src/namespace/tree_builder.h"
+#include "src/workload/microbench.h"
+#include "src/workload/spotify_workload.h"
+
+namespace lfs {
+namespace {
+
+using sim::Simulation;
+
+ns::BuiltTree
+small_tree(ns::NamespaceTree& tree)
+{
+    ns::TreeSpec spec;
+    spec.root = "/bench";
+    spec.depth = 2;
+    spec.fanout = 4;
+    spec.files_per_dir = 4;
+    return ns::build_balanced_tree(tree, spec, {}, 0);
+}
+
+workload::MicrobenchResult
+bench_reads(Simulation& sim, workload::Dfs& dfs, int clients, int ops)
+{
+    workload::MicrobenchConfig config;
+    config.op = OpType::kStat;
+    config.num_clients = clients;
+    config.ops_per_client = ops;
+    config.warmup = sim::sec(4);
+    return workload::run_microbench(sim, dfs,
+                                    small_tree(dfs.authoritative_tree()),
+                                    config);
+}
+
+TEST(CrossSystem, WarmLambdaReadsBeatStatelessHopsFs)
+{
+    double lambda_tput = 0;
+    double hops_tput = 0;
+    {
+        Simulation sim;
+        core::LambdaFsConfig config;
+        config.total_vcpus = 64.0;
+        config.function.vcpus = 4.0;
+        config.num_deployments = 4;
+        config.num_client_vms = 2;
+        config.clients_per_vm = 16;
+        core::LambdaFs fs(sim, config);
+        lambda_tput = bench_reads(sim, fs, 32, 200).ops_per_sec;
+    }
+    {
+        Simulation sim;
+        hopsfs::HopsFsConfig config;
+        config.num_name_nodes = 4;
+        config.num_client_vms = 2;
+        config.clients_per_vm = 16;
+        hopsfs::HopsFs fs(sim, config);
+        hops_tput = bench_reads(sim, fs, 32, 200).ops_per_sec;
+    }
+    // 32 warm clients over 80 files: λFS serves from cache; HopsFS pays
+    // the store round trip on every read.
+    EXPECT_GT(lambda_tput, hops_tput * 2.0);
+}
+
+TEST(CrossSystem, WritesAreStoreBoundEverywhere)
+{
+    auto bench_creates = [](workload::Dfs& dfs, Simulation& sim) {
+        workload::MicrobenchConfig config;
+        config.op = OpType::kCreateFile;
+        config.num_clients = 32;
+        config.ops_per_client = 60;
+        config.warmup = sim::sec(4);
+        return workload::run_microbench(
+            sim, dfs, small_tree(dfs.authoritative_tree()), config);
+    };
+    double lambda_tput = 0;
+    double hops_tput = 0;
+    {
+        Simulation sim;
+        core::LambdaFsConfig config;
+        config.total_vcpus = 64.0;
+        config.function.vcpus = 4.0;
+        config.num_deployments = 4;
+        config.num_client_vms = 2;
+        config.clients_per_vm = 16;
+        core::LambdaFs fs(sim, config);
+        lambda_tput = bench_creates(fs, sim).ops_per_sec;
+    }
+    {
+        Simulation sim;
+        hopsfs::HopsFsConfig config;
+        config.num_name_nodes = 4;
+        config.num_client_vms = 2;
+        config.clients_per_vm = 16;
+        hopsfs::HopsFs fs(sim, config);
+        hops_tput = bench_creates(fs, sim).ops_per_sec;
+    }
+    // Same store model on both sides: creates land within ~2.5x of each
+    // other (neither NameNode layer is the bottleneck).
+    EXPECT_LT(lambda_tput / hops_tput, 2.5);
+    EXPECT_GT(lambda_tput / hops_tput, 0.4);
+}
+
+TEST(CrossSystem, InfiniCachePaysGatewayLatencyPerOp)
+{
+    Simulation sim;
+    infinicache::InfiniCacheConfig config;
+    config.num_functions = 4;
+    config.total_vcpus = 32.0;
+    config.function.vcpus = 4.0;
+    config.num_client_vms = 2;
+    config.clients_per_vm = 8;
+    infinicache::InfiniCacheFs fs(sim, config);
+    workload::MicrobenchResult r = bench_reads(sim, fs, 16, 100);
+    // Every op crosses the gateway twice: mean latency must sit in the
+    // HTTP band (>= 7ms), far above the TCP-RPC systems.
+    EXPECT_GT(r.mean_latency_ms, 7.0);
+}
+
+TEST(CrossSystem, SpotifyWorkloadCompletesOnAllSystems)
+{
+    workload::SpotifyConfig wcfg;
+    wcfg.base_throughput = 300.0;
+    wcfg.duration = sim::sec(40);
+    wcfg.epoch = sim::sec(10);
+    wcfg.num_client_vms = 2;
+
+    auto run = [&](workload::Dfs& dfs, Simulation& sim) {
+        sim.run_until(sim::sec(4));
+        workload::SpotifyWorkload workload(
+            sim, dfs, small_tree(dfs.authoritative_tree()), wcfg);
+        workload.start();
+        sim.run_until(sim.now() + sim::sec(200));
+        EXPECT_TRUE(workload.finished()) << dfs.name();
+        EXPECT_EQ(static_cast<int64_t>(dfs.metrics().completed() +
+                                       dfs.metrics().failed()),
+                  workload.offered())
+            << dfs.name();
+        EXPECT_EQ(dfs.metrics().failed(), 0u) << dfs.name();
+    };
+    {
+        Simulation sim;
+        core::LambdaFsConfig config;
+        config.total_vcpus = 32.0;
+        config.function.vcpus = 2.0;
+        config.num_deployments = 4;
+        config.num_client_vms = 2;
+        config.clients_per_vm = 16;
+        core::LambdaFs fs(sim, config);
+        run(fs, sim);
+    }
+    {
+        Simulation sim;
+        hopsfs::HopsFsConfig config;
+        config.num_name_nodes = 2;
+        config.num_client_vms = 2;
+        config.clients_per_vm = 16;
+        hopsfs::HopsFs fs(sim, config);
+        run(fs, sim);
+    }
+    {
+        Simulation sim;
+        cephfs::CephFsConfig config;
+        config.num_mds = 2;
+        config.num_client_vms = 2;
+        config.clients_per_vm = 16;
+        cephfs::CephFs fs(sim, config);
+        run(fs, sim);
+    }
+}
+
+TEST(CrossSystem, DeterministicAcrossRuns)
+{
+    auto run_once = [] {
+        Simulation sim;
+        core::LambdaFsConfig config;
+        config.total_vcpus = 32.0;
+        config.function.vcpus = 2.0;
+        config.num_deployments = 4;
+        config.num_client_vms = 2;
+        config.clients_per_vm = 8;
+        config.seed = 1234;
+        core::LambdaFs fs(sim, config);
+        workload::MicrobenchConfig mcfg;
+        mcfg.op = OpType::kStat;
+        mcfg.num_clients = 16;
+        mcfg.ops_per_client = 50;
+        workload::MicrobenchResult r = workload::run_microbench(
+            sim, fs, small_tree(fs.authoritative_tree()), mcfg);
+        return std::make_pair(sim.events_executed(), r.ops_per_sec);
+    };
+    auto a = run_once();
+    auto b = run_once();
+    EXPECT_EQ(a.first, b.first);
+    EXPECT_DOUBLE_EQ(a.second, b.second);
+}
+
+}  // namespace
+}  // namespace lfs

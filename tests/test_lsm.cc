@@ -1,0 +1,275 @@
+/**
+ * @file
+ * Tests for the LSM-tree substrate: memtable semantics, SSTable/bloom
+ * behaviour, flush and compaction lifecycle, tombstones, and the
+ * read-your-writes property under randomized workloads.
+ */
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/lsm/lsm_tree.h"
+#include "src/sim/random.h"
+#include "src/sim/simulation.h"
+
+namespace lfs::lsm {
+namespace {
+
+using sim::Simulation;
+using sim::Task;
+
+ns::INode
+make_inode(ns::INodeId id)
+{
+    ns::INode inode;
+    inode.id = id;
+    inode.name = "f";
+    return inode;
+}
+
+// ---------------------------------------------------------------------
+// MemTable
+// ---------------------------------------------------------------------
+
+TEST(MemTable, PutGetOverwrite)
+{
+    MemTable table;
+    Entry e1;
+    e1.inode = make_inode(1);
+    table.put("/a", e1);
+    ASSERT_NE(table.get("/a"), nullptr);
+    EXPECT_EQ(table.get("/a")->inode.id, 1);
+    EXPECT_EQ(table.get("/b"), nullptr);
+
+    Entry e2;
+    e2.inode = make_inode(2);
+    size_t bytes_before = table.bytes();
+    table.put("/a", e2);
+    EXPECT_EQ(table.get("/a")->inode.id, 2);
+    EXPECT_EQ(table.entries(), 1u);
+    EXPECT_EQ(table.bytes(), bytes_before);  // same footprint
+}
+
+TEST(MemTable, TracksBytes)
+{
+    MemTable table;
+    EXPECT_EQ(table.bytes(), 0u);
+    Entry e;
+    e.inode = make_inode(1);
+    table.put("/a", e);
+    EXPECT_GT(table.bytes(), 0u);
+    table.clear();
+    EXPECT_EQ(table.bytes(), 0u);
+    EXPECT_TRUE(table.empty());
+}
+
+// ---------------------------------------------------------------------
+// SSTable + bloom
+// ---------------------------------------------------------------------
+
+std::vector<std::pair<std::string, Entry>>
+sorted_entries(int n)
+{
+    std::vector<std::pair<std::string, Entry>> out;
+    for (int i = 0; i < n; ++i) {
+        Entry e;
+        e.inode = make_inode(i + 1);
+        char key[32];
+        std::snprintf(key, sizeof(key), "/k%05d", i);
+        out.emplace_back(key, e);
+    }
+    return out;
+}
+
+TEST(SSTable, FindsPresentKeys)
+{
+    SSTable table(sorted_entries(100));
+    bool io = false;
+    const Entry* entry = table.get("/k00042", &io);
+    ASSERT_NE(entry, nullptr);
+    EXPECT_TRUE(io);
+    EXPECT_EQ(entry->inode.id, 43);
+}
+
+TEST(SSTable, BloomShortCircuitsMostAbsentKeys)
+{
+    SSTable table(sorted_entries(1000));
+    int io_count = 0;
+    const int probes = 2000;
+    for (int i = 0; i < probes; ++i) {
+        bool io = false;
+        const Entry* entry =
+            table.get("/kabsent" + std::to_string(i), &io);
+        EXPECT_EQ(entry, nullptr);
+        if (io) {
+            ++io_count;
+        }
+    }
+    // ~10 bits/key bloom: false-positive rate should be low.
+    EXPECT_LT(io_count, probes / 10);
+}
+
+TEST(SSTable, RangeCheckAvoidsBloom)
+{
+    SSTable table(sorted_entries(10));
+    bool io = true;
+    EXPECT_EQ(table.get("/a", &io), nullptr);  // below min key
+    EXPECT_FALSE(io);
+}
+
+// ---------------------------------------------------------------------
+// LsmTree
+// ---------------------------------------------------------------------
+
+Task<void>
+co_put(LsmTree& tree, std::string key, ns::INodeId id, Status& out)
+{
+    out = co_await tree.put(std::move(key), make_inode(id));
+}
+
+Task<void>
+co_del(LsmTree& tree, std::string key, Status& out)
+{
+    out = co_await tree.del(std::move(key));
+}
+
+Task<void>
+co_get(LsmTree& tree, std::string key, StatusOr<ns::INode>& out)
+{
+    out = co_await tree.get(std::move(key));
+}
+
+LsmConfig
+small_lsm()
+{
+    LsmConfig config;
+    config.memtable_bytes = 4096;  // force frequent flushes
+    config.l0_compaction_trigger = 3;
+    return config;
+}
+
+TEST(LsmTree, PutThenGet)
+{
+    Simulation sim;
+    LsmTree tree(sim, sim::Rng(1));
+    Status put_status = Status::internal("unset");
+    sim::spawn(co_put(tree, "/x", 7, put_status));
+    sim.run();
+    ASSERT_TRUE(put_status.ok());
+    StatusOr<ns::INode> got = Status::internal("unset");
+    sim::spawn(co_get(tree, "/x", got));
+    sim.run();
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(got->id, 7);
+}
+
+TEST(LsmTree, GetMissingIsNotFound)
+{
+    Simulation sim;
+    LsmTree tree(sim, sim::Rng(1));
+    StatusOr<ns::INode> got = Status::internal("unset");
+    sim::spawn(co_get(tree, "/missing", got));
+    sim.run();
+    EXPECT_EQ(got.code(), Code::kNotFound);
+}
+
+TEST(LsmTree, DeleteMasksOlderVersions)
+{
+    Simulation sim;
+    LsmTree tree(sim, sim::Rng(1), small_lsm());
+    Status st = Status::internal("unset");
+    sim::spawn(co_put(tree, "/x", 1, st));
+    sim.run();
+    // Force the put into an SSTable, then tombstone it.
+    for (int i = 0; i < 200; ++i) {
+        sim::spawn(co_put(tree, "/fill" + std::to_string(i), i + 10, st));
+    }
+    sim.run();
+    EXPECT_GT(tree.flushes(), 0u);
+    sim::spawn(co_del(tree, "/x", st));
+    sim.run();
+    StatusOr<ns::INode> got = Status::internal("unset");
+    sim::spawn(co_get(tree, "/x", got));
+    sim.run();
+    EXPECT_EQ(got.code(), Code::kNotFound);
+}
+
+TEST(LsmTree, FlushAndCompactionLifecycle)
+{
+    Simulation sim;
+    LsmTree tree(sim, sim::Rng(2), small_lsm());
+    Status st = Status::internal("unset");
+    for (int i = 0; i < 2000; ++i) {
+        sim::spawn(co_put(tree, "/k" + std::to_string(i), i + 1, st));
+    }
+    sim.run();
+    EXPECT_GT(tree.flushes(), 3u);
+    EXPECT_GT(tree.compactions(), 0u);
+    // Everything must still be readable after flush+compaction.
+    for (int i = 0; i < 2000; i += 97) {
+        StatusOr<ns::INode> got = Status::internal("unset");
+        sim::spawn(co_get(tree, "/k" + std::to_string(i), got));
+        sim.run();
+        ASSERT_TRUE(got.ok()) << i;
+        EXPECT_EQ(got->id, i + 1);
+    }
+}
+
+TEST(LsmTree, OverwriteKeepsNewestAcrossCompaction)
+{
+    Simulation sim;
+    LsmTree tree(sim, sim::Rng(3), small_lsm());
+    Status st = Status::internal("unset");
+    sim::spawn(co_put(tree, "/x", 1, st));
+    sim.run();
+    for (int round = 0; round < 5; ++round) {
+        for (int i = 0; i < 100; ++i) {
+            sim::spawn(
+                co_put(tree, "/fill" + std::to_string(round * 100 + i),
+                       1000 + i, st));
+        }
+        sim.run();
+    }
+    sim::spawn(co_put(tree, "/x", 99, st));
+    sim.run();
+    StatusOr<ns::INode> got = Status::internal("unset");
+    sim::spawn(co_get(tree, "/x", got));
+    sim.run();
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(got->id, 99);
+}
+
+/** Property: read-your-writes over randomized operation sequences. */
+class LsmPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LsmPropertyTest, ReadYourWrites)
+{
+    Simulation sim;
+    LsmTree tree(sim, sim::Rng(GetParam()), small_lsm());
+    sim::Rng rng(GetParam() * 7 + 3);
+    std::set<std::string> live;
+    Status st = Status::internal("unset");
+    for (int step = 0; step < 1500; ++step) {
+        std::string key = "/p" + std::to_string(rng.uniform_int(0, 200));
+        if (rng.bernoulli(0.7)) {
+            sim::spawn(co_put(tree, key, step + 1, st));
+            live.insert(key);
+        } else {
+            sim::spawn(co_del(tree, key, st));
+            live.erase(key);
+        }
+        sim.run();
+    }
+    for (int i = 0; i <= 200; ++i) {
+        std::string key = "/p" + std::to_string(i);
+        EXPECT_EQ(tree.contains(key), live.count(key) == 1) << key;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LsmPropertyTest,
+                         ::testing::Values(1u, 2u, 3u, 4u));
+
+}  // namespace
+}  // namespace lfs::lsm

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Oracle-based fuzzing of the namespace engine: random operation
+ * sequences are applied simultaneously to NamespaceTree and to a simple
+ * map-of-paths oracle; after every step the observable state (existence,
+ * type, subtree membership) must agree. This guards the semantic engine
+ * every system in the repository is built on.
+ */
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/namespace/namespace_tree.h"
+#include "src/sim/random.h"
+#include "src/util/path.h"
+
+namespace lfs::ns {
+namespace {
+
+/** The oracle: path -> is_directory. Root is implicit. */
+class Oracle {
+  public:
+    Oracle() { entries_["/"] = true; }
+
+    bool exists(const std::string& p) const { return entries_.count(p); }
+    bool
+    is_dir(const std::string& p) const
+    {
+        auto it = entries_.find(p);
+        return it != entries_.end() && it->second;
+    }
+
+    bool
+    create_file(const std::string& p)
+    {
+        if (exists(p) || !is_dir(path::parent(p))) {
+            return false;
+        }
+        entries_[p] = false;
+        return true;
+    }
+
+    bool
+    mkdirs(const std::string& p)
+    {
+        // Fails if any prefix is a file.
+        std::string cur = "/";
+        for (path::Splitter s(p); auto c = s.next();) {
+            cur = path::join(cur, std::string(*c));
+            if (exists(cur) && !is_dir(cur)) {
+                return false;
+            }
+        }
+        cur = "/";
+        for (path::Splitter s(p); auto c = s.next();) {
+            cur = path::join(cur, std::string(*c));
+            entries_[cur] = true;
+        }
+        return true;
+    }
+
+    bool
+    remove_recursive(const std::string& p)
+    {
+        if (p == "/" || !exists(p)) {
+            return false;
+        }
+        for (auto it = entries_.begin(); it != entries_.end();) {
+            if (path::is_under(it->first, p)) {
+                it = entries_.erase(it);
+            } else {
+                ++it;
+            }
+        }
+        return true;
+    }
+
+    bool
+    rename(const std::string& src, const std::string& dst)
+    {
+        if (src == "/" || !exists(src) || exists(dst) ||
+            !is_dir(path::parent(dst)) || path::is_under(dst, src)) {
+            return false;
+        }
+        std::map<std::string, bool> moved;
+        for (auto it = entries_.begin(); it != entries_.end();) {
+            if (path::is_under(it->first, src)) {
+                std::string suffix = it->first.substr(src.size());
+                moved[dst + suffix] = it->second;
+                it = entries_.erase(it);
+            } else {
+                ++it;
+            }
+        }
+        entries_.insert(moved.begin(), moved.end());
+        return true;
+    }
+
+    const std::map<std::string, bool>& entries() const { return entries_; }
+
+  private:
+    std::map<std::string, bool> entries_;  // path -> is_dir
+};
+
+std::string
+random_path(sim::Rng& rng, int max_depth)
+{
+    std::string p;
+    int depth = static_cast<int>(rng.uniform_int(1, max_depth));
+    for (int i = 0; i < depth; ++i) {
+        p += "/n" + std::to_string(rng.uniform_int(0, 4));
+    }
+    return p;
+}
+
+class NamespaceFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(NamespaceFuzzTest, TreeAgreesWithOracle)
+{
+    NamespaceTree tree;
+    Oracle oracle;
+    UserContext root;
+    sim::Rng rng(GetParam());
+
+    for (int step = 0; step < 3000; ++step) {
+        double action = rng.uniform();
+        if (action < 0.3) {
+            std::string p = random_path(rng, 4);
+            bool oracle_ok = oracle.create_file(p);
+            bool tree_ok = tree.create_file(p, root, step).ok();
+            ASSERT_EQ(tree_ok, oracle_ok) << "create " << p << " @" << step;
+        } else if (action < 0.55) {
+            std::string p = random_path(rng, 3);
+            bool oracle_ok = oracle.mkdirs(p);
+            bool tree_ok = tree.mkdirs(p, root, step).ok();
+            ASSERT_EQ(tree_ok, oracle_ok) << "mkdirs " << p << " @" << step;
+        } else if (action < 0.7) {
+            std::string p = random_path(rng, 4);
+            bool oracle_ok = oracle.remove_recursive(p);
+            bool tree_ok = tree.remove(p, root, true, step).ok();
+            ASSERT_EQ(tree_ok, oracle_ok) << "rm -r " << p << " @" << step;
+        } else if (action < 0.85) {
+            std::string src = random_path(rng, 3);
+            std::string dst = random_path(rng, 3);
+            bool oracle_ok = oracle.rename(src, dst);
+            bool tree_ok = tree.rename(src, dst, root, step).ok();
+            ASSERT_EQ(tree_ok, oracle_ok)
+                << "mv " << src << " -> " << dst << " @" << step;
+        } else {
+            // Probe a random path for agreement.
+            std::string p = random_path(rng, 4);
+            auto st = tree.stat(p, root);
+            ASSERT_EQ(st.ok(), oracle.exists(p)) << "stat " << p;
+            if (st.ok()) {
+                ASSERT_EQ(st->is_dir(), oracle.is_dir(p)) << p;
+            }
+        }
+    }
+
+    // Full-state audit: every oracle entry resolves in the tree with the
+    // right type, and the inode counts match (oracle + root already has /).
+    for (const auto& [p, dir] : oracle.entries()) {
+        auto st = tree.stat(p, root);
+        ASSERT_TRUE(st.ok()) << p;
+        EXPECT_EQ(st->is_dir(), dir) << p;
+    }
+    EXPECT_EQ(tree.inode_count(), oracle.entries().size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NamespaceFuzzTest,
+                         ::testing::Values(11u, 22u, 33u, 44u, 55u, 66u));
+
+}  // namespace
+}  // namespace lfs::ns
