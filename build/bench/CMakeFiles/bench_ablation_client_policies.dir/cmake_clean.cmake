@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_client_policies.dir/bench_ablation_client_policies.cc.o"
+  "CMakeFiles/bench_ablation_client_policies.dir/bench_ablation_client_policies.cc.o.d"
+  "CMakeFiles/bench_ablation_client_policies.dir/common/harness.cc.o"
+  "CMakeFiles/bench_ablation_client_policies.dir/common/harness.cc.o.d"
+  "bench_ablation_client_policies"
+  "bench_ablation_client_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_client_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_cloud_profile.dir/bench_ablation_cloud_profile.cc.o"
+  "CMakeFiles/bench_ablation_cloud_profile.dir/bench_ablation_cloud_profile.cc.o.d"
+  "CMakeFiles/bench_ablation_cloud_profile.dir/common/harness.cc.o"
+  "CMakeFiles/bench_ablation_cloud_profile.dir/common/harness.cc.o.d"
+  "bench_ablation_cloud_profile"
+  "bench_ablation_cloud_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_cloud_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

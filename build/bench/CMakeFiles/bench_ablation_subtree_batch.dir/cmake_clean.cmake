@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_subtree_batch.dir/bench_ablation_subtree_batch.cc.o"
+  "CMakeFiles/bench_ablation_subtree_batch.dir/bench_ablation_subtree_batch.cc.o.d"
+  "CMakeFiles/bench_ablation_subtree_batch.dir/common/harness.cc.o"
+  "CMakeFiles/bench_ablation_subtree_batch.dir/common/harness.cc.o.d"
+  "bench_ablation_subtree_batch"
+  "bench_ablation_subtree_batch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_subtree_batch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

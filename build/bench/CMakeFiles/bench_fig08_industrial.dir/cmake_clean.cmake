@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_industrial.dir/bench_fig08_industrial.cc.o"
+  "CMakeFiles/bench_fig08_industrial.dir/bench_fig08_industrial.cc.o.d"
+  "CMakeFiles/bench_fig08_industrial.dir/common/harness.cc.o"
+  "CMakeFiles/bench_fig08_industrial.dir/common/harness.cc.o.d"
+  "bench_fig08_industrial"
+  "bench_fig08_industrial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_industrial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_cost.dir/bench_fig09_cost.cc.o"
+  "CMakeFiles/bench_fig09_cost.dir/bench_fig09_cost.cc.o.d"
+  "CMakeFiles/bench_fig09_cost.dir/common/harness.cc.o"
+  "CMakeFiles/bench_fig09_cost.dir/common/harness.cc.o.d"
+  "bench_fig09_cost"
+  "bench_fig09_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

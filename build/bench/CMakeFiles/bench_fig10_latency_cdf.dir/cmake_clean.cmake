@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_latency_cdf.dir/bench_fig10_latency_cdf.cc.o"
+  "CMakeFiles/bench_fig10_latency_cdf.dir/bench_fig10_latency_cdf.cc.o.d"
+  "CMakeFiles/bench_fig10_latency_cdf.dir/common/harness.cc.o"
+  "CMakeFiles/bench_fig10_latency_cdf.dir/common/harness.cc.o.d"
+  "bench_fig10_latency_cdf"
+  "bench_fig10_latency_cdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_latency_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_resource_scaling.dir/bench_fig12_resource_scaling.cc.o"
+  "CMakeFiles/bench_fig12_resource_scaling.dir/bench_fig12_resource_scaling.cc.o.d"
+  "CMakeFiles/bench_fig12_resource_scaling.dir/common/harness.cc.o"
+  "CMakeFiles/bench_fig12_resource_scaling.dir/common/harness.cc.o.d"
+  "bench_fig12_resource_scaling"
+  "bench_fig12_resource_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_resource_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

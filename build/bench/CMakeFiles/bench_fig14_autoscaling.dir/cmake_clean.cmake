@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_autoscaling.dir/bench_fig14_autoscaling.cc.o"
+  "CMakeFiles/bench_fig14_autoscaling.dir/bench_fig14_autoscaling.cc.o.d"
+  "CMakeFiles/bench_fig14_autoscaling.dir/common/harness.cc.o"
+  "CMakeFiles/bench_fig14_autoscaling.dir/common/harness.cc.o.d"
+  "bench_fig14_autoscaling"
+  "bench_fig14_autoscaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_autoscaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_fault_tolerance.dir/bench_fig15_fault_tolerance.cc.o"
+  "CMakeFiles/bench_fig15_fault_tolerance.dir/bench_fig15_fault_tolerance.cc.o.d"
+  "CMakeFiles/bench_fig15_fault_tolerance.dir/common/harness.cc.o"
+  "CMakeFiles/bench_fig15_fault_tolerance.dir/common/harness.cc.o.d"
+  "bench_fig15_fault_tolerance"
+  "bench_fig15_fault_tolerance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_fault_tolerance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_indexfs.dir/bench_fig16_indexfs.cc.o"
+  "CMakeFiles/bench_fig16_indexfs.dir/bench_fig16_indexfs.cc.o.d"
+  "CMakeFiles/bench_fig16_indexfs.dir/common/harness.cc.o"
+  "CMakeFiles/bench_fig16_indexfs.dir/common/harness.cc.o.d"
+  "bench_fig16_indexfs"
+  "bench_fig16_indexfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_indexfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_subtree.dir/bench_table3_subtree.cc.o"
+  "CMakeFiles/bench_table3_subtree.dir/bench_table3_subtree.cc.o.d"
+  "CMakeFiles/bench_table3_subtree.dir/common/harness.cc.o"
+  "CMakeFiles/bench_table3_subtree.dir/common/harness.cc.o.d"
+  "bench_table3_subtree"
+  "bench_table3_subtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_subtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

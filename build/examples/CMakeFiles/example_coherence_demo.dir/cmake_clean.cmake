@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_coherence_demo.dir/coherence_demo.cpp.o"
+  "CMakeFiles/example_coherence_demo.dir/coherence_demo.cpp.o.d"
+  "example_coherence_demo"
+  "example_coherence_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_coherence_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

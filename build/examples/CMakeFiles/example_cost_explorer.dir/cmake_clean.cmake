@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_cost_explorer.dir/cost_explorer.cpp.o"
+  "CMakeFiles/example_cost_explorer.dir/cost_explorer.cpp.o.d"
+  "example_cost_explorer"
+  "example_cost_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_cost_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_indexfs_port.dir/indexfs_port.cpp.o"
+  "CMakeFiles/example_indexfs_port.dir/indexfs_port.cpp.o.d"
+  "example_indexfs_port"
+  "example_indexfs_port.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_indexfs_port.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

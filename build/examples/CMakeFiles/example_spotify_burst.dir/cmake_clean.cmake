@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_spotify_burst.dir/spotify_burst.cpp.o"
+  "CMakeFiles/example_spotify_burst.dir/spotify_burst.cpp.o.d"
+  "example_spotify_burst"
+  "example_spotify_burst.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_spotify_burst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,60 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/metadata_cache.cc" "src/CMakeFiles/lambdafs.dir/cache/metadata_cache.cc.o" "gcc" "src/CMakeFiles/lambdafs.dir/cache/metadata_cache.cc.o.d"
+  "/root/repo/src/cephfs/cephfs.cc" "src/CMakeFiles/lambdafs.dir/cephfs/cephfs.cc.o" "gcc" "src/CMakeFiles/lambdafs.dir/cephfs/cephfs.cc.o.d"
+  "/root/repo/src/coord/coordinator.cc" "src/CMakeFiles/lambdafs.dir/coord/coordinator.cc.o" "gcc" "src/CMakeFiles/lambdafs.dir/coord/coordinator.cc.o.d"
+  "/root/repo/src/core/client.cc" "src/CMakeFiles/lambdafs.dir/core/client.cc.o" "gcc" "src/CMakeFiles/lambdafs.dir/core/client.cc.o.d"
+  "/root/repo/src/core/lambda_fs.cc" "src/CMakeFiles/lambdafs.dir/core/lambda_fs.cc.o" "gcc" "src/CMakeFiles/lambdafs.dir/core/lambda_fs.cc.o.d"
+  "/root/repo/src/core/name_node.cc" "src/CMakeFiles/lambdafs.dir/core/name_node.cc.o" "gcc" "src/CMakeFiles/lambdafs.dir/core/name_node.cc.o.d"
+  "/root/repo/src/core/partitioning.cc" "src/CMakeFiles/lambdafs.dir/core/partitioning.cc.o" "gcc" "src/CMakeFiles/lambdafs.dir/core/partitioning.cc.o.d"
+  "/root/repo/src/core/tcp_registry.cc" "src/CMakeFiles/lambdafs.dir/core/tcp_registry.cc.o" "gcc" "src/CMakeFiles/lambdafs.dir/core/tcp_registry.cc.o.d"
+  "/root/repo/src/cost/pricing.cc" "src/CMakeFiles/lambdafs.dir/cost/pricing.cc.o" "gcc" "src/CMakeFiles/lambdafs.dir/cost/pricing.cc.o.d"
+  "/root/repo/src/faas/deployment.cc" "src/CMakeFiles/lambdafs.dir/faas/deployment.cc.o" "gcc" "src/CMakeFiles/lambdafs.dir/faas/deployment.cc.o.d"
+  "/root/repo/src/faas/function_instance.cc" "src/CMakeFiles/lambdafs.dir/faas/function_instance.cc.o" "gcc" "src/CMakeFiles/lambdafs.dir/faas/function_instance.cc.o.d"
+  "/root/repo/src/faas/platform.cc" "src/CMakeFiles/lambdafs.dir/faas/platform.cc.o" "gcc" "src/CMakeFiles/lambdafs.dir/faas/platform.cc.o.d"
+  "/root/repo/src/faas/resource_pool.cc" "src/CMakeFiles/lambdafs.dir/faas/resource_pool.cc.o" "gcc" "src/CMakeFiles/lambdafs.dir/faas/resource_pool.cc.o.d"
+  "/root/repo/src/hdfs/hdfs.cc" "src/CMakeFiles/lambdafs.dir/hdfs/hdfs.cc.o" "gcc" "src/CMakeFiles/lambdafs.dir/hdfs/hdfs.cc.o.d"
+  "/root/repo/src/hopsfs/hops_name_node.cc" "src/CMakeFiles/lambdafs.dir/hopsfs/hops_name_node.cc.o" "gcc" "src/CMakeFiles/lambdafs.dir/hopsfs/hops_name_node.cc.o.d"
+  "/root/repo/src/hopsfs/hopsfs.cc" "src/CMakeFiles/lambdafs.dir/hopsfs/hopsfs.cc.o" "gcc" "src/CMakeFiles/lambdafs.dir/hopsfs/hopsfs.cc.o.d"
+  "/root/repo/src/indexfs/indexfs.cc" "src/CMakeFiles/lambdafs.dir/indexfs/indexfs.cc.o" "gcc" "src/CMakeFiles/lambdafs.dir/indexfs/indexfs.cc.o.d"
+  "/root/repo/src/indexfs/lambda_indexfs.cc" "src/CMakeFiles/lambdafs.dir/indexfs/lambda_indexfs.cc.o" "gcc" "src/CMakeFiles/lambdafs.dir/indexfs/lambda_indexfs.cc.o.d"
+  "/root/repo/src/infinicache/infinicache.cc" "src/CMakeFiles/lambdafs.dir/infinicache/infinicache.cc.o" "gcc" "src/CMakeFiles/lambdafs.dir/infinicache/infinicache.cc.o.d"
+  "/root/repo/src/lsm/lsm_tree.cc" "src/CMakeFiles/lambdafs.dir/lsm/lsm_tree.cc.o" "gcc" "src/CMakeFiles/lambdafs.dir/lsm/lsm_tree.cc.o.d"
+  "/root/repo/src/lsm/memtable.cc" "src/CMakeFiles/lambdafs.dir/lsm/memtable.cc.o" "gcc" "src/CMakeFiles/lambdafs.dir/lsm/memtable.cc.o.d"
+  "/root/repo/src/lsm/sstable.cc" "src/CMakeFiles/lambdafs.dir/lsm/sstable.cc.o" "gcc" "src/CMakeFiles/lambdafs.dir/lsm/sstable.cc.o.d"
+  "/root/repo/src/namespace/inode.cc" "src/CMakeFiles/lambdafs.dir/namespace/inode.cc.o" "gcc" "src/CMakeFiles/lambdafs.dir/namespace/inode.cc.o.d"
+  "/root/repo/src/namespace/namespace_tree.cc" "src/CMakeFiles/lambdafs.dir/namespace/namespace_tree.cc.o" "gcc" "src/CMakeFiles/lambdafs.dir/namespace/namespace_tree.cc.o.d"
+  "/root/repo/src/namespace/tree_builder.cc" "src/CMakeFiles/lambdafs.dir/namespace/tree_builder.cc.o" "gcc" "src/CMakeFiles/lambdafs.dir/namespace/tree_builder.cc.o.d"
+  "/root/repo/src/net/network.cc" "src/CMakeFiles/lambdafs.dir/net/network.cc.o" "gcc" "src/CMakeFiles/lambdafs.dir/net/network.cc.o.d"
+  "/root/repo/src/sim/log.cc" "src/CMakeFiles/lambdafs.dir/sim/log.cc.o" "gcc" "src/CMakeFiles/lambdafs.dir/sim/log.cc.o.d"
+  "/root/repo/src/sim/random.cc" "src/CMakeFiles/lambdafs.dir/sim/random.cc.o" "gcc" "src/CMakeFiles/lambdafs.dir/sim/random.cc.o.d"
+  "/root/repo/src/sim/simulation.cc" "src/CMakeFiles/lambdafs.dir/sim/simulation.cc.o" "gcc" "src/CMakeFiles/lambdafs.dir/sim/simulation.cc.o.d"
+  "/root/repo/src/sim/stats.cc" "src/CMakeFiles/lambdafs.dir/sim/stats.cc.o" "gcc" "src/CMakeFiles/lambdafs.dir/sim/stats.cc.o.d"
+  "/root/repo/src/store/data_node.cc" "src/CMakeFiles/lambdafs.dir/store/data_node.cc.o" "gcc" "src/CMakeFiles/lambdafs.dir/store/data_node.cc.o.d"
+  "/root/repo/src/store/lock_table.cc" "src/CMakeFiles/lambdafs.dir/store/lock_table.cc.o" "gcc" "src/CMakeFiles/lambdafs.dir/store/lock_table.cc.o.d"
+  "/root/repo/src/store/metadata_store.cc" "src/CMakeFiles/lambdafs.dir/store/metadata_store.cc.o" "gcc" "src/CMakeFiles/lambdafs.dir/store/metadata_store.cc.o.d"
+  "/root/repo/src/util/hash.cc" "src/CMakeFiles/lambdafs.dir/util/hash.cc.o" "gcc" "src/CMakeFiles/lambdafs.dir/util/hash.cc.o.d"
+  "/root/repo/src/util/path.cc" "src/CMakeFiles/lambdafs.dir/util/path.cc.o" "gcc" "src/CMakeFiles/lambdafs.dir/util/path.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/lambdafs.dir/util/status.cc.o" "gcc" "src/CMakeFiles/lambdafs.dir/util/status.cc.o.d"
+  "/root/repo/src/workload/fault_injector.cc" "src/CMakeFiles/lambdafs.dir/workload/fault_injector.cc.o" "gcc" "src/CMakeFiles/lambdafs.dir/workload/fault_injector.cc.o.d"
+  "/root/repo/src/workload/microbench.cc" "src/CMakeFiles/lambdafs.dir/workload/microbench.cc.o" "gcc" "src/CMakeFiles/lambdafs.dir/workload/microbench.cc.o.d"
+  "/root/repo/src/workload/op_mix.cc" "src/CMakeFiles/lambdafs.dir/workload/op_mix.cc.o" "gcc" "src/CMakeFiles/lambdafs.dir/workload/op_mix.cc.o.d"
+  "/root/repo/src/workload/path_population.cc" "src/CMakeFiles/lambdafs.dir/workload/path_population.cc.o" "gcc" "src/CMakeFiles/lambdafs.dir/workload/path_population.cc.o.d"
+  "/root/repo/src/workload/spotify_workload.cc" "src/CMakeFiles/lambdafs.dir/workload/spotify_workload.cc.o" "gcc" "src/CMakeFiles/lambdafs.dir/workload/spotify_workload.cc.o.d"
+  "/root/repo/src/workload/tree_test.cc" "src/CMakeFiles/lambdafs.dir/workload/tree_test.cc.o" "gcc" "src/CMakeFiles/lambdafs.dir/workload/tree_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cephfs_indexfs_edge.dir/test_cephfs_indexfs_edge.cc.o"
+  "CMakeFiles/test_cephfs_indexfs_edge.dir/test_cephfs_indexfs_edge.cc.o.d"
+  "test_cephfs_indexfs_edge"
+  "test_cephfs_indexfs_edge.pdb"
+  "test_cephfs_indexfs_edge[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cephfs_indexfs_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_cephfs_indexfs_edge.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coherence_audit.dir/test_coherence_audit.cc.o"
+  "CMakeFiles/test_coherence_audit.dir/test_coherence_audit.cc.o.d"
+  "test_coherence_audit"
+  "test_coherence_audit.pdb"
+  "test_coherence_audit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coherence_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

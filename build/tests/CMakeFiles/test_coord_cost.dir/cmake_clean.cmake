@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coord_cost.dir/test_coord_cost.cc.o"
+  "CMakeFiles/test_coord_cost.dir/test_coord_cost.cc.o.d"
+  "test_coord_cost"
+  "test_coord_cost.pdb"
+  "test_coord_cost[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coord_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

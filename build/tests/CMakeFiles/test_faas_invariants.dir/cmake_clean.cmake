@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_faas_invariants.dir/test_faas_invariants.cc.o"
+  "CMakeFiles/test_faas_invariants.dir/test_faas_invariants.cc.o.d"
+  "test_faas_invariants"
+  "test_faas_invariants.pdb"
+  "test_faas_invariants[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_faas_invariants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

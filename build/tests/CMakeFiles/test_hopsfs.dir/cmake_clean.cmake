@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hopsfs.dir/test_hopsfs.cc.o"
+  "CMakeFiles/test_hopsfs.dir/test_hopsfs.cc.o.d"
+  "test_hopsfs"
+  "test_hopsfs.pdb"
+  "test_hopsfs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hopsfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hopsfs_cn_and_metrics.dir/test_hopsfs_cn_and_metrics.cc.o"
+  "CMakeFiles/test_hopsfs_cn_and_metrics.dir/test_hopsfs_cn_and_metrics.cc.o.d"
+  "test_hopsfs_cn_and_metrics"
+  "test_hopsfs_cn_and_metrics.pdb"
+  "test_hopsfs_cn_and_metrics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hopsfs_cn_and_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lambda_fs.dir/test_lambda_fs.cc.o"
+  "CMakeFiles/test_lambda_fs.dir/test_lambda_fs.cc.o.d"
+  "test_lambda_fs"
+  "test_lambda_fs.pdb"
+  "test_lambda_fs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lambda_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

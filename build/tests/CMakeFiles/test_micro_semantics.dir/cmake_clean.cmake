@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_micro_semantics.dir/test_micro_semantics.cc.o"
+  "CMakeFiles/test_micro_semantics.dir/test_micro_semantics.cc.o.d"
+  "test_micro_semantics"
+  "test_micro_semantics.pdb"
+  "test_micro_semantics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_micro_semantics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_namespace_fuzz.dir/test_namespace_fuzz.cc.o"
+  "CMakeFiles/test_namespace_fuzz.dir/test_namespace_fuzz.cc.o.d"
+  "test_namespace_fuzz"
+  "test_namespace_fuzz.pdb"
+  "test_namespace_fuzz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_namespace_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

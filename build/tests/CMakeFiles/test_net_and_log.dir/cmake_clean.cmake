@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_net_and_log.dir/test_net_and_log.cc.o"
+  "CMakeFiles/test_net_and_log.dir/test_net_and_log.cc.o.d"
+  "test_net_and_log"
+  "test_net_and_log.pdb"
+  "test_net_and_log[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_net_and_log.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_subtree_protocol.dir/test_subtree_protocol.cc.o"
+  "CMakeFiles/test_subtree_protocol.dir/test_subtree_protocol.cc.o.d"
+  "test_subtree_protocol"
+  "test_subtree_protocol.pdb"
+  "test_subtree_protocol[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_subtree_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_baselines[1]_include.cmake")
+include("/root/repo/build/tests/test_cache[1]_include.cmake")
+include("/root/repo/build/tests/test_cephfs_indexfs_edge[1]_include.cmake")
+include("/root/repo/build/tests/test_client_policies[1]_include.cmake")
+include("/root/repo/build/tests/test_coherence_audit[1]_include.cmake")
+include("/root/repo/build/tests/test_coord_cost[1]_include.cmake")
+include("/root/repo/build/tests/test_core_components[1]_include.cmake")
+include("/root/repo/build/tests/test_faas[1]_include.cmake")
+include("/root/repo/build/tests/test_faas_invariants[1]_include.cmake")
+include("/root/repo/build/tests/test_hdfs[1]_include.cmake")
+include("/root/repo/build/tests/test_hopsfs[1]_include.cmake")
+include("/root/repo/build/tests/test_hopsfs_cn_and_metrics[1]_include.cmake")
+include("/root/repo/build/tests/test_integration_cross_system[1]_include.cmake")
+include("/root/repo/build/tests/test_lambda_fs[1]_include.cmake")
+include("/root/repo/build/tests/test_lsm[1]_include.cmake")
+include("/root/repo/build/tests/test_micro_semantics[1]_include.cmake")
+include("/root/repo/build/tests/test_namespace[1]_include.cmake")
+include("/root/repo/build/tests/test_namespace_fuzz[1]_include.cmake")
+include("/root/repo/build/tests/test_net_and_log[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_kernel[1]_include.cmake")
+include("/root/repo/build/tests/test_store[1]_include.cmake")
+include("/root/repo/build/tests/test_subtree_protocol[1]_include.cmake")
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_workload[1]_include.cmake")
