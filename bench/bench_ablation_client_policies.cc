@@ -38,6 +38,7 @@ run_ablation()
                 "mean ms", "p99 ms", "failed");
     for (const Policy& policy : policies) {
         sim::Simulation sim;
+        ScopedRunObservation obs(sim, std::string("policy/") + policy.label);
         core::LambdaFsConfig config = make_lambda_config(vcpus, 8,
                                                          clients / 8);
         config.client.straggler_mitigation = policy.straggler;
@@ -67,8 +68,9 @@ run_ablation()
 }  // namespace lfs::bench
 
 int
-main()
+main(int argc, char** argv)
 {
+    lfs::bench::parse_args(argc, argv);
     lfs::bench::print_banner(
         "Ablation", "Client policies: straggler mitigation / anti-thrashing");
     lfs::bench::run_ablation();

@@ -99,8 +99,9 @@ run_ablation()
 }  // namespace lfs::bench
 
 int
-main()
+main(int argc, char** argv)
 {
+    lfs::bench::parse_args(argc, argv);
     lfs::bench::print_banner(
         "Ablation", "Cloud-profile robustness (AWS-like vs GCP-like, §A.8)");
     lfs::bench::run_ablation();

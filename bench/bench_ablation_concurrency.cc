@@ -24,6 +24,8 @@ run_ablation()
                 "mean lat ms", "peak NNs", "cold starts");
     for (int level : levels) {
         sim::Simulation sim;
+        ScopedRunObservation obs(sim,
+                                 "concurrency=" + std::to_string(level));
         core::LambdaFsConfig config = make_lambda_config(vcpus, 8,
                                                          clients / 8);
         config.function.concurrency_level = level;
@@ -48,8 +50,9 @@ run_ablation()
 }  // namespace lfs::bench
 
 int
-main()
+main(int argc, char** argv)
 {
+    lfs::bench::parse_args(argc, argv);
     lfs::bench::print_banner("Ablation",
                              "Function ConcurrencyLevel sweep (Figure 6)");
     lfs::bench::run_ablation();

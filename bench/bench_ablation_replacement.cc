@@ -27,6 +27,7 @@ run_ablation()
     double p0_tput = 0;
     for (double p : probabilities) {
         sim::Simulation sim;
+        ScopedRunObservation obs(sim, "replace_p=" + fmt(p));
         core::LambdaFsConfig config = make_lambda_config(vcpus, 8,
                                                          clients / 8);
         config.client.http_replace_probability = p;
@@ -59,8 +60,9 @@ run_ablation()
 }  // namespace lfs::bench
 
 int
-main()
+main(int argc, char** argv)
 {
+    lfs::bench::parse_args(argc, argv);
     lfs::bench::print_banner(
         "Ablation", "HTTP-TCP replacement probability sweep (design §3.4)");
     lfs::bench::run_ablation();

@@ -32,6 +32,7 @@ run_ablation()
     std::printf("  %-12s %16s\n", "batch size", "latency (ms)");
     for (int batch : batches) {
         sim::Simulation sim;
+        ScopedRunObservation obs(sim, "batch=" + std::to_string(batch));
         core::LambdaFsConfig config = make_lambda_config(512.0, 8, 2);
         config.store.subtree_batch_size = batch;
         core::LambdaFs fs(sim, config);
@@ -63,8 +64,9 @@ run_ablation()
 }  // namespace lfs::bench
 
 int
-main()
+main(int argc, char** argv)
 {
+    lfs::bench::parse_args(argc, argv);
     lfs::bench::print_banner("Ablation",
                              "Subtree sub-operation batch size (Appendix D)");
     lfs::bench::run_ablation();

@@ -197,8 +197,9 @@ run_workload(double base_rate, const char* tag, bool include_reduced_cache)
 }  // namespace lfs::bench
 
 int
-main()
+main(int argc, char** argv)
 {
+    lfs::bench::parse_args(argc, argv);
     lfs::bench::print_banner(
         "Figure 8", "Industrial (Spotify) workload: throughput, elasticity, "
                     "and performance-per-cost");

@@ -86,8 +86,9 @@ run_figure()
 }  // namespace lfs::bench
 
 int
-main()
+main(int argc, char** argv)
 {
+    lfs::bench::parse_args(argc, argv);
     lfs::bench::print_banner("Figure 9",
                              "Cumulative cost of the 25k Spotify workload");
     lfs::bench::run_figure();

@@ -100,8 +100,9 @@ run_workload(double base_rate, const char* tag)
 }  // namespace lfs::bench
 
 int
-main()
+main(int argc, char** argv)
 {
+    lfs::bench::parse_args(argc, argv);
     lfs::bench::print_banner("Figure 10",
                              "Latency CDFs under the Spotify workloads");
     lfs::bench::run_workload(25000.0, "25k ops/s");

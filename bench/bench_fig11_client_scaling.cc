@@ -101,8 +101,9 @@ run_figure()
 }  // namespace lfs::bench
 
 int
-main()
+main(int argc, char** argv)
 {
+    lfs::bench::parse_args(argc, argv);
     lfs::bench::print_banner("Figure 11",
                              "Client-driven scaling, 512 vCPUs fixed");
     lfs::bench::run_figure();

@@ -79,8 +79,9 @@ run_figure()
 }  // namespace lfs::bench
 
 int
-main()
+main(int argc, char** argv)
 {
+    lfs::bench::parse_args(argc, argv);
     lfs::bench::print_banner("Figure 12",
                              "Resource scaling, 16-512 vCPUs, fixed clients");
     lfs::bench::run_figure();

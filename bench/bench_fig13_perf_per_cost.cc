@@ -78,8 +78,9 @@ run_figure()
 }  // namespace lfs::bench
 
 int
-main()
+main(int argc, char** argv)
 {
+    lfs::bench::parse_args(argc, argv);
     lfs::bench::print_banner(
         "Figure 13", "Performance-per-cost vs clients (read ops)");
     lfs::bench::run_figure();

@@ -34,6 +34,8 @@ run_figure()
     for (OpType op : microbench_ops()) {
         for (const Mode& mode : modes) {
             sim::Simulation sim;
+            ScopedRunObservation obs(sim, std::string("autoscale/") +
+                                              op_name(op) + "/" + mode.label);
             core::LambdaFsConfig config =
                 make_lambda_config(vcpus, 8, clients / 8);
             core::LambdaFs fs(sim, config);
@@ -86,8 +88,9 @@ run_figure()
 }  // namespace lfs::bench
 
 int
-main()
+main(int argc, char** argv)
 {
+    lfs::bench::parse_args(argc, argv);
     lfs::bench::print_banner("Figure 14", "Auto-scaling ablation for lambda-fs");
     lfs::bench::run_figure();
     return 0;

@@ -84,8 +84,9 @@ run_figure()
 }  // namespace lfs::bench
 
 int
-main()
+main(int argc, char** argv)
 {
+    lfs::bench::parse_args(argc, argv);
     lfs::bench::print_banner("Figure 15",
                              "Fault tolerance under the Spotify workload");
     lfs::bench::run_figure();

@@ -21,6 +21,7 @@ workload::TreeTestResult
 run_one(const std::string& system, workload::TreeTestConfig tcfg)
 {
     sim::Simulation sim;
+    ScopedRunObservation obs(sim, system);
     if (system == "indexfs") {
         indexfs::IndexFsConfig config;
         config.clients_per_vm =
@@ -93,8 +94,9 @@ run_variant(bool fixed)
 }  // namespace lfs::bench
 
 int
-main()
+main(int argc, char** argv)
 {
+    lfs::bench::parse_args(argc, argv);
     lfs::bench::print_banner("Figure 16",
                              "lambda-indexfs vs indexfs (tree-test on BeeGFS)");
     lfs::bench::run_variant(/*fixed=*/true);

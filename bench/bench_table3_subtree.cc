@@ -65,9 +65,11 @@ run_table()
                 "lambda-fs (ms)", "lfs/hops");
     std::vector<double> ratios;
     for (int64_t files : sizes) {
+        std::string size_tag = "/files=" + std::to_string(files);
         double hops_ms = 0;
         {
             sim::Simulation sim;
+            ScopedRunObservation obs(sim, "hopsfs" + size_tag);
             hopsfs::HopsFs fs(sim,
                               make_hops_config("hopsfs", 512.0, false, 8, 2));
             hops_ms = time_mv(fs, sim, files);
@@ -75,6 +77,7 @@ run_table()
         double lambda_ms = 0;
         {
             sim::Simulation sim;
+            ScopedRunObservation obs(sim, "lambda-fs" + size_tag);
             core::LambdaFs fs(sim, make_lambda_config(512.0, 8, 2));
             lambda_ms = time_mv(fs, sim, files);
         }
@@ -97,8 +100,9 @@ run_table()
 }  // namespace lfs::bench
 
 int
-main()
+main(int argc, char** argv)
 {
+    lfs::bench::parse_args(argc, argv);
     lfs::bench::print_banner("Table 3", "Subtree mv latency vs directory size");
     lfs::bench::run_table();
     return 0;

@@ -7,6 +7,122 @@
 
 namespace lfs::bench {
 
+namespace {
+
+ObservabilityOptions g_observability;
+// Per-run fragments accumulated by observe_run(); written at exit.
+std::vector<std::string> g_trace_fragments;
+std::vector<std::string> g_metrics_fragments;
+
+void
+write_observability_artifacts()
+{
+    if (!g_observability.trace_out.empty()) {
+        std::FILE* f = std::fopen(g_observability.trace_out.c_str(), "w");
+        if (f != nullptr) {
+            std::fputs("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n", f);
+            bool first = true;
+            for (const std::string& fragment : g_trace_fragments) {
+                if (fragment.empty()) {
+                    continue;
+                }
+                if (!first) {
+                    std::fputs(",\n", f);
+                }
+                first = false;
+                std::fputs(fragment.c_str(), f);
+            }
+            std::fputs("\n]}\n", f);
+            std::fclose(f);
+            std::printf("wrote trace: %s\n",
+                        g_observability.trace_out.c_str());
+        } else {
+            std::fprintf(stderr, "cannot write trace: %s\n",
+                         g_observability.trace_out.c_str());
+        }
+    }
+    if (!g_observability.metrics_out.empty()) {
+        std::FILE* f = std::fopen(g_observability.metrics_out.c_str(), "w");
+        if (f != nullptr) {
+            std::fputs("{\"runs\":[\n", f);
+            for (size_t i = 0; i < g_metrics_fragments.size(); ++i) {
+                if (i > 0) {
+                    std::fputs(",\n", f);
+                }
+                std::fputs(g_metrics_fragments[i].c_str(), f);
+            }
+            std::fputs("\n]}\n", f);
+            std::fclose(f);
+            std::printf("wrote metrics: %s\n",
+                        g_observability.metrics_out.c_str());
+        } else {
+            std::fprintf(stderr, "cannot write metrics: %s\n",
+                         g_observability.metrics_out.c_str());
+        }
+    }
+}
+
+}  // namespace
+
+void
+parse_args(int argc, char** argv)
+{
+    if (const char* v = std::getenv("LFS_TRACE_OUT")) {
+        g_observability.trace_out = v;
+    }
+    if (const char* v = std::getenv("LFS_METRICS_OUT")) {
+        g_observability.metrics_out = v;
+    }
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--trace-out=", 0) == 0) {
+            g_observability.trace_out = arg.substr(12);
+        } else if (arg.rfind("--metrics-out=", 0) == 0) {
+            g_observability.metrics_out = arg.substr(14);
+        }
+    }
+    if (!g_observability.trace_out.empty() ||
+        !g_observability.metrics_out.empty()) {
+        std::atexit(write_observability_artifacts);
+    }
+}
+
+const ObservabilityOptions&
+observability()
+{
+    return g_observability;
+}
+
+void
+arm_observability(sim::Simulation& sim)
+{
+    if (!g_observability.trace_out.empty()) {
+        sim.tracer().set_enabled(true);
+    }
+}
+
+void
+observe_run(sim::Simulation& sim, const std::string& label)
+{
+    if (!g_observability.trace_out.empty()) {
+        // One pid per captured run keeps runs separable in Perfetto.
+        int pid = static_cast<int>(g_trace_fragments.size()) + 1;
+        g_trace_fragments.push_back(sim.tracer().chrome_trace_events(pid));
+        std::printf("\n[trace] %s: %llu spans (%llu dropped)\n%s",
+                    label.c_str(),
+                    static_cast<unsigned long long>(
+                        sim.tracer().spans_started()),
+                    static_cast<unsigned long long>(
+                        sim.tracer().spans_dropped()),
+                    sim.tracer().flame_summary().c_str());
+    }
+    if (!g_observability.metrics_out.empty()) {
+        g_metrics_fragments.push_back(
+            "{\"system\":" + sim::json_quote(label) +
+            ",\"data\":" + sim.metrics().to_json(sim.now()) + "}");
+    }
+}
+
 double
 scale()
 {
@@ -123,6 +239,8 @@ make_system(const std::string& kind, double total_vcpus, int num_clients)
 {
     SystemInstance instance;
     instance.sim = std::make_unique<sim::Simulation>();
+    instance.observer = std::make_unique<ScopedRunObservation>(
+        *instance.sim, kind + "/clients=" + std::to_string(num_clients));
     int num_vms = 8;
     int clients_per_vm = std::max(1, num_clients / num_vms);
     if (kind == "lambda-fs") {
@@ -198,6 +316,7 @@ run_industrial(sim::Simulation& sim, workload::Dfs& dfs, ns::BuiltTree tree,
 {
     IndustrialRun run;
     run.system = dfs.name();
+    arm_observability(sim);
     sim.run_until(sim.now() + warmup);
 
     workload::SpotifyWorkload workload(sim, dfs, std::move(tree), config);
@@ -251,6 +370,7 @@ run_industrial(sim::Simulation& sim, workload::Dfs& dfs, ns::BuiltTree tree,
     run.write_latency_ms = metrics.write_latency().mean() / 1e3;
     run.total_cost = dfs.cost_so_far();
     run.total_simplified_cost = dfs.simplified_cost_so_far();
+    observe_run(sim, dfs.name());
     return run;
 }
 

@@ -32,6 +32,62 @@
 
 namespace lfs::bench {
 
+// ----------------------------------------------------------------------
+// Observability artifacts (--trace-out= / --metrics-out=)
+// ----------------------------------------------------------------------
+
+/** Output paths requested on the command line (empty = off). */
+struct ObservabilityOptions {
+    std::string trace_out;    ///< Chrome trace_event JSON path
+    std::string metrics_out;  ///< metrics-registry JSON path
+};
+
+/**
+ * Parse `--trace-out=PATH` / `--metrics-out=PATH` (also honoured via the
+ * LFS_TRACE_OUT / LFS_METRICS_OUT environment variables) and register an
+ * atexit hook that writes the accumulated artifacts. Call first thing in
+ * every bench main(); unknown arguments are ignored.
+ */
+void parse_args(int argc, char** argv);
+
+const ObservabilityOptions& observability();
+
+/**
+ * Enable tracing on @p sim when --trace-out was requested. Harnesses that
+ * build their own Simulation (not via make_system/run_industrial) should
+ * call this after construction.
+ */
+void arm_observability(sim::Simulation& sim);
+
+/**
+ * Capture @p sim's trace + metric state as one labelled run in the output
+ * artifacts (each run gets its own pid in the Chrome trace). Prints the
+ * flame summary when tracing is on. Safe to call when both flags are off.
+ */
+void observe_run(sim::Simulation& sim, const std::string& label);
+
+/**
+ * RAII pairing of arm_observability() (construction) and observe_run()
+ * (destruction) for harnesses that build their own Simulation per run
+ * block. Declare right after the Simulation so the capture happens
+ * while it is still alive.
+ */
+class ScopedRunObservation {
+  public:
+    ScopedRunObservation(sim::Simulation& sim, std::string label)
+        : sim_(sim), label_(std::move(label))
+    {
+        arm_observability(sim_);
+    }
+    ScopedRunObservation(const ScopedRunObservation&) = delete;
+    ScopedRunObservation& operator=(const ScopedRunObservation&) = delete;
+    ~ScopedRunObservation() { observe_run(sim_, label_); }
+
+  private:
+    sim::Simulation& sim_;
+    std::string label_;
+};
+
 /** LFS_BENCH_SCALE (default 0.125). */
 double scale();
 
@@ -89,6 +145,8 @@ struct SystemInstance {
     std::unique_ptr<sim::Simulation> sim;
     std::unique_ptr<workload::Dfs> dfs;
     ns::BuiltTree tree;
+    // Last member: captured (destroyed) before the simulation it reads.
+    std::unique_ptr<ScopedRunObservation> observer;
 };
 
 /**

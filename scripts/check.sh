@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+#
+# Tier-1 verification plus an observability smoke test:
+#   1. configure + build everything
+#   2. run the full ctest suite
+#   3. run one bench harness at tiny scale with --trace-out/--metrics-out
+#      and confirm both artifacts are valid JSON with the expected shape
+#
+# Usage: scripts/check.sh [build-dir]   (default: build)
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+echo "== configure + build =="
+cmake -B "$BUILD_DIR" -S . >/dev/null
+cmake --build "$BUILD_DIR" -j"$(nproc)"
+
+echo "== ctest =="
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"
+
+echo "== observability smoke (bench_fig10_latency_cdf) =="
+ARTIFACT_DIR="$(mktemp -d)"
+trap 'rm -rf "$ARTIFACT_DIR"' EXIT
+TRACE_JSON="$ARTIFACT_DIR/trace.json"
+METRICS_JSON="$ARTIFACT_DIR/metrics.json"
+
+LFS_BENCH_SCALE=0.03 LFS_DURATION=10 \
+    "$BUILD_DIR/bench/bench_fig10_latency_cdf" \
+    --trace-out="$TRACE_JSON" --metrics-out="$METRICS_JSON" >/dev/null
+
+python3 - "$TRACE_JSON" "$METRICS_JSON" <<'EOF'
+import json
+import sys
+
+trace_path, metrics_path = sys.argv[1], sys.argv[2]
+
+with open(trace_path) as f:
+    trace = json.load(f)
+events = trace["traceEvents"]
+assert events, "trace has no events"
+components = {e["cat"] for e in events}
+for want in ("client", "faas", "store"):
+    assert want in components, f"missing {want} spans, have {components}"
+print(f"  trace ok: {len(events)} events, components={sorted(components)}")
+
+with open(metrics_path) as f:
+    metrics = json.load(f)
+runs = metrics["runs"]
+assert runs, "metrics has no runs"
+names = {m["name"] for r in runs for m in r["data"]["metrics"]}
+for want in ("faas.cold_starts", "store.queue_depth_total", "cache.hits"):
+    assert want in names, f"missing metric {want}"
+print(f"  metrics ok: {len(runs)} runs, {len(names)} distinct metrics")
+EOF
+
+echo "== all checks passed =="

@@ -62,7 +62,8 @@ CephFs::CephFs(sim::Simulation& sim, CephFsConfig config)
     : sim_(sim),
       config_(config),
       rng_(config.seed),
-      network_(sim, rng_.fork(), config.network)
+      network_(sim, rng_.fork(), config.network),
+      metrics_(sim.metrics(), config.label)
 {
     journal_ = std::make_unique<sim::Semaphore>(
         sim_, config_.journal_concurrency);

@@ -5,7 +5,10 @@
 namespace lfs::coord {
 
 Coordinator::Coordinator(sim::Simulation& sim, net::Network& network)
-    : sim_(sim), network_(network)
+    : sim_(sim),
+      network_(network),
+      invs_(sim.metrics().counter("coord.invs")),
+      rounds_(sim.metrics().counter("coord.rounds"))
 {
 }
 
@@ -64,9 +67,13 @@ Coordinator::deliver_one(CacheMember* member, std::string path, bool subtree,
 }
 
 sim::Task<void>
-Coordinator::invalidate(std::vector<InvTarget> targets, CacheMember* exclude)
+Coordinator::invalidate(std::vector<InvTarget> targets, CacheMember* exclude,
+                        sim::TraceContext ctx)
 {
     rounds_.add();
+    sim::Span round_span =
+        sim_.tracer().start_span("coord", "inv_round", ctx);
+    round_span.annotate("targets", static_cast<int64_t>(targets.size()));
     sim::WaitGroup wg(sim_);
     for (const InvTarget& target : targets) {
         auto it = groups_.find(target.group);
@@ -89,11 +96,11 @@ Coordinator::invalidate(std::vector<InvTarget> targets, CacheMember* exclude)
 
 sim::Task<void>
 Coordinator::invalidate_one(int group, std::string path, bool subtree,
-                            CacheMember* exclude)
+                            CacheMember* exclude, sim::TraceContext ctx)
 {
     std::vector<InvTarget> targets;
     targets.push_back(InvTarget{group, std::move(path), subtree});
-    co_await invalidate(std::move(targets), exclude);
+    co_await invalidate(std::move(targets), exclude, ctx);
 }
 
 }  // namespace lfs::coord

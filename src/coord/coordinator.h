@@ -65,14 +65,17 @@ class Coordinator {
      * path payload) to every live member of the target's group except
      * @p exclude (the leader invalidates locally), then wait for all
      * ACKs. Each INV/ACK pays a coordinator network round trip; targets
-     * fan out in parallel.
+     * fan out in parallel. @p ctx parents the round's trace span to the
+     * triggering write.
      */
     sim::Task<void> invalidate(std::vector<InvTarget> targets,
-                               CacheMember* exclude);
+                               CacheMember* exclude,
+                               sim::TraceContext ctx = {});
 
     /** Convenience: one target. */
     sim::Task<void> invalidate_one(int group, std::string path, bool subtree,
-                                   CacheMember* exclude);
+                                   CacheMember* exclude,
+                                   sim::TraceContext ctx = {});
 
     uint64_t invs_sent() const { return invs_.value(); }
     uint64_t rounds() const { return rounds_.value(); }
@@ -84,8 +87,9 @@ class Coordinator {
     sim::Simulation& sim_;
     net::Network& network_;
     std::unordered_map<int, std::vector<CacheMember*>> groups_;
-    sim::Counter invs_;
-    sim::Counter rounds_;
+    // Registry-owned (exported via --metrics-out).
+    sim::Counter& invs_;
+    sim::Counter& rounds_;
 };
 
 }  // namespace lfs::coord

@@ -175,6 +175,12 @@ LfsClient::execute(Op op)
     op.op_id = (static_cast<uint64_t>(global_id_ + 1) << 40) | ++next_seq_;
     const int target = rt_.partitioner.deployment_for(op.path);
 
+    sim::Span op_span =
+        rt_.sim.tracer().start_trace("client", op_name(op.type));
+    op_span.annotate("path", op.path);
+    op_span.annotate("client", static_cast<int64_t>(global_id_));
+    op.trace = op_span.context();
+
     OpResult result;
     for (int attempt = 1; attempt <= config_.max_attempts; ++attempt) {
         if (attempt > 1) {
@@ -208,8 +214,13 @@ LfsClient::execute(Op op)
         }
 
         sim::SimTime attempt_start = rt_.sim.now();
+        sim::Span attempt_span = rt_.sim.tracer().start_span(
+            "client", use_http ? "http_attempt" : "tcp_attempt",
+            op_span.context());
+        attempt_span.annotate("attempt", static_cast<int64_t>(attempt));
         faas::Invocation inv;
         inv.op = op;
+        inv.op.trace = attempt_span.context();
         inv.client_vm = vm_;
         inv.tcp_server = tcp_server_;
         inv.via_http = use_http;
@@ -240,6 +251,10 @@ LfsClient::execute(Op op)
             result = co_await issue_tcp(conn, std::move(inv), timeout);
         }
         sim::SimTime latency = rt_.sim.now() - attempt_start;
+        attempt_span.annotate("status", result.status.ok()
+                                            ? "ok"
+                                            : result.status.message());
+        attempt_span.end();
 
         if (result.status.code() == Code::kDeadlineExceeded) {
             ++timeouts_;

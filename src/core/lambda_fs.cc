@@ -25,10 +25,35 @@ LambdaFs::LambdaFs(sim::Simulation& sim, LambdaFsConfig config)
       partitioner_(config.num_deployments),
       tcp_registry_(config.num_client_vms, tcp_servers_per_vm(config)),
       platform_(sim, network_, rng_.fork(),
-                faas::PlatformConfig{config.total_vcpus, config.function})
+                faas::PlatformConfig{config.total_vcpus, config.function}),
+      metrics_(sim.metrics(), "lambda-fs")
 {
     runtime_ = std::make_unique<LfsRuntime>(LfsRuntime{
         sim_, network_, store_, coordinator_, partitioner_, tcp_registry_});
+
+    // Aggregate cache hit ratio over every NameNode deployment's counters
+    // (evaluated lazily at metrics export).
+    sim_.metrics().register_callback_gauge(
+        "cache.hit_ratio", {},
+        [this] {
+            uint64_t hits = 0;
+            uint64_t misses = 0;
+            for (int d = 0; d < config_.num_deployments; ++d) {
+                sim::MetricLabels labels = {
+                    {"deployment", std::to_string(d)}};
+                if (sim_.metrics().contains("cache.hits", labels)) {
+                    hits += sim_.metrics().counter("cache.hits", labels)
+                                .value();
+                    misses += sim_.metrics().counter("cache.misses", labels)
+                                  .value();
+                }
+            }
+            uint64_t total = hits + misses;
+            return total ? static_cast<double>(hits) /
+                               static_cast<double>(total)
+                         : 0.0;
+        },
+        this);
 
     for (int d = 0; d < config_.num_deployments; ++d) {
         auto& deployment = platform_.create_deployment(
@@ -54,7 +79,10 @@ LambdaFs::LambdaFs(sim::Simulation& sim, LambdaFsConfig config)
     }
 }
 
-LambdaFs::~LambdaFs() = default;
+LambdaFs::~LambdaFs()
+{
+    sim_.metrics().remove_owner(this);
+}
 
 workload::DfsClient&
 LambdaFs::client(size_t index)

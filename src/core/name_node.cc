@@ -12,7 +12,13 @@ NameNode::NameNode(LfsRuntime& runtime, faas::FunctionInstance& instance,
     : rt_(runtime),
       instance_(instance),
       config_(config),
-      cache_(cache::CacheConfig{config.cache_bytes})
+      cache_(cache::CacheConfig{config.cache_bytes}),
+      cache_hits_(rt_.sim.metrics().counter(
+          "cache.hits",
+          {{"deployment", std::to_string(instance.deployment_id())}})),
+      cache_misses_(rt_.sim.metrics().counter(
+          "cache.misses",
+          {{"deployment", std::to_string(instance.deployment_id())}}))
 {
     rt_.coordinator.join(instance_.deployment_id(), this);
     in_coordinator_ = true;
@@ -86,7 +92,7 @@ NameNode::run_coherence(const Op& op)
     if (op.type == OpType::kMv) {
         add_path(op.dst);
     }
-    co_await rt_.coordinator.invalidate(std::move(targets), this);
+    co_await rt_.coordinator.invalidate(std::move(targets), this, op.trace);
 }
 
 sim::Task<void>
@@ -109,7 +115,7 @@ NameNode::run_subtree_coherence(Op op)
         targets.push_back(coord::Coordinator::InvTarget{
             rt_.partitioner.deployment_for(dst_parent), dst_parent, false});
     }
-    co_await rt_.coordinator.invalidate(std::move(targets), this);
+    co_await rt_.coordinator.invalidate(std::move(targets), this, op.trace);
 }
 
 sim::Task<OpResult>
@@ -128,6 +134,9 @@ NameNode::handle_read(const Op& op)
         rt_.partitioner.deployment_for(op.path) == instance_.deployment_id();
     auto cached = home_partition ? cache_.get(op.path)
                                  : std::optional<ns::INode>();
+    if (home_partition) {
+        (cached.has_value() ? cache_hits_ : cache_misses_).add();
+    }
     if (cached.has_value()) {
         OpResult result;
         if (op.type == OpType::kReadFile && !cached->is_file()) {
@@ -254,12 +263,16 @@ NameNode::handle(faas::Invocation inv)
         rt_.tcp_registry.add_connection(inv.client_vm, inv.tcp_server,
                                         &instance_);
     }
+    sim::Span nn_span = rt_.sim.tracer().start_span(
+        "namenode", op_name(inv.op.type), inv.op.trace);
+    inv.op.trace = nn_span.context();
     const Op& op = inv.op;
     // Transparently-resubmitted requests are answered from the retained
     // result cache instead of being re-performed (§3.2).
     if (op.op_id != 0) {
         auto it = result_cache_.find(op.op_id);
         if (it != result_cache_.end()) {
+            nn_span.annotate("result_cache", "hit");
             co_await instance_.compute(sim::usec(20));
             co_return it->second;
         }
@@ -267,6 +280,8 @@ NameNode::handle(faas::Invocation inv)
     OpResult result;
     if (is_read_op(op.type)) {
         result = co_await handle_read(op);
+        nn_span.annotate("cache_hit",
+                         static_cast<int64_t>(result.cache_hit ? 1 : 0));
     } else if (is_subtree_op(op.type) || requires_subtree_protocol(op)) {
         result = co_await handle_subtree(op);
     } else {

@@ -115,6 +115,9 @@ class NameNode : public faas::FunctionApp, public coord::CacheMember {
     faas::FunctionInstance& instance_;
     NameNodeConfig config_;
     cache::MetadataCache cache_;
+    // Registry-owned, shared by every NameNode of the same deployment.
+    sim::Counter& cache_hits_;
+    sim::Counter& cache_misses_;
     bool in_coordinator_ = false;
     uint64_t block_reports_ = 0;
     std::unordered_map<uint64_t, OpResult> result_cache_;

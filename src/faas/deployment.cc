@@ -20,7 +20,13 @@ FunctionDeployment::FunctionDeployment(sim::Simulation& sim,
       id_(id),
       name_(std::move(name)),
       config_(config),
-      factory_(std::move(factory))
+      factory_(std::move(factory)),
+      cold_starts_(
+          sim.metrics().counter("faas.cold_starts", {{"deployment", name_}})),
+      reclamations_(
+          sim.metrics().counter("faas.reclamations", {{"deployment", name_}})),
+      gateway_invocations_(sim.metrics().counter("faas.gateway_invocations",
+                                                 {{"deployment", name_}}))
 {
 }
 
@@ -115,11 +121,18 @@ sim::Task<OpResult>
 FunctionDeployment::invoke_via_gateway(Invocation inv)
 {
     gateway_invocations_.add();
+    sim::Span gateway_span =
+        sim_.tracer().start_span("faas", "gateway", inv.op.trace);
+    gateway_span.annotate("deployment", name_);
+    inv.op.trace = gateway_span.context();
     co_await network_.transfer(net::LatencyClass::kHttpGateway);
+    sim::Span queue_span = sim_.tracer().start_span("faas", "queue_wait",
+                                                    gateway_span.context());
     auto cell = std::make_shared<sim::OneShot<FunctionInstance*>>(sim_);
     wait_queue_.push_back(cell);
     drain_queue();
     FunctionInstance* inst = co_await cell->wait();
+    queue_span.end();
     assert(inst != nullptr);
     OpResult result = co_await inst->serve_http(std::move(inv));
     co_await network_.transfer(net::LatencyClass::kHttpGateway);

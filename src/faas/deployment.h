@@ -109,9 +109,10 @@ class FunctionDeployment {
     size_t kill_cursor_ = 0;
     std::vector<std::unique_ptr<FunctionInstance>> instances_;
     std::deque<std::shared_ptr<sim::OneShot<FunctionInstance*>>> wait_queue_;
-    sim::Counter cold_starts_;
-    sim::Counter reclamations_;
-    sim::Counter gateway_invocations_;
+    // Registry-owned (labelled by deployment): survive this object.
+    sim::Counter& cold_starts_;
+    sim::Counter& reclamations_;
+    sim::Counter& gateway_invocations_;
 };
 
 }  // namespace lfs::faas

@@ -31,7 +31,19 @@ FunctionInstance::start_cold()
 {
     sim::SimTime cold =
         rng_.uniform_duration(config_.cold_start_min, config_.cold_start_max);
-    sim_.schedule(cold, [this] {
+    // shared_ptr: Span is move-only but Simulation::schedule needs a
+    // copyable callable. Null when tracing is off (no allocation).
+    std::shared_ptr<sim::Span> span;
+    if (sim_.tracer().enabled()) {
+        span = std::make_shared<sim::Span>(
+            sim_.tracer().start_trace("faas", "cold_start"));
+        span->annotate("deployment", static_cast<int64_t>(deployment_id_));
+        span->annotate("instance", static_cast<int64_t>(instance_id_));
+    }
+    sim_.schedule(cold, [this, span] {
+        if (span) {
+            span->end();
+        }
         if (state_ == State::kColdStarting) {
             state_ = State::kWarm;
             last_activity_ = sim_.now();
@@ -111,8 +123,16 @@ FunctionInstance::schedule_idle_check()
 sim::Task<OpResult>
 FunctionInstance::serve(Invocation inv, bool via_http)
 {
+    sim::Span exec_span = sim_.tracer().start_span(
+        "faas", via_http ? "exec_http" : "exec_tcp", inv.op.trace);
+    exec_span.annotate("deployment", static_cast<int64_t>(deployment_id_));
+    exec_span.annotate("instance", static_cast<int64_t>(instance_id_));
+    inv.op.trace = exec_span.context();
     if (!warm()) {
+        sim::Span wait_span = sim_.tracer().start_span(
+            "faas", "cold_start_wait", exec_span.context());
         co_await warm_gate_.wait();
+        wait_span.end();
     }
     if (!alive()) {
         OpResult result;

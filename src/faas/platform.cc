@@ -10,6 +10,15 @@ Platform::Platform(sim::Simulation& sim, net::Network& network, sim::Rng rng,
       config_(config),
       pool_(config.total_vcpus)
 {
+    sim_.metrics().register_callback_gauge(
+        "faas.live_instances_total", {},
+        [this] { return static_cast<double>(total_alive_instances()); },
+        this);
+}
+
+Platform::~Platform()
+{
+    sim_.metrics().remove_owner(this);
 }
 
 FunctionDeployment&
@@ -20,7 +29,14 @@ Platform::create_deployment(const std::string& name, FunctionConfig config,
     deployments_.push_back(std::make_unique<FunctionDeployment>(
         sim_, network_, pool_, rng_.fork(), id, name, config,
         std::move(factory)));
-    return *deployments_.back();
+    FunctionDeployment* d = deployments_.back().get();
+    sim_.metrics().register_callback_gauge(
+        "faas.live_instances", {{"deployment", name}},
+        [d] { return static_cast<double>(d->alive_count()); }, this);
+    sim_.metrics().register_callback_gauge(
+        "faas.queue_len", {{"deployment", name}},
+        [d] { return static_cast<double>(d->queue_length()); }, this);
+    return *d;
 }
 
 int

@@ -28,6 +28,7 @@ class Platform {
   public:
     Platform(sim::Simulation& sim, net::Network& network, sim::Rng rng,
              PlatformConfig config = {});
+    ~Platform();
 
     /**
      * Register a new uniquely named deployment. Deployment ids are dense

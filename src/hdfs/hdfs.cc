@@ -17,7 +17,8 @@ Hdfs::Hdfs(sim::Simulation& sim, HdfsConfig config)
     : sim_(sim),
       config_(config),
       rng_(config.seed),
-      network_(sim, rng_.fork(), config.network)
+      network_(sim, rng_.fork(), config.network),
+      metrics_(sim.metrics(), config.label)
 {
     cpu_ = std::make_unique<sim::Semaphore>(
         sim_, std::max<int64_t>(1, std::llround(config_.vcpus)));

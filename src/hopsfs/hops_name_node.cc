@@ -169,6 +169,10 @@ HopsNameNode::serve_subtree(const Op& op)
 sim::Task<OpResult>
 HopsNameNode::serve(Op op)
 {
+    sim::Span nn_span =
+        sim_.tracer().start_span("namenode", op_name(op.type), op.trace);
+    nn_span.annotate("namenode", static_cast<int64_t>(id_));
+    op.trace = nn_span.context();
     co_await handlers_.acquire();
     sim::SemaphoreGuard guard(handlers_);
     requests_.add();

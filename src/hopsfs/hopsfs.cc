@@ -47,7 +47,8 @@ HopsFs::HopsFs(sim::Simulation& sim, HopsFsConfig config)
       config_(config),
       rng_(config.seed),
       network_(sim, rng_.fork(), config.network),
-      store_(sim, network_, rng_.fork(), config.store)
+      store_(sim, network_, rng_.fork(), config.store),
+      metrics_(sim.metrics(), config.label)
 {
     HopsNameNodeConfig nn_config = config_.name_node;
     nn_config.cache_bytes = config_.cache_bytes_per_nn;
@@ -104,6 +105,11 @@ sim::Task<OpResult>
 HopsClient::execute(Op op)
 {
     op.op_id = (static_cast<uint64_t>(id_ + 1) << 40) | 0;
+    sim::Span op_span =
+        fs_.simulation().tracer().start_trace("client", op_name(op.type));
+    op_span.annotate("path", op.path);
+    op_span.annotate("client", static_cast<int64_t>(id_));
+    op.trace = op_span.context();
     OpResult result;
     for (int attempt = 1; attempt <= fs_.config().max_attempts; ++attempt) {
         // +Cache clients route deterministically by partition so exactly

@@ -81,7 +81,11 @@ IndexFsClient::IndexFsClient(IndexFs& fs, int id, sim::Rng rng)
 sim::Task<OpResult>
 IndexFsClient::execute(Op op)
 {
-    (void)id_;
+    sim::Span op_span =
+        fs_.simulation().tracer().start_trace("client", op_name(op.type));
+    op_span.annotate("path", op.path);
+    op_span.annotate("client", static_cast<int64_t>(id_));
+    op.trace = op_span.context();
     // Lease-cached read path (stateless client caching).
     if (is_read_op(op.type)) {
         auto it = leases_.find(op.path);
@@ -122,7 +126,8 @@ IndexFs::IndexFs(sim::Simulation& sim, IndexFsConfig config)
     : sim_(sim),
       config_(config),
       rng_(config.seed),
-      network_(sim, rng_.fork(), config.network)
+      network_(sim, rng_.fork(), config.network),
+      metrics_(sim.metrics(), config.label)
 {
     for (int i = 0; i < config_.num_servers; ++i) {
         servers_.push_back(std::make_unique<IndexFsServer>(

@@ -188,6 +188,11 @@ sim::Task<OpResult>
 LambdaIndexClient::execute(Op op)
 {
     op.op_id = (static_cast<uint64_t>(id_ + 1) << 40) | ++next_seq_;
+    sim::Span op_span =
+        fs_.simulation().tracer().start_trace("client", op_name(op.type));
+    op_span.annotate("path", op.path);
+    op_span.annotate("client", static_cast<int64_t>(id_));
+    op.trace = op_span.context();
     int target = fs_.deployment_for(op.path);
     OpResult result;
     for (int attempt = 1; attempt <= fs_.config().max_attempts; ++attempt) {
@@ -238,7 +243,8 @@ LambdaIndexFs::LambdaIndexFs(sim::Simulation& sim, LambdaIndexFsConfig config)
                                  config.max_clients_per_tcp_server - 1) /
                                     config.max_clients_per_tcp_server)),
       platform_(sim, network_, rng_.fork(),
-                faas::PlatformConfig{config.total_vcpus, config.function})
+                faas::PlatformConfig{config.total_vcpus, config.function}),
+      metrics_(sim.metrics(), config.label)
 {
     for (int i = 0; i < config_.num_lsm_instances; ++i) {
         lsm_instances_.push_back(std::make_unique<lsm::LsmTree>(

@@ -124,7 +124,8 @@ InfiniCacheFs::InfiniCacheFs(sim::Simulation& sim, InfiniCacheConfig config)
       network_(sim, rng_.fork(), config.network),
       store_(sim, network_, rng_.fork(), config.store),
       platform_(sim, network_, rng_.fork(),
-                faas::PlatformConfig{config.total_vcpus, config.function})
+                faas::PlatformConfig{config.total_vcpus, config.function}),
+      metrics_(sim.metrics(), config.label)
 {
     for (int i = 0; i < config_.num_functions; ++i) {
         auto& deployment = platform_.create_deployment(

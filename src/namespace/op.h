@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "src/namespace/inode.h"
+#include "src/sim/trace.h"
 #include "src/util/status.h"
 
 namespace lfs {
@@ -54,6 +55,7 @@ struct Op {
     std::string dst;         ///< destination (mv only)
     ns::UserContext user;    ///< principal
     uint64_t op_id = 0;      ///< unique id (dedup of resubmitted requests)
+    sim::TraceContext trace;  ///< tracing context; each layer re-parents it
 };
 
 /** Result payload for read-type operations. */

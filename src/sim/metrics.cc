@@ -1,0 +1,278 @@
+#include "src/sim/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace lfs::sim {
+
+namespace {
+
+/** Deterministic JSON number for @p v (non-finite values become 0). */
+std::string
+json_number(double v)
+{
+    if (!std::isfinite(v)) {
+        return "0";
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.10g", v);
+    return buf;
+}
+
+std::string
+labels_json(const MetricLabels& labels)
+{
+    std::string out = "{";
+    bool first = true;
+    for (const auto& [key, value] : labels) {
+        if (!first) {
+            out += ",";
+        }
+        first = false;
+        out += json_quote(key) + ":" + json_quote(value);
+    }
+    out += "}";
+    return out;
+}
+
+[[noreturn]] void
+type_mismatch(const std::string& key, const char* requested)
+{
+    std::fprintf(stderr,
+                 "MetricsRegistry: metric '%s' already registered with a "
+                 "different type (requested %s)\n",
+                 key.c_str(), requested);
+    std::abort();
+}
+
+}  // namespace
+
+std::string
+json_quote(const std::string& s)
+{
+    std::string out = "\"";
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += "\"";
+    return out;
+}
+
+std::string
+MetricsRegistry::make_key(const std::string& name, MetricLabels& labels)
+{
+    std::sort(labels.begin(), labels.end());
+    std::string key = name;
+    if (!labels.empty()) {
+        key += "{";
+        for (size_t i = 0; i < labels.size(); ++i) {
+            if (i > 0) {
+                key += ",";
+            }
+            key += labels[i].first + "=" + labels[i].second;
+        }
+        key += "}";
+    }
+    return key;
+}
+
+MetricsRegistry::Entry&
+MetricsRegistry::entry_for(const std::string& name, MetricLabels labels,
+                           const char* /*type*/)
+{
+    std::string key = make_key(name, labels);
+    auto [it, inserted] = entries_.try_emplace(key);
+    if (inserted) {
+        it->second.name = name;
+        it->second.labels = std::move(labels);
+    }
+    return it->second;
+}
+
+Counter&
+MetricsRegistry::counter(const std::string& name, MetricLabels labels)
+{
+    Entry& e = entry_for(name, std::move(labels), "counter");
+    if (!e.counter) {
+        if (e.gauge || e.histogram || e.series || e.callback) {
+            type_mismatch(e.name, "counter");
+        }
+        e.counter = std::make_unique<Counter>();
+    }
+    return *e.counter;
+}
+
+Gauge&
+MetricsRegistry::gauge(const std::string& name, MetricLabels labels)
+{
+    Entry& e = entry_for(name, std::move(labels), "gauge");
+    if (!e.gauge) {
+        if (e.counter || e.histogram || e.series || e.callback) {
+            type_mismatch(e.name, "gauge");
+        }
+        e.gauge = std::make_unique<Gauge>();
+    }
+    return *e.gauge;
+}
+
+Histogram&
+MetricsRegistry::histogram(const std::string& name, MetricLabels labels)
+{
+    Entry& e = entry_for(name, std::move(labels), "histogram");
+    if (!e.histogram) {
+        if (e.counter || e.gauge || e.series || e.callback) {
+            type_mismatch(e.name, "histogram");
+        }
+        e.histogram = std::make_unique<Histogram>();
+    }
+    return *e.histogram;
+}
+
+TimeSeries&
+MetricsRegistry::time_series(const std::string& name, SimTime bin_width,
+                             MetricLabels labels)
+{
+    Entry& e = entry_for(name, std::move(labels), "time_series");
+    if (!e.series) {
+        if (e.counter || e.gauge || e.histogram || e.callback) {
+            type_mismatch(e.name, "time_series");
+        }
+        e.series = std::make_unique<TimeSeries>(bin_width);
+    }
+    return *e.series;
+}
+
+void
+MetricsRegistry::register_callback_gauge(const std::string& name,
+                                         MetricLabels labels,
+                                         std::function<double()> fn,
+                                         const void* owner)
+{
+    Entry& e = entry_for(name, std::move(labels), "callback");
+    if (e.counter || e.gauge || e.histogram || e.series) {
+        type_mismatch(e.name, "callback gauge");
+    }
+    e.callback = std::move(fn);
+    e.owner = owner;
+}
+
+void
+MetricsRegistry::remove_owner(const void* owner)
+{
+    if (owner == nullptr) {
+        return;
+    }
+    for (auto it = entries_.begin(); it != entries_.end();) {
+        if (it->second.callback && it->second.owner == owner) {
+            it = entries_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+bool
+MetricsRegistry::contains(const std::string& name,
+                          const MetricLabels& labels) const
+{
+    MetricLabels copy = labels;
+    return entries_.count(make_key(name, copy)) > 0;
+}
+
+std::string
+MetricsRegistry::to_json(SimTime now) const
+{
+    std::string out = "{\"captured_at_us\":" +
+                      std::to_string(static_cast<long long>(now)) +
+                      ",\"metrics\":[\n";
+    bool first = true;
+    for (const auto& [key, e] : entries_) {
+        if (!first) {
+            out += ",\n";
+        }
+        first = false;
+        out += "{\"name\":" + json_quote(e.name) +
+               ",\"labels\":" + labels_json(e.labels);
+        if (e.counter) {
+            out += ",\"type\":\"counter\",\"value\":" +
+                   std::to_string(e.counter->value());
+        } else if (e.gauge) {
+            out += ",\"type\":\"gauge\",\"value\":" +
+                   json_number(e.gauge->value());
+        } else if (e.callback) {
+            out += ",\"type\":\"gauge\",\"value\":" +
+                   json_number(e.callback());
+        } else if (e.histogram) {
+            const Histogram& h = *e.histogram;
+            out += ",\"type\":\"histogram\",\"count\":" +
+                   std::to_string(h.count());
+            out += ",\"min\":" + std::to_string(h.min());
+            out += ",\"max\":" + std::to_string(h.max());
+            out += ",\"mean\":" + json_number(h.mean());
+            out += ",\"p50\":" + std::to_string(h.p50());
+            out += ",\"p95\":" + std::to_string(h.p95());
+            out += ",\"p99\":" + std::to_string(h.p99());
+            out += ",\"p999\":" + std::to_string(h.p999());
+        } else if (e.series) {
+            const TimeSeries& s = *e.series;
+            out += ",\"type\":\"time_series\",\"bin_width_us\":" +
+                   std::to_string(static_cast<long long>(s.bin_width()));
+            out += ",\"bins\":[";
+            for (size_t i = 0; i < s.bins(); ++i) {
+                if (i > 0) {
+                    out += ",";
+                }
+                out += "{\"sum\":" + json_number(s.sum_at(i)) +
+                       ",\"count\":" + std::to_string(s.count_at(i)) +
+                       ",\"rate\":" + json_number(s.rate_at(i, now)) + "}";
+            }
+            out += "]";
+        } else {
+            out += ",\"type\":\"empty\"";
+        }
+        out += "}";
+    }
+    out += "\n]}\n";
+    return out;
+}
+
+bool
+MetricsRegistry::write_json(const std::string& path, SimTime now) const
+{
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+        return false;
+    }
+    std::string doc = to_json(now);
+    size_t written = std::fwrite(doc.data(), 1, doc.size(), f);
+    return std::fclose(f) == 0 && written == doc.size();
+}
+
+}  // namespace lfs::sim

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Central named-metric registry. Components register counters, gauges,
+ * histograms, and time series under a name plus optional labels (e.g.
+ * `faas.cold_starts{deployment=NameNode3}`) instead of owning ad-hoc
+ * private counters, so every experiment harness can export the full
+ * system state machine-readably without per-component plumbing.
+ *
+ * The registry owns all metric storage; references returned by
+ * counter()/gauge()/histogram()/time_series() stay valid for the
+ * registry's lifetime (metrics are never removed). Live values that only
+ * exist as functions of component state (queue depths, alive-instance
+ * counts) register as callback gauges, evaluated at export time; they
+ * carry an owner tag so a component can deregister its callbacks before
+ * it is destroyed.
+ *
+ * Export order is deterministic (sorted by full metric key), so two runs
+ * with the same seed produce byte-identical JSON.
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/sim/stats.h"
+#include "src/sim/time.h"
+
+namespace lfs::sim {
+
+/** A settable instantaneous value (unlike the monotonic Counter). */
+class Gauge {
+  public:
+    void set(double v) { value_ = v; }
+    void add(double d) { value_ += d; }
+    double value() const { return value_; }
+
+  private:
+    double value_ = 0.0;
+};
+
+/** Label set: (key, value) pairs; order is normalized internally. */
+using MetricLabels = std::vector<std::pair<std::string, std::string>>;
+
+/** JSON string literal (quoted and escaped) for @p s. */
+std::string json_quote(const std::string& s);
+
+class MetricsRegistry {
+  public:
+    MetricsRegistry() = default;
+    MetricsRegistry(const MetricsRegistry&) = delete;
+    MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+    /**
+     * Look up or create a metric. Requesting an existing name+labels key
+     * returns the same object; requesting it as a different metric type
+     * aborts (programming error).
+     */
+    Counter& counter(const std::string& name, MetricLabels labels = {});
+    Gauge& gauge(const std::string& name, MetricLabels labels = {});
+    Histogram& histogram(const std::string& name, MetricLabels labels = {});
+    TimeSeries& time_series(const std::string& name, SimTime bin_width,
+                            MetricLabels labels = {});
+
+    /**
+     * Register a gauge computed on demand at export time. @p owner tags
+     * the callback so remove_owner() can drop it before the owning
+     * component dies. Re-registering the same key replaces the callback.
+     */
+    void register_callback_gauge(const std::string& name, MetricLabels labels,
+                                 std::function<double()> fn,
+                                 const void* owner = nullptr);
+
+    /** Drop every callback gauge registered with @p owner. */
+    void remove_owner(const void* owner);
+
+    bool contains(const std::string& name,
+                  const MetricLabels& labels = {}) const;
+
+    size_t size() const { return entries_.size(); }
+
+    /**
+     * Serialize every metric as one JSON object. @p now bounds the last
+     * (partially filled) bin of each time series, see
+     * TimeSeries::rate_at(i, now).
+     */
+    std::string to_json(SimTime now) const;
+
+    /** Write to_json() to @p path. @return false on I/O error. */
+    bool write_json(const std::string& path, SimTime now) const;
+
+  private:
+    struct Entry {
+        std::string name;
+        MetricLabels labels;
+        // Exactly one of these is set.
+        std::unique_ptr<Counter> counter;
+        std::unique_ptr<Gauge> gauge;
+        std::unique_ptr<Histogram> histogram;
+        std::unique_ptr<TimeSeries> series;
+        std::function<double()> callback;
+        const void* owner = nullptr;
+    };
+
+    static std::string make_key(const std::string& name,
+                                MetricLabels& labels);
+    Entry& entry_for(const std::string& name, MetricLabels labels,
+                     const char* type);
+
+    // std::map: deterministic iteration order for export.
+    std::map<std::string, Entry> entries_;
+};
+
+}  // namespace lfs::sim

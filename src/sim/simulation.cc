@@ -4,6 +4,13 @@
 
 namespace lfs::sim {
 
+Simulation::Simulation() : tracer_(*this)
+{
+    metrics_.register_callback_gauge(
+        "sim.event_backlog", {},
+        [this] { return static_cast<double>(heap_.size()); }, this);
+}
+
 void
 Simulation::schedule(SimTime delay, std::function<void()> fn)
 {

@@ -14,7 +14,9 @@
 #include <queue>
 #include <vector>
 
+#include "src/sim/metrics.h"
 #include "src/sim/time.h"
+#include "src/sim/trace.h"
 
 namespace lfs::sim {
 
@@ -27,9 +29,17 @@ namespace lfs::sim {
  */
 class Simulation {
   public:
-    Simulation() = default;
+    Simulation();
     Simulation(const Simulation&) = delete;
     Simulation& operator=(const Simulation&) = delete;
+
+    /** Request tracer for this simulation (disabled by default). */
+    Tracer& tracer() { return tracer_; }
+    const Tracer& tracer() const { return tracer_; }
+
+    /** Central metric registry shared by every component of this sim. */
+    MetricsRegistry& metrics() { return metrics_; }
+    const MetricsRegistry& metrics() const { return metrics_; }
 
     /** Current simulated time. */
     SimTime now() const { return now_; }
@@ -88,6 +98,8 @@ class Simulation {
     uint64_t executed_ = 0;
     bool stopped_ = false;
     std::priority_queue<Event, std::vector<Event>, Later> heap_;
+    MetricsRegistry metrics_;
+    Tracer tracer_;
 };
 
 }  // namespace lfs::sim

@@ -4,6 +4,7 @@
 #include <bit>
 #include <cassert>
 #include <cmath>
+#include <cstdio>
 
 namespace lfs::sim {
 
@@ -176,6 +177,21 @@ TimeSeries::rate_at(size_t i) const
 }
 
 double
+TimeSeries::rate_at(size_t i, SimTime now) const
+{
+    SimTime bin_start = static_cast<SimTime>(i) * bin_width_;
+    SimTime bin_end = bin_start + bin_width_;
+    if (now >= bin_end) {
+        return rate_at(i);  // complete bin
+    }
+    SimTime elapsed = now - bin_start;
+    if (elapsed <= 0) {
+        return 0.0;
+    }
+    return sum_at(i) / to_sec(elapsed);
+}
+
+double
 TimeSeries::total() const
 {
     double t = 0.0;
@@ -183,6 +199,32 @@ TimeSeries::total() const
         t += s;
     }
     return t;
+}
+
+std::string
+TimeSeries::to_json(SimTime now) const
+{
+    std::string out = "[";
+    char buf[128];
+    for (size_t i = 0; i < sums_.size(); ++i) {
+        if (i > 0) {
+            out += ",";
+        }
+        double rate = rate_at(i, now);
+        if (!std::isfinite(rate)) {
+            rate = 0.0;
+        }
+        std::snprintf(buf, sizeof(buf),
+                      "{\"t_us\":%lld,\"sum\":%.10g,\"count\":%llu,"
+                      "\"rate\":%.10g}",
+                      static_cast<long long>(static_cast<SimTime>(i) *
+                                             bin_width_),
+                      sums_[i], static_cast<unsigned long long>(counts_[i]),
+                      rate);
+        out += buf;
+    }
+    out += "]";
+    return out;
 }
 
 }  // namespace lfs::sim

@@ -52,13 +52,17 @@ class Histogram {
 
     /**
      * Approximate value at percentile @p p in [0, 100]. Returns the upper
-     * edge of the bucket containing the p-th sample.
+     * edge of the bucket containing the p-th sample. An empty histogram
+     * has no samples to rank, so it returns 0 — exporters can serialize
+     * percentiles unconditionally without dividing by count().
      */
     int64_t percentile(double p) const;
 
     /** Convenience wrappers. */
     int64_t p50() const { return percentile(50.0); }
+    int64_t p95() const { return percentile(95.0); }
     int64_t p99() const { return percentile(99.0); }
+    int64_t p999() const { return percentile(99.9); }
 
     /**
      * Emit a CDF as (value, cumulative fraction) points, one per non-empty
@@ -108,12 +112,29 @@ class TimeSeries {
 
     /**
      * Sum per *second* for bin @p i — i.e. throughput when add() records
-     * one unit per completed operation.
+     * one unit per completed operation. Assumes the bin is complete; for
+     * the trailing bin of a still-running series, prefer the @p now
+     * overload below.
      */
     double rate_at(size_t i) const;
 
+    /**
+     * Like rate_at(i), but clamps the divisor for a partially-filled
+     * trailing bin: if @p now falls inside bin @p i, the sum is divided by
+     * the elapsed time within the bin rather than the full bin width, so a
+     * bin observed for 100 ms doesn't report a rate 10x too low. Returns 0
+     * if no time has elapsed inside the bin (or @p now precedes it).
+     */
+    double rate_at(size_t i, SimTime now) const;
+
     /** Total across all bins. */
     double total() const;
+
+    /**
+     * JSON array of per-bin objects {t_us, sum, count, rate}. Rates for
+     * the trailing bin are clamped via rate_at(i, @p now).
+     */
+    std::string to_json(SimTime now) const;
 
   private:
     SimTime bin_width_;

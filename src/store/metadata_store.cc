@@ -16,7 +16,26 @@ MetadataStore::MetadataStore(sim::Simulation& sim, net::Network& network,
     for (int i = 0; i < config_.num_data_nodes; ++i) {
         shards_.push_back(
             std::make_unique<DataNode>(sim, rng.fork(), config_.data_node));
+        DataNode* shard = shards_.back().get();
+        sim_.metrics().register_callback_gauge(
+            "store.queue_depth", {{"shard", std::to_string(i)}},
+            [shard] { return static_cast<double>(shard->queue_depth()); },
+            this);
     }
+    sim_.metrics().register_callback_gauge(
+        "store.queue_depth_total", {},
+        [this] { return static_cast<double>(queue_depth()); }, this);
+    sim_.metrics().register_callback_gauge(
+        "store.reads", {},
+        [this] { return static_cast<double>(total_reads()); }, this);
+    sim_.metrics().register_callback_gauge(
+        "store.writes", {},
+        [this] { return static_cast<double>(total_writes()); }, this);
+}
+
+MetadataStore::~MetadataStore()
+{
+    sim_.metrics().remove_owner(this);
 }
 
 DataNode&
@@ -191,9 +210,15 @@ MetadataStore::read_lock_set(const std::string& p) const
 sim::Task<OpResult>
 MetadataStore::read_op(Op op)
 {
+    sim::Span txn_span =
+        sim_.tracer().start_span("store", "read_txn", op.trace);
     co_await network_.transfer(net::LatencyClass::kStore);
     OpResult result;
     while (true) {
+        // One lock_wait span per retry round; move-assign ends the
+        // previous round's span.
+        sim::Span lock_span = sim_.tracer().start_span("store", "lock_wait",
+                                                       txn_span.context());
         // While a subtree operation is in flight over this path, reads
         // block behind it (the subtree flag acts as an intention lock).
         while (locks_.overlaps_active_subtree(op.path)) {
@@ -206,6 +231,7 @@ MetadataStore::read_op(Op op)
         for (ns::INodeId id : lock_ids) {
             co_await locks_.lock_shared(id);
         }
+        lock_span.end();
         DataNode& shard = shard_for(path::parent(op.path));
         co_await shard.execute_read(path::depth(op.path) + 1);
         result = apply_read(op);
@@ -227,7 +253,11 @@ MetadataStore::read_op(Op op)
 sim::Task<OpResult>
 MetadataStore::write_op(Op op, LockedHook after_lock)
 {
+    sim::Span txn_span =
+        sim_.tracer().start_span("store", "write_txn", op.trace);
     co_await network_.transfer(net::LatencyClass::kStore);
+    sim::Span lock_span =
+        sim_.tracer().start_span("store", "lock_wait", txn_span.context());
     while (locks_.overlaps_active_subtree(op.path) ||
            (op.type == OpType::kMv &&
             locks_.overlaps_active_subtree(op.dst))) {
@@ -235,6 +265,7 @@ MetadataStore::write_op(Op op, LockedHook after_lock)
     }
     std::vector<ns::INodeId> lock_ids = write_lock_set(op);
     co_await locks_.lock_exclusive_ordered(lock_ids);
+    lock_span.end();
     if (after_lock) {
         co_await after_lock();
     }
@@ -276,9 +307,13 @@ MetadataStore::subtree_op(Op op)
 sim::Task<OpResult>
 MetadataStore::subtree_op(Op op, SubtreeExecution exec)
 {
+    sim::Span txn_span =
+        sim_.tracer().start_span("store", "subtree_txn", op.trace);
     co_await network_.transfer(net::LatencyClass::kStore);
 
     // Phase 1: set the subtree-lock flag; retry on overlap.
+    sim::Span lock_span =
+        sim_.tracer().start_span("store", "lock_wait", txn_span.context());
     while (true) {
         Status st = locks_.try_acquire_subtree(op.path);
         if (st.ok()) {
@@ -286,6 +321,7 @@ MetadataStore::subtree_op(Op op, SubtreeExecution exec)
         }
         co_await sim::delay(sim_, config_.subtree_retry_delay);
     }
+    lock_span.end();
 
     OpResult result;
     ns::UserContext root;
@@ -305,10 +341,17 @@ MetadataStore::subtree_op(Op op, SubtreeExecution exec)
     }
 
     // Phase 2: quiesce the subtree (ordered lock walk).
+    sim::Span quiesce_span =
+        sim_.tracer().start_span("store", "quiesce", txn_span.context());
+    quiesce_span.annotate("rows", rows);
     co_await quiesce_rows(op.path, rows);
+    quiesce_span.end();
 
     // Phase 3: batched sub-transactions, each preceded by the calling
     // NameNode cluster's own batch processing cost.
+    sim::Span commit_span = sim_.tracer().start_span(
+        "store", "commit_batches", txn_span.context());
+    commit_span.annotate("rows", rows);
     int batch = config_.subtree_batch_size;
     for (int64_t done = 0; done < rows; done += batch) {
         int64_t n = std::min<int64_t>(batch, rows - done);
@@ -317,6 +360,7 @@ MetadataStore::subtree_op(Op op, SubtreeExecution exec)
         }
         co_await commit_subtree_batch(op.path, n);
     }
+    commit_span.end();
 
     result = apply_write(op);
     result.inodes_touched = rows;

@@ -44,6 +44,7 @@ class MetadataStore {
   public:
     MetadataStore(sim::Simulation& sim, net::Network& network, sim::Rng rng,
                   StoreConfig config = {});
+    ~MetadataStore();
 
     /** Untimed access to the authoritative namespace (setup, verification). */
     ns::NamespaceTree& tree() { return tree_; }

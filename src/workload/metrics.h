@@ -4,13 +4,22 @@
  * test. Workload drivers record each completed operation here; experiment
  * harnesses read the series/histograms back out to print the paper's
  * figures (throughput timelines, latency CDFs, per-op throughput).
+ *
+ * All storage lives in a sim::MetricsRegistry under labelled names
+ * (`workload.completed{system=lambda-fs}`, `workload.latency{op=mkdir,...}`),
+ * so the harness's --metrics-out export sees workload results alongside
+ * faas/store/coord internals with no extra plumbing. The registry-less
+ * default constructor (used by unit tests) binds to a private registry.
  */
 #pragma once
 
 #include <array>
 #include <cstdint>
+#include <memory>
+#include <string>
 
 #include "src/namespace/op.h"
+#include "src/sim/metrics.h"
 #include "src/sim/stats.h"
 #include "src/sim/time.h"
 
@@ -19,74 +28,128 @@ namespace lfs::workload {
 class SystemMetrics {
   public:
     explicit SystemMetrics(sim::SimTime bin_width = sim::sec(1))
-        : throughput_(bin_width), active_nodes_(bin_width)
+        : own_registry_(std::make_unique<sim::MetricsRegistry>())
     {
+        bind(*own_registry_, "default", bin_width);
     }
+
+    /**
+     * Register this system's metrics into @p registry under
+     * `{system=...}` labels. If @p system is already taken (two runs of
+     * the same system sharing one registry), a `#2`, `#3`, ... suffix
+     * keeps the metric sets distinct.
+     */
+    SystemMetrics(sim::MetricsRegistry& registry, const std::string& system,
+                  sim::SimTime bin_width = sim::sec(1))
+    {
+        std::string label = system;
+        for (int i = 2; registry.contains("workload.completed",
+                                          {{"system", label}});
+             ++i) {
+            label = system + "#" + std::to_string(i);
+        }
+        bind(registry, label, bin_width);
+    }
+
+    SystemMetrics(const SystemMetrics&) = delete;
+    SystemMetrics& operator=(const SystemMetrics&) = delete;
 
     /** Record one finished operation. */
     void
     record(sim::SimTime now, OpType type, sim::SimTime latency, bool ok)
     {
         if (!ok) {
-            failed_.add();
+            failed_->add();
             return;
         }
-        completed_.add();
-        throughput_.add(now, 1.0);
-        overall_latency_.record(latency);
-        latency_by_type_[static_cast<size_t>(type)].record(latency);
+        completed_->add();
+        throughput_->add(now, 1.0);
+        overall_latency_->record(latency);
+        latency_by_type_[static_cast<size_t>(type)]->record(latency);
         if (is_read_op(type)) {
-            read_latency_.record(latency);
+            read_latency_->record(latency);
         } else {
-            write_latency_.record(latency);
+            write_latency_->record(latency);
         }
     }
 
     /** Record a retry/resubmission event. */
-    void record_retry() { retries_.add(); }
+    void record_retry() { retries_->add(); }
 
     /** Sample the current NameNode count (for the Fig. 8 right axis). */
     void
     sample_active_nodes(sim::SimTime now, int count)
     {
-        active_nodes_.add(now, static_cast<double>(count));
+        active_nodes_->add(now, static_cast<double>(count));
     }
 
-    const sim::TimeSeries& throughput() const { return throughput_; }
-    const sim::TimeSeries& active_nodes() const { return active_nodes_; }
-    const sim::Histogram& overall_latency() const { return overall_latency_; }
-    const sim::Histogram& read_latency() const { return read_latency_; }
-    const sim::Histogram& write_latency() const { return write_latency_; }
+    const sim::TimeSeries& throughput() const { return *throughput_; }
+    const sim::TimeSeries& active_nodes() const { return *active_nodes_; }
+    const sim::Histogram& overall_latency() const { return *overall_latency_; }
+    const sim::Histogram& read_latency() const { return *read_latency_; }
+    const sim::Histogram& write_latency() const { return *write_latency_; }
     const sim::Histogram&
     latency(OpType type) const
     {
-        return latency_by_type_[static_cast<size_t>(type)];
+        return *latency_by_type_[static_cast<size_t>(type)];
     }
 
-    uint64_t completed() const { return completed_.value(); }
-    uint64_t failed() const { return failed_.value(); }
-    uint64_t retries() const { return retries_.value(); }
+    uint64_t completed() const { return completed_->value(); }
+    uint64_t failed() const { return failed_->value(); }
+    uint64_t retries() const { return retries_->value(); }
+
+    /** The (possibly uniquified) `system` label this instance registered. */
+    const std::string& system_label() const { return label_; }
 
     /** Mean throughput over [0, now] in ops/sec. */
     double
     average_throughput(sim::SimTime now) const
     {
-        return now > 0 ? static_cast<double>(completed_.value()) /
+        return now > 0 ? static_cast<double>(completed_->value()) /
                              sim::to_sec(now)
                        : 0.0;
     }
 
   private:
-    sim::TimeSeries throughput_;
-    sim::TimeSeries active_nodes_;
-    sim::Histogram overall_latency_;
-    sim::Histogram read_latency_;
-    sim::Histogram write_latency_;
-    std::array<sim::Histogram, static_cast<size_t>(OpType::kCount)>
-        latency_by_type_;
-    sim::Counter completed_;
-    sim::Counter failed_;
-    sim::Counter retries_;
+    void
+    bind(sim::MetricsRegistry& r, const std::string& system,
+         sim::SimTime bin_width)
+    {
+        label_ = system;
+        sim::MetricLabels sys = {{"system", system}};
+        completed_ = &r.counter("workload.completed", sys);
+        failed_ = &r.counter("workload.failed", sys);
+        retries_ = &r.counter("workload.retries", sys);
+        throughput_ = &r.time_series("workload.throughput", bin_width, sys);
+        active_nodes_ =
+            &r.time_series("workload.active_nodes", bin_width, sys);
+        overall_latency_ = &r.histogram("workload.latency", sys);
+        read_latency_ = &r.histogram(
+            "workload.latency", {{"system", system}, {"class", "read"}});
+        write_latency_ = &r.histogram(
+            "workload.latency", {{"system", system}, {"class", "write"}});
+        for (size_t i = 0; i < latency_by_type_.size(); ++i) {
+            latency_by_type_[i] = &r.histogram(
+                "workload.latency",
+                {{"system", system},
+                 {"op", op_name(static_cast<OpType>(i))}});
+        }
+    }
+
+    // Owned only when default-constructed (unit tests); otherwise the
+    // harness-provided registry outlives this object.
+    std::unique_ptr<sim::MetricsRegistry> own_registry_;
+    std::string label_;
+    sim::Counter* completed_ = nullptr;
+    sim::Counter* failed_ = nullptr;
+    sim::Counter* retries_ = nullptr;
+    sim::TimeSeries* throughput_ = nullptr;
+    sim::TimeSeries* active_nodes_ = nullptr;
+    sim::Histogram* overall_latency_ = nullptr;
+    sim::Histogram* read_latency_ = nullptr;
+    sim::Histogram* write_latency_ = nullptr;
+    std::array<sim::Histogram*, static_cast<size_t>(OpType::kCount)>
+        latency_by_type_{};
 };
 
 }  // namespace lfs::workload
