@@ -3,7 +3,9 @@
 # Tier-1 verification plus an observability smoke test:
 #   1. configure + build everything
 #   2. run the full ctest suite
-#   3. run one bench harness at tiny scale with --trace-out/--metrics-out
+#   3. rebuild with AddressSanitizer + UBSan and rerun the suite
+#      (set LFS_SKIP_SANITIZE=1 to skip this pass)
+#   4. run one bench harness at tiny scale with --trace-out/--metrics-out
 #      and confirm both artifacts are valid JSON with the expected shape
 #
 # Usage: scripts/check.sh [build-dir]   (default: build)
@@ -19,6 +21,20 @@ cmake --build "$BUILD_DIR" -j"$(nproc)"
 
 echo "== ctest =="
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"
+
+if [[ "${LFS_SKIP_SANITIZE:-0}" != "1" ]]; then
+    echo "== ASan + UBSan build + ctest =="
+    cmake -B "$BUILD_DIR-asan" -S . -DLFS_SANITIZE=ON >/dev/null
+    cmake --build "$BUILD_DIR-asan" -j"$(nproc)"
+    # detect_leaks=0: the simulator's coroutine lifetime rule is that a
+    # suspended coroutine is never destroyed, so tests that end with
+    # operations still in flight leak those frames by design. ASan's
+    # use-after-free/overflow checks and UBSan remain fully active.
+    ASAN_OPTIONS=detect_leaks=0 \
+        ctest --test-dir "$BUILD_DIR-asan" --output-on-failure -j"$(nproc)"
+else
+    echo "== ASan + UBSan pass skipped (LFS_SKIP_SANITIZE=1) =="
+fi
 
 echo "== observability smoke (bench_fig10_latency_cdf) =="
 ARTIFACT_DIR="$(mktemp -d)"

@@ -194,6 +194,9 @@ MetadataCache::contains(const std::string& p) const
 void
 MetadataCache::invalidate(const std::string& p)
 {
+    // Log even when nothing is cached at p: an in-flight read may be
+    // about to install exactly this path, and the invalidation must win.
+    log_invalidation(p, /*prefix=*/false);
     Node* node = find(p);
     if (!node) {
         return;
@@ -219,6 +222,7 @@ MetadataCache::drop_subtree_values(Node* node)
 int64_t
 MetadataCache::invalidate_prefix(const std::string& prefix)
 {
+    log_invalidation(prefix, /*prefix=*/true);
     Node* node = find(prefix);
     if (!node) {
         return 0;
@@ -238,6 +242,66 @@ void
 MetadataCache::clear()
 {
     invalidate_prefix("/");
+}
+
+MetadataCache::ReadToken
+MetadataCache::begin_read()
+{
+    active_reads_.insert(inv_seq_);
+    return inv_seq_;
+}
+
+void
+MetadataCache::end_read(ReadToken token)
+{
+    auto it = active_reads_.find(token);
+    if (it != active_reads_.end()) {
+        active_reads_.erase(it);
+    }
+    if (active_reads_.empty()) {
+        inv_log_.clear();
+        return;
+    }
+    // Entries at or before the oldest active snapshot can no longer
+    // affect any reader.
+    uint64_t oldest = *active_reads_.begin();
+    while (!inv_log_.empty() && inv_log_.front().seq <= oldest) {
+        inv_log_.pop_front();
+    }
+}
+
+void
+MetadataCache::put_guarded(const std::string& p, const ns::INode& inode,
+                           ReadToken token)
+{
+    if (invalidated_since(p, token)) {
+        guard_rejections_.add();
+        return;
+    }
+    put(p, inode);
+}
+
+void
+MetadataCache::log_invalidation(const std::string& p, bool prefix)
+{
+    ++inv_seq_;
+    if (!active_reads_.empty()) {
+        inv_log_.push_back(InvLogEntry{inv_seq_, p, prefix});
+    }
+}
+
+bool
+MetadataCache::invalidated_since(const std::string& p, ReadToken token) const
+{
+    for (const InvLogEntry& e : inv_log_) {
+        if (e.seq <= token) {
+            continue;
+        }
+        if (e.prefix ? path::is_under(p, e.path) : p == e.path) {
+            return true;
+        }
+    }
+    return false;
 }
 
 double

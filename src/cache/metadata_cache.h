@@ -12,9 +12,11 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -41,6 +43,32 @@ class MetadataCache {
      * evict LRU entries to respect the byte budget.
      */
     void put(const std::string& path, const ns::INode& inode);
+
+    /**
+     * In-flight read guard. A NameNode reads the store under shared row
+     * locks but installs the result into this cache only after the reply
+     * has travelled back — after the locks were released. An exclusive
+     * writer can slip into that gap: lock, run its INV round (clearing
+     * this cache), commit, and ack — and the late install would then
+     * resurrect the pre-write value, serving stale metadata forever
+     * after. Guarded installs close the gap: take a token before issuing
+     * the store read, install through put_guarded(), and any
+     * invalidation that arrived in between wins over the install.
+     */
+    using ReadToken = uint64_t;
+
+    /** Register an in-flight store read; pair with end_read(). */
+    ReadToken begin_read();
+
+    /** Unregister an in-flight read, releasing its invalidation log. */
+    void end_read(ReadToken token);
+
+    /**
+     * put(), unless @p path was invalidated (point or covering prefix)
+     * after @p token was taken — then the install is discarded.
+     */
+    void put_guarded(const std::string& path, const ns::INode& inode,
+                     ReadToken token);
 
     /**
      * Cache a whole resolved chain (root..target). @p chain entries carry
@@ -75,12 +103,24 @@ class MetadataCache {
     uint64_t misses() const { return misses_.value(); }
     uint64_t evictions() const { return evictions_.value(); }
     uint64_t invalidations() const { return invalidations_.value(); }
+    /** Stale installs discarded by the in-flight read guard. */
+    uint64_t guard_rejections() const { return guard_rejections_.value(); }
 
     /** Fraction of gets served from cache (0 when no gets yet). */
     double hit_rate() const;
 
   private:
     struct Node;
+
+    /** One invalidation observed while ≥1 store read was in flight. */
+    struct InvLogEntry {
+        uint64_t seq = 0;
+        std::string path;
+        bool prefix = false;
+    };
+
+    void log_invalidation(const std::string& path, bool prefix);
+    bool invalidated_since(const std::string& path, ReadToken token) const;
 
     Node* find(const std::string& path) const;
     Node* find_or_create(const std::string& path);
@@ -104,6 +144,13 @@ class MetadataCache {
     sim::Counter misses_;
     sim::Counter evictions_;
     sim::Counter invalidations_;
+    sim::Counter guard_rejections_;
+
+    // In-flight read guard state: invalidations are logged only while a
+    // read is outstanding; the log is pruned as readers retire.
+    uint64_t inv_seq_ = 0;
+    std::multiset<uint64_t> active_reads_;
+    std::deque<InvLogEntry> inv_log_;
 };
 
 }  // namespace lfs::cache

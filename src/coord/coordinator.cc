@@ -4,11 +4,14 @@
 
 namespace lfs::coord {
 
-Coordinator::Coordinator(sim::Simulation& sim, net::Network& network)
+Coordinator::Coordinator(sim::Simulation& sim, net::Network& network,
+                         CoordinatorConfig config)
     : sim_(sim),
       network_(network),
+      config_(config),
       invs_(sim.metrics().counter("coord.invs")),
-      rounds_(sim.metrics().counter("coord.rounds"))
+      rounds_(sim.metrics().counter("coord.rounds")),
+      retransmits_(sim.metrics().counter("coord.retransmits"))
 {
 }
 
@@ -51,18 +54,64 @@ Coordinator::total_members() const
 }
 
 sim::Task<void>
-Coordinator::deliver_one(CacheMember* member, std::string path, bool subtree,
-                         sim::WaitGroup* wg)
+Coordinator::deliver_duplicate(CacheMember* member, std::string path,
+                               bool subtree)
 {
-    // INV hop to the member.
     co_await network_.transfer(net::LatencyClass::kCoord);
-    invs_.add();
-    // A member that terminated mid-protocol is excused from ACKing.
     if (member->member_alive()) {
         co_await member->deliver_invalidation(std::move(path), subtree);
     }
+}
+
+sim::Task<bool>
+Coordinator::try_deliver(int group, CacheMember* member,
+                         const std::string& path, bool subtree)
+{
+    auto inv_fault = network_.message_fault(
+        sim::FaultChannel::kCoordInv, sim::MessageDirection::kRequest, group);
+    if (inv_fault.duplicate) {
+        sim::spawn(deliver_duplicate(member, path, subtree));
+    }
+    // INV hop to the member (the leader pays the latency whether or not
+    // the message survives — it learns of a loss only via the ack timeout).
+    co_await network_.transfer(net::LatencyClass::kCoord);
+    if (inv_fault.drop) {
+        co_return false;
+    }
+    invs_.add();
+    // A member that terminated mid-protocol is excused from ACKing.
+    if (!member->member_alive()) {
+        co_return true;
+    }
+    co_await member->deliver_invalidation(path, subtree);
+    auto ack_fault = network_.message_fault(
+        sim::FaultChannel::kCoordAck, sim::MessageDirection::kReply, group);
     // ACK hop back to the leader.
     co_await network_.transfer(net::LatencyClass::kCoord);
+    co_return !ack_fault.drop;
+}
+
+sim::Task<void>
+Coordinator::deliver_one(int group, CacheMember* member, std::string path,
+                         bool subtree, sim::WaitGroup* wg)
+{
+    sim::SimTime backoff = config_.ack_timeout;
+    while (true) {
+        if (!member->member_alive()) {
+            break;  // excused: a dead member can't serve stale cache reads
+        }
+        bool acked = co_await try_deliver(group, member, path, subtree);
+        if (acked) {
+            break;
+        }
+        // Ack timeout elapsed with no ACK: retransmit with backoff. The
+        // loop is bounded in practice by the member dying or the fault /
+        // partition window closing; invalidation delivery is idempotent,
+        // so an ACK lost after a successful delivery only costs time.
+        retransmits_.add();
+        co_await sim::delay(sim_, backoff);
+        backoff = std::min(backoff * 2, config_.retransmit_backoff_max);
+    }
     wg->done();
 }
 
@@ -88,7 +137,8 @@ Coordinator::invalidate(std::vector<InvTarget> targets, CacheMember* exclude,
                 continue;
             }
             wg.add();
-            sim::spawn(deliver_one(member, target.path, target.subtree, &wg));
+            sim::spawn(deliver_one(target.group, member, target.path,
+                                   target.subtree, &wg));
         }
     }
     co_await wg.wait();

@@ -37,9 +37,23 @@ class CacheMember {
                                                  bool subtree) = 0;
 };
 
+/** Reliable-delivery knobs for the INV/ACK round. */
+struct CoordinatorConfig {
+    /**
+     * How long the leader waits for a member's ACK before retransmitting
+     * the INV. Generous versus the ~0.3-0.8 ms healthy coord round trip,
+     * tight versus the client-visible write timeout so a lossy network
+     * converges within one client attempt.
+     */
+    sim::SimTime ack_timeout = sim::msec(25);
+    /** Cap for the exponential retransmission backoff. */
+    sim::SimTime retransmit_backoff_max = sim::msec(400);
+};
+
 class Coordinator {
   public:
-    Coordinator(sim::Simulation& sim, net::Network& network);
+    Coordinator(sim::Simulation& sim, net::Network& network,
+                CoordinatorConfig config = {});
 
     /** Register @p member as alive in @p group. */
     void join(int group, CacheMember* member);
@@ -79,17 +93,38 @@ class Coordinator {
 
     uint64_t invs_sent() const { return invs_.value(); }
     uint64_t rounds() const { return rounds_.value(); }
+    uint64_t retransmits() const { return retransmits_.value(); }
 
   private:
-    sim::Task<void> deliver_one(CacheMember* member, std::string path,
-                                bool subtree, sim::WaitGroup* wg);
+    /**
+     * Reliable INV delivery to one member: attempts repeat with an
+     * ack-timeout + exponential backoff until either an ACK arrives or
+     * the member is observed dead (dead members are excused from ACKing,
+     * Algorithm 1 step 1). Loss of the INV or of the ACK — injected by an
+     * installed FaultPlan, including partitions of the member's group —
+     * therefore delays but never skips an invalidation: the write holds
+     * its exclusive store locks until every live member has ACKed.
+     */
+    sim::Task<void> deliver_one(int group, CacheMember* member,
+                                std::string path, bool subtree,
+                                sim::WaitGroup* wg);
+
+    /** One INV/ACK attempt. @return true when the leader saw the ACK. */
+    sim::Task<bool> try_deliver(int group, CacheMember* member,
+                                const std::string& path, bool subtree);
+
+    /** Redundant delivery of a duplicated INV (invalidation is idempotent). */
+    sim::Task<void> deliver_duplicate(CacheMember* member, std::string path,
+                                      bool subtree);
 
     sim::Simulation& sim_;
     net::Network& network_;
+    CoordinatorConfig config_;
     std::unordered_map<int, std::vector<CacheMember*>> groups_;
     // Registry-owned (exported via --metrics-out).
     sim::Counter& invs_;
     sim::Counter& rounds_;
+    sim::Counter& retransmits_;
 };
 
 }  // namespace lfs::coord

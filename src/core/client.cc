@@ -25,15 +25,6 @@ retryable(const Status& status)
     }
 }
 
-/** Run @p task and race it into @p cell (late results are discarded). */
-sim::Task<void>
-co_run_into(sim::Task<OpResult> task,
-            std::shared_ptr<sim::OneShot<OpResult>> cell)
-{
-    OpResult result = co_await std::move(task);
-    cell->try_set(std::move(result));
-}
-
 /** Fire a DEADLINE_EXCEEDED into @p cell after @p timeout. */
 void
 arm_timeout(sim::Simulation& sim, sim::SimTime timeout,
@@ -48,40 +39,47 @@ arm_timeout(sim::Simulation& sim, sim::SimTime timeout,
     });
 }
 
-sim::Task<OpResult>
-co_with_timeout(sim::Simulation& sim, sim::Task<OpResult> task,
-                sim::SimTime timeout)
-{
-    auto cell = std::make_shared<sim::OneShot<OpResult>>(sim);
-    sim::spawn(co_run_into(std::move(task), cell));
-    arm_timeout(sim, timeout, cell);
-    OpResult result = co_await cell->wait();
-    co_return result;
-}
-
-/** One TCP round trip: hop, serve, hop back. */
-sim::Task<OpResult>
+/**
+ * One TCP round racing into @p cell: hop, serve, hop back. A response
+ * from an instance that died mid-request is never delivered — a
+ * reclaimed container just vanishes (§7's "relatively complicated error
+ * states") — and an active FaultPlan may additionally drop the reply on
+ * the wire. Either way the client's armed timeout detects the silence
+ * and the attempt is resubmitted.
+ */
+sim::Task<void>
 co_tcp_round(LfsRuntime& rt, faas::FunctionInstance* instance,
-             faas::Invocation inv)
+             faas::Invocation inv,
+             std::shared_ptr<sim::OneShot<OpResult>> cell)
 {
     co_await rt.network.transfer(net::LatencyClass::kTcp);
     OpResult result = co_await instance->serve_tcp(std::move(inv));
-    co_await rt.network.transfer(net::LatencyClass::kTcp);
-    co_return result;
-}
-
-/**
- * TCP responses from an instance that died mid-request are never
- * delivered — a reclaimed container just vanishes (§7's "relatively
- * complicated error states"). The client's timeout detects the silence.
- */
-sim::Task<void>
-co_run_into_unless_dead(sim::Task<OpResult> task,
-                        std::shared_ptr<sim::OneShot<OpResult>> cell)
-{
-    OpResult result = co_await std::move(task);
     if (result.status.code() == Code::kUnavailable) {
         co_return;  // silence: the timeout path resolves the cell
+    }
+    auto reply_fault = rt.network.message_fault(
+        sim::FaultChannel::kClientRpc, sim::MessageDirection::kReply,
+        instance->deployment_id());
+    co_await rt.network.transfer(net::LatencyClass::kTcp);
+    if (reply_fault.drop) {
+        co_return;  // reply lost on the wire; the op may have committed
+    }
+    cell->try_set(std::move(result));
+}
+
+/** One HTTP round racing into @p cell (gateway reply may be dropped). */
+sim::Task<void>
+co_http_round(LfsRuntime& rt, faas::Platform& platform, int deployment,
+              faas::Invocation inv,
+              std::shared_ptr<sim::OneShot<OpResult>> cell)
+{
+    OpResult result = co_await platform.deployment(deployment)
+                          .invoke_via_gateway(std::move(inv));
+    auto reply_fault = rt.network.message_fault(
+        sim::FaultChannel::kGateway, sim::MessageDirection::kReply,
+        deployment);
+    if (reply_fault.drop) {
+        co_return;
     }
     cell->try_set(std::move(result));
 }
@@ -138,8 +136,18 @@ LfsClient::issue_tcp(faas::FunctionInstance* instance, faas::Invocation inv,
     ++tcp_rpcs_;
     auto cell = std::make_shared<sim::OneShot<OpResult>>(rt_.sim);
     arm_timeout(rt_.sim, timeout, cell);
-    sim::spawn(co_run_into_unless_dead(
-        co_tcp_round(rt_, instance, std::move(inv)), cell));
+    // A dropped request never reaches the server (nothing is spawned);
+    // a duplicated request races two identical rounds into the same
+    // cell — server-side dedup makes the second a retained-result hit.
+    auto request_fault = rt_.network.message_fault(
+        sim::FaultChannel::kClientRpc, sim::MessageDirection::kRequest,
+        instance->deployment_id());
+    if (!request_fault.drop) {
+        if (request_fault.duplicate) {
+            sim::spawn(co_tcp_round(rt_, instance, inv, cell));
+        }
+        sim::spawn(co_tcp_round(rt_, instance, std::move(inv), cell));
+    }
     OpResult result = co_await cell->wait();
     co_return result;
 }
@@ -149,10 +157,19 @@ LfsClient::issue_http(int deployment, faas::Invocation inv,
                       sim::SimTime timeout)
 {
     ++http_rpcs_;
-    OpResult result = co_await co_with_timeout(
-        rt_.sim,
-        platform_.deployment(deployment).invoke_via_gateway(std::move(inv)),
-        timeout);
+    auto cell = std::make_shared<sim::OneShot<OpResult>>(rt_.sim);
+    arm_timeout(rt_.sim, timeout, cell);
+    auto request_fault = rt_.network.message_fault(
+        sim::FaultChannel::kGateway, sim::MessageDirection::kRequest,
+        deployment);
+    if (!request_fault.drop) {
+        if (request_fault.duplicate) {
+            sim::spawn(co_http_round(rt_, platform_, deployment, inv, cell));
+        }
+        sim::spawn(co_http_round(rt_, platform_, deployment, std::move(inv),
+                                 cell));
+    }
+    OpResult result = co_await cell->wait();
     co_return result;
 }
 
@@ -174,6 +191,10 @@ LfsClient::execute(Op op)
 {
     op.op_id = (static_cast<uint64_t>(global_id_ + 1) << 40) | ++next_seq_;
     const int target = rt_.partitioner.deployment_for(op.path);
+    const sim::SimTime issued_at = rt_.sim.now();
+    // Set once any attempt ends in a system fault: the server may have
+    // committed the op even though no acknowledgement arrived.
+    bool may_have_committed = false;
 
     sim::Span op_span =
         rt_.sim.tracer().start_trace("client", op_name(op.type));
@@ -185,6 +206,10 @@ LfsClient::execute(Op op)
     for (int attempt = 1; attempt <= config_.max_attempts; ++attempt) {
         if (attempt > 1) {
             ++resubmissions_;
+            // Back off before every resubmission, TCP and HTTP alike:
+            // hammering a partitioned or overloaded path with immediate
+            // retries only extends the outage.
+            co_await backoff(attempt);
         }
         // Connection choice: own TCP server first, then connection
         // sharing across the VM's other TCP servers (Figure 4).
@@ -225,9 +250,6 @@ LfsClient::execute(Op op)
         inv.tcp_server = tcp_server_;
         inv.via_http = use_http;
         if (use_http) {
-            if (attempt > 1) {
-                co_await backoff(attempt);
-            }
             // Subtree operations legitimately run for many seconds
             // (Table 3): they must not be resubmitted on a timeout.
             sim::SimTime http_timeout = is_subtree_op(op.type)
@@ -259,7 +281,33 @@ LfsClient::execute(Op op)
         if (result.status.code() == Code::kDeadlineExceeded) {
             ++timeouts_;
         }
+        if (retryable(result.status)) {
+            may_have_committed = true;
+        }
         if (!retryable(result.status)) {
+            // Non-idempotent-op reconciliation: a create resubmitted
+            // after an ambiguous attempt (reply lost, instance died
+            // post-commit) can collide with its own earlier commit and
+            // surface a spurious ALREADY_EXISTS. Server-side dedup
+            // normally absorbs the resubmission; when it cannot (the
+            // retry was routed to a different deployment, or the
+            // retained result was evicted), a file whose ctime falls
+            // inside this operation's lifetime is our own commit.
+            if (op.type == OpType::kCreateFile && may_have_committed &&
+                result.status.code() == Code::kAlreadyExists) {
+                Op probe;
+                probe.type = OpType::kStat;
+                probe.path = op.path;
+                probe.user = op.user;
+                OpResult probed = co_await execute(std::move(probe));
+                if (probed.status.ok() && probed.inode.is_file() &&
+                    probed.inode.ctime >= issued_at) {
+                    ++reconciled_creates_;
+                    op_span.annotate("reconciled", "create");
+                    result.status = Status::make_ok();
+                    result.inode = probed.inode;
+                }
+            }
             record_latency(latency);
             if (config_.anti_thrashing &&
                 static_cast<double>(latency) >

@@ -64,6 +64,8 @@ class LfsClient : public workload::DfsClient {
     uint64_t http_rpcs() const { return http_rpcs_; }
     uint64_t resubmissions() const { return resubmissions_; }
     uint64_t timeouts() const { return timeouts_; }
+    /** Resubmitted creates recognized as the client's own earlier commit. */
+    uint64_t reconciled_creates() const { return reconciled_creates_; }
     bool in_anti_thrash_mode() const;
 
   private:
@@ -97,6 +99,7 @@ class LfsClient : public workload::DfsClient {
     uint64_t http_rpcs_ = 0;
     uint64_t resubmissions_ = 0;
     uint64_t timeouts_ = 0;
+    uint64_t reconciled_creates_ = 0;
 };
 
 }  // namespace lfs::core

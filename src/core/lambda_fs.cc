@@ -28,8 +28,14 @@ LambdaFs::LambdaFs(sim::Simulation& sim, LambdaFsConfig config)
                 faas::PlatformConfig{config.total_vcpus, config.function}),
       metrics_(sim.metrics(), "lambda-fs")
 {
-    runtime_ = std::make_unique<LfsRuntime>(LfsRuntime{
-        sim_, network_, store_, coordinator_, partitioner_, tcp_registry_});
+    result_caches_.reserve(static_cast<size_t>(config_.num_deployments));
+    for (int d = 0; d < config_.num_deployments; ++d) {
+        result_caches_.push_back(std::make_unique<ResultCache>(
+            sim_, config_.name_node.result_cache_entries));
+    }
+    runtime_ = std::make_unique<LfsRuntime>(
+        LfsRuntime{sim_, network_, store_, coordinator_, partitioner_,
+                   tcp_registry_, result_caches_});
 
     // Aggregate cache hit ratio over every NameNode deployment's counters
     // (evaluated lazily at metrics export).

@@ -93,6 +93,8 @@ class LambdaFs : public workload::Dfs {
     NamespacePartitioner partitioner_;
     TcpRegistry tcp_registry_;
     faas::Platform platform_;
+    // Declared before runtime_ (which holds a reference to it).
+    std::vector<std::unique_ptr<ResultCache>> result_caches_;
     std::unique_ptr<LfsRuntime> runtime_;
     std::vector<std::unique_ptr<LfsClient>> clients_;
     workload::SystemMetrics metrics_;

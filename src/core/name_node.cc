@@ -75,7 +75,7 @@ NameNode::invalidate_local(const Op& op)
 }
 
 sim::Task<void>
-NameNode::run_coherence(const Op& op)
+NameNode::run_coherence(const Op& op, bool invalidate_ancestors)
 {
     // The leader invalidates its own cache directly (Algorithm 1 excludes
     // it from the INV fan-out).
@@ -91,6 +91,15 @@ NameNode::run_coherence(const Op& op)
     add_path(op.path);
     if (op.type == OpType::kMv) {
         add_path(op.dst);
+    }
+    if (invalidate_ancestors) {
+        // mkdirs with missing intermediates mutates every ancestor level,
+        // not just the immediate parent.
+        for (const std::string& a : path::ancestors(op.path)) {
+            cache_.invalidate(a);
+            targets.push_back(coord::Coordinator::InvTarget{
+                rt_.partitioner.deployment_for(a), a, false});
+        }
     }
     co_await rt_.coordinator.invalidate(std::move(targets), this, op.trace);
 }
@@ -159,9 +168,19 @@ NameNode::handle_read(const Op& op)
         }
         co_return result;
     }
+    // Guarded install: the row locks protecting the store read are gone
+    // by the time the reply lands here, so any invalidation delivered in
+    // between must beat the install (see MetadataCache read guard).
+    const cache::MetadataCache::ReadToken token =
+        home_partition ? cache_.begin_read() : 0;
     OpResult result = co_await rt_.store.read_op(op);
+    if (home_partition) {
+        if (result.status.ok()) {
+            cache_own_partition_entries(result.chain, token);
+        }
+        cache_.end_read(token);
+    }
     if (result.status.ok() && home_partition) {
-        cache_own_partition_entries(result.chain);
         co_await instance_.compute(config_.miss_extra_cpu);
     }
     // The chain was only needed for cache installation; dropping it here
@@ -171,7 +190,8 @@ NameNode::handle_read(const Op& op)
 }
 
 void
-NameNode::cache_own_partition_entries(const std::vector<ns::INode>& chain)
+NameNode::cache_own_partition_entries(const std::vector<ns::INode>& chain,
+                                      cache::MetadataCache::ReadToken token)
 {
     // Cache only the chain entries whose partition this deployment owns.
     // Caching ancestors that hash elsewhere would break the coherence
@@ -184,7 +204,7 @@ NameNode::cache_own_partition_entries(const std::vector<ns::INode>& chain)
             p = path::join(p, inode.name);
         }
         if (rt_.partitioner.deployment_for(p) == instance_.deployment_id()) {
-            cache_.put(p, inode);
+            cache_.put_guarded(p, inode, token);
         }
     }
 }
@@ -197,25 +217,39 @@ NameNode::handle_write(const Op& op)
     // chain. With the parent cached (the "INode Hint Cache" effect) this
     // is free; otherwise it costs one batched resolve round trip.
     std::string parent = path::parent(op.path);
+    bool parent_missing = false;
     if (!cache_.contains(parent)) {
         Op resolve;
         resolve.type = OpType::kStat;
         resolve.path = parent;
         resolve.user = op.user;
+        const cache::MetadataCache::ReadToken token = cache_.begin_read();
         OpResult resolved = co_await rt_.store.read_op(resolve);
-        if (!resolved.status.ok()) {
-            co_return resolved;
+        if (resolved.status.ok() &&
+            rt_.partitioner.deployment_for(op.path) ==
+                instance_.deployment_id()) {
+            cache_own_partition_entries(resolved.chain, token);
         }
-        if (rt_.partitioner.deployment_for(op.path) ==
-            instance_.deployment_id()) {
-            cache_own_partition_entries(resolved.chain);
+        cache_.end_read(token);
+        if (!resolved.status.ok()) {
+            // mkdirs materialises missing ancestors itself (`-p`
+            // semantics), so an absent parent is not an error for it —
+            // the store re-validates authoritatively under locks.
+            if (op.type == OpType::kMkdir &&
+                resolved.status.code() == Code::kNotFound) {
+                parent_missing = true;
+            } else {
+                co_return resolved;
+            }
         }
     }
     // Algorithm 1: the INV/ACK round runs while the store's exclusive row
     // locks are held, so no other NameNode can re-read-and-cache stale
     // metadata between invalidation and commit.
     OpResult result = co_await rt_.store.write_op(
-        op, [this, &op]() { return run_coherence(op); });
+        op, [this, &op, parent_missing]() {
+            return run_coherence(op, parent_missing);
+        });
     co_return result;
 }
 
@@ -236,24 +270,6 @@ NameNode::handle_subtree(const Op& op)
     co_return result;
 }
 
-void
-NameNode::remember_result(uint64_t op_id, const OpResult& result)
-{
-    if (op_id == 0 || config_.result_cache_entries == 0) {
-        return;
-    }
-    auto [it, inserted] = result_cache_.emplace(op_id, result);
-    if (!inserted) {
-        it->second = result;
-        return;
-    }
-    result_order_.push_back(op_id);
-    while (result_order_.size() > config_.result_cache_entries) {
-        result_cache_.erase(result_order_.front());
-        result_order_.pop_front();
-    }
-}
-
 sim::Task<OpResult>
 NameNode::handle(faas::Invocation inv)
 {
@@ -267,15 +283,18 @@ NameNode::handle(faas::Invocation inv)
         "namenode", op_name(inv.op.type), inv.op.trace);
     inv.op.trace = nn_span.context();
     const Op& op = inv.op;
-    // Transparently-resubmitted requests are answered from the retained
-    // result cache instead of being re-performed (§3.2).
-    if (op.op_id != 0) {
-        auto it = result_cache_.find(op.op_id);
-        if (it != result_cache_.end()) {
-            nn_span.annotate("result_cache", "hit");
-            co_await instance_.compute(sim::usec(20));
-            co_return it->second;
-        }
+    // Transparently-resubmitted requests are answered from the
+    // deployment's retained-result table instead of being re-performed
+    // (§3.2). The table is shared across the deployment's instances, so
+    // dedup survives the executing instance's death; a resubmission that
+    // races the still-in-flight original joins it here instead of
+    // executing the op a second time.
+    ResultCache& results = rt_.result_cache(instance_.deployment_id());
+    auto retained = co_await results.lookup_or_begin(op.op_id);
+    if (retained.has_value()) {
+        nn_span.annotate("result_cache", "hit");
+        co_await instance_.compute(sim::usec(20));
+        co_return *retained;
     }
     OpResult result;
     if (is_read_op(op.type)) {
@@ -287,7 +306,7 @@ NameNode::handle(faas::Invocation inv)
     } else {
         result = co_await handle_write(op);
     }
-    remember_result(op.op_id, result);
+    results.complete(op.op_id, result);
     co_return result;
 }
 

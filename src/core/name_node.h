@@ -19,6 +19,7 @@
 #include "src/cache/metadata_cache.h"
 #include "src/coord/coordinator.h"
 #include "src/core/partitioning.h"
+#include "src/core/result_cache.h"
 #include "src/core/tcp_registry.h"
 #include "src/faas/function_instance.h"
 #include "src/namespace/op.h"
@@ -47,7 +48,7 @@ struct NameNodeConfig {
     bool offload_subtree = true;
     /** Max helper NameNodes recruited for one subtree operation. */
     int max_offload_helpers = 8;
-    /** Retained results for resubmitted-request deduplication. */
+    /** Retained results per deployment for resubmission deduplication. */
     size_t result_cache_entries = 4096;
     /** Interval for publishing block reports / liveness to the store. */
     sim::SimTime report_interval = sim::sec(10);
@@ -61,6 +62,14 @@ struct LfsRuntime {
     coord::Coordinator& coordinator;
     NamespacePartitioner& partitioner;
     TcpRegistry& tcp_registry;
+    /** One retained-result table per deployment (indexed by deployment id). */
+    std::vector<std::unique_ptr<ResultCache>>& result_caches;
+
+    ResultCache&
+    result_cache(int deployment) const
+    {
+        return *result_caches[static_cast<size_t>(deployment)];
+    }
 };
 
 class NameNode : public faas::FunctionApp, public coord::CacheMember {
@@ -86,8 +95,10 @@ class NameNode : public faas::FunctionApp, public coord::CacheMember {
     sim::Task<OpResult> handle_write(const Op& op);
     sim::Task<OpResult> handle_subtree(const Op& op);
 
-    /** Coherence round for a single-inode write on @p op. */
-    sim::Task<void> run_coherence(const Op& op);
+    /** Coherence round for a single-inode write on @p op. With
+        @p invalidate_ancestors, point INVs also cover every ancestor of
+        op.path (mkdirs materialising missing intermediate dirs). */
+    sim::Task<void> run_coherence(const Op& op, bool invalidate_ancestors);
 
     /** Prefix-invalidation round for the subtree op @p op. */
     sim::Task<void> run_subtree_coherence(Op op);
@@ -95,13 +106,13 @@ class NameNode : public faas::FunctionApp, public coord::CacheMember {
     /** Invalidate the local cache entries a write on @p op touches. */
     void invalidate_local(const Op& op);
 
-    /** Cache the chain entries whose partition this deployment owns. */
-    void cache_own_partition_entries(const std::vector<ns::INode>& chain);
+    /** Cache the chain entries whose partition this deployment owns,
+        via the in-flight read guard taken before the store read. */
+    void cache_own_partition_entries(const std::vector<ns::INode>& chain,
+                                     cache::MetadataCache::ReadToken token);
 
     /** True if @p op must escalate to the subtree protocol. */
     bool requires_subtree_protocol(const Op& op) const;
-
-    void remember_result(uint64_t op_id, const OpResult& result);
 
     /**
      * Periodic serverless-compatible maintenance: publishes block-report
@@ -120,8 +131,6 @@ class NameNode : public faas::FunctionApp, public coord::CacheMember {
     sim::Counter& cache_misses_;
     bool in_coordinator_ = false;
     uint64_t block_reports_ = 0;
-    std::unordered_map<uint64_t, OpResult> result_cache_;
-    std::deque<uint64_t> result_order_;
 };
 
 }  // namespace lfs::core

@@ -1,0 +1,56 @@
+#include "src/core/result_cache.h"
+
+namespace lfs::core {
+
+ResultCache::ResultCache(sim::Simulation& sim, size_t capacity)
+    : sim_(sim), capacity_(capacity)
+{
+}
+
+sim::Task<std::optional<OpResult>>
+ResultCache::lookup_or_begin(uint64_t op_id)
+{
+    if (op_id == 0 || capacity_ == 0) {
+        co_return std::nullopt;
+    }
+    auto done = done_.find(op_id);
+    if (done != done_.end()) {
+        ++hits_;
+        co_return done->second;
+    }
+    auto inflight = pending_.find(op_id);
+    if (inflight != pending_.end()) {
+        // Join the original execution: shared_ptr keeps the entry alive
+        // across complete()'s erase, and coroutines always run to
+        // completion in this simulator, so the gate is guaranteed to open.
+        std::shared_ptr<Pending> entry = inflight->second;
+        ++hits_;
+        co_await entry->gate.wait();
+        co_return entry->result;
+    }
+    pending_.emplace(op_id, std::make_shared<Pending>(sim_));
+    co_return std::nullopt;
+}
+
+void
+ResultCache::complete(uint64_t op_id, const OpResult& result)
+{
+    if (op_id == 0 || capacity_ == 0) {
+        return;
+    }
+    auto inflight = pending_.find(op_id);
+    if (inflight != pending_.end()) {
+        inflight->second->result = result;
+        inflight->second->gate.set();
+        pending_.erase(inflight);
+    }
+    if (done_.emplace(op_id, result).second) {
+        order_.push_back(op_id);
+        while (order_.size() > capacity_) {
+            done_.erase(order_.front());
+            order_.pop_front();
+        }
+    }
+}
+
+}  // namespace lfs::core

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Deployment-scoped retained-result cache for transparently resubmitted
+ * requests (§3.2). One cache is shared by every NameNode instance of a
+ * deployment, which closes the two holes a per-instance cache leaves
+ * under faults:
+ *
+ *  - an instance that executed an op and died before its reply was
+ *    delivered takes a per-instance cache with it, so the client's
+ *    resubmission would re-execute a committed non-idempotent op on the
+ *    replacement instance (surfacing a spurious ALREADY_EXISTS /
+ *    NOT_FOUND for an acknowledged-committable write);
+ *  - a resubmission racing the still-in-flight original would execute
+ *    concurrently; whichever finished last would overwrite the recorded
+ *    result, letting the duplicate's error clobber the original's OK.
+ *
+ * lookup_or_begin() therefore distinguishes *done* results (returned
+ * immediately), *in-flight* executions (the caller suspends on the
+ * original's completion gate and returns its result), and unseen ids
+ * (the caller becomes the executor and must call complete()). The first
+ * completion wins; duplicates never execute.
+ *
+ * In the real system this table lives in the serverless functions'
+ * shared persistent store; the simulator charges the lookup through the
+ * NameNode's compute path at its call sites.
+ */
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+
+#include "src/namespace/op.h"
+#include "src/sim/primitives.h"
+#include "src/sim/simulation.h"
+#include "src/sim/task.h"
+
+namespace lfs::core {
+
+class ResultCache {
+  public:
+    /** @p capacity bounds retained *done* results (0 disables caching). */
+    ResultCache(sim::Simulation& sim, size_t capacity);
+
+    /**
+     * Dedup entry point for one (re)submitted request.
+     * @return the retained result when @p op_id already completed; the
+     *         original execution's result (after suspending on it) when
+     *         @p op_id is currently in flight; std::nullopt when this
+     *         caller is the first — it must execute the op and call
+     *         complete() with the outcome on every path.
+     */
+    sim::Task<std::optional<OpResult>> lookup_or_begin(uint64_t op_id);
+
+    /** Record @p op_id's outcome and release any joined resubmissions. */
+    void complete(uint64_t op_id, const OpResult& result);
+
+    uint64_t hits() const { return hits_; }
+
+  private:
+    struct Pending {
+        explicit Pending(sim::Simulation& sim) : gate(sim) {}
+        sim::Gate gate;
+        OpResult result;
+    };
+
+    sim::Simulation& sim_;
+    size_t capacity_;
+    uint64_t hits_ = 0;
+    std::unordered_map<uint64_t, OpResult> done_;
+    std::deque<uint64_t> order_;  ///< done_ keys, insertion order (eviction)
+    std::unordered_map<uint64_t, std::shared_ptr<Pending>> pending_;
+};
+
+}  // namespace lfs::core

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "src/sim/fault.h"
+
 namespace lfs::faas {
 
 FunctionInstance::FunctionInstance(
@@ -133,6 +135,21 @@ FunctionInstance::serve(Invocation inv, bool via_http)
             "faas", "cold_start_wait", exec_span.context());
         co_await warm_gate_.wait();
         wait_span.end();
+    }
+    // Fault injection (FaultPlan): the invoker may stall before handing
+    // the request to the app, and the instance may be scheduled to crash
+    // mid-invocation. kill() is idempotent and instances outlive the
+    // simulation run, so the deferred crash callback is always safe.
+    if (alive()) {
+        if (sim::FaultPlan* plan = sim_.fault_plan()) {
+            sim::InvocationFault fault = plan->on_invocation(deployment_id_);
+            if (fault.crash_after >= 0) {
+                sim_.schedule(fault.crash_after, [this] { kill(); });
+            }
+            if (fault.stall > 0) {
+                co_await sim::delay(sim_, fault.stall);
+            }
+        }
     }
     if (!alive()) {
         OpResult result;

@@ -38,17 +38,55 @@ Network::sample(LatencyClass cls)
     return rng_.uniform_duration(m.min, m.max);
 }
 
+namespace {
+
+/** Fault channel a latency class maps to for delay-fault targeting. */
+sim::FaultChannel
+fault_channel_for(LatencyClass cls)
+{
+    switch (cls) {
+      case LatencyClass::kLocal:
+      case LatencyClass::kTcp:
+        return sim::FaultChannel::kClientRpc;
+      case LatencyClass::kHttpGateway:
+        return sim::FaultChannel::kGateway;
+      case LatencyClass::kStore:
+        return sim::FaultChannel::kStore;
+      case LatencyClass::kCoord:
+      case LatencyClass::kCount:
+        break;
+    }
+    return sim::FaultChannel::kCoordInv;
+}
+
+}  // namespace
+
 sim::Task<void>
 Network::transfer(LatencyClass cls)
 {
-    co_await sim::delay(sim_, sample(cls));
+    sim::SimTime latency = sample(cls);
+    if (sim::FaultPlan* plan = sim_.fault_plan()) {
+        latency += plan->message_delay(fault_channel_for(cls));
+    }
+    co_await sim::delay(sim_, latency);
 }
 
 sim::Task<void>
 Network::round_trip(LatencyClass cls)
 {
-    co_await sim::delay(sim_, sample(cls));
-    co_await sim::delay(sim_, sample(cls));
+    co_await transfer(cls);
+    co_await transfer(cls);
+}
+
+sim::MessageFaultDecision
+Network::message_fault(sim::FaultChannel channel,
+                       sim::MessageDirection direction, int group)
+{
+    sim::FaultPlan* plan = sim_.fault_plan();
+    if (plan == nullptr) {
+        return {};
+    }
+    return plan->on_message(channel, direction, group);
 }
 
 uint64_t

@@ -13,6 +13,7 @@
 #include <array>
 #include <cstdint>
 
+#include "src/sim/fault.h"
 #include "src/sim/primitives.h"
 #include "src/sim/random.h"
 #include "src/sim/simulation.h"
@@ -56,11 +57,28 @@ class Network {
     /** Sample a one-way latency for @p cls (advances the RNG). */
     sim::SimTime sample(LatencyClass cls);
 
-    /** Suspend the calling process for one message delivery of class @p cls. */
+    /**
+     * Suspend the calling process for one message delivery of class
+     * @p cls. An installed FaultPlan may add an extra in-flight delay
+     * (delay faults are safe to apply inline on every message; drops and
+     * duplicates are not — see message_fault()).
+     */
     sim::Task<void> transfer(LatencyClass cls);
 
     /** Suspend for a full round trip (two one-way samples). */
     sim::Task<void> round_trip(LatencyClass cls);
+
+    /**
+     * Consult the installed FaultPlan for the fate of one message on
+     * @p channel (no-fault defaults when no plan is installed). Callers
+     * sit at protocol points with an end-to-end retry/timeout above them:
+     * a "dropped" message simply never arrives and the caller's timeout
+     * or ack-retransmission path resolves the silence. @p group, when
+     * >= 0, is the remote endpoint's node group for partition checks.
+     */
+    sim::MessageFaultDecision message_fault(sim::FaultChannel channel,
+                                            sim::MessageDirection direction,
+                                            int group = -1);
 
     /** Messages sent so far in class @p cls. */
     uint64_t messages(LatencyClass cls) const;

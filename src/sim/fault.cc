@@ -1,0 +1,305 @@
+#include "src/sim/fault.h"
+
+#include <algorithm>
+
+#include "src/sim/trace.h"
+
+namespace lfs::sim {
+
+const char*
+fault_channel_name(FaultChannel channel)
+{
+    switch (channel) {
+      case FaultChannel::kClientRpc:
+        return "client_rpc";
+      case FaultChannel::kGateway:
+        return "gateway";
+      case FaultChannel::kStore:
+        return "store";
+      case FaultChannel::kCoordInv:
+        return "coord_inv";
+      case FaultChannel::kCoordAck:
+        return "coord_ack";
+      case FaultChannel::kCount:
+        break;
+    }
+    return "?";
+}
+
+FaultPlan::FaultPlan(Simulation& sim, uint64_t seed)
+    : sim_(sim),
+      rng_(seed),
+      crashes_(sim.metrics().counter("fault.faas.crashes")),
+      stalls_(sim.metrics().counter("fault.faas.stalls")),
+      outage_count_(sim.metrics().counter("fault.store.outages")),
+      store_stalls_(sim.metrics().counter("fault.store.stalled_ops")),
+      kills_(sim.metrics().counter("fault.kills"))
+{
+    for (size_t i = 0; i < kChannels; ++i) {
+        MetricLabels labels = {
+            {"channel", fault_channel_name(static_cast<FaultChannel>(i))}};
+        dropped_[i] = &sim.metrics().counter("fault.msg.dropped", labels);
+        duplicated_[i] =
+            &sim.metrics().counter("fault.msg.duplicated", labels);
+        delayed_[i] = &sim.metrics().counter("fault.msg.delayed", labels);
+        partition_dropped_[i] =
+            &sim.metrics().counter("fault.partition.dropped", labels);
+    }
+    assert(sim.fault_plan() == nullptr &&
+           "a Simulation supports one installed FaultPlan");
+    sim.install_fault_plan(this);
+}
+
+FaultPlan::~FaultPlan()
+{
+    if (sim_.fault_plan() == this) {
+        sim_.install_fault_plan(nullptr);
+    }
+}
+
+void
+FaultPlan::mark(const char* name, FaultChannel channel)
+{
+    if (!sim_.tracer().enabled()) {
+        return;
+    }
+    Span span = sim_.tracer().start_trace("fault", name);
+    span.annotate("channel", fault_channel_name(channel));
+}
+
+void
+FaultPlan::mark(const char* name, int64_t detail)
+{
+    if (!sim_.tracer().enabled()) {
+        return;
+    }
+    Span span = sim_.tracer().start_trace("fault", name);
+    span.annotate("target", detail);
+}
+
+void
+FaultPlan::add_message_faults(MessageFaultWindow window)
+{
+    message_windows_.push_back(window);
+}
+
+void
+FaultPlan::add_partition(PartitionWindow window)
+{
+    partitions_.push_back(std::move(window));
+}
+
+void
+FaultPlan::add_instance_faults(InstanceFaultWindow window)
+{
+    instance_windows_.push_back(window);
+}
+
+void
+FaultPlan::add_store_outage(StoreOutageWindow window)
+{
+    outage_count_.add();
+    outages_.push_back(window);
+    // A long-lived span covering the outage window (visible in traces as
+    // one bar under the "fault" component). shared_ptr: Span is move-only
+    // but the scheduled callables must be copyable.
+    auto span = std::make_shared<Span>();
+    sim_.schedule_at(window.from, [this, span, window] {
+        if (sim_.tracer().enabled()) {
+            *span = sim_.tracer().start_trace("fault", "store_outage");
+            span->annotate("shard", static_cast<int64_t>(window.shard));
+        }
+    });
+    sim_.schedule_at(window.until, [span] { span->end(); });
+}
+
+void
+FaultPlan::add_kill_schedule(SimTime interval, SimTime until,
+                             std::function<bool(int round)> kill)
+{
+    auto fn = std::make_shared<std::function<bool(int)>>(std::move(kill));
+    schedule_kill_round(interval, until, std::move(fn), 0);
+}
+
+void
+FaultPlan::schedule_kill_round(
+    SimTime interval, SimTime until,
+    std::shared_ptr<std::function<bool(int)>> kill, int round)
+{
+    sim_.schedule(interval, [this, interval, until, kill, round] {
+        if (sim_.now() > until) {
+            return;
+        }
+        ++kill_rounds_;
+        if ((*kill)(round)) {
+            kills_.add();
+            mark("kill", static_cast<int64_t>(round));
+        }
+        schedule_kill_round(interval, until, kill, round + 1);
+    });
+}
+
+bool
+FaultPlan::group_reachable(int group) const
+{
+    SimTime now = sim_.now();
+    for (const PartitionWindow& w : partitions_) {
+        if (now < w.from || now >= w.until) {
+            continue;
+        }
+        if (std::find(w.groups.begin(), w.groups.end(), group) !=
+            w.groups.end()) {
+            return false;
+        }
+    }
+    return true;
+}
+
+MessageFaultDecision
+FaultPlan::on_message(FaultChannel channel, MessageDirection direction,
+                      int group)
+{
+    MessageFaultDecision decision;
+    size_t ch = static_cast<size_t>(channel);
+    if (group >= 0 && !group_reachable(group)) {
+        decision.drop = true;
+        partition_dropped_[ch]->add();
+        mark("partition_drop", channel);
+        return decision;
+    }
+    SimTime now = sim_.now();
+    for (const MessageFaultWindow& w : message_windows_) {
+        if (now < w.from || now >= w.until ||
+            (w.channels & channel_bit(channel)) == 0) {
+            continue;
+        }
+        double drop_p = w.drop_p + (direction == MessageDirection::kRequest
+                                        ? w.drop_request_p
+                                        : w.drop_reply_p);
+        if (drop_p > 0.0 && rng_.bernoulli(std::min(drop_p, 1.0))) {
+            decision.drop = true;
+        }
+        if (w.duplicate_p > 0.0 && rng_.bernoulli(w.duplicate_p)) {
+            decision.duplicate = true;
+        }
+    }
+    if (decision.drop) {
+        // A lost message can't also be duplicated.
+        decision.duplicate = false;
+        dropped_[ch]->add();
+        mark("msg_drop", channel);
+    } else if (decision.duplicate) {
+        duplicated_[ch]->add();
+        mark("msg_duplicate", channel);
+    }
+    return decision;
+}
+
+SimTime
+FaultPlan::message_delay(FaultChannel channel)
+{
+    SimTime extra = 0;
+    SimTime now = sim_.now();
+    for (const MessageFaultWindow& w : message_windows_) {
+        if (now < w.from || now >= w.until ||
+            (w.channels & channel_bit(channel)) == 0) {
+            continue;
+        }
+        if (w.delay_p > 0.0 && rng_.bernoulli(w.delay_p)) {
+            extra += rng_.uniform_duration(w.delay_min, w.delay_max);
+        }
+    }
+    if (extra > 0) {
+        delayed_[static_cast<size_t>(channel)]->add();
+        mark("msg_delay", channel);
+    }
+    return extra;
+}
+
+InvocationFault
+FaultPlan::on_invocation(int deployment)
+{
+    InvocationFault fault;
+    SimTime now = sim_.now();
+    for (const InstanceFaultWindow& w : instance_windows_) {
+        if (now < w.from || now >= w.until ||
+            (w.deployment >= 0 && w.deployment != deployment)) {
+            continue;
+        }
+        if (fault.crash_after < 0 && w.crash_p > 0.0 &&
+            rng_.bernoulli(w.crash_p)) {
+            fault.crash_after =
+                rng_.uniform_duration(w.crash_delay_min, w.crash_delay_max);
+            crashes_.add();
+            mark("instance_crash", static_cast<int64_t>(deployment));
+        }
+        if (fault.stall == 0 && w.stall_p > 0.0 && rng_.bernoulli(w.stall_p)) {
+            fault.stall = rng_.uniform_duration(w.stall_min, w.stall_max);
+            stalls_.add();
+            mark("invoker_stall", static_cast<int64_t>(deployment));
+        }
+    }
+    return fault;
+}
+
+bool
+FaultPlan::store_shard_down(int shard) const
+{
+    SimTime now = sim_.now();
+    for (const StoreOutageWindow& w : outages_) {
+        if (now >= w.from && now < w.until &&
+            (w.shard < 0 || w.shard == shard)) {
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+FaultPlan::note_store_stall(int shard)
+{
+    store_stalls_.add();
+    mark("store_stall", static_cast<int64_t>(shard));
+}
+
+uint64_t
+FaultPlan::messages_dropped() const
+{
+    uint64_t total = 0;
+    for (size_t i = 0; i < kChannels; ++i) {
+        total += dropped_[i]->value();
+    }
+    return total;
+}
+
+uint64_t
+FaultPlan::messages_duplicated() const
+{
+    uint64_t total = 0;
+    for (size_t i = 0; i < kChannels; ++i) {
+        total += duplicated_[i]->value();
+    }
+    return total;
+}
+
+uint64_t
+FaultPlan::messages_delayed() const
+{
+    uint64_t total = 0;
+    for (size_t i = 0; i < kChannels; ++i) {
+        total += delayed_[i]->value();
+    }
+    return total;
+}
+
+uint64_t
+FaultPlan::partition_drops() const
+{
+    uint64_t total = 0;
+    for (size_t i = 0; i < kChannels; ++i) {
+        total += partition_dropped_[i]->value();
+    }
+    return total;
+}
+
+}  // namespace lfs::sim

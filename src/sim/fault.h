@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Deterministic, schedule-driven fault injection (the chaos layer).
+ *
+ * A FaultPlan is a declarative schedule of fault windows — message
+ * drop/duplicate/delay on named channels, node-group partitions, function
+ * instance crashes/stalls, datanode outages, and timed NameNode kills —
+ * evaluated against seeded sim::Rng streams, never wall-clock, so every
+ * run with the same seed injects the identical fault sequence.
+ *
+ * Exactly one plan installs itself on a Simulation (the constructor
+ * registers it, the destructor unregisters). Layers consult it through
+ * Simulation::fault_plan(): zero overhead when no plan is installed.
+ *
+ * Injection points are deliberately restricted to protocol locations with
+ * an end-to-end retry/timeout above them (client RPC attempts, the
+ * coordinator's INV/ACK round, datanode admission). Dropping a message in
+ * the middle of a lock-holding store transaction would strand a coroutine
+ * forever while it holds row locks — the simulator's lifetime rule (see
+ * primitives.h) forbids destroying suspended frames, so "loss" must
+ * always be modelled where a timeout eventually resolves the waiter.
+ *
+ * Every injected fault increments a `fault.*` counter in the simulation's
+ * MetricsRegistry and, when tracing is enabled, records a span in the
+ * "fault" component so injected chaos is visible next to its victims.
+ */
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/sim/random.h"
+#include "src/sim/simulation.h"
+#include "src/sim/stats.h"
+#include "src/sim/time.h"
+
+namespace lfs::sim {
+
+/** Message channels that can be targeted independently. */
+enum class FaultChannel : uint8_t {
+    kClientRpc = 0,  ///< client <-> NameNode direct TCP RPCs
+    kGateway,        ///< client <-> FaaS API gateway HTTP invocations
+    kStore,          ///< NameNode <-> metadata store hops
+    kCoordInv,       ///< coordinator INV deliveries
+    kCoordAck,       ///< coordinator ACK deliveries
+    kCount,
+};
+
+/** Label value for a channel ("client_rpc", "gateway", ...). */
+const char* fault_channel_name(FaultChannel channel);
+
+/** Bit for @p channel in a MessageFaultWindow::channels mask. */
+constexpr uint32_t
+channel_bit(FaultChannel channel)
+{
+    return 1u << static_cast<uint32_t>(channel);
+}
+
+/** Mask selecting every channel. */
+constexpr uint32_t kAllChannels =
+    (1u << static_cast<uint32_t>(FaultChannel::kCount)) - 1;
+
+enum class MessageDirection : uint8_t { kRequest = 0, kReply };
+
+/** Outcome of consulting the plan for one message. */
+struct MessageFaultDecision {
+    bool drop = false;       ///< message lost in transit
+    bool duplicate = false;  ///< delivered twice (receivers must dedup)
+};
+
+/** Outcome of consulting the plan for one function invocation. */
+struct InvocationFault {
+    /** Extra invoker stall before the request reaches the app (0 = none). */
+    SimTime stall = 0;
+    /** Kill the instance this long after admission (< 0 = no crash). */
+    SimTime crash_after = -1;
+};
+
+/** Probabilistic message faults active during [from, until). */
+struct MessageFaultWindow {
+    SimTime from = 0;
+    SimTime until = 0;
+    uint32_t channels = kAllChannels;
+    /** Drop probability applied to both directions. */
+    double drop_p = 0.0;
+    /** Additional drop probability for requests only. */
+    double drop_request_p = 0.0;
+    /** Additional drop probability for replies only. */
+    double drop_reply_p = 0.0;
+    double duplicate_p = 0.0;
+    /** Probability of an extra in-flight delay of [delay_min, delay_max]. */
+    double delay_p = 0.0;
+    SimTime delay_min = 0;
+    SimTime delay_max = 0;
+};
+
+/** Node groups unreachable (all their messages drop) during [from, until). */
+struct PartitionWindow {
+    SimTime from = 0;
+    SimTime until = 0;
+    std::vector<int> groups;  ///< partitioned group ids (= deployment ids)
+};
+
+/** Instance crash/stall faults active during [from, until). */
+struct InstanceFaultWindow {
+    SimTime from = 0;
+    SimTime until = 0;
+    int deployment = -1;  ///< -1 = any deployment
+    /** Per-invocation probability of a mid-invocation instance crash. */
+    double crash_p = 0.0;
+    SimTime crash_delay_min = 0;
+    SimTime crash_delay_max = msec(5);
+    /** Per-invocation probability of an invoker stall. */
+    double stall_p = 0.0;
+    SimTime stall_min = 0;
+    SimTime stall_max = msec(50);
+};
+
+/** One datanode shard refuses admissions during [from, until). */
+struct StoreOutageWindow {
+    int shard = -1;  ///< -1 = every shard
+    SimTime from = 0;
+    SimTime until = 0;
+};
+
+/**
+ * The installed fault schedule. Construct after the Simulation and keep
+ * it alive for as long as the simulation executes events (scheduled kill
+ * rounds and outage markers reference the plan).
+ */
+class FaultPlan {
+  public:
+    FaultPlan(Simulation& sim, uint64_t seed);
+    ~FaultPlan();
+
+    FaultPlan(const FaultPlan&) = delete;
+    FaultPlan& operator=(const FaultPlan&) = delete;
+
+    // ------------------------------------------------------------------
+    // Schedule construction
+    // ------------------------------------------------------------------
+
+    void add_message_faults(MessageFaultWindow window);
+    void add_partition(PartitionWindow window);
+    void add_instance_faults(InstanceFaultWindow window);
+    void add_store_outage(StoreOutageWindow window);
+
+    /**
+     * Timed kill rounds (the Fig. 15 workhorse): invoke @p kill with the
+     * round index every @p interval until the first fire past @p until.
+     * @p kill returns true when it terminated something. May be called
+     * multiple times; each call starts an independent chain.
+     */
+    void add_kill_schedule(SimTime interval, SimTime until,
+                           std::function<bool(int round)> kill);
+
+    // ------------------------------------------------------------------
+    // Injection hooks (consulted by net / faas / store / coord / core)
+    // ------------------------------------------------------------------
+
+    /**
+     * Decide the fate of one message on @p channel. @p group, when >= 0,
+     * is the remote endpoint's node group: a partitioned group's messages
+     * always drop. Advances the fault RNG; counts every injected fault.
+     */
+    MessageFaultDecision on_message(FaultChannel channel,
+                                    MessageDirection direction,
+                                    int group = -1);
+
+    /** Extra in-flight delay for one message on @p channel (0 = none). */
+    SimTime message_delay(FaultChannel channel);
+
+    /** True while no active partition window contains @p group. */
+    bool group_reachable(int group) const;
+
+    /** Crash/stall decision for one invocation entering @p deployment. */
+    InvocationFault on_invocation(int deployment);
+
+    /** True while an outage window covers @p shard. */
+    bool store_shard_down(int shard) const;
+
+    /** Count one transaction observed stalling behind a shard outage. */
+    void note_store_stall(int shard);
+
+    // ------------------------------------------------------------------
+    // Introspection
+    // ------------------------------------------------------------------
+
+    uint64_t messages_dropped() const;
+    uint64_t messages_duplicated() const;
+    uint64_t messages_delayed() const;
+    uint64_t partition_drops() const;
+    uint64_t instance_crashes() const { return crashes_.value(); }
+    uint64_t instance_stalls() const { return stalls_.value(); }
+    uint64_t store_stalled_ops() const { return store_stalls_.value(); }
+    uint64_t kills() const { return kills_.value(); }
+    int kill_rounds() const { return kill_rounds_; }
+
+  private:
+    void schedule_kill_round(SimTime interval, SimTime until,
+                             std::shared_ptr<std::function<bool(int)>> kill,
+                             int round);
+
+    /** Record an instant "fault" span when tracing is on. */
+    void mark(const char* name, FaultChannel channel);
+    void mark(const char* name, int64_t detail);
+
+    Simulation& sim_;
+    Rng rng_;
+    std::vector<MessageFaultWindow> message_windows_;
+    std::vector<PartitionWindow> partitions_;
+    std::vector<InstanceFaultWindow> instance_windows_;
+    std::vector<StoreOutageWindow> outages_;
+    int kill_rounds_ = 0;
+    // Registry-owned counters (one per channel for the message faults).
+    static constexpr size_t kChannels =
+        static_cast<size_t>(FaultChannel::kCount);
+    Counter* dropped_[kChannels];
+    Counter* duplicated_[kChannels];
+    Counter* delayed_[kChannels];
+    Counter* partition_dropped_[kChannels];
+    Counter& crashes_;
+    Counter& stalls_;
+    Counter& outage_count_;
+    Counter& store_stalls_;
+    Counter& kills_;
+};
+
+}  // namespace lfs::sim

@@ -20,6 +20,8 @@
 
 namespace lfs::sim {
 
+class FaultPlan;
+
 /**
  * The discrete-event simulation kernel.
  *
@@ -40,6 +42,15 @@ class Simulation {
     /** Central metric registry shared by every component of this sim. */
     MetricsRegistry& metrics() { return metrics_; }
     const MetricsRegistry& metrics() const { return metrics_; }
+
+    /**
+     * The installed fault schedule, or nullptr (the common case: no fault
+     * injection). Layers with injection hooks consult this on their hot
+     * paths; a null plan costs one pointer test. Installation is managed
+     * by FaultPlan's constructor/destructor (see fault.h).
+     */
+    FaultPlan* fault_plan() const { return fault_plan_; }
+    void install_fault_plan(FaultPlan* plan) { fault_plan_ = plan; }
 
     /** Current simulated time. */
     SimTime now() const { return now_; }
@@ -94,6 +105,7 @@ class Simulation {
     };
 
     SimTime now_ = 0;
+    FaultPlan* fault_plan_ = nullptr;
     uint64_t next_seq_ = 0;
     uint64_t executed_ = 0;
     bool stopped_ = false;

@@ -1,19 +1,37 @@
 #include "src/store/data_node.h"
 
+#include "src/sim/fault.h"
+
 namespace lfs::store {
 
-DataNode::DataNode(sim::Simulation& sim, sim::Rng rng, DataNodeConfig config)
+DataNode::DataNode(sim::Simulation& sim, sim::Rng rng, DataNodeConfig config,
+                   int shard_id)
     : sim_(sim),
       rng_(rng),
       config_(config),
+      shard_id_(shard_id),
       read_slots_(sim, config.concurrency),
       write_slots_(sim, config.concurrency)
 {
 }
 
 sim::Task<void>
+DataNode::stall_while_down()
+{
+    sim::FaultPlan* plan = sim_.fault_plan();
+    if (plan == nullptr || !plan->store_shard_down(shard_id_)) {
+        co_return;
+    }
+    plan->note_store_stall(shard_id_);
+    while (plan->store_shard_down(shard_id_)) {
+        co_await sim::delay(sim_, sim::msec(1));
+    }
+}
+
+sim::Task<void>
 DataNode::execute_read(int components)
 {
+    co_await stall_while_down();
     co_await read_slots_.acquire();
     sim::SemaphoreGuard guard(read_slots_);
     sim::SimTime service =
@@ -28,6 +46,7 @@ DataNode::execute_read(int components)
 sim::Task<void>
 DataNode::execute_write(int rows)
 {
+    co_await stall_while_down();
     co_await write_slots_.acquire();
     sim::SemaphoreGuard guard(write_slots_);
     sim::SimTime service =

@@ -37,7 +37,9 @@ struct DataNodeConfig {
 
 class DataNode {
   public:
-    DataNode(sim::Simulation& sim, sim::Rng rng, DataNodeConfig config);
+    /** @p shard_id identifies this shard to the FaultPlan outage hooks. */
+    DataNode(sim::Simulation& sim, sim::Rng rng, DataNodeConfig config,
+             int shard_id = 0);
 
     /**
      * Execute one read transaction that touches @p components inode rows
@@ -58,9 +60,18 @@ class DataNode {
     sim::SimTime busy_time() const { return busy_time_; }
 
   private:
+    /**
+     * Block at admission while a FaultPlan outage window covers this
+     * shard. Transactions queue (none are lost) and resume when the shard
+     * comes back; the row state — the authoritative NamespaceTree owned
+     * by the MetadataStore — is untouched by an outage.
+     */
+    sim::Task<void> stall_while_down();
+
     sim::Simulation& sim_;
     sim::Rng rng_;
     DataNodeConfig config_;
+    int shard_id_;
     sim::Semaphore read_slots_;
     sim::Semaphore write_slots_;
     sim::Counter reads_;

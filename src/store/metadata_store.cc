@@ -14,8 +14,8 @@ MetadataStore::MetadataStore(sim::Simulation& sim, net::Network& network,
 {
     shards_.reserve(static_cast<size_t>(config_.num_data_nodes));
     for (int i = 0; i < config_.num_data_nodes; ++i) {
-        shards_.push_back(
-            std::make_unique<DataNode>(sim, rng.fork(), config_.data_node));
+        shards_.push_back(std::make_unique<DataNode>(
+            sim, rng.fork(), config_.data_node, /*shard_id=*/i));
         DataNode* shard = shards_.back().get();
         sim_.metrics().register_callback_gauge(
             "store.queue_depth", {{"shard", std::to_string(i)}},

@@ -13,22 +13,18 @@ FaultInjector::FaultInjector(sim::Simulation& sim, sim::SimTime interval,
 void
 FaultInjector::start(sim::SimTime until)
 {
-    until_ = until;
-    schedule_next();
-}
-
-void
-FaultInjector::schedule_next()
-{
-    sim_.schedule(interval_, [this] {
-        if (sim_.now() > until_) {
-            return;
-        }
-        if (kill_(round_)) {
+    sim::FaultPlan* plan = sim_.fault_plan();
+    if (plan == nullptr) {
+        owned_plan_ = std::make_unique<sim::FaultPlan>(sim_, /*seed=*/1);
+        plan = owned_plan_.get();
+    }
+    plan->add_kill_schedule(interval_, until, [this](int round) {
+        round_ = round + 1;
+        bool killed = kill_(round);
+        if (killed) {
             kills_.add();
         }
-        ++round_;
-        schedule_next();
+        return killed;
     });
 }
 

@@ -2,11 +2,18 @@
  * @file
  * Fault injection for the fault-tolerance experiment (§5.6): terminate
  * one active NameNode every interval, targeting deployments round-robin.
+ *
+ * A thin façade over sim::FaultPlan::add_kill_schedule. When the
+ * simulation already has an installed FaultPlan the kill schedule is
+ * registered on it (so kills share its `fault.*` counters and trace
+ * marks); otherwise the injector installs a plan of its own.
  */
 #pragma once
 
 #include <functional>
+#include <memory>
 
+#include "src/sim/fault.h"
 #include "src/sim/simulation.h"
 #include "src/sim/stats.h"
 
@@ -29,12 +36,11 @@ class FaultInjector {
     int rounds() const { return round_; }
 
   private:
-    void schedule_next();
-
     sim::Simulation& sim_;
     sim::SimTime interval_;
-    sim::SimTime until_ = 0;
     std::function<bool(int)> kill_;
+    /** Installed only when the simulation had no plan of its own. */
+    std::unique_ptr<sim::FaultPlan> owned_plan_;
     int round_ = 0;
     sim::Counter kills_;
 };

@@ -1,0 +1,269 @@
+/**
+ * @file
+ * Reusable consistency oracle for λFS fault-injection and coherence
+ * tests (generalised from the original test_coherence_audit monitor).
+ *
+ * The oracle is a passive recorder: test actors feed it committed-write
+ * records (the authoritative store state observed at each write's
+ * completion instant) and read observations (the [start, end] window and
+ * the returned inode id/version). `evaluate()` runs two families of
+ * checks after the workload has drained:
+ *
+ *  Coherence — every read must be explainable by the committed state at
+ *  some instant inside its window, and a read that started after the
+ *  last commit (with no concurrent commit in its window) must observe
+ *  exactly that commit's state. Cached reads returning values older than
+ *  a write completed before the read began are exactly what Algorithm
+ *  1's lock-INV-commit ordering must prevent.
+ *
+ *  Durability — no acknowledged write disappears: the last committed
+ *  record for each path must match the authoritative tree's final state
+ *  (an acknowledged delete stays deleted, an acknowledged create/write
+ *  keeps its id and version).
+ *
+ * Fault injection makes some histories unknowable: when a write fails
+ * with a system error (timeout, unavailable) it may still have committed
+ * server-side. Actors call `taint(path)` in that case and the oracle
+ * retroactively excludes that path from both check families — a tainted
+ * path has no trustworthy committed history. Semantic failures
+ * (ALREADY_EXISTS, NOT_FOUND) must NOT taint: they are definitive
+ * answers, not ambiguity.
+ *
+ * Evaluation is deferred (records are only appended during the run) so
+ * a read racing an ultimately-ambiguous write is still excluded even
+ * though the taint is only discovered after the read completed.
+ */
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/namespace/namespace_tree.h"
+#include "src/sim/time.h"
+
+namespace lfs::oracle {
+
+/**
+ * One acknowledged-write record. `id`/`version` are the *authoritative
+ * tree state observed at the acknowledgement instant* (`at`), not the
+ * write's own payload — so the record is correct even when concurrent
+ * writes to the same path interleave between commit and ack. Under
+ * retries the actual commit instant is unknowable; it lies somewhere in
+ * [earliest, at] (issue to acknowledgement), and reads overlapping that
+ * interval are treated as racing the write.
+ */
+struct Commit {
+    sim::SimTime earliest = 0;
+    sim::SimTime at = 0;
+    ns::INodeId id = ns::kInvalidId;  ///< kInvalidId for "deleted"
+    uint64_t version = 0;
+};
+
+/** One read observation over its [start, end] window. */
+struct ReadRecord {
+    std::string path;
+    sim::SimTime start = 0;
+    sim::SimTime end = 0;
+    ns::INodeId id = ns::kInvalidId;  ///< kInvalidId for NOT_FOUND
+    uint64_t version = 0;
+};
+
+struct OracleReport {
+    int64_t reads_checked = 0;
+    int64_t reads_skipped_tainted = 0;
+    int64_t paths_checked = 0;
+    int64_t paths_tainted = 0;
+    /** Reads not explainable by any instant in their window. */
+    int64_t stale_reads = 0;
+    /** Reads that missed a commit completed strictly before they began. */
+    int64_t lost_update_reads = 0;
+    /** Paths whose last acknowledged write is absent from the final tree. */
+    int64_t durability_losses = 0;
+    /** First few violation descriptions, for assertion messages. */
+    std::vector<std::string> details;
+
+    int64_t violations() const
+    {
+        return stale_reads + lost_update_reads + durability_losses;
+    }
+};
+
+class ConsistencyOracle {
+  public:
+    /** Record an acknowledged write: pass the authoritative tree state
+        observed at the acknowledgement instant. The commit's
+        linearization point is taken to be `at` exactly. */
+    void record_commit(const std::string& path, sim::SimTime at,
+                       ns::INodeId id, uint64_t version)
+    {
+        history_[path].push_back(Commit{at, at, id, version});
+    }
+
+    /** As above, but the commit instant is only known to lie inside
+        [earliest, at] (a write acknowledged after internal retries). */
+    void record_commit(const std::string& path, sim::SimTime earliest,
+                       sim::SimTime at, ns::INodeId id, uint64_t version)
+    {
+        history_[path].push_back(Commit{earliest, at, id, version});
+    }
+
+    /** Record a read observation (id = kInvalidId for NOT_FOUND). */
+    void record_read(const std::string& path, sim::SimTime start,
+                     sim::SimTime end, ns::INodeId id, uint64_t version)
+    {
+        reads_.push_back(ReadRecord{path, start, end, id, version});
+    }
+
+    /** Mark @p path's history unknowable (an ambiguous write outcome). */
+    void taint(const std::string& path) { tainted_.insert(path); }
+
+    bool is_tainted(const std::string& path) const
+    {
+        return tainted_.count(path) != 0;
+    }
+
+    /** Run all checks against the final authoritative state. */
+    OracleReport evaluate(const ns::NamespaceTree& tree) const
+    {
+        OracleReport report;
+        report.paths_tainted = static_cast<int64_t>(tainted_.size());
+        for (const ReadRecord& read : reads_) {
+            if (is_tainted(read.path)) {
+                ++report.reads_skipped_tainted;
+                continue;
+            }
+            ++report.reads_checked;
+            check_read(read, report);
+        }
+        ns::UserContext superuser;
+        for (const auto& [path, commits] : history_) {
+            if (is_tainted(path) || commits.empty()) {
+                continue;
+            }
+            ++report.paths_checked;
+            const Commit& last = commits.back();
+            auto final_state = tree.stat(path, superuser);
+            bool durable =
+                last.id == ns::kInvalidId
+                    ? !final_state.ok()
+                    : final_state.ok() && final_state->id == last.id &&
+                          final_state->version == last.version;
+            if (!durable) {
+                ++report.durability_losses;
+                note(report, "durability: " + path +
+                                 " lost its last acknowledged write");
+            }
+        }
+        return report;
+    }
+
+  private:
+    static bool
+    matches(const Commit& commit, const ReadRecord& read)
+    {
+        return commit.id == read.id &&
+               (commit.id == ns::kInvalidId ||
+                commit.version == read.version);
+    }
+
+    /**
+     * True if the observation is the state some instant in
+     * [read.start, read.end] could legally show. Commits acknowledged at
+     * or before the window start are definitely visible; a commit whose
+     * [earliest, at] ambiguity interval overlaps the window races the
+     * read (either of its sides is legal, so the read is explainable);
+     * with no commit acknowledged before the window start, the
+     * pre-history state is unknowable and the read is trivially
+     * explainable. Records are scanned in acknowledgement order, but
+     * `earliest` values are not monotone (a long-retried write can be
+     * acknowledged after a later-issued one), so no early exit.
+     */
+    static bool
+    explainable(const std::vector<Commit>& commits, const ReadRecord& read)
+    {
+        bool have_state = false;
+        Commit state;
+        for (const Commit& commit : commits) {
+            if (commit.at <= read.start) {
+                // Stat-at-ack recording makes the *last acknowledged*
+                // record hold the true state at its ack instant even if
+                // commit order differed from ack order.
+                state = commit;
+                have_state = true;
+                continue;
+            }
+            if (commit.earliest <= read.end) {
+                return true;  // races the read window
+            }
+        }
+        return !have_state || matches(state, read);
+    }
+
+    void
+    check_read(const ReadRecord& read, OracleReport& report) const
+    {
+        auto it = history_.find(read.path);
+        static const std::vector<Commit> kEmpty;
+        const std::vector<Commit>& commits =
+            it == history_.end() ? kEmpty : it->second;
+        if (!explainable(commits, read)) {
+            ++report.stale_reads;
+            note(report, "stale read: " + read.path + describe(read, commits));
+        }
+        // Freshness: a read that started after the last acknowledged
+        // commit — with no commit racing its window — must observe
+        // exactly that commit's state.
+        const Commit* last_before = nullptr;
+        bool concurrent_commit = false;
+        for (const Commit& commit : commits) {
+            if (commit.at < read.start) {
+                last_before = &commit;
+            } else if (commit.earliest <= read.end) {
+                concurrent_commit = true;
+            }
+        }
+        if (last_before != nullptr && !concurrent_commit &&
+            !matches(*last_before, read)) {
+            ++report.lost_update_reads;
+            note(report, "lost update: read of " + read.path + " at t=" +
+                             std::to_string(read.end) +
+                             " missed the commit acked at t=" +
+                             std::to_string(last_before->at));
+        }
+    }
+
+    /** Verbose description of a read and its path's commit history, for
+        violation diagnostics. */
+    static std::string
+    describe(const ReadRecord& read, const std::vector<Commit>& commits)
+    {
+        std::string s = " window=[" + std::to_string(read.start) + "," +
+                        std::to_string(read.end) + "] observed id=" +
+                        std::to_string(read.id) + " v=" +
+                        std::to_string(read.version) + "; commits:";
+        for (const Commit& c : commits) {
+            s += " {[" + std::to_string(c.earliest) + "," +
+                 std::to_string(c.at) + "] id=" + std::to_string(c.id) +
+                 " v=" + std::to_string(c.version) + "}";
+        }
+        return s;
+    }
+
+    static void
+    note(OracleReport& report, std::string detail)
+    {
+        if (report.details.size() < 8) {
+            report.details.push_back(std::move(detail));
+        }
+    }
+
+    std::map<std::string, std::vector<Commit>> history_;
+    std::vector<ReadRecord> reads_;
+    std::set<std::string> tainted_;
+};
+
+}  // namespace lfs::oracle

@@ -11,6 +11,7 @@
 
 #include "src/core/lambda_fs.h"
 #include "src/namespace/tree_builder.h"
+#include "src/sim/fault.h"
 #include "src/sim/simulation.h"
 
 namespace lfs::core {
@@ -123,6 +124,78 @@ TEST(ClientPolicies, ResubmittedRequestsAreDeduplicatedServerSide)
     EXPECT_TRUE(create.status.ok()) << create.status.to_string();
     EXPECT_TRUE(
         fs.authoritative_tree().stat("/d/x", root).ok());
+}
+
+/** Drop every client-bound reply for 100 ms starting now. */
+void
+drop_replies_briefly(sim::Simulation& sim, sim::FaultPlan& plan)
+{
+    sim::MessageFaultWindow w;
+    w.from = sim.now();
+    w.until = sim.now() + sim::msec(100);
+    w.channels = sim::channel_bit(sim::FaultChannel::kClientRpc) |
+                 sim::channel_bit(sim::FaultChannel::kGateway);
+    w.drop_reply_p = 1.0;
+    plan.add_message_faults(w);
+}
+
+TEST(ClientPolicies, CommittedCreateWithLostReplyIsNotAlreadyExists)
+{
+    Simulation sim;
+    LambdaFsConfig config = policy_config();
+    config.client.anti_thrashing = false;  // keep routing deployment-stable
+    LambdaFs fs(sim, config);
+    ns::UserContext root;
+    fs.authoritative_tree().mkdirs("/d", root, 0);
+    fs.authoritative_tree().create_file("/d/warm", root, 0);
+    sim.run_until(sim::sec(3));
+    for (int i = 0; i < 10; ++i) {
+        ASSERT_TRUE(run_to_completion(sim, fs, 0,
+                                      make_op(OpType::kStat, "/d/warm"))
+                        .status.ok());
+    }
+
+    // The first create attempt commits server-side, but its reply is
+    // lost; the resubmission must land on the deployment's retained
+    // results and report the original success, not ALREADY_EXISTS.
+    sim::FaultPlan plan(sim, 1);
+    drop_replies_briefly(sim, plan);
+    LfsClient& client = fs.lfs_client(0);
+    OpResult create =
+        run_to_completion(sim, fs, 0, make_op(OpType::kCreateFile, "/d/x"));
+    EXPECT_TRUE(create.status.ok()) << create.status.to_string();
+    EXPECT_GE(client.resubmissions(), 1u);
+    EXPECT_TRUE(fs.authoritative_tree().stat("/d/x", root).ok());
+}
+
+TEST(ClientPolicies, CreateRetryReconcilesOwnCommitWithoutDedup)
+{
+    Simulation sim;
+    LambdaFsConfig config = policy_config();
+    config.client.anti_thrashing = false;
+    // Force the server-side dedup miss so the client's ctime-guarded
+    // reconciliation probe is the only thing standing between a lost
+    // reply and a spurious ALREADY_EXISTS.
+    config.name_node.result_cache_entries = 0;
+    LambdaFs fs(sim, config);
+    ns::UserContext root;
+    fs.authoritative_tree().mkdirs("/d", root, 0);
+    fs.authoritative_tree().create_file("/d/warm", root, 0);
+    sim.run_until(sim::sec(3));
+    for (int i = 0; i < 10; ++i) {
+        ASSERT_TRUE(run_to_completion(sim, fs, 0,
+                                      make_op(OpType::kStat, "/d/warm"))
+                        .status.ok());
+    }
+
+    sim::FaultPlan plan(sim, 1);
+    drop_replies_briefly(sim, plan);
+    LfsClient& client = fs.lfs_client(0);
+    OpResult create =
+        run_to_completion(sim, fs, 0, make_op(OpType::kCreateFile, "/d/x"));
+    EXPECT_TRUE(create.status.ok()) << create.status.to_string();
+    EXPECT_GE(client.reconciled_creates(), 1u);
+    EXPECT_TRUE(fs.authoritative_tree().stat("/d/x", root).ok());
 }
 
 TEST(ClientPolicies, AntiThrashModeEngagesOnLatencySpike)

@@ -1,17 +1,19 @@
 /**
  * @file
  * Linearizability-style audit of the λFS coherence protocol under
- * randomized concurrent histories. A monitor records every committed
- * write's (path, inode id, version) at its completion instant; every
- * read's result must be explainable by the authoritative-store state at
- * some instant within the read's [start, end] window. Cached reads that
- * return values older than a write that completed *before the read
- * began* are coherence violations — exactly what Algorithm 1's
- * lock-INV-commit ordering must prevent.
+ * randomized concurrent histories, built on the shared consistency
+ * oracle (tests/oracle/consistency_oracle.h). A monitor records every
+ * committed write's (path, inode id, version) at its completion instant;
+ * every read's result must be explainable by the authoritative-store
+ * state at some instant within the read's [start, end] window. Cached
+ * reads that return values older than a write that completed *before the
+ * read began* are coherence violations — exactly what Algorithm 1's
+ * lock-INV-commit ordering must prevent. The oracle's durability check
+ * additionally verifies no acknowledged write disappears from the final
+ * authoritative tree.
  */
 #include <gtest/gtest.h>
 
-#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -20,6 +22,7 @@
 #include "src/namespace/tree_builder.h"
 #include "src/sim/random.h"
 #include "src/sim/simulation.h"
+#include "tests/oracle/consistency_oracle.h"
 
 namespace lfs::core {
 namespace {
@@ -27,61 +30,10 @@ namespace {
 using sim::Simulation;
 using sim::Task;
 
-/** One committed-write record: the namespace version at commit time. */
-struct Commit {
-    sim::SimTime at;
-    ns::INodeId id;       // kInvalidId for "deleted"
-    uint64_t version;
-};
-
-/** Per-path committed history, ordered by commit time. */
-using History = std::map<std::string, std::vector<Commit>>;
-
-/**
- * True if @p observed (id, version; id==kInvalidId for NOT_FOUND) is the
- * state some instant in [start, end] could legally show, given the
- * committed history for the path (pre-history state is `initial`).
- */
-bool
-explainable(const std::vector<Commit>& commits, ns::INodeId initial_id,
-            uint64_t initial_version, sim::SimTime start, sim::SimTime end,
-            ns::INodeId observed_id, uint64_t observed_version)
-{
-    // Candidate states: the state entering `start` plus every commit
-    // that lands inside the window.
-    ns::INodeId id = initial_id;
-    uint64_t version = initial_version;
-    for (const Commit& commit : commits) {
-        if (commit.at > end) {
-            break;
-        }
-        if (commit.at <= start) {
-            id = commit.id;
-            version = commit.version;
-            continue;
-        }
-        // Inside the window: the pre-commit state is also a candidate.
-        if (id == observed_id && (id == ns::kInvalidId ||
-                                  version == observed_version)) {
-            return true;
-        }
-        id = commit.id;
-        version = commit.version;
-    }
-    return id == observed_id &&
-           (id == ns::kInvalidId || version == observed_version);
-}
-
-struct AuditState {
-    History history;
-    int64_t reads_checked = 0;
-    int64_t violations = 0;
-};
-
 Task<void>
 co_actor(Simulation& sim, LambdaFs& fs, size_t client, int ops,
-         std::vector<std::string> files, AuditState& audit, sim::Rng rng,
-         sim::WaitGroup& wg)
+         std::vector<std::string> files, oracle::ConsistencyOracle& audit,
+         sim::Rng rng, sim::WaitGroup& wg)
 {
     ns::UserContext root;
     for (int i = 0; i < ops; ++i) {
@@ -95,12 +47,10 @@ co_actor(Simulation& sim, LambdaFs& fs, size_t client, int ops,
             OpResult result = co_await fs.client(client).execute(op);
             if (result.status.ok()) {
                 auto now_state = fs.authoritative_tree().stat(target, root);
-                Commit commit;
-                commit.at = sim.now();
-                commit.id =
-                    now_state.ok() ? now_state->id : ns::kInvalidId;
-                commit.version = now_state.ok() ? now_state->version : 0;
-                audit.history[target].push_back(commit);
+                audit.record_commit(
+                    target, sim.now(),
+                    now_state.ok() ? now_state->id : ns::kInvalidId,
+                    now_state.ok() ? now_state->version : 0);
             }
         } else {
             Op op;
@@ -109,37 +59,13 @@ co_actor(Simulation& sim, LambdaFs& fs, size_t client, int ops,
             sim::SimTime start = sim.now();
             OpResult result = co_await fs.client(client).execute(op);
             sim::SimTime end = sim.now();
-            ns::INodeId observed_id = ns::kInvalidId;
-            uint64_t observed_version = 0;
             if (result.status.ok()) {
-                observed_id = result.inode.id;
-                observed_version = result.inode.version;
-            } else if (result.status.code() != Code::kNotFound) {
-                continue;  // system error after retries: not a staleness case
+                audit.record_read(target, start, end, result.inode.id,
+                                  result.inode.version);
+            } else if (result.status.code() == Code::kNotFound) {
+                audit.record_read(target, start, end, ns::kInvalidId, 0);
             }
-            ++audit.reads_checked;
-            const auto it = audit.history.find(target);
-            static const std::vector<Commit> kEmpty;
-            const auto& commits =
-                it == audit.history.end() ? kEmpty : it->second;
-            // All audit files exist initially with version 0.
-            if (!explainable(commits, /*initial id unknowable=*/observed_id,
-                             observed_version, start, end, observed_id,
-                             observed_version)) {
-                ++audit.violations;
-            }
-            // Stronger check: a read STARTED after the last commit must
-            // observe exactly that commit's state.
-            if (!commits.empty() && commits.back().at < start) {
-                const Commit& last = commits.back();
-                bool matches =
-                    last.id == observed_id &&
-                    (last.id == ns::kInvalidId ||
-                     last.version == observed_version);
-                if (!matches) {
-                    ++audit.violations;
-                }
-            }
+            // else: system error after retries — not a staleness case.
         }
         co_await sim::delay(sim, sim::usec(rng.uniform_int(50, 3000)));
     }
@@ -168,7 +94,7 @@ TEST_P(CoherenceAuditTest, NoStaleReadsUnderRandomHistories)
     }
     sim.run_until(sim::sec(3));
 
-    AuditState audit;
+    oracle::ConsistencyOracle audit;
     sim::Rng rng(GetParam() * 13 + 5);
     sim::WaitGroup wg(sim);
     for (size_t c = 0; c < fs.client_count(); ++c) {
@@ -178,9 +104,12 @@ TEST_P(CoherenceAuditTest, NoStaleReadsUnderRandomHistories)
     }
     sim.run_until(sim.now() + sim::sec(600));
     EXPECT_EQ(wg.count(), 0);
-    EXPECT_GT(audit.reads_checked, 100);
-    EXPECT_EQ(audit.violations, 0)
-        << "stale reads detected out of " << audit.reads_checked;
+
+    oracle::OracleReport report = audit.evaluate(fs.authoritative_tree());
+    EXPECT_GT(report.reads_checked, 100);
+    EXPECT_EQ(report.violations(), 0)
+        << "violations out of " << report.reads_checked << " reads; first: "
+        << (report.details.empty() ? "-" : report.details.front());
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CoherenceAuditTest,

@@ -5,6 +5,13 @@
  * map-of-paths oracle; after every step the observable state (existence,
  * type, subtree membership) must agree. This guards the semantic engine
  * every system in the repository is built on.
+ *
+ * A second fuzz drives the same oracle through the full λFS stack
+ * (client -> NameNode -> coherence -> store) while a FaultPlan drops,
+ * duplicates, and delays messages and crashes instances: the end-to-end
+ * retry pipeline must hide every injected fault behind exactly-once
+ * semantics, keeping each operation's outcome and the final namespace in
+ * lockstep with the oracle.
  */
 #include <gtest/gtest.h>
 
@@ -13,8 +20,11 @@
 #include <string>
 #include <vector>
 
+#include "src/core/lambda_fs.h"
 #include "src/namespace/namespace_tree.h"
+#include "src/sim/fault.h"
 #include "src/sim/random.h"
+#include "src/sim/simulation.h"
 #include "src/util/path.h"
 
 namespace lfs::ns {
@@ -172,6 +182,146 @@ TEST_P(NamespaceFuzzTest, TreeAgreesWithOracle)
 
 INSTANTIATE_TEST_SUITE_P(Seeds, NamespaceFuzzTest,
                          ::testing::Values(11u, 22u, 33u, 44u, 55u, 66u));
+
+// ---------------------------------------------------------------------
+// Fuzzing the full λFS stack under an active FaultPlan
+// ---------------------------------------------------------------------
+
+/**
+ * Sequential fuzz driver: one client issues random namespace operations
+ * through λFS, mirroring each one into the oracle, and records any
+ * outcome disagreement. gtest ASSERTs cannot be used inside a coroutine
+ * (they expand to a plain `return`), so mismatches are collected and
+ * asserted by the test after the run. The driver stops at the first
+ * mismatch to avoid cascading noise.
+ */
+sim::Task<void>
+co_fuzz_driver(core::LambdaFs& fs, Oracle& oracle, sim::Rng& rng, int steps,
+               std::vector<std::string>& mismatches, bool& done)
+{
+    auto check = [&](bool lfs_ok, bool oracle_ok, const std::string& what,
+                     int step) {
+        if (lfs_ok != oracle_ok) {
+            mismatches.push_back(what + " @" + std::to_string(step) +
+                                 ": lfs=" + (lfs_ok ? "ok" : "fail") +
+                                 " oracle=" + (oracle_ok ? "ok" : "fail"));
+        }
+    };
+    for (int step = 0; step < steps && mismatches.empty(); ++step) {
+        double action = rng.uniform();
+        Op op;
+        if (action < 0.3) {
+            op.type = OpType::kCreateFile;
+            op.path = random_path(rng, 4);
+            bool oracle_ok = oracle.create_file(op.path);
+            OpResult result = co_await fs.client(0).execute(op);
+            check(result.status.ok(), oracle_ok, "create " + op.path, step);
+        } else if (action < 0.55) {
+            op.type = OpType::kMkdir;
+            op.path = random_path(rng, 3);
+            bool oracle_ok = oracle.mkdirs(op.path);
+            OpResult result = co_await fs.client(0).execute(op);
+            check(result.status.ok(), oracle_ok, "mkdirs " + op.path, step);
+        } else if (action < 0.7) {
+            op.type = OpType::kSubtreeDelete;
+            op.path = random_path(rng, 4);
+            bool oracle_ok = oracle.remove_recursive(op.path);
+            OpResult result = co_await fs.client(0).execute(op);
+            check(result.status.ok(), oracle_ok, "rm -r " + op.path, step);
+        } else if (action < 0.85) {
+            op.type = OpType::kMv;
+            op.path = random_path(rng, 3);
+            op.dst = random_path(rng, 3);
+            bool oracle_ok = oracle.rename(op.path, op.dst);
+            OpResult result = co_await fs.client(0).execute(op);
+            check(result.status.ok(), oracle_ok,
+                  "mv " + op.path + " -> " + op.dst, step);
+        } else {
+            op.type = OpType::kStat;
+            op.path = random_path(rng, 4);
+            OpResult result = co_await fs.client(0).execute(op);
+            check(result.status.ok(), oracle.exists(op.path),
+                  "stat " + op.path, step);
+            if (result.status.ok() &&
+                result.inode.is_dir() != oracle.is_dir(op.path)) {
+                mismatches.push_back("stat type mismatch " + op.path +
+                                     " @" + std::to_string(step));
+            }
+        }
+    }
+    done = true;
+}
+
+class NamespaceFaultFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(NamespaceFaultFuzzTest, LambdaFsAgreesWithOracleUnderFaults)
+{
+    sim::Simulation sim;
+    core::LambdaFsConfig config;
+    config.num_deployments = 4;
+    config.total_vcpus = 64.0;
+    config.function.vcpus = 4.0;
+    config.num_client_vms = 1;
+    config.clients_per_vm = 1;
+    config.seed = GetParam();
+    // Deployment-stable routing + deep retries: every resubmission must
+    // reach the deployment whose retained-result table saw the original,
+    // making each operation's final outcome definitive.
+    config.client.anti_thrashing = false;
+    config.client.max_attempts = 30;
+    config.client.http_timeout = sim::sec(3);
+    core::LambdaFs fs(sim, config);
+
+    sim::FaultPlan plan(sim, GetParam() * 31 + 7);
+    // An early fault slice rather than the whole run: a dropped subtree
+    // request is only discovered by its (deliberately huge) timeout, so
+    // each such loss stalls the sequential driver for a long stretch of
+    // sim time. Bounding the window bounds the number of stalls.
+    sim::MessageFaultWindow msg;
+    msg.from = sim::sec(3);
+    msg.until = sim::sec(60);
+    msg.drop_request_p = 0.05;
+    msg.drop_reply_p = 0.05;
+    msg.duplicate_p = 0.03;
+    msg.delay_p = 0.10;
+    msg.delay_min = sim::usec(100);
+    msg.delay_max = sim::msec(2);
+    plan.add_message_faults(msg);
+    sim::InstanceFaultWindow inst;
+    inst.from = sim::sec(3);
+    inst.until = sim::sec(60);
+    inst.crash_p = 0.01;
+    inst.stall_p = 0.02;
+    plan.add_instance_faults(inst);
+
+    sim.run_until(sim::sec(3));
+
+    Oracle oracle;
+    sim::Rng rng(GetParam());
+    std::vector<std::string> mismatches;
+    bool done = false;
+    sim::spawn(co_fuzz_driver(fs, oracle, rng, 600, mismatches, done));
+    sim.run_until(sim.now() + sim::sec(200000));
+
+    ASSERT_TRUE(done) << "fuzz driver did not finish";
+    EXPECT_TRUE(mismatches.empty())
+        << "first mismatch: " << mismatches.front();
+    EXPECT_GT(plan.messages_dropped(), 0u)
+        << "fault window injected nothing";
+
+    // Full-state audit against the authoritative tree.
+    UserContext root;
+    for (const auto& [p, dir] : oracle.entries()) {
+        auto st = fs.authoritative_tree().stat(p, root);
+        ASSERT_TRUE(st.ok()) << p;
+        EXPECT_EQ(st->is_dir(), dir) << p;
+    }
+    EXPECT_EQ(fs.authoritative_tree().inode_count(),
+              oracle.entries().size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NamespaceFaultFuzzTest,
+                         ::testing::Values(3u, 9u));
 
 }  // namespace
 }  // namespace lfs::ns
