@@ -370,8 +370,45 @@ run_industrial(sim::Simulation& sim, workload::Dfs& dfs, ns::BuiltTree tree,
     run.write_latency_ms = metrics.write_latency().mean() / 1e3;
     run.total_cost = dfs.cost_so_far();
     run.total_simplified_cost = dfs.simplified_cost_so_far();
+    run.ops_shed = static_cast<int64_t>(metrics.shed());
+    run.ops_deadline_missed = static_cast<int64_t>(metrics.deadline_missed());
+    run.degradation = dfs.degradation();
+    print_degradation_summary(run);
     observe_run(sim, dfs.name());
     return run;
+}
+
+void
+print_degradation_summary(const IndustrialRun& run, bool always)
+{
+    const workload::DegradationStats& d = run.degradation;
+    uint64_t activity = static_cast<uint64_t>(run.ops_shed) +
+                        static_cast<uint64_t>(run.ops_deadline_missed) +
+                        d.gateway_shed + d.store_shed +
+                        d.breaker_open_events + d.breaker_fast_failures +
+                        d.retries_denied + d.deadline_giveups;
+    if (activity == 0 && !always) {
+        return;  // keep baseline output unchanged when control is off
+    }
+    int64_t admitted = run.offered - run.ops_shed;
+    int64_t in_deadline = run.completed;
+    std::printf("  [degradation] %s\n", run.system.c_str());
+    std::printf("    offered=%lld admitted=%lld completed-in-deadline=%lld "
+                "shed=%lld deadline-missed=%lld\n",
+                static_cast<long long>(run.offered),
+                static_cast<long long>(admitted),
+                static_cast<long long>(in_deadline),
+                static_cast<long long>(run.ops_shed),
+                static_cast<long long>(run.ops_deadline_missed));
+    std::printf("    gateway-shed=%llu store-shed=%llu breaker-opens=%llu "
+                "breaker-fast-fail=%llu retries-denied=%llu "
+                "deadline-giveups=%llu\n",
+                static_cast<unsigned long long>(d.gateway_shed),
+                static_cast<unsigned long long>(d.store_shed),
+                static_cast<unsigned long long>(d.breaker_open_events),
+                static_cast<unsigned long long>(d.breaker_fast_failures),
+                static_cast<unsigned long long>(d.retries_denied),
+                static_cast<unsigned long long>(d.deadline_giveups));
 }
 
 void

@@ -182,6 +182,12 @@ struct IndustrialRun {
     double total_simplified_cost = 0.0;
     int64_t completed = 0;
     int64_t offered = 0;
+    /** Ops the system shed at admission (RESOURCE_EXHAUSTED outcomes). */
+    int64_t ops_shed = 0;
+    /** Ops that ran out of deadline (DEADLINE_EXCEEDED outcomes). */
+    int64_t ops_deadline_missed = 0;
+    /** The system's overload-control tallies (zeros when it has none). */
+    workload::DegradationStats degradation;
     const workload::SystemMetrics* metrics = nullptr;  ///< run-owned
 };
 
@@ -200,6 +206,15 @@ IndustrialRun run_industrial(sim::Simulation& sim, workload::Dfs& dfs,
 // ----------------------------------------------------------------------
 
 void print_banner(const char* experiment, const char* title);
+
+/**
+ * Graceful-degradation summary for one industrial run: offered vs
+ * admitted vs completed-in-deadline, plus where work was shed (gateway,
+ * store, breaker) and how retries were capped. Printed automatically by
+ * run_industrial when any overload activity occurred; pass @p always to
+ * print the (all-zero) table regardless.
+ */
+void print_degradation_summary(const IndustrialRun& run, bool always = false);
 
 /** "PAPER: ... | MEASURED: ..." comparison line. */
 void print_check(const char* claim, const std::string& measured);

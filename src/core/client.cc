@@ -10,21 +10,6 @@ namespace lfs::core {
 
 namespace {
 
-/** Errors worth retrying (system faults, not user errors). */
-bool
-retryable(const Status& status)
-{
-    switch (status.code()) {
-      case Code::kUnavailable:
-      case Code::kDeadlineExceeded:
-      case Code::kAborted:
-      case Code::kInternal:
-        return true;
-      default:
-        return false;
-    }
-}
-
 /** Fire a DEADLINE_EXCEEDED into @p cell after @p timeout. */
 void
 arm_timeout(sim::Simulation& sim, sim::SimTime timeout,
@@ -174,8 +159,22 @@ LfsClient::issue_http(int deployment, faas::Invocation inv,
 }
 
 sim::Task<void>
-LfsClient::backoff(int attempt)
+LfsClient::backoff(int attempt, sim::SimTime& prev)
 {
+    if (config_.decorrelated_jitter) {
+        // Decorrelated jitter: sleep = min(cap, uniform(base, 3 * prev)).
+        // Unlike exponential + bounded jitter, consecutive sleeps don't
+        // cluster around the same powers of two across a client fleet, so
+        // a synchronized retry wave spreads out instead of re-arriving as
+        // a thundering herd.
+        sim::SimTime lo = config_.backoff_base;
+        sim::SimTime hi = std::max(3 * prev, lo + 1);
+        sim::SimTime sleep =
+            std::min(config_.backoff_max, rng_.uniform_duration(lo, hi));
+        prev = sleep;
+        co_await sim::delay(rt_.sim, sleep);
+        co_return;
+    }
     // Exponential backoff with randomized jitter (§3.2).
     double factor = std::pow(2.0, std::min(attempt - 1, 8));
     auto base = static_cast<sim::SimTime>(
@@ -183,6 +182,7 @@ LfsClient::backoff(int attempt)
     base = std::min(base, config_.backoff_max);
     auto jittered = static_cast<sim::SimTime>(
         static_cast<double>(base) * rng_.uniform(0.5, 1.5));
+    prev = jittered;
     co_await sim::delay(rt_.sim, jittered);
 }
 
@@ -192,6 +192,19 @@ LfsClient::execute(Op op)
     op.op_id = (static_cast<uint64_t>(global_id_ + 1) << 40) | ++next_seq_;
     const int target = rt_.partitioner.deployment_for(op.path);
     const sim::SimTime issued_at = rt_.sim.now();
+    // Deadline propagation: stamp an absolute deadline so every hop can
+    // shed this op once it is doomed. Subtree ops run for minutes by
+    // design (Table 3) and are never deadlined.
+    if (config_.op_deadline > 0 && !is_subtree_op(op.type)) {
+        op.deadline = issued_at + config_.op_deadline;
+    }
+    // Retry budget: each fresh op earns the deployment's token bucket a
+    // fraction of a retry; retries spend whole tokens. Caps the retry
+    // amplification a metastable failure can generate.
+    util::RetryBudget* budget = rt_.retry_budget(target);
+    if (budget != nullptr) {
+        budget->on_fresh_request();
+    }
     // Set once any attempt ends in a system fault: the server may have
     // committed the op even though no acknowledgement arrived.
     bool may_have_committed = false;
@@ -203,13 +216,34 @@ LfsClient::execute(Op op)
     op.trace = op_span.context();
 
     OpResult result;
+    sim::SimTime prev_backoff = config_.backoff_base;
     for (int attempt = 1; attempt <= config_.max_attempts; ++attempt) {
         if (attempt > 1) {
+            // Give up instead of retrying once the op's deadline has
+            // passed: the server would shed the attempt anyway.
+            if (op_expired(op, rt_.sim.now())) {
+                ++deadline_giveups_;
+                op_span.annotate("giveup", "deadline");
+                break;
+            }
+            // Retry budget: when the bucket is dry (error rate far above
+            // the budget ratio), stop resubmitting — this is what turns a
+            // retry storm back into the offered load.
+            if (budget != nullptr && !budget->try_spend()) {
+                ++retry_budget_denied_;
+                op_span.annotate("giveup", "retry_budget");
+                break;
+            }
             ++resubmissions_;
             // Back off before every resubmission, TCP and HTTP alike:
             // hammering a partitioned or overloaded path with immediate
             // retries only extends the outage.
-            co_await backoff(attempt);
+            co_await backoff(attempt, prev_backoff);
+            if (op_expired(op, rt_.sim.now())) {
+                ++deadline_giveups_;
+                op_span.annotate("giveup", "deadline");
+                break;
+            }
         }
         // Connection choice: own TCP server first, then connection
         // sharing across the VM's other TCP servers (Figure 4).
@@ -249,6 +283,15 @@ LfsClient::execute(Op op)
         inv.client_vm = vm_;
         inv.tcp_server = tcp_server_;
         inv.via_http = use_http;
+        // With a deadline, no attempt waits past the remaining budget.
+        auto clamp_to_deadline = [&](sim::SimTime timeout) {
+            if (op.deadline < 0) {
+                return timeout;
+            }
+            sim::SimTime remaining =
+                std::max<sim::SimTime>(op.deadline - rt_.sim.now(), 1);
+            return std::min(timeout, remaining);
+        };
         if (use_http) {
             // Subtree operations legitimately run for many seconds
             // (Table 3): they must not be resubmitted on a timeout.
@@ -256,7 +299,7 @@ LfsClient::execute(Op op)
                                             ? sim::sec(1800)
                                             : config_.http_timeout;
             result = co_await issue_http(target, std::move(inv),
-                                         http_timeout);
+                                         clamp_to_deadline(http_timeout));
         } else {
             sim::SimTime timeout =
                 config_.straggler_mitigation
@@ -270,7 +313,8 @@ LfsClient::execute(Op op)
             if (is_subtree_op(op.type)) {
                 timeout = sim::sec(1800);
             }
-            result = co_await issue_tcp(conn, std::move(inv), timeout);
+            result = co_await issue_tcp(conn, std::move(inv),
+                                        clamp_to_deadline(timeout));
         }
         sim::SimTime latency = rt_.sim.now() - attempt_start;
         attempt_span.annotate("status", result.status.ok()
@@ -281,10 +325,12 @@ LfsClient::execute(Op op)
         if (result.status.code() == Code::kDeadlineExceeded) {
             ++timeouts_;
         }
-        if (retryable(result.status)) {
+        // RESOURCE_EXHAUSTED (shed at admission) is retryable but never
+        // ambiguous: the server refused the op before executing it.
+        if (possibly_committed_code(result.status.code())) {
             may_have_committed = true;
         }
-        if (!retryable(result.status)) {
+        if (!retryable_code(result.status.code())) {
             // Non-idempotent-op reconciliation: a create resubmitted
             // after an ambiguous attempt (reply lost, instance died
             // post-commit) can collide with its own earlier commit and

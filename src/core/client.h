@@ -47,6 +47,15 @@ struct ClientConfig {
     bool anti_thrashing = true;
     double thrash_threshold = 2.5;
     sim::SimTime anti_thrash_duration = sim::sec(5);
+    // Overload control (defaults off; see DESIGN.md overload control).
+    /**
+     * Relative completion deadline stamped on every non-subtree op
+     * (0 = no deadlines). Propagated end-to-end so every hop can shed
+     * expired work; attempts stop once the deadline passes.
+     */
+    sim::SimTime op_deadline = 0;
+    /** Decorrelated-jitter backoff instead of exponential (AWS-style). */
+    bool decorrelated_jitter = false;
 };
 
 class LfsClient : public workload::DfsClient {
@@ -66,6 +75,10 @@ class LfsClient : public workload::DfsClient {
     uint64_t timeouts() const { return timeouts_; }
     /** Resubmitted creates recognized as the client's own earlier commit. */
     uint64_t reconciled_creates() const { return reconciled_creates_; }
+    /** Retries refused because the deployment's retry budget was empty. */
+    uint64_t retry_budget_denied() const { return retry_budget_denied_; }
+    /** Ops abandoned because their deadline passed between attempts. */
+    uint64_t deadline_giveups() const { return deadline_giveups_; }
     bool in_anti_thrash_mode() const;
 
   private:
@@ -77,7 +90,12 @@ class LfsClient : public workload::DfsClient {
     sim::Task<OpResult> issue_http(int deployment, faas::Invocation inv,
                                    sim::SimTime timeout);
 
-    sim::Task<void> backoff(int attempt);
+    /**
+     * Pre-retry sleep. Exponential + jitter by default; with
+     * decorrelated_jitter, sleep = min(cap, uniform(base, 3 * prev)) —
+     * @p prev carries the previous sleep across this op's attempts.
+     */
+    sim::Task<void> backoff(int attempt, sim::SimTime& prev);
 
     /** Moving-average end-to-end latency in microseconds. */
     double avg_latency_us() const;
@@ -100,6 +118,8 @@ class LfsClient : public workload::DfsClient {
     uint64_t resubmissions_ = 0;
     uint64_t timeouts_ = 0;
     uint64_t reconciled_creates_ = 0;
+    uint64_t retry_budget_denied_ = 0;
+    uint64_t deadline_giveups_ = 0;
 };
 
 }  // namespace lfs::core

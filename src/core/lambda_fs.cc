@@ -13,19 +13,43 @@ tcp_servers_per_vm(const LambdaFsConfig& config)
     return std::max(1, (config.clients_per_vm + per_server - 1) / per_server);
 }
 
+/**
+ * Fan the master overload switch out to the per-layer configs. Applied
+ * before any subsystem is constructed so clients, deployments, and store
+ * shards all see consistent knobs.
+ */
+LambdaFsConfig
+apply_overload_control(LambdaFsConfig config)
+{
+    if (!config.overload.enabled) {
+        return config;
+    }
+    const OverloadControlConfig& oc = config.overload;
+    config.client.op_deadline = oc.op_deadline;
+    config.client.decorrelated_jitter = oc.decorrelated_jitter;
+    config.function.max_queue_depth = oc.gateway_queue_depth;
+    config.function.queue_sojourn_limit = oc.gateway_sojourn_limit;
+    config.store.data_node.max_queue_depth = oc.store_queue_depth;
+    config.store.data_node.queue_sojourn_limit = oc.store_sojourn_limit;
+    config.store.data_node.fail_fast_when_down = oc.store_fail_fast;
+    config.store.enable_circuit_breaker = true;
+    config.store.breaker = oc.breaker;
+    return config;
+}
+
 }  // namespace
 
 LambdaFs::LambdaFs(sim::Simulation& sim, LambdaFsConfig config)
     : sim_(sim),
-      config_(config),
-      rng_(config.seed),
-      network_(sim, rng_.fork(), config.network),
-      store_(sim, network_, rng_.fork(), config.store),
+      config_(apply_overload_control(std::move(config))),
+      rng_(config_.seed),
+      network_(sim, rng_.fork(), config_.network),
+      store_(sim, network_, rng_.fork(), config_.store),
       coordinator_(sim, network_),
-      partitioner_(config.num_deployments),
-      tcp_registry_(config.num_client_vms, tcp_servers_per_vm(config)),
+      partitioner_(config_.num_deployments),
+      tcp_registry_(config_.num_client_vms, tcp_servers_per_vm(config_)),
       platform_(sim, network_, rng_.fork(),
-                faas::PlatformConfig{config.total_vcpus, config.function}),
+                faas::PlatformConfig{config_.total_vcpus, config_.function}),
       metrics_(sim.metrics(), "lambda-fs")
 {
     result_caches_.reserve(static_cast<size_t>(config_.num_deployments));
@@ -36,6 +60,26 @@ LambdaFs::LambdaFs(sim::Simulation& sim, LambdaFsConfig config)
     runtime_ = std::make_unique<LfsRuntime>(
         LfsRuntime{sim_, network_, store_, coordinator_, partitioner_,
                    tcp_registry_, result_caches_});
+    if (config_.overload.enabled && config_.overload.retry_budget_ratio > 0) {
+        retry_budgets_.reserve(static_cast<size_t>(config_.num_deployments));
+        for (int d = 0; d < config_.num_deployments; ++d) {
+            retry_budgets_.push_back(std::make_unique<util::RetryBudget>(
+                config_.overload.retry_budget_ratio,
+                config_.overload.retry_budget_burst));
+            util::RetryBudget* budget = retry_budgets_.back().get();
+            runtime_->retry_budgets.push_back(budget);
+            sim::MetricLabels labels = {{"deployment", std::to_string(d)}};
+            sim_.metrics().register_callback_gauge(
+                "overload.retry_tokens", labels,
+                [budget] { return budget->tokens(); }, this);
+            sim_.metrics().register_callback_gauge(
+                "overload.retries_denied", labels,
+                [budget] {
+                    return static_cast<double>(budget->retries_denied());
+                },
+                this);
+        }
+    }
 
     // Aggregate cache hit ratio over every NameNode deployment's counters
     // (evaluated lazily at metrics export).
@@ -123,6 +167,25 @@ LambdaFs::kill_name_node(int deployment)
         return false;
     }
     return platform_.deployment(deployment).kill_one() != nullptr;
+}
+
+workload::DegradationStats
+LambdaFs::degradation() const
+{
+    workload::DegradationStats stats;
+    for (int d = 0; d < platform_.deployment_count(); ++d) {
+        stats.gateway_shed += platform_.deployment(d).shed_total();
+    }
+    stats.store_shed = store_.shed_total();
+    stats.breaker_open_events = store_.breaker_opens();
+    stats.breaker_fast_failures = store_.breaker_fast_failures();
+    for (const auto& budget : retry_budgets_) {
+        stats.retries_denied += budget->retries_denied();
+    }
+    for (const auto& client : clients_) {
+        stats.deadline_giveups += client->deadline_giveups();
+    }
+    return stats;
 }
 
 void

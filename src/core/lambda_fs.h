@@ -24,6 +24,37 @@
 
 namespace lfs::core {
 
+/**
+ * End-to-end overload control (DESIGN.md "Overload control & graceful
+ * degradation"). One master switch plus the per-layer knobs it fans out
+ * to: client deadlines + retry budgets + decorrelated-jitter backoff,
+ * bounded deadline-aware gateway admission queues, bounded store shard
+ * queues with fail-fast outages, and per-shard circuit breakers.
+ */
+struct OverloadControlConfig {
+    bool enabled = false;
+    /** Relative deadline stamped on every non-subtree op. */
+    sim::SimTime op_deadline = sim::sec(8);
+    /** Gateway admission queue bound per deployment. */
+    int gateway_queue_depth = 256;
+    /** CoDel-style sojourn limit in the gateway queue. */
+    sim::SimTime gateway_sojourn_limit = sim::sec(2);
+    /** Store shard queue bound per transaction class. */
+    int store_queue_depth = 512;
+    /** CoDel-style sojourn limit in store shard queues. */
+    sim::SimTime store_sojourn_limit = sim::msec(500);
+    /** Retry tokens earned per fresh request (0 disables budgets). */
+    double retry_budget_ratio = 0.1;
+    /** Retry token bucket capacity. */
+    double retry_budget_burst = 64.0;
+    /** Decorrelated-jitter backoff instead of exponential. */
+    bool decorrelated_jitter = true;
+    /** Store shards fail fast during outages (feeds the breakers). */
+    bool store_fail_fast = true;
+    /** Per-shard circuit breaker tuning. */
+    util::BreakerConfig breaker;
+};
+
 struct LambdaFsConfig {
     /** Number of function deployments the namespace is hashed across. */
     int num_deployments = 16;
@@ -47,6 +78,8 @@ struct LambdaFsConfig {
     int max_clients_per_tcp_server = 64;
     /** Instances pre-provisioned per deployment before the workload. */
     int prewarm_per_deployment = 1;
+    /** Overload control; enabling copies its knobs into the layer configs. */
+    OverloadControlConfig overload;
     uint64_t seed = 42;
 };
 
@@ -67,6 +100,7 @@ class LambdaFs : public workload::Dfs {
     int active_name_nodes() const override;
     double cost_so_far() const override;
     double simplified_cost_so_far() const override;
+    workload::DegradationStats degradation() const override;
 
     // λFS specifics
     faas::Platform& platform() { return platform_; }
@@ -95,6 +129,8 @@ class LambdaFs : public workload::Dfs {
     faas::Platform platform_;
     // Declared before runtime_ (which holds a reference to it).
     std::vector<std::unique_ptr<ResultCache>> result_caches_;
+    /** Per-deployment retry budgets (empty when overload control is off). */
+    std::vector<std::unique_ptr<util::RetryBudget>> retry_budgets_;
     std::unique_ptr<LfsRuntime> runtime_;
     std::vector<std::unique_ptr<LfsClient>> clients_;
     workload::SystemMetrics metrics_;

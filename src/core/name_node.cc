@@ -18,6 +18,9 @@ NameNode::NameNode(LfsRuntime& runtime, faas::FunctionInstance& instance,
           {{"deployment", std::to_string(instance.deployment_id())}})),
       cache_misses_(rt_.sim.metrics().counter(
           "cache.misses",
+          {{"deployment", std::to_string(instance.deployment_id())}})),
+      shed_expired_(rt_.sim.metrics().counter(
+          "overload.namenode_shed",
           {{"deployment", std::to_string(instance.deployment_id())}}))
 {
     rt_.coordinator.join(instance_.deployment_id(), this);
@@ -283,6 +286,18 @@ NameNode::handle(faas::Invocation inv)
         "namenode", op_name(inv.op.type), inv.op.trace);
     inv.op.trace = nn_span.context();
     const Op& op = inv.op;
+    // Expired-in-queue shedding at the NameNode: an op whose deadline
+    // passed in transit or in the gateway queue is refused before any
+    // compute or store work. Checked before the result-cache
+    // lookup_or_begin so a shed attempt neither retains a result nor
+    // leaves a pending dedup entry a resubmission could join.
+    if (op_expired(op, rt_.sim.now())) {
+        shed_expired_.add();
+        nn_span.annotate("shed", "expired");
+        OpResult shed;
+        shed.status = Status::deadline_exceeded("expired at namenode");
+        co_return shed;
+    }
     // Transparently-resubmitted requests are answered from the
     // deployment's retained-result table instead of being re-performed
     // (§3.2). The table is shared across the deployment's instances, so

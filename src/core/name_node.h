@@ -27,6 +27,7 @@
 #include "src/sim/random.h"
 #include "src/sim/simulation.h"
 #include "src/store/metadata_store.h"
+#include "src/util/overload.h"
 
 namespace lfs::core {
 
@@ -65,10 +66,26 @@ struct LfsRuntime {
     /** One retained-result table per deployment (indexed by deployment id). */
     std::vector<std::unique_ptr<ResultCache>>& result_caches;
 
+    /**
+     * Per-deployment client retry budgets (empty when overload control is
+     * off). Non-owning: LambdaFs owns the budgets.
+     */
+    std::vector<util::RetryBudget*> retry_budgets = {};
+
     ResultCache&
     result_cache(int deployment) const
     {
         return *result_caches[static_cast<size_t>(deployment)];
+    }
+
+    /** Retry budget for @p deployment, or nullptr when disabled. */
+    util::RetryBudget*
+    retry_budget(int deployment) const
+    {
+        if (retry_budgets.empty()) {
+            return nullptr;
+        }
+        return retry_budgets[static_cast<size_t>(deployment)];
     }
 };
 
@@ -129,6 +146,7 @@ class NameNode : public faas::FunctionApp, public coord::CacheMember {
     // Registry-owned, shared by every NameNode of the same deployment.
     sim::Counter& cache_hits_;
     sim::Counter& cache_misses_;
+    sim::Counter& shed_expired_;
     bool in_coordinator_ = false;
     uint64_t block_reports_ = 0;
 };

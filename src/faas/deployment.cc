@@ -26,7 +26,15 @@ FunctionDeployment::FunctionDeployment(sim::Simulation& sim,
       reclamations_(
           sim.metrics().counter("faas.reclamations", {{"deployment", name_}})),
       gateway_invocations_(sim.metrics().counter("faas.gateway_invocations",
-                                                 {{"deployment", name_}}))
+                                                 {{"deployment", name_}})),
+      shed_queue_full_(sim.metrics().counter(
+          "faas.shed", {{"deployment", name_}, {"reason", "queue_full"}})),
+      shed_expired_(sim.metrics().counter(
+          "faas.shed", {{"deployment", name_}, {"reason", "expired"}})),
+      shed_sojourn_(sim.metrics().counter(
+          "faas.shed", {{"deployment", name_}, {"reason", "sojourn"}})),
+      queue_sojourn_(sim.metrics().histogram("faas.queue_sojourn",
+                                             {{"deployment", name_}}))
 {
 }
 
@@ -103,6 +111,23 @@ void
 FunctionDeployment::drain_queue()
 {
     while (!wait_queue_.empty()) {
+        // Expired-in-queue / CoDel shedding at dequeue: resolve the head's
+        // cell to nullptr (the waiter classifies the rejection) before
+        // spending a slot — or a cold start — on doomed work.
+        QueuedInvocation& head = wait_queue_.front();
+        if (head.deadline >= 0 && sim_.now() >= head.deadline) {
+            shed_expired_.add();
+            head.cell->try_set(nullptr);
+            wait_queue_.pop_front();
+            continue;
+        }
+        if (config_.queue_sojourn_limit > 0 &&
+            sim_.now() - head.enqueued > config_.queue_sojourn_limit) {
+            shed_sojourn_.add();
+            head.cell->try_set(nullptr);
+            wait_queue_.pop_front();
+            continue;
+        }
         FunctionInstance* inst = find_http_slot();
         if (!inst) {
             inst = try_scale_out(/*cold=*/true);
@@ -110,10 +135,11 @@ FunctionDeployment::drain_queue()
         if (!inst) {
             break;  // at capacity: requests stay queued
         }
-        auto cell = wait_queue_.front();
+        QueuedInvocation entry = wait_queue_.front();
         wait_queue_.pop_front();
+        queue_sojourn_.record(sim_.now() - entry.enqueued);
         inst->reserve_http_slot();
-        cell->try_set(inst);
+        entry.cell->try_set(inst);
     }
 }
 
@@ -126,14 +152,48 @@ FunctionDeployment::invoke_via_gateway(Invocation inv)
     gateway_span.annotate("deployment", name_);
     inv.op.trace = gateway_span.context();
     co_await network_.transfer(net::LatencyClass::kHttpGateway);
+    // Admission control at the gateway: bound the queue and refuse work
+    // that is already past its deadline, paying only the HTTP round trip.
+    if (config_.max_queue_depth > 0 &&
+        wait_queue_.size() >= static_cast<size_t>(config_.max_queue_depth)) {
+        shed_queue_full_.add();
+        gateway_span.annotate("shed", "queue_full");
+        OpResult shed;
+        shed.status = Status::resource_exhausted("gateway queue full: " +
+                                                 name_);
+        co_await network_.transfer(net::LatencyClass::kHttpGateway);
+        co_return shed;
+    }
+    if (op_expired(inv.op, sim_.now())) {
+        shed_expired_.add();
+        gateway_span.annotate("shed", "expired");
+        OpResult shed;
+        shed.status = Status::deadline_exceeded("expired at gateway");
+        co_await network_.transfer(net::LatencyClass::kHttpGateway);
+        co_return shed;
+    }
     sim::Span queue_span = sim_.tracer().start_span("faas", "queue_wait",
                                                     gateway_span.context());
     auto cell = std::make_shared<sim::OneShot<FunctionInstance*>>(sim_);
-    wait_queue_.push_back(cell);
+    wait_queue_.push_back(
+        QueuedInvocation{cell, sim_.now(), inv.op.deadline});
     drain_queue();
     FunctionInstance* inst = co_await cell->wait();
+    if (inst == nullptr) {
+        // Shed while queued (drain_queue resolved the cell to nullptr).
+        bool expired = op_expired(inv.op, sim_.now());
+        queue_span.annotate("shed", expired ? "expired" : "sojourn");
+        queue_span.end();
+        OpResult shed;
+        shed.status =
+            expired
+                ? Status::deadline_exceeded("expired in gateway queue")
+                : Status::resource_exhausted("shed from gateway queue: " +
+                                             name_);
+        co_await network_.transfer(net::LatencyClass::kHttpGateway);
+        co_return shed;
+    }
     queue_span.end();
-    assert(inst != nullptr);
     OpResult result = co_await inst->serve_http(std::move(inv));
     co_await network_.transfer(net::LatencyClass::kHttpGateway);
     co_return result;

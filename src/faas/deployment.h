@@ -66,6 +66,13 @@ class FunctionDeployment {
     uint64_t reclamations() const { return reclamations_.value(); }
     size_t queue_length() const { return wait_queue_.size(); }
 
+    /** Invocations shed by gateway admission control (all reasons). */
+    uint64_t shed_total() const
+    {
+        return shed_queue_full_.value() + shed_expired_.value() +
+               shed_sojourn_.value();
+    }
+
     /** Invocations that entered through the API gateway (billed as
      *  Lambda requests; direct TCP RPCs ride the running invocation). */
     uint64_t gateway_invocations() const
@@ -89,6 +96,18 @@ class FunctionDeployment {
     std::function<void(FunctionInstance&)> on_instance_dead;
 
   private:
+    /**
+     * One queued gateway invocation. The cell resolves to the assigned
+     * instance, or to nullptr when admission control sheds the entry
+     * (deadline expired in queue, or sojourn over the CoDel limit);
+     * invoke_via_gateway classifies nullptr into the right error.
+     */
+    struct QueuedInvocation {
+        std::shared_ptr<sim::OneShot<FunctionInstance*>> cell;
+        sim::SimTime enqueued = 0;
+        sim::SimTime deadline = -1;
+    };
+
     FunctionInstance* find_http_slot();
     FunctionInstance* try_scale_out(bool cold);
     sim::Task<void> watch_warm(FunctionInstance* instance);
@@ -108,11 +127,15 @@ class FunctionDeployment {
     int alive_count_ = 0;
     size_t kill_cursor_ = 0;
     std::vector<std::unique_ptr<FunctionInstance>> instances_;
-    std::deque<std::shared_ptr<sim::OneShot<FunctionInstance*>>> wait_queue_;
+    std::deque<QueuedInvocation> wait_queue_;
     // Registry-owned (labelled by deployment): survive this object.
     sim::Counter& cold_starts_;
     sim::Counter& reclamations_;
     sim::Counter& gateway_invocations_;
+    sim::Counter& shed_queue_full_;
+    sim::Counter& shed_expired_;
+    sim::Counter& shed_sojourn_;
+    sim::Histogram& queue_sojourn_;
 };
 
 }  // namespace lfs::faas

@@ -8,20 +8,6 @@ namespace lfs::hopsfs {
 
 namespace {
 
-bool
-retryable(const Status& status)
-{
-    switch (status.code()) {
-      case Code::kUnavailable:
-      case Code::kDeadlineExceeded:
-      case Code::kAborted:
-      case Code::kInternal:
-        return true;
-      default:
-        return false;
-    }
-}
-
 /** One NameNode round trip over the client's TCP connection. */
 sim::Task<OpResult>
 co_nn_round(net::Network& network, HopsNameNode& nn, Op op)
@@ -133,7 +119,7 @@ HopsClient::execute(Op op)
         });
         sim::spawn(co_run_into(co_nn_round(fs_.network(), nn, op), cell));
         result = co_await cell->wait();
-        if (!retryable(result.status)) {
+        if (!retryable_code(result.status.code())) {
             co_return result;
         }
         // Brief jittered pause before resubmitting.

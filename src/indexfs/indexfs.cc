@@ -1,5 +1,7 @@
 #include "src/indexfs/indexfs.h"
 
+#include <iterator>
+
 #include "src/util/path.h"
 
 namespace lfs::indexfs {
@@ -108,9 +110,30 @@ IndexFsClient::execute(Op op)
     co_await fs_.network().transfer(net::LatencyClass::kTcp);
     if (result.status.ok()) {
         if (is_read_op(op.type)) {
-            if (leases_.size() >
-                static_cast<size_t>(fs_.config().client_cache_entries)) {
-                leases_.clear();  // coarse lease-cache bound
+            // Bound the lease cache without nuking it wholesale: drop
+            // expired leases first (they are dead weight), then — if the
+            // cache is still over budget — evict the lease closest to
+            // expiry. Clearing the whole map here used to throw away
+            // every live lease whenever the cap was crossed, turning the
+            // hot read path into a miss storm.
+            size_t cap =
+                static_cast<size_t>(fs_.config().client_cache_entries);
+            if (leases_.size() > cap) {
+                sim::SimTime now = fs_.simulation().now();
+                for (auto it = leases_.begin(); it != leases_.end();) {
+                    it = it->second.expires <= now ? leases_.erase(it)
+                                                   : std::next(it);
+                }
+                while (leases_.size() > cap) {
+                    auto victim = leases_.begin();
+                    for (auto it = std::next(leases_.begin());
+                         it != leases_.end(); ++it) {
+                        if (it->second.expires < victim->second.expires) {
+                            victim = it;
+                        }
+                    }
+                    leases_.erase(victim);
+                }
             }
             leases_[op.path] = Lease{
                 result.inode,

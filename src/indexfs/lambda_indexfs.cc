@@ -219,10 +219,10 @@ LambdaIndexClient::execute(Op op)
                 co_tcp_round(fs_.network(), conn, std::move(inv)), cell));
             result = co_await cell->wait();
         }
-        bool retry = result.status.code() == Code::kUnavailable ||
-                     result.status.code() == Code::kDeadlineExceeded ||
-                     result.status.code() == Code::kInternal;
-        if (!retry) {
+        // The shared predicate keeps retry classification consistent with
+        // the λFS and HopsFS clients (RESOURCE_EXHAUSTED and ABORTED are
+        // retryable here too).
+        if (!retryable_code(result.status.code())) {
             co_return result;
         }
         co_await sim::delay(fs_.simulation(),

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "src/namespace/inode.h"
+#include "src/sim/time.h"
 #include "src/sim/trace.h"
 #include "src/util/status.h"
 
@@ -56,7 +57,22 @@ struct Op {
     ns::UserContext user;    ///< principal
     uint64_t op_id = 0;      ///< unique id (dedup of resubmitted requests)
     sim::TraceContext trace;  ///< tracing context; each layer re-parents it
+    /**
+     * Absolute completion deadline propagated with the request (-1 =
+     * none). Every hop — gateway, deployment admission queue, NameNode,
+     * datanode — sheds work whose deadline has already passed instead of
+     * processing it ("expired-in-queue" shedding, DESIGN.md overload
+     * control). Stamped by the client when deadlines are enabled.
+     */
+    sim::SimTime deadline = -1;
 };
+
+/** True when @p op carries a deadline that has passed at @p now. */
+inline bool
+op_expired(const Op& op, sim::SimTime now)
+{
+    return op.deadline >= 0 && now >= op.deadline;
+}
 
 /** Result payload for read-type operations. */
 struct OpResult {

@@ -33,7 +33,9 @@ FaultPlan::FaultPlan(Simulation& sim, uint64_t seed)
       stalls_(sim.metrics().counter("fault.faas.stalls")),
       outage_count_(sim.metrics().counter("fault.store.outages")),
       store_stalls_(sim.metrics().counter("fault.store.stalled_ops")),
-      kills_(sim.metrics().counter("fault.kills"))
+      kills_(sim.metrics().counter("fault.kills")),
+      brownout_count_(sim.metrics().counter("fault.store.brownouts")),
+      load_window_count_(sim.metrics().counter("fault.load.windows"))
 {
     for (size_t i = 0; i < kChannels; ++i) {
         MetricLabels labels = {
@@ -111,6 +113,31 @@ FaultPlan::add_store_outage(StoreOutageWindow window)
         }
     });
     sim_.schedule_at(window.until, [span] { span->end(); });
+}
+
+void
+FaultPlan::add_store_brownout(StoreBrownoutWindow window)
+{
+    brownout_count_.add();
+    brownouts_.push_back(window);
+    // Long-lived trace span covering the brownout (like store outages).
+    auto span = std::make_shared<Span>();
+    sim_.schedule_at(window.from, [this, span, window] {
+        if (sim_.tracer().enabled()) {
+            *span = sim_.tracer().start_trace("fault", "store_brownout");
+            span->annotate("shard", static_cast<int64_t>(window.shard));
+            span->annotate("multiplier",
+                           static_cast<int64_t>(window.service_multiplier));
+        }
+    });
+    sim_.schedule_at(window.until, [span] { span->end(); });
+}
+
+void
+FaultPlan::add_offered_load(OfferedLoadWindow window)
+{
+    load_window_count_.add();
+    load_windows_.push_back(window);
 }
 
 void
@@ -253,6 +280,33 @@ FaultPlan::store_shard_down(int shard) const
         }
     }
     return false;
+}
+
+double
+FaultPlan::store_service_multiplier(int shard) const
+{
+    double multiplier = 1.0;
+    SimTime now = sim_.now();
+    for (const StoreBrownoutWindow& w : brownouts_) {
+        if (now >= w.from && now < w.until &&
+            (w.shard < 0 || w.shard == shard)) {
+            multiplier *= w.service_multiplier;
+        }
+    }
+    return multiplier;
+}
+
+double
+FaultPlan::offered_load_multiplier() const
+{
+    double multiplier = 1.0;
+    SimTime now = sim_.now();
+    for (const OfferedLoadWindow& w : load_windows_) {
+        if (now >= w.from && now < w.until) {
+            multiplier *= w.multiplier;
+        }
+    }
+    return multiplier;
 }
 
 void

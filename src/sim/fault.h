@@ -128,6 +128,33 @@ struct StoreOutageWindow {
 };
 
 /**
+ * A store brownout: shards keep serving during [from, until) but every
+ * transaction's service time is multiplied (degraded disks, a compacting
+ * backend, a noisy neighbour). Capacity drops by the same factor, so
+ * queues build instead of requests failing outright — the classic
+ * trigger of a metastable overload.
+ */
+struct StoreBrownoutWindow {
+    int shard = -1;  ///< -1 = every shard
+    SimTime from = 0;
+    SimTime until = 0;
+    /** Service-time multiplier applied to every transaction. */
+    double service_multiplier = 4.0;
+};
+
+/**
+ * Offered-load multiplier consulted by workload generators during
+ * [from, until). Together with a StoreBrownoutWindow this forms the
+ * reproducible overload scenario (burst + brownout, then trough) used by
+ * the overload-control tests and bench_overload.
+ */
+struct OfferedLoadWindow {
+    SimTime from = 0;
+    SimTime until = 0;
+    double multiplier = 1.0;
+};
+
+/**
  * The installed fault schedule. Construct after the Simulation and keep
  * it alive for as long as the simulation executes events (scheduled kill
  * rounds and outage markers reference the plan).
@@ -148,6 +175,8 @@ class FaultPlan {
     void add_partition(PartitionWindow window);
     void add_instance_faults(InstanceFaultWindow window);
     void add_store_outage(StoreOutageWindow window);
+    void add_store_brownout(StoreBrownoutWindow window);
+    void add_offered_load(OfferedLoadWindow window);
 
     /**
      * Timed kill rounds (the Fig. 15 workhorse): invoke @p kill with the
@@ -186,6 +215,15 @@ class FaultPlan {
     /** Count one transaction observed stalling behind a shard outage. */
     void note_store_stall(int shard);
 
+    /**
+     * Combined service-time multiplier for @p shard right now (product of
+     * every active brownout window; 1.0 = healthy).
+     */
+    double store_service_multiplier(int shard) const;
+
+    /** Offered-load multiplier for workload generators right now (1.0). */
+    double offered_load_multiplier() const;
+
     // ------------------------------------------------------------------
     // Introspection
     // ------------------------------------------------------------------
@@ -215,6 +253,8 @@ class FaultPlan {
     std::vector<PartitionWindow> partitions_;
     std::vector<InstanceFaultWindow> instance_windows_;
     std::vector<StoreOutageWindow> outages_;
+    std::vector<StoreBrownoutWindow> brownouts_;
+    std::vector<OfferedLoadWindow> load_windows_;
     int kill_rounds_ = 0;
     // Registry-owned counters (one per channel for the message faults).
     static constexpr size_t kChannels =
@@ -228,6 +268,8 @@ class FaultPlan {
     Counter& outage_count_;
     Counter& store_stalls_;
     Counter& kills_;
+    Counter& brownout_count_;
+    Counter& load_window_count_;
 };
 
 }  // namespace lfs::sim

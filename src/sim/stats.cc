@@ -126,6 +126,22 @@ Histogram::merge(const Histogram& other)
     max_ = std::max(max_, other.max_);
 }
 
+Histogram
+Histogram::delta(const Histogram& snapshot) const
+{
+    assert(buckets_.size() == snapshot.buckets_.size());
+    Histogram out;
+    for (size_t i = 0; i < buckets_.size(); ++i) {
+        assert(buckets_[i] >= snapshot.buckets_[i]);
+        out.buckets_[i] = buckets_[i] - snapshot.buckets_[i];
+    }
+    out.count_ = count_ - snapshot.count_;
+    out.sum_ = sum_ - snapshot.sum_;
+    out.min_ = min_;
+    out.max_ = max_;
+    return out;
+}
+
 void
 Histogram::reset()
 {

@@ -73,6 +73,17 @@ class Histogram {
     /** Merge another histogram into this one. */
     void merge(const Histogram& other);
 
+    /**
+     * The samples recorded since @p snapshot was copied from this
+     * histogram (bucket-wise difference). Used for phase-windowed
+     * percentiles: copy the cumulative histogram at a phase boundary,
+     * then diff at the end of the phase. The delta's min/max are the
+     * cumulative ones (exact per-window extremes are not recoverable
+     * from bucket counts); percentile()/mean() are bucket-accurate.
+     * @p snapshot must be an earlier copy of *this.
+     */
+    Histogram delta(const Histogram& snapshot) const;
+
     void reset();
 
   private:

@@ -1,8 +1,22 @@
 #include "src/store/data_node.h"
 
+#include <string>
+
 #include "src/sim/fault.h"
 
 namespace lfs::store {
+
+namespace {
+
+sim::Counter&
+shed_counter(sim::Simulation& sim, int shard_id, const char* reason)
+{
+    return sim.metrics().counter("overload.store_shed",
+                                 {{"shard", std::to_string(shard_id)},
+                                  {"reason", reason}});
+}
+
+}  // namespace
 
 DataNode::DataNode(sim::Simulation& sim, sim::Rng rng, DataNodeConfig config,
                    int shard_id)
@@ -11,7 +25,13 @@ DataNode::DataNode(sim::Simulation& sim, sim::Rng rng, DataNodeConfig config,
       config_(config),
       shard_id_(shard_id),
       read_slots_(sim, config.concurrency),
-      write_slots_(sim, config.concurrency)
+      write_slots_(sim, config.concurrency),
+      shed_expired_(shed_counter(sim, shard_id, "expired")),
+      shed_queue_full_(shed_counter(sim, shard_id, "queue_full")),
+      shed_sojourn_(shed_counter(sim, shard_id, "sojourn")),
+      shed_fail_fast_(shed_counter(sim, shard_id, "fail_fast")),
+      sojourn_hist_(sim.metrics().histogram(
+          "overload.store_sojourn", {{"shard", std::to_string(shard_id)}}))
 {
 }
 
@@ -28,34 +48,85 @@ DataNode::stall_while_down()
     }
 }
 
-sim::Task<void>
-DataNode::execute_read(int components)
+sim::Task<Status>
+DataNode::admit_and_serve(sim::Semaphore& slots, sim::SimTime base_service,
+                          sim::Counter& served, sim::SimTime deadline)
 {
-    co_await stall_while_down();
-    co_await read_slots_.acquire();
-    sim::SemaphoreGuard guard(read_slots_);
+    sim::FaultPlan* plan = sim_.fault_plan();
+    if (plan != nullptr && plan->store_shard_down(shard_id_)) {
+        if (config_.fail_fast_when_down) {
+            // Fail fast so the caller's circuit breaker can open instead
+            // of the outage tying up NameNode concurrency slots.
+            shed_fail_fast_.add();
+            plan->note_store_stall(shard_id_);
+            co_return Status::unavailable("store shard down: " +
+                                          std::to_string(shard_id_));
+        }
+        co_await stall_while_down();
+    }
+    // Deadline admission: reject work whose remaining budget cannot cover
+    // even the minimum service time — it is doomed, shed it now.
+    if (deadline >= 0 && sim_.now() + base_service > deadline) {
+        shed_expired_.add();
+        co_return Status::deadline_exceeded("expired at store admission");
+    }
+    if (config_.max_queue_depth > 0 &&
+        slots.waiting() >= static_cast<size_t>(config_.max_queue_depth)) {
+        shed_queue_full_.add();
+        co_return Status::resource_exhausted("store shard queue full");
+    }
+    sim::SimTime enqueued = sim_.now();
+    co_await slots.acquire();
+    sim::SemaphoreGuard guard(slots);
+    sim::SimTime sojourn = sim_.now() - enqueued;
+    sojourn_hist_.record(sojourn);
+    // Expired-in-queue / CoDel shedding: drop stale work at dequeue, when
+    // shedding still frees capacity for fresher requests.
+    if (deadline >= 0 && sim_.now() + base_service > deadline) {
+        shed_expired_.add();
+        co_return Status::deadline_exceeded("expired in store queue");
+    }
+    if (config_.queue_sojourn_limit > 0 &&
+        sojourn > config_.queue_sojourn_limit) {
+        shed_sojourn_.add();
+        co_return Status::resource_exhausted("store queue sojourn overrun");
+    }
+    sim::SimTime service = base_service;
+    if (plan != nullptr) {
+        double multiplier = plan->store_service_multiplier(shard_id_);
+        if (multiplier != 1.0) {
+            service = static_cast<sim::SimTime>(
+                static_cast<double>(service) * multiplier);
+        }
+    }
+    co_await sim::delay(sim_, service);
+    busy_time_ += service;
+    served.add();
+    co_return Status::make_ok();
+}
+
+sim::Task<Status>
+DataNode::execute_read(int components, sim::SimTime deadline)
+{
     sim::SimTime service =
         rng_.uniform_duration(config_.read_service_min,
                               config_.read_service_max) +
         config_.per_component_cost * std::max(0, components - 1);
-    co_await sim::delay(sim_, service);
-    busy_time_ += service;
-    reads_.add();
+    Status st = co_await admit_and_serve(read_slots_, service, reads_,
+                                         deadline);
+    co_return st;
 }
 
-sim::Task<void>
-DataNode::execute_write(int rows)
+sim::Task<Status>
+DataNode::execute_write(int rows, sim::SimTime deadline)
 {
-    co_await stall_while_down();
-    co_await write_slots_.acquire();
-    sim::SemaphoreGuard guard(write_slots_);
     sim::SimTime service =
         rng_.uniform_duration(config_.write_service_min,
                               config_.write_service_max) +
         config_.per_component_cost * std::max(0, rows - 1);
-    co_await sim::delay(sim_, service);
-    busy_time_ += service;
-    writes_.add();
+    Status st = co_await admit_and_serve(write_slots_, service, writes_,
+                                         deadline);
+    co_return st;
 }
 
 size_t

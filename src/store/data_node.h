@@ -4,6 +4,14 @@
  * node"): a finite-concurrency queueing server whose service times define
  * the store's read/write capacity. Queueing delay under load is what caps
  * HopsFS throughput in the paper's experiments.
+ *
+ * Overload control (all knobs off by default): admission is bounded
+ * (max_queue_depth), deadline-aware (an op whose remaining budget cannot
+ * cover even the minimum service time is rejected, and one that expires
+ * while queued is shed when it reaches the head), and CoDel-style (work
+ * that waited longer than queue_sojourn_limit is shed at dequeue). During
+ * a FaultPlan outage a shard can fail fast instead of stalling admissions
+ * (fail_fast_when_down); a FaultPlan brownout multiplies service times.
  */
 #pragma once
 
@@ -14,6 +22,7 @@
 #include "src/sim/simulation.h"
 #include "src/sim/stats.h"
 #include "src/sim/task.h"
+#include "src/util/status.h"
 
 namespace lfs::store {
 
@@ -33,6 +42,12 @@ struct DataNodeConfig {
     sim::SimTime write_service_max = sim::usec(4800);
     /** Extra service per additional path component in a batched resolve. */
     sim::SimTime per_component_cost = sim::usec(35);
+    /** Bound on queued transactions per class (0 = unbounded). */
+    int max_queue_depth = 0;
+    /** CoDel-style sojourn bound: shed work that queued longer (0 = off). */
+    sim::SimTime queue_sojourn_limit = 0;
+    /** Fail admissions fast during an outage instead of stalling them. */
+    bool fail_fast_when_down = false;
 };
 
 class DataNode {
@@ -43,12 +58,16 @@ class DataNode {
 
     /**
      * Execute one read transaction that touches @p components inode rows
-     * (a batched path resolve is a single transaction).
+     * (a batched path resolve is a single transaction). @p deadline is
+     * the op's absolute deadline (-1 = none); expired or shed admissions
+     * return DEADLINE_EXCEEDED / RESOURCE_EXHAUSTED without consuming
+     * service capacity.
      */
-    sim::Task<void> execute_read(int components = 1);
+    sim::Task<Status> execute_read(int components = 1,
+                                   sim::SimTime deadline = -1);
 
     /** Execute one write transaction touching @p rows inode rows. */
-    sim::Task<void> execute_write(int rows = 1);
+    sim::Task<Status> execute_write(int rows = 1, sim::SimTime deadline = -1);
 
     uint64_t reads_served() const { return reads_.value(); }
     uint64_t writes_served() const { return writes_.value(); }
@@ -59,7 +78,24 @@ class DataNode {
     /** Total busy server time accumulated (for utilization reporting). */
     sim::SimTime busy_time() const { return busy_time_; }
 
+    /** Admissions shed by overload control (all reasons). */
+    uint64_t shed_total() const
+    {
+        return shed_expired_.value() + shed_queue_full_.value() +
+               shed_sojourn_.value() + shed_fail_fast_.value();
+    }
+
   private:
+    /**
+     * Common admission + service path for both transaction classes.
+     * @p base_service is the service time drawn for this transaction
+     * (before any brownout multiplier).
+     */
+    sim::Task<Status> admit_and_serve(sim::Semaphore& slots,
+                                      sim::SimTime base_service,
+                                      sim::Counter& served,
+                                      sim::SimTime deadline);
+
     /**
      * Block at admission while a FaultPlan outage window covers this
      * shard. Transactions queue (none are lost) and resume when the shard
@@ -77,6 +113,12 @@ class DataNode {
     sim::Counter reads_;
     sim::Counter writes_;
     sim::SimTime busy_time_ = 0;
+    // Registry-owned shed counters + sojourn histogram ({shard} labels).
+    sim::Counter& shed_expired_;
+    sim::Counter& shed_queue_full_;
+    sim::Counter& shed_sojourn_;
+    sim::Counter& shed_fail_fast_;
+    sim::Histogram& sojourn_hist_;
 };
 
 }  // namespace lfs::store

@@ -31,6 +31,25 @@ MetadataStore::MetadataStore(sim::Simulation& sim, net::Network& network,
     sim_.metrics().register_callback_gauge(
         "store.writes", {},
         [this] { return static_cast<double>(total_writes()); }, this);
+    rejected_expired_ = &sim_.metrics().counter("overload.store_rejected",
+                                                {{"reason", "expired"}});
+    rejected_breaker_ = &sim_.metrics().counter("overload.store_rejected",
+                                                {{"reason", "breaker_open"}});
+    if (config_.enable_circuit_breaker) {
+        breakers_.reserve(shards_.size());
+        for (int i = 0; i < config_.num_data_nodes; ++i) {
+            breakers_.push_back(
+                std::make_unique<util::CircuitBreaker>(config_.breaker));
+            util::CircuitBreaker* breaker = breakers_.back().get();
+            sim_.metrics().register_callback_gauge(
+                "overload.breaker_state", {{"shard", std::to_string(i)}},
+                [breaker] {
+                    return static_cast<double>(
+                        static_cast<int>(breaker->state()));
+                },
+                this);
+        }
+    }
 }
 
 MetadataStore::~MetadataStore()
@@ -38,11 +57,43 @@ MetadataStore::~MetadataStore()
     sim_.metrics().remove_owner(this);
 }
 
+size_t
+MetadataStore::shard_index(const std::string& parent_path) const
+{
+    return fnv1a(parent_path) % shards_.size();
+}
+
 DataNode&
 MetadataStore::shard_for(const std::string& parent_path)
 {
-    size_t idx = fnv1a(parent_path) % shards_.size();
-    return *shards_[idx];
+    return *shards_[shard_index(parent_path)];
+}
+
+Status
+MetadataStore::breaker_admit(size_t idx)
+{
+    if (breakers_.empty()) {
+        return Status::make_ok();
+    }
+    if (!breakers_[idx]->allow(sim_.now())) {
+        rejected_breaker_->add();
+        return Status::unavailable("store breaker open: shard " +
+                                   std::to_string(idx));
+    }
+    return Status::make_ok();
+}
+
+void
+MetadataStore::breaker_record(size_t idx, const Status& st)
+{
+    if (breakers_.empty()) {
+        return;
+    }
+    if (st.ok()) {
+        breakers_[idx]->record_success(sim_.now());
+    } else {
+        breakers_[idx]->record_failure(sim_.now());
+    }
 }
 
 OpResult
@@ -214,6 +265,23 @@ MetadataStore::read_op(Op op)
         sim_.tracer().start_span("store", "read_txn", op.trace);
     co_await network_.transfer(net::LatencyClass::kStore);
     OpResult result;
+    size_t shard_idx = shard_index(path::parent(op.path));
+    // Admission checks before any lock or coherence work: a tripped
+    // breaker or an already-expired deadline fails fast, paying only the
+    // network round trip.
+    result.status = breaker_admit(shard_idx);
+    if (!result.status.ok()) {
+        txn_span.annotate("shed", "breaker_open");
+        co_await network_.transfer(net::LatencyClass::kStore);
+        co_return result;
+    }
+    if (op_expired(op, sim_.now())) {
+        rejected_expired_->add();
+        txn_span.annotate("shed", "expired");
+        result.status = Status::deadline_exceeded("expired at store entry");
+        co_await network_.transfer(net::LatencyClass::kStore);
+        co_return result;
+    }
     while (true) {
         // One lock_wait span per retry round; move-assign ends the
         // previous round's span.
@@ -233,7 +301,17 @@ MetadataStore::read_op(Op op)
         }
         lock_span.end();
         DataNode& shard = shard_for(path::parent(op.path));
-        co_await shard.execute_read(path::depth(op.path) + 1);
+        Status st =
+            co_await shard.execute_read(path::depth(op.path) + 1, op.deadline);
+        breaker_record(shard_idx, st);
+        if (!st.ok()) {
+            for (ns::INodeId id : lock_ids) {
+                locks_.unlock_shared(id);
+            }
+            txn_span.annotate("shed", code_name(st.code()));
+            result.status = st;
+            break;
+        }
         result = apply_read(op);
         for (ns::INodeId id : lock_ids) {
             locks_.unlock_shared(id);
@@ -256,6 +334,25 @@ MetadataStore::write_op(Op op, LockedHook after_lock)
     sim::Span txn_span =
         sim_.tracer().start_span("store", "write_txn", op.trace);
     co_await network_.transfer(net::LatencyClass::kStore);
+    size_t shard_idx = shard_index(path::parent(op.path));
+    // Admission checks before waiting on subtree flags, acquiring row
+    // locks, or running the coherence round — doomed work sheds here.
+    Status admit = breaker_admit(shard_idx);
+    if (!admit.ok()) {
+        txn_span.annotate("shed", "breaker_open");
+        OpResult shed;
+        shed.status = admit;
+        co_await network_.transfer(net::LatencyClass::kStore);
+        co_return shed;
+    }
+    if (op_expired(op, sim_.now())) {
+        rejected_expired_->add();
+        txn_span.annotate("shed", "expired");
+        OpResult shed;
+        shed.status = Status::deadline_exceeded("expired at store entry");
+        co_await network_.transfer(net::LatencyClass::kStore);
+        co_return shed;
+    }
     sim::Span lock_span =
         sim_.tracer().start_span("store", "lock_wait", txn_span.context());
     while (locks_.overlaps_active_subtree(op.path) ||
@@ -270,31 +367,49 @@ MetadataStore::write_op(Op op, LockedHook after_lock)
         co_await after_lock();
     }
     DataNode& shard = shard_for(path::parent(op.path));
-    co_await shard.execute_write(static_cast<int>(lock_ids.size()));
+    Status st = co_await shard.execute_write(
+        static_cast<int>(lock_ids.size()), op.deadline);
+    breaker_record(shard_idx, st);
+    if (!st.ok()) {
+        locks_.unlock_exclusive_all(lock_ids);
+        txn_span.annotate("shed", code_name(st.code()));
+        OpResult shed;
+        shed.status = st;
+        co_await network_.transfer(net::LatencyClass::kStore);
+        co_return shed;
+    }
     OpResult result = apply_write(op);
     locks_.unlock_exclusive_all(lock_ids);
     co_await network_.transfer(net::LatencyClass::kStore);
     co_return result;
 }
 
-sim::Task<void>
+sim::Task<Status>
 MetadataStore::quiesce_rows(const std::string& shard_key, int64_t rows)
 {
     DataNode& shard = shard_for(shard_key);
     int batch = config_.subtree_batch_size;
     for (int64_t done = 0; done < rows; done += batch) {
         int64_t n = std::min<int64_t>(batch, rows - done);
-        co_await shard.execute_read(1);
+        Status st = co_await shard.execute_read(1);
+        if (!st.ok()) {
+            co_return st;
+        }
         co_await sim::delay(sim_, config_.subtree_row_read_cost * n);
     }
+    co_return Status::make_ok();
 }
 
-sim::Task<void>
+sim::Task<Status>
 MetadataStore::commit_subtree_batch(const std::string& shard_key, int64_t rows)
 {
     DataNode& shard = shard_for(shard_key);
-    co_await shard.execute_write(1);
+    Status st = co_await shard.execute_write(1);
+    if (!st.ok()) {
+        co_return st;
+    }
     co_await sim::delay(sim_, config_.subtree_row_write_cost * rows);
+    co_return Status::make_ok();
 }
 
 sim::Task<OpResult>
@@ -340,12 +455,20 @@ MetadataStore::subtree_op(Op op, SubtreeExecution exec)
         co_await exec.after_lock();
     }
 
-    // Phase 2: quiesce the subtree (ordered lock walk).
+    // Phase 2: quiesce the subtree (ordered lock walk). Subtree ops carry
+    // no deadline (clients never stamp them), but a bounded shard queue
+    // can still reject a batch; abort the protocol and release the flag.
     sim::Span quiesce_span =
         sim_.tracer().start_span("store", "quiesce", txn_span.context());
     quiesce_span.annotate("rows", rows);
-    co_await quiesce_rows(op.path, rows);
+    Status quiesced = co_await quiesce_rows(op.path, rows);
     quiesce_span.end();
+    if (!quiesced.ok()) {
+        locks_.release_subtree(op.path);
+        result.status = quiesced;
+        co_await network_.transfer(net::LatencyClass::kStore);
+        co_return result;
+    }
 
     // Phase 3: batched sub-transactions, each preceded by the calling
     // NameNode cluster's own batch processing cost.
@@ -358,7 +481,14 @@ MetadataStore::subtree_op(Op op, SubtreeExecution exec)
         if (exec.per_row_nn_cost > 0) {
             co_await sim::delay(sim_, exec.per_row_nn_cost * n);
         }
-        co_await commit_subtree_batch(op.path, n);
+        Status committed = co_await commit_subtree_batch(op.path, n);
+        if (!committed.ok()) {
+            commit_span.end();
+            locks_.release_subtree(op.path);
+            result.status = committed;
+            co_await network_.transfer(net::LatencyClass::kStore);
+            co_return result;
+        }
     }
     commit_span.end();
 
@@ -395,6 +525,42 @@ MetadataStore::queue_depth() const
     size_t total = 0;
     for (const auto& shard : shards_) {
         total += shard->queue_depth();
+    }
+    return total;
+}
+
+uint64_t
+MetadataStore::shed_total() const
+{
+    uint64_t total = 0;
+    for (const auto& shard : shards_) {
+        total += shard->shed_total();
+    }
+    if (rejected_expired_ != nullptr) {
+        total += rejected_expired_->value();
+    }
+    if (rejected_breaker_ != nullptr) {
+        total += rejected_breaker_->value();
+    }
+    return total;
+}
+
+uint64_t
+MetadataStore::breaker_opens() const
+{
+    uint64_t total = 0;
+    for (const auto& breaker : breakers_) {
+        total += breaker->opens();
+    }
+    return total;
+}
+
+uint64_t
+MetadataStore::breaker_fast_failures() const
+{
+    uint64_t total = 0;
+    for (const auto& breaker : breakers_) {
+        total += breaker->fast_failures();
     }
     return total;
 }

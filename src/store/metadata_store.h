@@ -24,6 +24,7 @@
 #include "src/sim/task.h"
 #include "src/store/data_node.h"
 #include "src/store/lock_table.h"
+#include "src/util/overload.h"
 
 namespace lfs::store {
 
@@ -38,6 +39,14 @@ struct StoreConfig {
     int subtree_batch_size = 512;
     /** Delay between retries when a subtree lock conflicts. */
     sim::SimTime subtree_retry_delay = sim::msec(20);
+    /**
+     * Per-shard circuit breakers: a rolling error window trips the shard
+     * open, failing store transactions fast with UNAVAILABLE instead of
+     * queueing them behind a struggling shard; half-open probes re-close
+     * it once the shard recovers.
+     */
+    bool enable_circuit_breaker = false;
+    util::BreakerConfig breaker;
 };
 
 class MetadataStore {
@@ -103,11 +112,11 @@ class MetadataStore {
     sim::Task<OpResult> subtree_op(Op op);
 
     /** One quiesce walk over @p rows rows (exposed for λFS's protocol). */
-    sim::Task<void> quiesce_rows(const std::string& shard_key, int64_t rows);
+    sim::Task<Status> quiesce_rows(const std::string& shard_key, int64_t rows);
 
     /** One batched subtree commit of @p rows rows on the owning shard. */
-    sim::Task<void> commit_subtree_batch(const std::string& shard_key,
-                                         int64_t rows);
+    sim::Task<Status> commit_subtree_batch(const std::string& shard_key,
+                                           int64_t rows);
 
     // ------------------------------------------------------------------
     // Statistics
@@ -117,9 +126,31 @@ class MetadataStore {
     uint64_t total_writes() const;
     size_t queue_depth() const;
 
+    /** Transactions shed by shard overload control (all shards/reasons). */
+    uint64_t shed_total() const;
+
+    /** Breaker open transitions across all shards (0 when disabled). */
+    uint64_t breaker_opens() const;
+
+    /** Transactions failed fast by an open breaker across all shards. */
+    uint64_t breaker_fast_failures() const;
+
   private:
+    /** Shard index owning metadata for paths under @p parent_path. */
+    size_t shard_index(const std::string& parent_path) const;
+
     /** Shard owning metadata for paths under @p parent_path. */
     DataNode& shard_for(const std::string& parent_path);
+
+    /**
+     * Consult shard @p idx's circuit breaker (no-op Ok when disabled).
+     * Returns UNAVAILABLE without touching the shard while the breaker
+     * is open and not yet probing.
+     */
+    Status breaker_admit(size_t idx);
+
+    /** Report one shard transaction outcome to its breaker. */
+    void breaker_record(size_t idx, const Status& st);
 
     /** Ids that a write on @p op must lock (parent, target, dst parent). */
     std::vector<ns::INodeId> write_lock_set(const Op& op) const;
@@ -139,6 +170,11 @@ class MetadataStore {
     ns::NamespaceTree tree_;
     LockTable locks_;
     std::vector<std::unique_ptr<DataNode>> shards_;
+    /** Per-shard breakers; empty when enable_circuit_breaker is off. */
+    std::vector<std::unique_ptr<util::CircuitBreaker>> breakers_;
+    // Registry-owned overload counters ({reason} labels).
+    sim::Counter* rejected_expired_ = nullptr;
+    sim::Counter* rejected_breaker_ = nullptr;
 };
 
 }  // namespace lfs::store

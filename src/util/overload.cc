@@ -1,0 +1,92 @@
+#include "src/util/overload.h"
+
+namespace lfs::util {
+
+CircuitBreaker::CircuitBreaker(BreakerConfig config)
+    : config_(config),
+      outcomes_(static_cast<size_t>(std::max(config.window, 1)), 0)
+{
+}
+
+void
+CircuitBreaker::trip(sim::SimTime now)
+{
+    state_ = State::kOpen;
+    opened_at_ = now;
+    ++opens_;
+    // Reset the window: outcomes from before the trip must not re-trip
+    // the breaker the moment it closes again.
+    std::fill(outcomes_.begin(), outcomes_.end(), 0);
+    cursor_ = 0;
+    count_ = 0;
+    failures_ = 0;
+}
+
+bool
+CircuitBreaker::allow(sim::SimTime now)
+{
+    if (state_ == State::kOpen) {
+        if (now - opened_at_ < config_.open_duration) {
+            ++fast_failures_;
+            return false;
+        }
+        state_ = State::kHalfOpen;
+        probes_issued_ = 0;
+    }
+    if (state_ == State::kHalfOpen) {
+        if (probes_issued_ < config_.half_open_probes) {
+            ++probes_issued_;
+            return true;
+        }
+        ++fast_failures_;
+        return false;
+    }
+    return true;
+}
+
+void
+CircuitBreaker::record(bool failure, sim::SimTime now)
+{
+    failures_ -= outcomes_[cursor_];
+    outcomes_[cursor_] = failure ? 1 : 0;
+    failures_ += outcomes_[cursor_];
+    cursor_ = (cursor_ + 1) % outcomes_.size();
+    count_ = std::min(count_ + 1, outcomes_.size());
+    if (count_ >= static_cast<size_t>(std::max(config_.min_samples, 1)) &&
+        static_cast<double>(failures_) >=
+            config_.failure_threshold * static_cast<double>(count_)) {
+        trip(now);
+    }
+}
+
+void
+CircuitBreaker::record_success(sim::SimTime now)
+{
+    if (state_ == State::kHalfOpen) {
+        // A healthy probe closes the breaker with a clean window.
+        state_ = State::kClosed;
+        std::fill(outcomes_.begin(), outcomes_.end(), 0);
+        cursor_ = 0;
+        count_ = 0;
+        failures_ = 0;
+        return;
+    }
+    if (state_ == State::kClosed) {
+        record(/*failure=*/false, now);
+    }
+}
+
+void
+CircuitBreaker::record_failure(sim::SimTime now)
+{
+    if (state_ == State::kHalfOpen) {
+        // The backend is still sick: re-open for another full window.
+        trip(now);
+        return;
+    }
+    if (state_ == State::kClosed) {
+        record(/*failure=*/true, now);
+    }
+}
+
+}  // namespace lfs::util

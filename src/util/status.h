@@ -35,6 +35,36 @@ enum class Code {
 /** Human-readable name for a code (e.g. "NOT_FOUND"). */
 const char* code_name(Code code);
 
+/**
+ * True for transient system faults that a client may retry: UNAVAILABLE,
+ * DEADLINE_EXCEEDED, ABORTED, INTERNAL, and RESOURCE_EXHAUSTED (admission
+ * rejected under overload — retry after backoff, subject to the retry
+ * budget). User-visible outcomes (NOT_FOUND, ALREADY_EXISTS, ...) are
+ * definitive answers and never retried. Every client retry loop in the
+ * repository (λFS, HopsFS, λIndexFS) classifies through this one
+ * predicate so the baselines stay comparable.
+ */
+constexpr bool
+retryable_code(Code code)
+{
+    return code == Code::kUnavailable || code == Code::kDeadlineExceeded ||
+           code == Code::kAborted || code == Code::kInternal ||
+           code == Code::kResourceExhausted;
+}
+
+/**
+ * True when a failed attempt may nonetheless have committed server-side
+ * (lost reply, server died post-commit). RESOURCE_EXHAUSTED is excluded:
+ * admission control rejects *before* any execution, so a shed request is
+ * known not to have run.
+ */
+constexpr bool
+possibly_committed_code(Code code)
+{
+    return code == Code::kUnavailable || code == Code::kDeadlineExceeded ||
+           code == Code::kAborted || code == Code::kInternal;
+}
+
 /** A result code with an optional message. Cheap to copy when OK. */
 class Status {
   public:

@@ -28,6 +28,20 @@ class DfsClient {
     virtual sim::Task<OpResult> execute(Op op) = 0;
 };
 
+/**
+ * Degradation tallies a system reports under overload (all zero for
+ * systems without overload control). Aggregated by the bench harness's
+ * degradation summary.
+ */
+struct DegradationStats {
+    uint64_t gateway_shed = 0;     ///< shed by FaaS admission queues
+    uint64_t store_shed = 0;       ///< shed/rejected at the metadata store
+    uint64_t breaker_open_events = 0;
+    uint64_t breaker_fast_failures = 0;
+    uint64_t retries_denied = 0;   ///< retries refused by retry budgets
+    uint64_t deadline_giveups = 0; ///< ops abandoned past their deadline
+};
+
 /** A complete file system deployment under test. */
 class Dfs {
   public:
@@ -57,6 +71,9 @@ class Dfs {
 
     /** Cost under the paper's "simplified" provisioned-time model. */
     virtual double simplified_cost_so_far() const { return cost_so_far(); }
+
+    /** Overload-control tallies (zeros when the system has none). */
+    virtual DegradationStats degradation() const { return {}; }
 };
 
 }  // namespace lfs::workload

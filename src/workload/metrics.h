@@ -54,12 +54,22 @@ class SystemMetrics {
     SystemMetrics(const SystemMetrics&) = delete;
     SystemMetrics& operator=(const SystemMetrics&) = delete;
 
-    /** Record one finished operation. */
+    /**
+     * Record one finished operation. @p code distinguishes overload
+     * outcomes among failures: RESOURCE_EXHAUSTED counts as shed,
+     * DEADLINE_EXCEEDED as a deadline miss.
+     */
     void
-    record(sim::SimTime now, OpType type, sim::SimTime latency, bool ok)
+    record(sim::SimTime now, OpType type, sim::SimTime latency, bool ok,
+           Code code = Code::kOk)
     {
         if (!ok) {
             failed_->add();
+            if (code == Code::kResourceExhausted) {
+                shed_->add();
+            } else if (code == Code::kDeadlineExceeded) {
+                deadline_missed_->add();
+            }
             return;
         }
         completed_->add();
@@ -97,6 +107,10 @@ class SystemMetrics {
     uint64_t completed() const { return completed_->value(); }
     uint64_t failed() const { return failed_->value(); }
     uint64_t retries() const { return retries_->value(); }
+    /** Failed ops the system shed at admission (RESOURCE_EXHAUSTED). */
+    uint64_t shed() const { return shed_->value(); }
+    /** Failed ops that ran out of deadline (DEADLINE_EXCEEDED). */
+    uint64_t deadline_missed() const { return deadline_missed_->value(); }
 
     /** The (possibly uniquified) `system` label this instance registered. */
     const std::string& system_label() const { return label_; }
@@ -120,6 +134,8 @@ class SystemMetrics {
         completed_ = &r.counter("workload.completed", sys);
         failed_ = &r.counter("workload.failed", sys);
         retries_ = &r.counter("workload.retries", sys);
+        shed_ = &r.counter("workload.shed", sys);
+        deadline_missed_ = &r.counter("workload.deadline_missed", sys);
         throughput_ = &r.time_series("workload.throughput", bin_width, sys);
         active_nodes_ =
             &r.time_series("workload.active_nodes", bin_width, sys);
@@ -143,6 +159,8 @@ class SystemMetrics {
     sim::Counter* completed_ = nullptr;
     sim::Counter* failed_ = nullptr;
     sim::Counter* retries_ = nullptr;
+    sim::Counter* shed_ = nullptr;
+    sim::Counter* deadline_missed_ = nullptr;
     sim::TimeSeries* throughput_ = nullptr;
     sim::TimeSeries* active_nodes_ = nullptr;
     sim::Histogram* overall_latency_ = nullptr;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/sim/fault.h"
+
 namespace lfs::workload {
 
 namespace {
@@ -88,7 +90,13 @@ SpotifyWorkload::scheduler()
                                          config_.base_throughput);
             next_epoch += config_.epoch;
         }
-        double per_vm = current_rate_ / static_cast<double>(owed_.size());
+        // An installed FaultPlan can scale the offered load up (burst) or
+        // down (trough) over scheduled windows — the reproducible overload
+        // scenario used by the overload-control tests and bench_overload.
+        sim::FaultPlan* plan = sim_.fault_plan();
+        double load_mult = plan ? plan->offered_load_multiplier() : 1.0;
+        double per_vm = current_rate_ * load_mult /
+                        static_cast<double>(owed_.size());
         for (size_t vm = 0; vm < owed_.size(); ++vm) {
             carry[vm] += per_vm;
             int64_t grant = static_cast<int64_t>(carry[vm]);
@@ -131,7 +139,8 @@ SpotifyWorkload::worker(size_t client_index, int vm)
         OpResult result = co_await dfs_.client(client_index).execute(
             std::move(op));
         dfs_.metrics().record(sim_.now(), type, sim_.now() - begin,
-                              counts_as_completed(result.status));
+                              counts_as_completed(result.status),
+                              result.status.code());
     }
     --active_workers_;
 }

@@ -1,0 +1,604 @@
+/**
+ * @file
+ * End-to-end overload-control tests (DESIGN.md "Overload control &
+ * graceful degradation"):
+ *
+ *  - unit tests for the shared building blocks: the token-bucket
+ *    RetryBudget and the rolling-window CircuitBreaker state machine,
+ *  - DataNode admission shedding: deadline-aware rejection, bounded
+ *    queues, CoDel-style sojourn overruns, and fail-fast outages,
+ *  - a closed-loop consistency check: a store outage + brownout under
+ *    full overload control must shed work *without* ever violating the
+ *    consistency oracle (shed ops are rejected before execution, and
+ *    ambiguous outcomes are tainted exactly like other system errors),
+ *  - the metastable-failure regression: an offered-load burst combined
+ *    with a store brownout drives λFS into a retry storm; with overload
+ *    control enabled goodput recovers to the pre-burst level shortly
+ *    after the load drops to a trough, while the flag-off configuration
+ *    stays degraded long after the trigger is gone,
+ *  - determinism: the same seeded overload scenario twice produces
+ *    byte-identical metrics JSON.
+ */
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/lambda_fs.h"
+#include "src/namespace/tree_builder.h"
+#include "src/sim/fault.h"
+#include "src/sim/random.h"
+#include "src/sim/simulation.h"
+#include "src/store/data_node.h"
+#include "src/util/overload.h"
+#include "src/workload/spotify_workload.h"
+#include "tests/oracle/consistency_oracle.h"
+
+namespace lfs::core {
+namespace {
+
+using sim::Simulation;
+using sim::Task;
+
+// ---------------------------------------------------------------------
+// RetryBudget
+// ---------------------------------------------------------------------
+
+TEST(RetryBudget, StartsFullThenDeniesWhenDrained)
+{
+    util::RetryBudget budget(0.25, 3.0);
+    EXPECT_TRUE(budget.try_spend());
+    EXPECT_TRUE(budget.try_spend());
+    EXPECT_TRUE(budget.try_spend());
+    EXPECT_FALSE(budget.try_spend());
+    EXPECT_EQ(budget.retries_allowed(), 3u);
+    EXPECT_EQ(budget.retries_denied(), 1u);
+}
+
+TEST(RetryBudget, FreshTrafficAccruesTokensAtRatio)
+{
+    util::RetryBudget budget(0.25, 2.0);
+    while (budget.try_spend()) {
+    }
+    // 3 x 0.25 = 0.75 tokens: still below one whole retry.
+    for (int i = 0; i < 3; ++i) {
+        budget.on_fresh_request();
+    }
+    EXPECT_FALSE(budget.try_spend());
+    budget.on_fresh_request();  // 1.0
+    EXPECT_TRUE(budget.try_spend());
+    EXPECT_EQ(budget.fresh_requests(), 4u);
+}
+
+TEST(RetryBudget, BurstCapBoundsAccrual)
+{
+    util::RetryBudget budget(0.5, 2.0);
+    for (int i = 0; i < 100; ++i) {
+        budget.on_fresh_request();
+    }
+    EXPECT_DOUBLE_EQ(budget.tokens(), 2.0);
+    EXPECT_TRUE(budget.try_spend());
+    EXPECT_TRUE(budget.try_spend());
+    EXPECT_FALSE(budget.try_spend());
+}
+
+// ---------------------------------------------------------------------
+// CircuitBreaker
+// ---------------------------------------------------------------------
+
+util::BreakerConfig
+small_breaker()
+{
+    util::BreakerConfig config;
+    config.window = 8;
+    config.min_samples = 4;
+    config.failure_threshold = 0.5;
+    config.open_duration = sim::msec(100);
+    config.half_open_probes = 2;
+    return config;
+}
+
+TEST(CircuitBreaker, StaysClosedBelowMinSamples)
+{
+    util::CircuitBreaker breaker(small_breaker());
+    for (int i = 0; i < 3; ++i) {
+        breaker.record_failure(0);
+    }
+    EXPECT_EQ(breaker.state(), util::CircuitBreaker::State::kClosed);
+    EXPECT_TRUE(breaker.allow(0));
+    EXPECT_EQ(breaker.opens(), 0u);
+}
+
+TEST(CircuitBreaker, TripsAtFailureThresholdAndFastFails)
+{
+    util::CircuitBreaker breaker(small_breaker());
+    breaker.record_success(0);
+    breaker.record_success(0);
+    breaker.record_failure(0);
+    breaker.record_failure(0);  // 2/4 failures = threshold -> trip
+    EXPECT_EQ(breaker.state(), util::CircuitBreaker::State::kOpen);
+    EXPECT_EQ(breaker.opens(), 1u);
+    EXPECT_FALSE(breaker.allow(sim::msec(50)));
+    EXPECT_EQ(breaker.fast_failures(), 1u);
+}
+
+TEST(CircuitBreaker, HalfOpenProbeSuccessCloses)
+{
+    util::CircuitBreaker breaker(small_breaker());
+    for (int i = 0; i < 4; ++i) {
+        breaker.record_failure(0);
+    }
+    ASSERT_EQ(breaker.state(), util::CircuitBreaker::State::kOpen);
+    // After open_duration the breaker half-opens and admits a probe.
+    EXPECT_TRUE(breaker.allow(sim::msec(100)));
+    EXPECT_EQ(breaker.state(), util::CircuitBreaker::State::kHalfOpen);
+    breaker.record_success(sim::msec(101));
+    EXPECT_EQ(breaker.state(), util::CircuitBreaker::State::kClosed);
+    // A clean window: a single new failure must not instantly re-trip.
+    breaker.record_failure(sim::msec(102));
+    EXPECT_EQ(breaker.state(), util::CircuitBreaker::State::kClosed);
+}
+
+TEST(CircuitBreaker, HalfOpenProbeFailureReopens)
+{
+    util::CircuitBreaker breaker(small_breaker());
+    for (int i = 0; i < 4; ++i) {
+        breaker.record_failure(0);
+    }
+    EXPECT_TRUE(breaker.allow(sim::msec(100)));
+    breaker.record_failure(sim::msec(101));
+    EXPECT_EQ(breaker.state(), util::CircuitBreaker::State::kOpen);
+    EXPECT_EQ(breaker.opens(), 2u);
+    EXPECT_FALSE(breaker.allow(sim::msec(150)));
+}
+
+TEST(CircuitBreaker, HalfOpenAdmitsLimitedProbes)
+{
+    util::CircuitBreaker breaker(small_breaker());
+    for (int i = 0; i < 4; ++i) {
+        breaker.record_failure(0);
+    }
+    EXPECT_TRUE(breaker.allow(sim::msec(100)));
+    EXPECT_TRUE(breaker.allow(sim::msec(100)));
+    // Probe quota (2) exhausted: further calls fail fast until a probe
+    // outcome arrives.
+    EXPECT_FALSE(breaker.allow(sim::msec(100)));
+    EXPECT_GT(breaker.fast_failures(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// DataNode admission shedding
+// ---------------------------------------------------------------------
+
+Task<void>
+co_read_status(store::DataNode& node, sim::SimTime deadline, Status& out)
+{
+    out = co_await node.execute_read(1, deadline);
+}
+
+TEST(DataNodeOverload, RejectsOpsThatCannotMeetDeadline)
+{
+    Simulation sim;
+    store::DataNodeConfig config;
+    config.read_service_min = sim::msec(2);
+    config.read_service_max = sim::msec(2);
+    store::DataNode node(sim, sim::Rng(1), config);
+    Status st;
+    sim::spawn(co_read_status(node, sim::msec(1), st));
+    sim.run();
+    EXPECT_EQ(st.code(), Code::kDeadlineExceeded);
+    EXPECT_EQ(node.reads_served(), 0u);
+    EXPECT_EQ(node.shed_total(), 1u);
+}
+
+TEST(DataNodeOverload, BoundedQueueShedsExcess)
+{
+    Simulation sim;
+    store::DataNodeConfig config;
+    config.concurrency = 1;
+    config.read_service_min = sim::msec(1);
+    config.read_service_max = sim::msec(1);
+    config.max_queue_depth = 2;
+    store::DataNode node(sim, sim::Rng(1), config);
+    std::vector<Status> results(5);
+    for (auto& st : results) {
+        sim::spawn(co_read_status(node, -1, st));
+    }
+    sim.run();
+    int ok = 0;
+    int shed = 0;
+    for (const Status& st : results) {
+        if (st.ok()) {
+            ++ok;
+        } else if (st.code() == Code::kResourceExhausted) {
+            ++shed;
+        }
+    }
+    // 1 in service + 2 queued; the 2 over the bound are rejected.
+    EXPECT_EQ(ok, 3);
+    EXPECT_EQ(shed, 2);
+    EXPECT_EQ(node.reads_served(), 3u);
+    EXPECT_EQ(node.shed_total(), 2u);
+}
+
+TEST(DataNodeOverload, SojournOverrunShedsAtDequeue)
+{
+    Simulation sim;
+    store::DataNodeConfig config;
+    config.concurrency = 1;
+    config.read_service_min = sim::msec(4);
+    config.read_service_max = sim::msec(4);
+    config.queue_sojourn_limit = sim::msec(2);
+    store::DataNode node(sim, sim::Rng(1), config);
+    std::vector<Status> results(3);
+    for (auto& st : results) {
+        sim::spawn(co_read_status(node, -1, st));
+    }
+    sim.run();
+    EXPECT_TRUE(results[0].ok());
+    // Both queued reads waited 4 ms behind the head-of-line transaction,
+    // past the 2 ms CoDel bound, and are shed at dequeue.
+    EXPECT_EQ(results[1].code(), Code::kResourceExhausted);
+    EXPECT_EQ(results[2].code(), Code::kResourceExhausted);
+    EXPECT_EQ(node.reads_served(), 1u);
+}
+
+TEST(DataNodeOverload, ExpiredInQueueShedsAtDequeue)
+{
+    Simulation sim;
+    store::DataNodeConfig config;
+    config.concurrency = 1;
+    config.read_service_min = sim::msec(4);
+    config.read_service_max = sim::msec(4);
+    store::DataNode node(sim, sim::Rng(1), config);
+    Status first;
+    Status second;
+    Status doomed;
+    sim::spawn(co_read_status(node, -1, first));
+    sim::spawn(co_read_status(node, -1, second));
+    // Admitted (4 ms of budget remains at t=0 against a 6 ms deadline)
+    // but expired by the time it reaches the head of the queue at t=8ms.
+    sim::spawn(co_read_status(node, sim::msec(6), doomed));
+    sim.run();
+    EXPECT_TRUE(first.ok());
+    EXPECT_TRUE(second.ok());
+    EXPECT_EQ(doomed.code(), Code::kDeadlineExceeded);
+    EXPECT_EQ(node.reads_served(), 2u);
+    EXPECT_EQ(node.shed_total(), 1u);
+}
+
+TEST(DataNodeOverload, FailsFastDuringOutage)
+{
+    Simulation sim;
+    sim::FaultPlan plan(sim, 3);
+    sim::StoreOutageWindow w;
+    w.shard = -1;
+    w.from = 0;
+    w.until = sim::msec(10);
+    plan.add_store_outage(w);
+    store::DataNodeConfig config;
+    config.fail_fast_when_down = true;
+    store::DataNode node(sim, sim::Rng(1), config);
+    Status st;
+    sim::spawn(co_read_status(node, -1, st));
+    sim.run_until(sim::msec(5));
+    EXPECT_EQ(st.code(), Code::kUnavailable);
+    EXPECT_EQ(node.reads_served(), 0u);
+    EXPECT_EQ(node.shed_total(), 1u);
+}
+
+// ---------------------------------------------------------------------
+// Closed-loop consistency under overload control
+// ---------------------------------------------------------------------
+
+LambdaFsConfig
+overload_config(uint64_t seed)
+{
+    LambdaFsConfig config;
+    config.num_deployments = 4;
+    config.total_vcpus = 64.0;
+    config.function.vcpus = 4.0;
+    config.num_client_vms = 2;
+    config.clients_per_vm = 8;
+    config.seed = seed;
+    // Deployment-stable routing (see test_fault_injection.cc).
+    config.client.anti_thrashing = false;
+    config.client.http_timeout = sim::sec(3);
+    config.overload.enabled = true;
+    config.overload.op_deadline = sim::sec(2);
+    return config;
+}
+
+/** Ambiguous outcomes: the op's effect may or may not have committed. */
+bool
+system_failure(const Status& status)
+{
+    switch (status.code()) {
+      case Code::kUnavailable:
+      case Code::kDeadlineExceeded:
+      case Code::kAborted:
+      case Code::kInternal:
+      // RESOURCE_EXHAUSTED itself is shed-before-execution, but a later
+      // attempt of an op whose *earlier* attempt timed out can end with
+      // it, so treat the final status conservatively.
+      case Code::kResourceExhausted:
+        return true;
+      default:
+        return false;
+    }
+}
+
+Task<void>
+co_actor(Simulation& sim, LambdaFs& fs, size_t client, int ops,
+         std::vector<std::string> files, oracle::ConsistencyOracle& audit,
+         sim::Rng rng, sim::WaitGroup& wg)
+{
+    ns::UserContext root;
+    for (int i = 0; i < ops; ++i) {
+        const std::string& target = files[rng.index(files.size())];
+        if (rng.bernoulli(0.3)) {
+            Op op;
+            op.path = target;
+            bool exists = fs.authoritative_tree().stat(target, root).ok();
+            op.type = exists ? OpType::kDeleteFile : OpType::kCreateFile;
+            sim::SimTime issued = sim.now();
+            OpResult result = co_await fs.client(client).execute(op);
+            if (result.status.ok()) {
+                auto now_state = fs.authoritative_tree().stat(target, root);
+                audit.record_commit(
+                    target, issued, sim.now(),
+                    now_state.ok() ? now_state->id : ns::kInvalidId,
+                    now_state.ok() ? now_state->version : 0);
+            } else if (system_failure(result.status)) {
+                audit.taint(target);
+            }
+        } else {
+            Op op;
+            op.type = OpType::kStat;
+            op.path = target;
+            sim::SimTime start = sim.now();
+            OpResult result = co_await fs.client(client).execute(op);
+            sim::SimTime end = sim.now();
+            if (result.status.ok()) {
+                audit.record_read(target, start, end, result.inode.id,
+                                  result.inode.version);
+            } else if (result.status.code() == Code::kNotFound) {
+                audit.record_read(target, start, end, ns::kInvalidId, 0);
+            }
+        }
+        co_await sim::delay(sim, sim::usec(rng.uniform_int(50, 3000)));
+    }
+    wg.done();
+}
+
+TEST(OverloadOracle, OutageWithControlShedsButStaysConsistent)
+{
+    Simulation sim;
+    LambdaFs fs(sim, overload_config(11));
+    sim::FaultPlan plan(sim, 1234);
+    // A 5 s full-store outage: with store_fail_fast on, transactions fail
+    // UNAVAILABLE immediately, the per-shard breakers open, and clients
+    // burn deadline/retry budget instead of stalling forever.
+    sim::StoreOutageWindow outage;
+    outage.shard = -1;
+    outage.from = sim::sec(4);
+    outage.until = sim::sec(9);
+    plan.add_store_outage(outage);
+    sim::StoreBrownoutWindow brownout;
+    brownout.shard = -1;
+    brownout.from = sim::sec(9);
+    brownout.until = sim::sec(14);
+    brownout.service_multiplier = 8.0;
+    plan.add_store_brownout(brownout);
+
+    ns::UserContext root;
+    fs.authoritative_tree().mkdirs("/ovl", root, 0);
+    std::vector<std::string> files;
+    for (int i = 0; i < 12; ++i) {
+        files.push_back("/ovl/f" + std::to_string(i));
+        fs.authoritative_tree().create_file(files.back(), root, 0);
+    }
+    sim.run_until(sim::sec(3));
+
+    oracle::ConsistencyOracle audit;
+    sim::Rng rng(99);
+    sim::WaitGroup wg(sim);
+    for (size_t c = 0; c < fs.client_count(); ++c) {
+        wg.add();
+        sim::spawn(co_actor(sim, fs, c, 50, files, audit, rng.fork(), wg));
+    }
+    sim.run_until(sim.now() + sim::sec(600));
+
+    EXPECT_EQ(wg.count(), 0) << "workload did not drain";
+    oracle::OracleReport report = audit.evaluate(fs.authoritative_tree());
+    EXPECT_GT(report.reads_checked, 50);
+    EXPECT_EQ(report.violations(), 0)
+        << "oracle violations; first: "
+        << (report.details.empty() ? "-" : report.details.front());
+    // The outage must actually have exercised the control plane.
+    workload::DegradationStats deg = fs.degradation();
+    EXPECT_GT(deg.breaker_open_events, 0u);
+    EXPECT_GT(deg.store_shed + deg.breaker_fast_failures, 0u);
+    EXPECT_GT(deg.deadline_giveups + deg.retries_denied, 0u);
+}
+
+// ---------------------------------------------------------------------
+// Metastable failure: burst + brownout, then trough
+// ---------------------------------------------------------------------
+
+struct MetastableRun {
+    double pre_goodput = 0.0;       ///< ops/s before the burst
+    double stress_goodput = 0.0;    ///< ops/s during burst + brownout
+    double recovered_goodput = 0.0; ///< ops/s late in the trough
+    uint64_t retries = 0;
+    uint64_t completed = 0;
+    int64_t offered = 0;
+    workload::DegradationStats deg;
+    std::string metrics_json;
+};
+
+constexpr sim::SimTime kWarmup = sim::sec(5);
+constexpr sim::SimTime kBurstFrom = sim::sec(25);
+constexpr sim::SimTime kBurstUntil = sim::sec(55);
+constexpr double kBaseRate = 1500.0;
+
+/**
+ * Drive λFS with a flat-rate Spotify workload through three phases:
+ * steady state, a 2x offered-load burst combined with a severe store
+ * brownout (the metastable trigger), and a 0.5x trough.
+ *
+ * During the trigger the store's write capacity collapses far below the
+ * offered write rate. Without overload control every write drags its
+ * client through a full retry chain of timed-out attempts — each stuck
+ * attempt occupying NameNode instance slots — so workers seize up and
+ * goodput collapses far below even what the browned-out store could
+ * serve. With control, sojourn shedding fails doomed writes fast, the
+ * per-shard breakers turn them into instant rejections, and retry
+ * budgets + deadlines stop the storm, so the read-dominated workload
+ * keeps flowing throughout.
+ */
+MetastableRun
+run_metastable(bool control, uint64_t seed, sim::SimTime trough_until)
+{
+    Simulation sim;
+    LambdaFsConfig config = overload_config(seed);
+    config.clients_per_vm = 32;  // 64 workers: enough to seize on writes
+    config.overload.enabled = control;
+    // Tight per-op deadline: doomed writes give up fast instead of
+    // dragging their worker through the full backoff schedule.
+    config.overload.op_deadline = sim::msec(400);
+    LambdaFs fs(sim, config);
+    sim::FaultPlan plan(sim, seed * 7919 + 3);
+    sim::OfferedLoadWindow burst;
+    burst.from = kBurstFrom;
+    burst.until = kBurstUntil;
+    burst.multiplier = 2.0;
+    plan.add_offered_load(burst);
+    sim::OfferedLoadWindow trough;
+    trough.from = kBurstUntil;
+    trough.until = trough_until;
+    trough.multiplier = 0.5;
+    plan.add_offered_load(trough);
+    sim::StoreBrownoutWindow brownout;
+    brownout.shard = -1;
+    brownout.from = kBurstFrom;
+    brownout.until = kBurstUntil;
+    brownout.service_multiplier = 60.0;
+    plan.add_store_brownout(brownout);
+
+    ns::TreeSpec spec;
+    spec.root = "/bench";
+    spec.depth = 2;
+    spec.fanout = 4;
+    spec.files_per_dir = 8;
+    ns::BuiltTree tree =
+        ns::build_balanced_tree(fs.authoritative_tree(), spec, {}, 0);
+
+    workload::SpotifyConfig wcfg;
+    wcfg.base_throughput = kBaseRate;
+    wcfg.burst_cap = 1.0;  // Pareto draws clamp to the base: flat rate
+    wcfg.force_peak_burst = false;
+    wcfg.epoch = sim::sec(15);
+    wcfg.duration = trough_until - kWarmup;
+    wcfg.num_client_vms = config.num_client_vms;
+    wcfg.seed = seed;
+    sim.run_until(kWarmup);
+    workload::SpotifyWorkload workload(sim, fs, std::move(tree), wcfg);
+    workload.start();
+    sim.run_until(trough_until + sim::sec(30));
+
+    MetastableRun run;
+    const sim::TimeSeries& goodput = fs.metrics().throughput();
+    auto mean_rate = [&](sim::SimTime from, sim::SimTime until) {
+        size_t lo = static_cast<size_t>(from / sim::sec(1));
+        size_t hi = static_cast<size_t>(until / sim::sec(1));
+        double sum = 0.0;
+        for (size_t i = lo; i < hi; ++i) {
+            sum += goodput.rate_at(i);
+        }
+        return hi > lo ? sum / static_cast<double>(hi - lo) : 0.0;
+    };
+    run.pre_goodput = mean_rate(sim::sec(10), kBurstFrom);
+    run.stress_goodput = mean_rate(kBurstFrom + sim::sec(5), kBurstUntil);
+    run.recovered_goodput =
+        mean_rate(trough_until - sim::sec(25), trough_until - sim::sec(5));
+    for (size_t c = 0; c < fs.client_count(); ++c) {
+        run.retries += fs.lfs_client(c).resubmissions();
+    }
+    run.completed = fs.metrics().completed();
+    run.offered = workload.offered();
+    run.deg = fs.degradation();
+    run.metrics_json = sim.metrics().to_json(sim.now());
+    return run;
+}
+
+TEST(MetastableFailure, OverloadControlKeepsServingAndRecovers)
+{
+    MetastableRun controlled = run_metastable(true, 7, sim::sec(110));
+    MetastableRun uncontrolled = run_metastable(false, 7, sim::sec(110));
+    std::printf("  [metastable] controlled pre=%.0f stress=%.0f rec=%.0f "
+                "retries=%llu | uncontrolled pre=%.0f stress=%.0f rec=%.0f "
+                "retries=%llu\n",
+                controlled.pre_goodput, controlled.stress_goodput,
+                controlled.recovered_goodput,
+                static_cast<unsigned long long>(controlled.retries),
+                uncontrolled.pre_goodput, uncontrolled.stress_goodput,
+                uncontrolled.recovered_goodput,
+                static_cast<unsigned long long>(uncontrolled.retries));
+
+    // Both configurations are healthy before the trigger.
+    EXPECT_GT(controlled.pre_goodput, 0.7 * kBaseRate);
+    EXPECT_GT(uncontrolled.pre_goodput, 0.7 * kBaseRate);
+
+    // The trigger collapses the uncontrolled system far below even the
+    // browned-out store's capacity (the metastable signature: the retry
+    // storm itself, not the brownout, is what pins goodput down).
+    EXPECT_LT(uncontrolled.stress_goodput, 0.4 * kBaseRate)
+        << "flag-off run did not collapse; the scenario no longer "
+           "reproduces a metastable failure";
+    // With control the read-dominated traffic keeps flowing: doomed
+    // writes are shed in microseconds instead of seizing workers, so
+    // goodput holds at the pre-burst baseline through the entire storm.
+    EXPECT_GT(controlled.stress_goodput, 2.5 * uncontrolled.stress_goodput);
+    EXPECT_GT(controlled.stress_goodput, 0.9 * kBaseRate);
+
+    // After the burst subsides, controlled goodput returns to tracking
+    // the offered 0.5x trough rate within the bounded interval.
+    EXPECT_GT(controlled.recovered_goodput, 0.7 * 0.5 * kBaseRate)
+        << "overload control failed to recover goodput after the burst";
+
+    // The control plane actually engaged; flag-off has none of it.
+    EXPECT_GT(controlled.deg.gateway_shed + controlled.deg.store_shed, 0u);
+    EXPECT_GT(controlled.deg.breaker_open_events, 0u);
+    EXPECT_GT(controlled.deg.deadline_giveups + controlled.deg.retries_denied,
+              0u);
+    EXPECT_EQ(uncontrolled.deg.store_shed + uncontrolled.deg.gateway_shed +
+                  uncontrolled.deg.breaker_open_events +
+                  uncontrolled.deg.retries_denied,
+              0u);
+
+    // Retry volume stays within the token-bucket budget: ratio (0.1) of
+    // fresh traffic plus each deployment's burst allowance (64 x 4).
+    // (Uncontrolled retries are not directly comparable: its slow stuck
+    // attempts mean fewer ops overall, while controlled fast-fails let
+    // workers attempt far more ops — the cap is the meaningful bound.)
+    double budget_cap =
+        0.1 * static_cast<double>(controlled.offered) + 64.0 * 4.0;
+    EXPECT_LE(static_cast<double>(controlled.retries), budget_cap);
+}
+
+TEST(MetastableDeterminism, SameSeedProducesIdenticalMetrics)
+{
+    MetastableRun a = run_metastable(true, 7, sim::sec(60));
+    MetastableRun b = run_metastable(true, 7, sim::sec(60));
+    EXPECT_EQ(a.metrics_json, b.metrics_json)
+        << "seeded overload scenario is not reproducible";
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_EQ(a.offered, b.offered);
+    MetastableRun c = run_metastable(true, 8, sim::sec(60));
+    EXPECT_NE(a.metrics_json, c.metrics_json);
+}
+
+}  // namespace
+}  // namespace lfs::core
