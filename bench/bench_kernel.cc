@@ -1,0 +1,321 @@
+/**
+ * @file
+ * Event-kernel microbenchmark: measures raw simulator dispatch throughput
+ * (events/sec of wall-clock time) for the scheduling patterns every λFS
+ * experiment is built from. This is the binary the perf-smoke gate runs —
+ * it prints machine-readable `events_per_sec` lines per case.
+ *
+ * Cases:
+ *   callback_churn   schedule+dispatch of small lambda events, mixed delays
+ *   same_time_fifo   bursts of same-timestamp events (seq tie-break path)
+ *   coroutine_ping   processes co_awaiting delay() in a loop (handle path)
+ *   semaphore_chain  contended Semaphore FIFO hand-off between processes
+ *   tracing_overhead disabled-tracer start_span vs no call at all; asserts
+ *                    the disabled path costs <5% (one branch, §ISSUE-5)
+ *
+ * Measurement: best-of-LFS_KERNEL_REPS (default 5) wall time per case over
+ * LFS_KERNEL_EVENTS events (default 2M); best-of damps scheduler noise.
+ */
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/harness.h"
+#include "src/sim/primitives.h"
+#include "src/sim/random.h"
+#include "src/sim/simulation.h"
+#include "src/sim/task.h"
+
+namespace lfs::bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+seconds_since(Clock::time_point t0)
+{
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+int
+total_events()
+{
+    return env_int("LFS_KERNEL_EVENTS", 2'000'000);
+}
+
+int
+reps()
+{
+    return env_int("LFS_KERNEL_REPS", 5);
+}
+
+/** LFS_KERNEL_CASES: comma-separated case filter (empty = all). */
+bool
+case_enabled(const char* name)
+{
+    const char* filter = std::getenv("LFS_KERNEL_CASES");
+    if (filter == nullptr || *filter == '\0') {
+        return true;
+    }
+    std::string padded = ",";
+    padded += filter;
+    padded += ',';
+    std::string needle = ",";
+    needle += name;
+    needle += ',';
+    return padded.find(needle) != std::string::npos;
+}
+
+/** Run @p body reps() times; report the best run's events/sec. */
+template <typename Body>
+double
+measure_case(const char* name, Body&& body)
+{
+    if (!case_enabled(name)) {
+        return 0.0;
+    }
+    double best_wall = 1e300;
+    uint64_t events = 0;
+    for (int r = 0; r < reps(); ++r) {
+        Clock::time_point t0 = Clock::now();
+        events = body();
+        double wall = seconds_since(t0);
+        if (wall < best_wall) {
+            best_wall = wall;
+        }
+    }
+    double eps = static_cast<double>(events) / best_wall;
+    std::printf("[bench_kernel] case=%s events=%llu wall_s=%.4f "
+                "events_per_sec=%.0f\n",
+                name, static_cast<unsigned long long>(events), best_wall,
+                eps);
+    return eps;
+}
+
+/** Shared state for the churn functor below. */
+struct ChurnCtx {
+    sim::Simulation* sim;
+    int scheduled = 0;
+    int budget = 0;
+};
+
+/**
+ * Self-rescheduling 24-byte functor with an inline xorshift delay stream —
+ * the shape of a production call site (a fresh small lambda per schedule,
+ * larger than std::function's 16-byte SBO, so the pre-pool kernel paid one
+ * heap allocation per event).
+ */
+struct ChurnFire {
+    ChurnCtx* ctx;
+    uint64_t rng;
+
+    void
+    operator()()
+    {
+        if (ctx->scheduled < ctx->budget) {
+            ++ctx->scheduled;
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            ctx->sim->schedule(sim::usec(static_cast<int64_t>(rng & 15)),
+                               ChurnFire{ctx, rng});
+        }
+    }
+};
+
+/** 4096 in-flight self-rescheduling events with small mixed delays. */
+uint64_t
+run_callback_churn()
+{
+    sim::Simulation sim;
+    ChurnCtx ctx{&sim, 0, total_events()};
+    sim.reserve_events(4096);
+    for (int i = 0; i < 4096 && ctx.scheduled < ctx.budget; ++i) {
+        ++ctx.scheduled;
+        sim.schedule(sim::usec(i & 15),
+                     ChurnFire{&ctx, 0x9E3779B97F4A7C15ull + uint64_t(i)});
+    }
+    sim.run();
+    return sim.events_executed();
+}
+
+/** Bursts of events at one instant: exercises the seq FIFO tie-break. */
+uint64_t
+run_same_time_fifo()
+{
+    sim::Simulation sim;
+    const int budget = total_events();
+    const int burst = 256;
+    int scheduled = 0;
+    std::function<void()> pump = [&] {
+        for (int i = 0; i < burst && scheduled < budget; ++i) {
+            ++scheduled;
+            sim.schedule(0, [] {});
+        }
+        if (scheduled < budget) {
+            ++scheduled;
+            sim.schedule(sim::usec(1), pump);
+        }
+    };
+    pump();
+    sim.run();
+    return sim.events_executed();
+}
+
+sim::Task<void>
+co_ping(sim::Simulation& sim, int rounds)
+{
+    for (int i = 0; i < rounds; ++i) {
+        co_await sim::delay(sim, sim::usec(1));
+    }
+}
+
+/** Coroutine resume path: delay() awaits are the dominant sim event. */
+uint64_t
+run_coroutine_ping()
+{
+    sim::Simulation sim;
+    const int procs = 64;
+    const int rounds = total_events() / procs;
+    for (int p = 0; p < procs; ++p) {
+        sim::spawn(co_ping(sim, rounds));
+    }
+    sim.run();
+    return sim.events_executed();
+}
+
+sim::Task<void>
+co_chain(sim::Simulation& sim, sim::Semaphore& sem, int rounds)
+{
+    for (int i = 0; i < rounds; ++i) {
+        co_await sem.acquire();
+        co_await sim::delay(sim, sim::usec(1));
+        sem.release();
+    }
+}
+
+/** Contended semaphore: wake-ups flow through the kernel queue. */
+uint64_t
+run_semaphore_chain()
+{
+    sim::Simulation sim;
+    sim::Semaphore sem(sim, 4);
+    const int procs = 32;
+    const int rounds = total_events() / (3 * procs);
+    for (int p = 0; p < procs; ++p) {
+        sim::spawn(co_chain(sim, sem, rounds));
+    }
+    sim.run();
+    return sim.events_executed();
+}
+
+/**
+ * Satellite: disabled-path overhead audit. The event hot path may touch
+ * Tracer/MetricsRegistry only behind a single predictable branch, so a
+ * run that *calls* start_span on a disabled tracer must be within 5% of a
+ * run whose loop body omits the call entirely (the compiled-out shape).
+ */
+bool
+run_tracing_overhead_audit()
+{
+    const int budget = total_events();
+
+    auto run_with_tracing_call = [&]() -> uint64_t {
+        sim::Simulation sim;
+        // Tracing stays disabled: start_span must be one branch + return.
+        int scheduled = 0;
+        std::function<void()> fire = [&] {
+            sim::Span s = sim.tracer().start_trace("bench", "noop");
+            if (scheduled < budget) {
+                ++scheduled;
+                sim.schedule(sim::usec(1), fire);
+            }
+        };
+        for (int i = 0; i < 32 && scheduled < budget; ++i) {
+            ++scheduled;
+            sim.schedule(sim::usec(i), fire);
+        }
+        sim.run();
+        return sim.events_executed();
+    };
+    auto run_compiled_out = [&]() -> uint64_t {
+        sim::Simulation sim;
+        int scheduled = 0;
+        std::function<void()> fire = [&] {
+            if (scheduled < budget) {
+                ++scheduled;
+                sim.schedule(sim::usec(1), fire);
+            }
+        };
+        for (int i = 0; i < 32 && scheduled < budget; ++i) {
+            ++scheduled;
+            sim.schedule(sim::usec(i), fire);
+        }
+        sim.run();
+        return sim.events_executed();
+    };
+
+    if (!case_enabled("tracing_off")) {
+        return true;
+    }
+    // Interleave A/B reps so machine-load drift hits both variants
+    // equally; best-of per variant damps the remaining jitter.
+    double best_with = 1e300;
+    double best_without = 1e300;
+    uint64_t events = 0;
+    for (int r = 0; r < reps(); ++r) {
+        Clock::time_point t0 = Clock::now();
+        events = run_with_tracing_call();
+        best_with = std::min(best_with, seconds_since(t0));
+        t0 = Clock::now();
+        events = run_compiled_out();
+        best_without = std::min(best_without, seconds_since(t0));
+    }
+    double with_call = static_cast<double>(events) / best_with;
+    double without = static_cast<double>(events) / best_without;
+    std::printf("[bench_kernel] case=tracing_off events=%llu wall_s=%.4f "
+                "events_per_sec=%.0f\n",
+                static_cast<unsigned long long>(events), best_with,
+                with_call);
+    std::printf("[bench_kernel] case=tracing_compiled_out events=%llu "
+                "wall_s=%.4f events_per_sec=%.0f\n",
+                static_cast<unsigned long long>(events), best_without,
+                without);
+    double delta = (without - with_call) / without;
+    std::printf("[bench_kernel] case=tracing_delta delta_pct=%.2f "
+                "(limit 5.00)\n",
+                delta * 100.0);
+    if (delta > 0.05) {
+        std::fprintf(stderr,
+                     "FAIL: disabled tracing costs %.2f%% (>5%%) on the "
+                     "event hot path\n",
+                     delta * 100.0);
+        return false;
+    }
+    return true;
+}
+
+}  // namespace
+}  // namespace lfs::bench
+
+int
+main(int argc, char** argv)
+{
+    using namespace lfs::bench;
+    parse_args(argc, argv);
+    print_banner("bench_kernel",
+                 "Event-kernel dispatch throughput (wall-clock)");
+
+    measure_case("callback_churn", run_callback_churn);
+    measure_case("same_time_fifo", run_same_time_fifo);
+    measure_case("coroutine_ping", run_coroutine_ping);
+    measure_case("semaphore_chain", run_semaphore_chain);
+    bool ok = run_tracing_overhead_audit();
+
+    if (!ok) {
+        return 1;
+    }
+    std::printf("bench_kernel ok\n");
+    return 0;
+}

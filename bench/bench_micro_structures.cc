@@ -116,19 +116,19 @@ BM_PathSplit(benchmark::State& state)
 BENCHMARK(BM_PathSplit);
 
 void
-BM_PathSplitterZeroAlloc(benchmark::State& state)
+BM_PathViewZeroAlloc(benchmark::State& state)
 {
     std::string p = "/a/b/c/d/e/file.txt";
     for (auto _ : state) {
         int n = 0;
-        for (path::Splitter s(p); auto c = s.next();) {
-            benchmark::DoNotOptimize(*c);
+        for (std::string_view c : path::PathView(p)) {
+            benchmark::DoNotOptimize(c);
             ++n;
         }
         benchmark::DoNotOptimize(n);
     }
 }
-BENCHMARK(BM_PathSplitterZeroAlloc);
+BENCHMARK(BM_PathViewZeroAlloc);
 
 void
 BM_HistogramRecord(benchmark::State& state)

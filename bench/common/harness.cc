@@ -1,15 +1,25 @@
 #include "harness.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdlib>
 #include <memory>
+#include <unordered_map>
 
 namespace lfs::bench {
 
 namespace {
 
 ObservabilityOptions g_observability;
+/**
+ * Wall-clock start per armed Simulation — arm_observability() starts the
+ * timer, observe_run() reports events/sec against it. Keyed by address;
+ * an entry is erased when its run is observed.
+ */
+std::unordered_map<const sim::Simulation*,
+                   std::chrono::steady_clock::time_point>
+    g_run_started;
 // Per-run fragments accumulated by observe_run(); written at exit.
 std::vector<std::string> g_trace_fragments;
 std::vector<std::string> g_metrics_fragments;
@@ -96,14 +106,42 @@ observability()
 void
 arm_observability(sim::Simulation& sim)
 {
+    // Keep the earliest start: run_industrial re-arms a Simulation that a
+    // ScopedRunObservation already armed at construction.
+    g_run_started.emplace(&sim, std::chrono::steady_clock::now());
     if (!g_observability.trace_out.empty()) {
         sim.tracer().set_enabled(true);
     }
 }
 
+RunPerf
+run_perf(const sim::Simulation& sim)
+{
+    RunPerf perf;
+    perf.events = sim.events_executed();
+    perf.peak_backlog = sim.peak_pending();
+    auto it = g_run_started.find(&sim);
+    if (it != g_run_started.end()) {
+        perf.wall_seconds = std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() - it->second)
+                                .count();
+    }
+    if (perf.wall_seconds > 0.0) {
+        perf.events_per_sec =
+            static_cast<double>(perf.events) / perf.wall_seconds;
+    }
+    return perf;
+}
+
 void
 observe_run(sim::Simulation& sim, const std::string& label)
 {
+    RunPerf perf = run_perf(sim);
+    g_run_started.erase(&sim);
+    std::printf("  [perf] %s: events=%llu wall_s=%.3f events_per_sec=%.0f "
+                "peak_backlog=%zu\n",
+                label.c_str(), static_cast<unsigned long long>(perf.events),
+                perf.wall_seconds, perf.events_per_sec, perf.peak_backlog);
     if (!g_observability.trace_out.empty()) {
         // One pid per captured run keeps runs separable in Perfetto.
         int pid = static_cast<int>(g_trace_fragments.size()) + 1;
@@ -119,7 +157,11 @@ observe_run(sim::Simulation& sim, const std::string& label)
     if (!g_observability.metrics_out.empty()) {
         g_metrics_fragments.push_back(
             "{\"system\":" + sim::json_quote(label) +
-            ",\"data\":" + sim.metrics().to_json(sim.now()) + "}");
+            ",\"perf\":{\"events\":" + std::to_string(perf.events) +
+            ",\"wall_s\":" + fmt(perf.wall_seconds, 4) +
+            ",\"events_per_sec\":" + fmt(perf.events_per_sec, 0) +
+            ",\"peak_event_backlog\":" + std::to_string(perf.peak_backlog) +
+            "},\"data\":" + sim.metrics().to_json(sim.now()) + "}");
     }
 }
 

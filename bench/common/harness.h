@@ -60,9 +60,26 @@ const ObservabilityOptions& observability();
 void arm_observability(sim::Simulation& sim);
 
 /**
+ * Kernel self-profile of one run: simulated events dispatched, wall-clock
+ * seconds since arm_observability(), their ratio, and the high-water mark
+ * of the event queue. Printed for every observed run and embedded in the
+ * metrics JSON under "perf" (the perf-smoke gate parses the printed line).
+ */
+struct RunPerf {
+    uint64_t events = 0;
+    double wall_seconds = 0.0;
+    double events_per_sec = 0.0;
+    size_t peak_backlog = 0;
+};
+
+/** Current self-profile of @p sim (timer keeps running). */
+RunPerf run_perf(const sim::Simulation& sim);
+
+/**
  * Capture @p sim's trace + metric state as one labelled run in the output
  * artifacts (each run gets its own pid in the Chrome trace). Prints the
- * flame summary when tracing is on. Safe to call when both flags are off.
+ * run's events/sec self-profile, and the flame summary when tracing is
+ * on. Safe to call when both flags are off.
  */
 void observe_run(sim::Simulation& sim, const std::string& label);
 

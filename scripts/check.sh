@@ -7,6 +7,9 @@
 #      (set LFS_SKIP_SANITIZE=1 to skip this pass)
 #   4. run one bench harness at tiny scale with --trace-out/--metrics-out
 #      and confirm both artifacts are valid JSON with the expected shape
+#   5. run the perf-smoke gate (scripts/perf_smoke.sh): kernel dispatch
+#      rates must stay within 20% of checked-in baselines
+#      (set LFS_SKIP_PERF=1 to skip this pass)
 #
 # Usage: scripts/check.sh [build-dir]   (default: build)
 
@@ -82,5 +85,7 @@ for want in ("faas.cold_starts", "store.queue_depth_total", "cache.hits"):
     assert want in names, f"missing metric {want}"
 print(f"  metrics ok: {len(runs)} runs, {len(names)} distinct metrics")
 EOF
+
+scripts/perf_smoke.sh "$BUILD_DIR"
 
 echo "== all checks passed =="

@@ -1,0 +1,95 @@
+#!/usr/bin/env bash
+#
+# Perf-smoke gate: catches event-kernel dispatch-rate regressions.
+#
+#   1. bench_kernel at reduced scale (LFS_KERNEL_EVENTS=300k, 3 reps);
+#      each case's events_per_sec must stay within the regression
+#      tolerance of its checked-in baseline (scripts/perf_baseline.json).
+#      Baselines sit well below (~60% of) the reference container's
+#      measured rates so ordinary machine variance never false-fails —
+#      the gate is tuned to catch the >20% regression class, e.g.
+#      reintroducing a per-event heap allocation.
+#   2. bench_fig11_client_scaling at tiny scale: end-to-end sanity that
+#      a full harness still reports [perf] lines and clears its floor.
+#
+# Usage: scripts/perf_smoke.sh [build-dir]   (default: build)
+# Skip with LFS_SKIP_PERF=1 (e.g. on emulated or heavily-shared hosts).
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+BASELINE_JSON="scripts/perf_baseline.json"
+
+if [[ "${LFS_SKIP_PERF:-0}" == "1" ]]; then
+    echo "== perf smoke skipped (LFS_SKIP_PERF=1) =="
+    exit 0
+fi
+
+echo "== perf smoke: bench_kernel =="
+KERNEL_OUT="$(LFS_KERNEL_EVENTS="${LFS_PERF_EVENTS:-300000}" \
+    LFS_KERNEL_REPS="${LFS_PERF_REPS:-3}" \
+    "$BUILD_DIR/bench/bench_kernel")"
+echo "$KERNEL_OUT" | grep '^\[bench_kernel\]'
+
+echo "== perf smoke: bench_fig11_client_scaling (tiny scale) =="
+FIG11_OUT="$(LFS_OPS_PER_CLIENT=8 "$BUILD_DIR/bench/bench_fig11_client_scaling")"
+
+if ! python3 - "$BASELINE_JSON" <<'EOF' "$KERNEL_OUT" "$FIG11_OUT"
+import json
+import re
+import sys
+
+baseline = json.load(open(sys.argv[1]))
+kernel_out, fig11_out = sys.argv[2], sys.argv[3]
+tolerance = baseline["regression_tolerance"]
+
+def eps_lines(text, tag):
+    rates = {}
+    for line in text.splitlines():
+        if tag not in line:
+            continue
+        case = re.search(r"case=(\S+)", line)
+        eps = re.search(r"events_per_sec=(\d+)", line)
+        if eps:
+            rates.setdefault(case.group(1) if case else "", []).append(
+                int(eps.group(1)))
+    return rates
+
+fail = False
+
+kernel_rates = eps_lines(kernel_out, "[bench_kernel]")
+for case, base in baseline["bench_kernel"].items():
+    floor = base * (1.0 - tolerance)
+    got = kernel_rates.get(case)
+    if not got:
+        print(f"FAIL: bench_kernel case {case} printed no events_per_sec")
+        fail = True
+    elif got[0] < floor:
+        print(f"FAIL: {case} at {got[0]} events/sec, more than "
+              f"{tolerance:.0%} below baseline {base} (floor {floor:.0f})")
+        fail = True
+    else:
+        print(f"  ok: {case} {got[0]} events/sec (floor {floor:.0f})")
+
+fig11_rates = [r for rs in eps_lines(fig11_out, "[perf]").values() for r in rs]
+base = baseline["bench_fig11_client_scaling"]["best_run_events_per_sec"]
+floor = base * (1.0 - tolerance)
+if not fig11_rates:
+    print("FAIL: no [perf] events_per_sec lines in fig11 output")
+    fail = True
+elif max(fig11_rates) < floor:
+    print(f"FAIL: fig11 best rate {max(fig11_rates)} events/sec below "
+          f"floor {floor:.0f}")
+    fail = True
+else:
+    print(f"  ok: fig11 best rate {max(fig11_rates)} events/sec "
+          f"(floor {floor:.0f})")
+
+sys.exit(1 if fail else 0)
+EOF
+then
+    echo "== perf smoke FAILED =="
+    exit 1
+fi
+echo "== perf smoke passed =="

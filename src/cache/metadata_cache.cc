@@ -1,7 +1,9 @@
 #include "src/cache/metadata_cache.h"
 
 #include <cassert>
+#include <unordered_map>
 
+#include "src/util/hash.h"
 #include "src/util/path.h"
 
 namespace lfs::cache {
@@ -10,8 +12,10 @@ namespace lfs::cache {
 struct MetadataCache::Node {
     Node* parent = nullptr;
     std::string component;  ///< name within parent ("" for root)
-    // Transparent comparator: lookups take string_view without allocating.
-    std::map<std::string, std::unique_ptr<Node>, std::less<>> children;
+    // Transparent hash: lookups take string_view without allocating.
+    std::unordered_map<std::string, std::unique_ptr<Node>, StringHash,
+                       std::equal_to<>>
+        children;
     std::optional<ns::INode> value;
     size_t value_bytes = 0;
     // Intrusive LRU links (valid only while value is set).
@@ -30,8 +34,8 @@ MetadataCache::Node*
 MetadataCache::find(const std::string& p) const
 {
     Node* cur = root_.get();
-    for (path::Splitter s(p); auto comp = s.next();) {
-        auto it = cur->children.find(*comp);
+    for (std::string_view comp : path::PathView(p)) {
+        auto it = cur->children.find(comp);
         if (it == cur->children.end()) {
             return nullptr;
         }
@@ -44,14 +48,14 @@ MetadataCache::Node*
 MetadataCache::find_or_create(const std::string& p)
 {
     Node* cur = root_.get();
-    for (path::Splitter s(p); auto comp = s.next();) {
-        auto it = cur->children.find(*comp);
+    for (std::string_view comp : path::PathView(p)) {
+        auto it = cur->children.find(comp);
         if (it == cur->children.end()) {
             auto node = std::make_unique<Node>();
             node->parent = cur;
-            node->component = std::string(*comp);
+            node->component = std::string(comp);
             it = cur->children
-                     .emplace(std::string(*comp), std::move(node))
+                     .emplace(std::string(comp), std::move(node))
                      .first;
         }
         cur = it->second.get();
@@ -160,10 +164,15 @@ MetadataCache::put_chain(const std::vector<ns::INode>& chain)
     if (config_.capacity_bytes == 0) {
         return;
     }
+    // Incremental path assembly: chains arrive normalized root-first, so
+    // each level extends the previous path in place (no join/normalize).
     std::string p = "/";
     for (const ns::INode& inode : chain) {
         if (inode.id != ns::kRootId) {
-            p = path::join(p, inode.name);
+            if (p.size() > 1) {
+                p += '/';
+            }
+            p += inode.name;
         }
         set_value(find_or_create(p), inode);
     }

@@ -1,10 +1,23 @@
 #include "src/namespace/namespace_tree.h"
 
+#include <algorithm>
 #include <cassert>
 
 #include "src/util/path.h"
 
 namespace lfs::ns {
+
+namespace {
+
+std::string
+describe(std::string_view what, std::string_view p)
+{
+    std::string out(what);
+    out += p;
+    return out;
+}
+
+}  // namespace
 
 NamespaceTree::NamespaceTree()
 {
@@ -19,17 +32,17 @@ NamespaceTree::NamespaceTree()
 }
 
 StatusOr<ResolvedPath>
-NamespaceTree::resolve(const std::string& p, const UserContext& user) const
+NamespaceTree::resolve(std::string_view p, const UserContext& user) const
 {
     if (!path::is_valid(p)) {
-        return Status::invalid_argument("bad path: " + p);
+        return Status::invalid_argument(describe("bad path: ", p));
     }
     ResolvedPath out;
     const INode* cur = &nodes_.at(kRootId);
     out.chain.push_back(*cur);
-    for (const std::string& comp : path::split(p)) {
+    for (std::string_view comp : path::PathView(p)) {
         if (!cur->is_dir()) {
-            return Status::not_found("not a directory on path: " + p);
+            return Status::not_found(describe("not a directory on path: ", p));
         }
         if (!check_access(*cur, user, Access::kExecute)) {
             return Status::permission_denied("no traverse on " +
@@ -37,7 +50,7 @@ NamespaceTree::resolve(const std::string& p, const UserContext& user) const
         }
         INodeId child = lookup_child(cur->id, comp);
         if (child == kInvalidId) {
-            return Status::not_found("no such path: " + p);
+            return Status::not_found(describe("no such path: ", p));
         }
         cur = &nodes_.at(child);
         out.chain.push_back(*cur);
@@ -46,7 +59,7 @@ NamespaceTree::resolve(const std::string& p, const UserContext& user) const
 }
 
 StatusOr<INode>
-NamespaceTree::stat(const std::string& p, const UserContext& user) const
+NamespaceTree::stat(std::string_view p, const UserContext& user) const
 {
     auto resolved = resolve(p, user);
     if (!resolved.ok()) {
@@ -56,7 +69,7 @@ NamespaceTree::stat(const std::string& p, const UserContext& user) const
 }
 
 StatusOr<INode>
-NamespaceTree::read_file(const std::string& p, const UserContext& user) const
+NamespaceTree::read_file(std::string_view p, const UserContext& user) const
 {
     auto resolved = resolve(p, user);
     if (!resolved.ok()) {
@@ -64,16 +77,16 @@ NamespaceTree::read_file(const std::string& p, const UserContext& user) const
     }
     const INode& target = resolved->target();
     if (!target.is_file()) {
-        return Status::failed_precondition("not a file: " + p);
+        return Status::failed_precondition(describe("not a file: ", p));
     }
     if (!check_access(target, user, Access::kRead)) {
-        return Status::permission_denied("no read on " + p);
+        return Status::permission_denied(describe("no read on ", p));
     }
     return target;
 }
 
 StatusOr<std::vector<std::string>>
-NamespaceTree::list(const std::string& p, const UserContext& user) const
+NamespaceTree::list(std::string_view p, const UserContext& user) const
 {
     auto resolved = resolve(p, user);
     if (!resolved.ok()) {
@@ -85,21 +98,23 @@ NamespaceTree::list(const std::string& p, const UserContext& user) const
         return std::vector<std::string>{target.name};
     }
     if (!check_access(target, user, Access::kRead)) {
-        return Status::permission_denied("no read on " + p);
+        return Status::permission_denied(describe("no read on ", p));
     }
     std::vector<std::string> names;
     auto it = children_.find(target.id);
     if (it != children_.end()) {
         names.reserve(it->second.size());
-        for (const auto& [name, id] : it->second) {
-            names.push_back(name);
+        for (const auto& [name_id, id] : it->second) {
+            names.push_back(names_.name(name_id));
         }
     }
+    // The child map is hashed by interned id; listing stays sorted.
+    std::sort(names.begin(), names.end());
     return names;
 }
 
 StatusOr<INode*>
-NamespaceTree::resolve_mutable_parent(const std::string& p,
+NamespaceTree::resolve_mutable_parent(std::string_view p,
                                       const UserContext& user)
 {
     auto resolved = resolve(path::parent(p), user);
@@ -108,30 +123,31 @@ NamespaceTree::resolve_mutable_parent(const std::string& p,
     }
     INode* parent = &nodes_.at(resolved->target().id);
     if (!parent->is_dir()) {
-        return Status::failed_precondition("parent not a directory: " + p);
+        return Status::failed_precondition(
+            describe("parent not a directory: ", p));
     }
     if (!check_access(*parent, user, Access::kWrite)) {
-        return Status::permission_denied("no write on parent of " + p);
+        return Status::permission_denied(
+            describe("no write on parent of ", p));
     }
     return parent;
 }
 
 INode&
-NamespaceTree::add_node(INodeId parent, const std::string& name,
-                        INodeType type, const UserContext& user,
-                        sim::SimTime now)
+NamespaceTree::add_node(INodeId parent, std::string_view name, INodeType type,
+                        const UserContext& user, sim::SimTime now)
 {
     INode node;
     node.id = next_id_++;
     node.parent = parent;
-    node.name = name;
+    node.name = std::string(name);
     node.type = type;
     node.perms.mode = type == INodeType::kDirectory ? 0755 : 0644;
     node.perms.owner = user.uid;
     node.perms.group = user.gid;
     node.mtime = now;
     node.ctime = now;
-    children_[parent][name] = node.id;
+    children_[parent][names_.intern(name)] = node.id;
     if (type == INodeType::kDirectory) {
         children_[node.id] = {};
     }
@@ -144,34 +160,34 @@ NamespaceTree::add_node(INodeId parent, const std::string& name,
 }
 
 StatusOr<INode>
-NamespaceTree::create_file(const std::string& p, const UserContext& user,
+NamespaceTree::create_file(std::string_view p, const UserContext& user,
                            sim::SimTime now)
 {
     if (!path::is_valid(p) || p == "/") {
-        return Status::invalid_argument("bad path: " + p);
+        return Status::invalid_argument(describe("bad path: ", p));
     }
     auto parent = resolve_mutable_parent(p, user);
     if (!parent.ok()) {
         return parent.status();
     }
-    std::string name = path::basename(p);
+    std::string_view name = path::basename_view(p);
     if (lookup_child((*parent)->id, name) != kInvalidId) {
-        return Status::already_exists("exists: " + p);
+        return Status::already_exists(describe("exists: ", p));
     }
     return add_node((*parent)->id, name, INodeType::kFile, user, now);
 }
 
 StatusOr<INode>
-NamespaceTree::mkdirs(const std::string& p, const UserContext& user,
+NamespaceTree::mkdirs(std::string_view p, const UserContext& user,
                       sim::SimTime now)
 {
     if (!path::is_valid(p)) {
-        return Status::invalid_argument("bad path: " + p);
+        return Status::invalid_argument(describe("bad path: ", p));
     }
     INode* cur = &nodes_.at(kRootId);
-    for (const std::string& comp : path::split(p)) {
+    for (std::string_view comp : path::PathView(p)) {
         if (!cur->is_dir()) {
-            return Status::failed_precondition("file on path: " + p);
+            return Status::failed_precondition(describe("file on path: ", p));
         }
         if (!check_access(*cur, user, Access::kExecute)) {
             return Status::permission_denied("no traverse on " +
@@ -191,7 +207,7 @@ NamespaceTree::mkdirs(const std::string& p, const UserContext& user,
         }
     }
     if (!cur->is_dir()) {
-        return Status::already_exists("file exists: " + p);
+        return Status::already_exists(describe("file exists: ", p));
     }
     return *cur;
 }
@@ -204,7 +220,7 @@ NamespaceTree::remove_subtree(INodeId id, int64_t* removed)
         // Copy ids: removal mutates the child map.
         std::vector<INodeId> kids;
         kids.reserve(it->second.size());
-        for (const auto& [name, cid] : it->second) {
+        for (const auto& [name_id, cid] : it->second) {
             kids.push_back(cid);
         }
         for (INodeId cid : kids) {
@@ -217,7 +233,7 @@ NamespaceTree::remove_subtree(INodeId id, int64_t* removed)
 }
 
 StatusOr<int64_t>
-NamespaceTree::remove(const std::string& p, const UserContext& user,
+NamespaceTree::remove(std::string_view p, const UserContext& user,
                       bool recursive, sim::SimTime now)
 {
     if (p == "/") {
@@ -230,14 +246,16 @@ NamespaceTree::remove(const std::string& p, const UserContext& user,
     INode target = resolved->target();
     INode& parent = nodes_.at(target.parent);
     if (!check_access(parent, user, Access::kWrite)) {
-        return Status::permission_denied("no write on parent of " + p);
+        return Status::permission_denied(
+            describe("no write on parent of ", p));
     }
     if (target.is_dir() && !recursive && !children_[target.id].empty()) {
-        return Status::failed_precondition("directory not empty: " + p);
+        return Status::failed_precondition(
+            describe("directory not empty: ", p));
     }
     int64_t removed = 0;
     remove_subtree(target.id, &removed);
-    children_[parent.id].erase(target.name);
+    children_[parent.id].erase(names_.find(target.name));
     parent.mtime = now;
     ++parent.version;
     return removed;
@@ -257,11 +275,12 @@ NamespaceTree::is_ancestor(INodeId maybe_ancestor, INodeId node) const
 }
 
 Status
-NamespaceTree::rename(const std::string& src, const std::string& dst,
+NamespaceTree::rename(std::string_view src, std::string_view dst,
                       const UserContext& user, sim::SimTime now)
 {
     if (src == "/" || !path::is_valid(src) || !path::is_valid(dst)) {
-        return Status::invalid_argument("bad rename: " + src + " -> " + dst);
+        return Status::invalid_argument("bad rename: " + std::string(src) +
+                                        " -> " + std::string(dst));
     }
     auto resolved = resolve(src, user);
     if (!resolved.ok()) {
@@ -279,9 +298,9 @@ NamespaceTree::rename(const std::string& src, const std::string& dst,
     if (!nodes_.at(dst_parent_id).is_dir()) {
         return Status::failed_precondition("destination parent not a dir");
     }
-    std::string dst_name = path::basename(dst);
+    std::string_view dst_name = path::basename_view(dst);
     if (lookup_child(dst_parent_id, dst_name) != kInvalidId) {
-        return Status::already_exists("destination exists: " + dst);
+        return Status::already_exists(describe("destination exists: ", dst));
     }
     INode& src_parent = nodes_.at(target.parent);
     INode& dst_parent = nodes_.at(dst_parent_id);
@@ -293,15 +312,15 @@ NamespaceTree::rename(const std::string& src, const std::string& dst,
         return Status::invalid_argument("cannot move under itself");
     }
 
-    children_[src_parent.id].erase(target.name);
+    children_[src_parent.id].erase(names_.find(target.name));
     src_parent.mtime = now;
     ++src_parent.version;
     INode& node = nodes_.at(target.id);
     node.parent = dst_parent_id;
-    node.name = dst_name;
+    node.name = std::string(dst_name);
     node.mtime = now;
     ++node.version;
-    children_[dst_parent_id][dst_name] = node.id;
+    children_[dst_parent_id][names_.intern(dst_name)] = node.id;
     dst_parent.mtime = now;
     ++dst_parent.version;
     return Status::make_ok();
@@ -315,33 +334,44 @@ NamespaceTree::get(INodeId id) const
 }
 
 INodeId
-NamespaceTree::lookup_child(INodeId parent, const std::string& name) const
+NamespaceTree::lookup_child(INodeId parent, std::string_view name) const
 {
+    // Unseen name: no directory anywhere contains it.
+    uint32_t name_id = names_.find(name);
+    if (name_id == NameTable::kNoName) {
+        return kInvalidId;
+    }
     auto it = children_.find(parent);
     if (it == children_.end()) {
         return kInvalidId;
     }
-    auto cit = it->second.find(name);
+    auto cit = it->second.find(name_id);
     return cit == it->second.end() ? kInvalidId : cit->second;
 }
 
 std::vector<INodeId>
 NamespaceTree::children(INodeId dir) const
 {
-    std::vector<INodeId> out;
+    std::vector<std::pair<std::string_view, INodeId>> named;
     auto it = children_.find(dir);
     if (it != children_.end()) {
-        out.reserve(it->second.size());
-        for (const auto& [name, id] : it->second) {
-            out.push_back(id);
+        named.reserve(it->second.size());
+        for (const auto& [name_id, id] : it->second) {
+            named.emplace_back(names_.name(name_id), id);
         }
+    }
+    // By-name order, matching the sorted child maps this replaced.
+    std::sort(named.begin(), named.end());
+    std::vector<INodeId> out;
+    out.reserve(named.size());
+    for (const auto& [name, id] : named) {
+        out.push_back(id);
     }
     return out;
 }
 
 StatusOr<int64_t>
-NamespaceTree::subtree_size(const std::string& p,
-                            const UserContext& user) const
+NamespaceTree::subtree_size(std::string_view p, const UserContext& user) const
 {
     auto resolved = resolve(p, user);
     if (!resolved.ok()) {

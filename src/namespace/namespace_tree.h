@@ -8,19 +8,72 @@
  * stat, ls, read). It is purely functional w.r.t. time — callers provide
  * timestamps — and has no performance model; timing, locking, and
  * queueing are layered on by lfs::store::MetadataStore.
+ *
+ * Resolution hot path (DESIGN.md §10): component names are interned into a
+ * NameTable, so per-directory child maps are keyed by 32-bit name ids and
+ * a lookup hashes each component string exactly once per resolve — child
+ * maps compare ids, never strings. All paths enter as std::string_view and
+ * are walked with path::PathView; resolving a path allocates nothing
+ * beyond the returned inode chain.
  */
 #pragma once
 
-#include <map>
+#include <cstdint>
+#include <deque>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
 #include "src/namespace/inode.h"
 #include "src/namespace/op.h"
+#include "src/util/hash.h"
 #include "src/util/status.h"
 
 namespace lfs::ns {
+
+/**
+ * Interns component names to dense 32-bit ids. Directory entries store the
+ * id; the directory tables compare ids instead of strings, and each name's
+ * bytes are stored once no matter how many directories contain it (hot
+ * directories in the paper's workloads share names like "part-00000").
+ */
+class NameTable {
+  public:
+    static constexpr uint32_t kNoName = 0xffffffffu;
+
+    /** Id for @p name, interning it on first sight. */
+    uint32_t
+    intern(std::string_view name)
+    {
+        auto it = ids_.find(name);
+        if (it != ids_.end()) {
+            return it->second;
+        }
+        uint32_t id = static_cast<uint32_t>(storage_.size());
+        storage_.emplace_back(name);  // deque: stable addresses
+        ids_.emplace(std::string_view(storage_.back()), id);
+        return id;
+    }
+
+    /** Id for @p name, or kNoName if it was never interned. */
+    uint32_t
+    find(std::string_view name) const
+    {
+        auto it = ids_.find(name);
+        return it == ids_.end() ? kNoName : it->second;
+    }
+
+    /** The interned spelling of @p id (must be a valid id). */
+    const std::string& name(uint32_t id) const { return storage_[id]; }
+
+    size_t size() const { return storage_.size(); }
+
+  private:
+    std::deque<std::string> storage_;  ///< id -> name, addresses stable
+    /** Views key into storage_, so each name's bytes exist once. */
+    std::unordered_map<std::string_view, uint32_t, StringHash> ids_;
+};
 
 /** Result of resolving a path: the inode chain from root to target. */
 struct ResolvedPath {
@@ -42,19 +95,21 @@ class NamespaceTree {
      * Resolve @p path, checking execute permission on every ancestor
      * directory. Returns the full inode chain (root..target).
      */
-    StatusOr<ResolvedPath> resolve(const std::string& path,
+    StatusOr<ResolvedPath> resolve(std::string_view path,
                                    const UserContext& user) const;
 
     /** getattr. */
-    StatusOr<INode> stat(const std::string& path,
-                         const UserContext& user) const;
+    StatusOr<INode> stat(std::string_view path, const UserContext& user) const;
 
     /** Open-for-read on a file: requires read permission on the target. */
-    StatusOr<INode> read_file(const std::string& path,
+    StatusOr<INode> read_file(std::string_view path,
                               const UserContext& user) const;
 
-    /** List child names of a directory (requires read on the dir). */
-    StatusOr<std::vector<std::string>> list(const std::string& path,
+    /**
+     * List child names of a directory (requires read on the dir), in
+     * lexicographic order.
+     */
+    StatusOr<std::vector<std::string>> list(std::string_view path,
                                             const UserContext& user) const;
 
     // ------------------------------------------------------------------
@@ -62,25 +117,25 @@ class NamespaceTree {
     // ------------------------------------------------------------------
 
     /** Create an empty file. Parent must exist and be writable. */
-    StatusOr<INode> create_file(const std::string& path,
-                                const UserContext& user, sim::SimTime now);
+    StatusOr<INode> create_file(std::string_view path, const UserContext& user,
+                                sim::SimTime now);
 
     /** Create a directory, making intermediate directories as needed. */
-    StatusOr<INode> mkdirs(const std::string& path, const UserContext& user,
+    StatusOr<INode> mkdirs(std::string_view path, const UserContext& user,
                            sim::SimTime now);
 
     /**
      * Delete a file, an empty directory, or (when @p recursive) a whole
      * subtree. @return number of inodes removed.
      */
-    StatusOr<int64_t> remove(const std::string& path, const UserContext& user,
+    StatusOr<int64_t> remove(std::string_view path, const UserContext& user,
                              bool recursive, sim::SimTime now);
 
     /**
      * Rename @p src to @p dst. The destination must not exist; its parent
      * must. Moving a directory moves the whole subtree.
      */
-    Status rename(const std::string& src, const std::string& dst,
+    Status rename(std::string_view src, std::string_view dst,
                   const UserContext& user, sim::SimTime now);
 
     // ------------------------------------------------------------------
@@ -91,13 +146,16 @@ class NamespaceTree {
     const INode* get(INodeId id) const;
 
     /** Child inode id by (parent, name), or kInvalidId. */
-    INodeId lookup_child(INodeId parent, const std::string& name) const;
+    INodeId lookup_child(INodeId parent, std::string_view name) const;
 
-    /** Ids of all children of @p dir (empty for files/unknown ids). */
+    /**
+     * Ids of all children of @p dir (empty for files/unknown ids),
+     * ordered by child name.
+     */
     std::vector<INodeId> children(INodeId dir) const;
 
     /** Number of inodes in the subtree rooted at @p path (incl. root). */
-    StatusOr<int64_t> subtree_size(const std::string& path,
+    StatusOr<int64_t> subtree_size(std::string_view path,
                                    const UserContext& user) const;
 
     /** Reconstruct the absolute path of inode @p id. */
@@ -109,16 +167,23 @@ class NamespaceTree {
     /** Sum of metadata_bytes over every inode (working-set size). */
     size_t total_metadata_bytes() const;
 
+    /** Distinct component names interned so far (diagnostics). */
+    size_t interned_names() const { return names_.size(); }
+
   private:
-    StatusOr<INode*> resolve_mutable_parent(const std::string& path,
+    /** Child map of one directory: interned name id -> inode id. */
+    using ChildMap = std::unordered_map<uint32_t, INodeId>;
+
+    StatusOr<INode*> resolve_mutable_parent(std::string_view path,
                                             const UserContext& user);
-    INode& add_node(INodeId parent, const std::string& name, INodeType type,
+    INode& add_node(INodeId parent, std::string_view name, INodeType type,
                     const UserContext& user, sim::SimTime now);
     void remove_subtree(INodeId id, int64_t* removed);
     bool is_ancestor(INodeId maybe_ancestor, INodeId node) const;
 
     std::unordered_map<INodeId, INode> nodes_;
-    std::unordered_map<INodeId, std::map<std::string, INodeId>> children_;
+    std::unordered_map<INodeId, ChildMap> children_;
+    NameTable names_;
     INodeId next_id_ = kRootId + 1;
 };
 

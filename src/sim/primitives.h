@@ -38,7 +38,7 @@ class Delay {
     void
     await_suspend(std::coroutine_handle<> h)
     {
-        sim_.schedule(delay_, [h] { h.resume(); });
+        sim_.schedule(delay_, h);
     }
 
     void await_resume() const noexcept {}
@@ -74,7 +74,7 @@ class OneShot {
         value_.emplace(std::move(value));
         if (waiter_) {
             auto h = std::exchange(waiter_, {});
-            sim_.schedule(0, [h] { h.resume(); });
+            sim_.schedule(0, h);
         }
         return true;
     }
@@ -121,7 +121,7 @@ class Gate {
         }
         set_ = true;
         for (auto h : waiters_) {
-            sim_.schedule(0, [h] { h.resume(); });
+            sim_.schedule(0, h);
         }
         waiters_.clear();
     }
@@ -204,7 +204,7 @@ class Semaphore {
         if (!waiters_.empty()) {
             auto h = waiters_.front();
             waiters_.pop_front();
-            sim_.schedule(0, [h] { h.resume(); });
+            sim_.schedule(0, h);
         } else {
             ++permits_;
         }
@@ -316,7 +316,7 @@ class Channel {
         if (!waiters_.empty()) {
             auto h = waiters_.front();
             waiters_.pop_front();
-            sim_.schedule(0, [h] { h.resume(); });
+            sim_.schedule(0, h);
         }
     }
 

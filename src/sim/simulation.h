@@ -2,16 +2,34 @@
  * @file
  * Deterministic single-threaded discrete-event simulation loop.
  *
- * The Simulation owns a min-heap of timestamped events. Events scheduled at
- * the same instant fire in FIFO order (a monotonically increasing sequence
- * number breaks ties), which makes every run with the same seed bit-for-bit
- * reproducible.
+ * The Simulation owns a pooled binary min-heap of timestamped events.
+ * Events scheduled at the same instant fire in FIFO order (a monotonically
+ * increasing sequence number breaks ties), which makes every run with the
+ * same seed bit-for-bit reproducible.
+ *
+ * Performance model (DESIGN.md §10): the kernel is allocation-free in
+ * steady state. Event nodes are recycled through an intrusive free list
+ * and carved from geometrically-growing blocks; callables are constructed
+ * directly into a 48-byte inline buffer in the node (type-erased by two
+ * function pointers, no std::function); coroutine resumes store the bare
+ * handle — scheduling a wake-up is a pointer store. The heap orders POD
+ * entries whose (when, seq) sort key is packed into one 128-bit integer,
+ * so a sift level is one branchless compare plus a memcpy and never
+ * touches the payloads. Events due at the current instant bypass the
+ * heap entirely through a FIFO ring (NowRing).
  */
 #pragma once
 
+#include <cassert>
+#include <concepts>
+#include <coroutine>
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <cstring>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "src/sim/metrics.h"
@@ -34,6 +52,7 @@ class Simulation {
     Simulation();
     Simulation(const Simulation&) = delete;
     Simulation& operator=(const Simulation&) = delete;
+    ~Simulation();
 
     /** Request tracer for this simulation (disabled by default). */
     Tracer& tracer() { return tracer_; }
@@ -56,10 +75,43 @@ class Simulation {
     SimTime now() const { return now_; }
 
     /** Schedule @p fn to run @p delay from now. Negative delays clamp to 0. */
-    void schedule(SimTime delay, std::function<void()> fn);
+    template <typename F>
+        requires std::invocable<std::decay_t<F>&>
+    void
+    schedule(SimTime delay, F&& fn)
+    {
+        schedule_at(delay < 0 ? now_ : now_ + delay, std::forward<F>(fn));
+    }
 
     /** Schedule @p fn at absolute time @p when (clamped to >= now). */
-    void schedule_at(SimTime when, std::function<void()> fn);
+    template <typename F>
+        requires std::invocable<std::decay_t<F>&>
+    void
+    schedule_at(SimTime when, F&& fn)
+    {
+        push_event(when, make_event(std::forward<F>(fn)));
+    }
+
+    /**
+     * Resume @p h after @p delay — the coroutine fast path used by every
+     * synchronization primitive: no type erasure, just a handle store.
+     */
+    void
+    schedule(SimTime delay, std::coroutine_handle<> h)
+    {
+        schedule_at(delay < 0 ? now_ : now_ + delay, h);
+    }
+
+    /** Resume @p h at absolute time @p when (clamped to >= now). */
+    void
+    schedule_at(SimTime when, std::coroutine_handle<> h)
+    {
+        Event* ev = alloc_event();
+        ev->invoke = &Event::invoke_handle;
+        ev->dispose = &Event::dispose_noop;
+        ev->payload.handle = h;
+        push_event(when, ev);
+    }
 
     /**
      * Run the next pending event, advancing the clock to its timestamp.
@@ -89,27 +141,230 @@ class Simulation {
     uint64_t events_executed() const { return executed_; }
 
     /** Number of events currently queued. */
-    size_t pending() const { return heap_.size(); }
+    size_t pending() const { return heap_.size() + ring_.size(); }
+
+    /** High-water mark of pending() over the simulation's lifetime. */
+    size_t peak_pending() const { return peak_pending_; }
+
+    /**
+     * Pre-size the heap and node pool for @p n concurrently-pending
+     * events, avoiding growth reallocations mid-run.
+     */
+    void reserve_events(size_t n);
 
   private:
+    /**
+     * A pooled event node. The payload union holds either a bare
+     * coroutine handle, a callable constructed inline (sizeof(F) <=
+     * kInlineBytes — every callable this codebase schedules), or a
+     * pointer to a heap-allocated callable as a rare fallback. While the
+     * node sits on the free list the union holds the next-free link.
+     */
     struct Event {
-        SimTime when;
-        uint64_t seq;
-        std::function<void()> fn;
-    };
-    struct Later {
-        bool operator()(const Event& a, const Event& b) const
+        static constexpr size_t kInlineBytes = 48;
+
+        union Payload {
+            Payload() {}
+            ~Payload() {}
+            std::coroutine_handle<> handle;
+            void* heap_fn;
+            Event* next_free;
+            alignas(std::max_align_t) unsigned char buf[kInlineBytes];
+        };
+
+        /** Run the payload, then destroy it. */
+        void (*invoke)(Event*);
+        /** Destroy the payload without running it (kernel teardown). */
+        void (*dispose)(Event*);
+        Payload payload;
+
+        static void invoke_handle(Event* e) { e->payload.handle.resume(); }
+        // Dropping a pending resume leaks the suspended frame by design
+        // (see primitives.h lifetime rule) — same as the std::function
+        // kernel, which destroyed the [h] lambda without resuming it.
+        static void dispose_noop(Event*) {}
+
+        template <typename F>
+        static void
+        invoke_inline(Event* e)
         {
-            return a.when != b.when ? a.when > b.when : a.seq > b.seq;
+            F* f = std::launder(reinterpret_cast<F*>(e->payload.buf));
+            struct Destroyer {  // destroy even if (*f)() throws
+                F* f;
+                ~Destroyer() { f->~F(); }
+            } d{f};
+            (*f)();
+        }
+
+        template <typename F>
+        static void
+        dispose_inline(Event* e)
+        {
+            std::launder(reinterpret_cast<F*>(e->payload.buf))->~F();
+        }
+
+        template <typename F>
+        static void
+        invoke_heap(Event* e)
+        {
+            std::unique_ptr<F> f(static_cast<F*>(e->payload.heap_fn));
+            (*f)();
+        }
+
+        template <typename F>
+        static void
+        dispose_heap(Event* e)
+        {
+            delete static_cast<F*>(e->payload.heap_fn);
         }
     };
+
+    /**
+     * POD heap entry; comparisons never dereference the node. The sort
+     * key packs (when, seq) into one 128-bit integer — when occupies the
+     * high 64 bits (SimTime is non-negative in-queue), so a single
+     * branchless integer compare realises the (when, seq) lexicographic
+     * FIFO order.
+     */
+    struct HeapEntry {
+        unsigned __int128 key;
+        Event* ev;
+
+        static unsigned __int128
+        make_key(SimTime when, uint64_t seq)
+        {
+            return (static_cast<unsigned __int128>(
+                        static_cast<uint64_t>(when))
+                    << 64) |
+                   seq;
+        }
+
+        SimTime when() const
+        {
+            return static_cast<SimTime>(static_cast<uint64_t>(key >> 64));
+        }
+
+        uint64_t seq() const { return static_cast<uint64_t>(key); }
+    };
+
+    /** Ring entry for events due at the current instant (when == now_). */
+    struct RingEntry {
+        uint64_t seq;
+        Event* ev;
+    };
+
+    /**
+     * FIFO of events scheduled *at the current instant* — the wake-up
+     * path every synchronization primitive takes (schedule(0, ...)).
+     * Invariant: while non-empty, every entry is due at exactly now_, so
+     * enqueue/dequeue are O(1) ring operations instead of heap sifts.
+     * The clock cannot advance past them: step() always picks the global
+     * (when, seq) minimum across ring and heap, and a non-empty ring
+     * holds an event due now. Sequence numbers still interleave ring and
+     * heap events at the same timestamp in exact FIFO order.
+     */
+    class NowRing {
+      public:
+        bool empty() const { return size_ == 0; }
+        size_t size() const { return size_; }
+        const RingEntry& front() const { return buf_[head_]; }
+
+        void
+        push(RingEntry entry)
+        {
+            if (size_ == buf_.size()) {
+                grow();
+            }
+            buf_[(head_ + size_) & (buf_.size() - 1)] = entry;
+            ++size_;
+        }
+
+        RingEntry
+        pop()
+        {
+            RingEntry entry = buf_[head_];
+            head_ = (head_ + 1) & (buf_.size() - 1);
+            --size_;
+            return entry;
+        }
+
+        template <typename Fn>
+        void
+        for_each(Fn&& fn) const
+        {
+            for (size_t i = 0; i < size_; ++i) {
+                fn(buf_[(head_ + i) & (buf_.size() - 1)]);
+            }
+        }
+
+        void reserve(size_t n);
+
+      private:
+        void grow();
+
+        std::vector<RingEntry> buf_;  ///< power-of-two capacity
+        size_t head_ = 0;
+        size_t size_ = 0;
+    };
+
+    template <typename F>
+    Event*
+    make_event(F&& fn)
+    {
+        using Fn = std::decay_t<F>;
+        Event* ev = alloc_event();
+        if constexpr (sizeof(Fn) <= Event::kInlineBytes &&
+                      alignof(Fn) <= alignof(std::max_align_t)) {
+            ::new (static_cast<void*>(ev->payload.buf))
+                Fn(std::forward<F>(fn));
+            ev->invoke = &Event::template invoke_inline<Fn>;
+            ev->dispose = &Event::template dispose_inline<Fn>;
+        } else {
+            ev->payload.heap_fn = new Fn(std::forward<F>(fn));
+            ev->invoke = &Event::template invoke_heap<Fn>;
+            ev->dispose = &Event::template dispose_heap<Fn>;
+        }
+        return ev;
+    }
+
+    Event*
+    alloc_event()
+    {
+        Event* ev = free_list_;
+        if (ev != nullptr) {
+            free_list_ = ev->payload.next_free;
+            return ev;
+        }
+        return carve_block();
+    }
+
+    void
+    release_event(Event* ev)
+    {
+        ev->payload.next_free = free_list_;
+        free_list_ = ev;
+    }
+
+    /** Sift the new entry up from the back of the heap. */
+    void push_event(SimTime when, Event* ev);
+
+    /** Remove and return the minimum entry (heap must be non-empty). */
+    HeapEntry pop_event();
+
+    /** Allocate a fresh node block, push all but one onto the free list. */
+    Event* carve_block();
 
     SimTime now_ = 0;
     FaultPlan* fault_plan_ = nullptr;
     uint64_t next_seq_ = 0;
     uint64_t executed_ = 0;
     bool stopped_ = false;
-    std::priority_queue<Event, std::vector<Event>, Later> heap_;
+    size_t peak_pending_ = 0;
+    std::vector<HeapEntry> heap_;
+    NowRing ring_;
+    Event* free_list_ = nullptr;
+    std::vector<std::unique_ptr<Event[]>> blocks_;
+    size_t next_block_size_ = 256;
     MetricsRegistry metrics_;
     Tracer tracer_;
 };

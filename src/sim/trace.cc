@@ -24,44 +24,32 @@ Span::operator=(Span&& other) noexcept
 }
 
 void
-Span::annotate(const char* key, const std::string& value)
+Span::annotate_impl(const char* key, const std::string& value)
 {
-    if (tracer_ == nullptr) {
-        return;
-    }
     if (Tracer::Record* r = tracer_->resolve(index_, span_id_)) {
         r->annotations.emplace_back(key, value);
     }
 }
 
 void
-Span::annotate(const char* key, const char* value)
+Span::annotate_impl(const char* key, const char* value)
 {
-    if (tracer_ == nullptr) {
-        return;
-    }
     if (Tracer::Record* r = tracer_->resolve(index_, span_id_)) {
         r->annotations.emplace_back(key, value);
     }
 }
 
 void
-Span::annotate(const char* key, int64_t value)
+Span::annotate_impl(const char* key, int64_t value)
 {
-    if (tracer_ == nullptr) {
-        return;
-    }
     if (Tracer::Record* r = tracer_->resolve(index_, span_id_)) {
         r->annotations.emplace_back(key, std::to_string(value));
     }
 }
 
 void
-Span::end()
+Span::end_impl()
 {
-    if (tracer_ == nullptr) {
-        return;
-    }
     tracer_->end_span(index_, span_id_);
     tracer_ = nullptr;
 }
@@ -119,28 +107,6 @@ Tracer::open(const char* component, const char* name, uint64_t trace_id,
     r.end = -1;
     r.annotations.clear();
     return Span(this, index, trace_id, span_id);
-}
-
-Span
-Tracer::start_trace(const char* component, const char* name)
-{
-    if (!enabled_) {
-        return Span();
-    }
-    return open(component, name, next_trace_id_++, 0);
-}
-
-Span
-Tracer::start_span(const char* component, const char* name,
-                   TraceContext parent)
-{
-    if (!enabled_) {
-        return Span();
-    }
-    if (parent.trace_id == 0) {
-        return open(component, name, next_trace_id_++, 0);
-    }
-    return open(component, name, parent.trace_id, parent.parent_span);
 }
 
 void

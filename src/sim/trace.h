@@ -61,16 +61,53 @@ class Span {
     /** Context for child spans of this span. */
     TraceContext context() const { return {trace_id_, span_id_}; }
 
-    /** Attach a key=value annotation. Keys must be string literals. */
-    void annotate(const char* key, const std::string& value);
-    void annotate(const char* key, const char* value);
-    void annotate(const char* key, int64_t value);
+    /**
+     * Attach a key=value annotation. Keys must be string literals.
+     * Inline-guarded: an inactive span (tracing off) costs one branch.
+     */
+    void
+    annotate(const char* key, const std::string& value)
+    {
+        if (tracer_ != nullptr) {
+            annotate_impl(key, value);
+        }
+    }
+    void
+    annotate(const char* key, const char* value)
+    {
+        if (tracer_ != nullptr) {
+            annotate_impl(key, value);
+        }
+    }
+    void
+    annotate(const char* key, int64_t value)
+    {
+        if (tracer_ != nullptr) {
+            annotate_impl(key, value);
+        }
+    }
 
-    /** Close the span at the current simulated time (idempotent). */
-    void end();
+    /**
+     * Close the span at the current simulated time (idempotent). The
+     * inactive case (tracing off) is a single inlined branch — Spans are
+     * created and destroyed on the event hot path.
+     */
+    void
+    end()
+    {
+        if (tracer_ != nullptr) {
+            end_impl();
+        }
+    }
 
   private:
     friend class Tracer;
+
+    void annotate_impl(const char* key, const std::string& value);
+    void annotate_impl(const char* key, const char* value);
+    void annotate_impl(const char* key, int64_t value);
+    void end_impl();
+
     Span(Tracer* tracer, size_t index, uint64_t trace_id, uint64_t span_id)
         : tracer_(tracer),
           index_(index),
@@ -113,15 +150,35 @@ class Tracer {
     /** Resize the ring buffer (drops everything recorded so far). */
     void set_capacity(size_t capacity);
 
-    /** Open a root span, allocating a fresh trace id. */
-    Span start_trace(const char* component, const char* name);
+    /**
+     * Open a root span, allocating a fresh trace id. Inline-guarded so
+     * the disabled case compiles down to one branch at the call site.
+     */
+    Span
+    start_trace(const char* component, const char* name)
+    {
+        if (!enabled_) {
+            return Span();
+        }
+        return open(component, name, next_trace_id_++, 0);
+    }
 
     /**
      * Open a span under @p parent. A zero parent trace id (untraced
-     * request) starts a new root trace instead.
+     * request) starts a new root trace instead. Disabled-path cost: one
+     * inlined branch.
      */
-    Span start_span(const char* component, const char* name,
-                    TraceContext parent);
+    Span
+    start_span(const char* component, const char* name, TraceContext parent)
+    {
+        if (!enabled_) {
+            return Span();
+        }
+        if (parent.trace_id == 0) {
+            return open(component, name, next_trace_id_++, 0);
+        }
+        return open(component, name, parent.trace_id, parent.parent_span);
+    }
 
     /** Spans opened since construction/clear (0 while disabled). */
     uint64_t spans_started() const { return spans_started_; }

@@ -87,7 +87,7 @@ LockTable::drain(ns::INodeId id)
         } else {
             ++row.shared;
         }
-        sim_.schedule(0, [h = w.handle] { h.resume(); });
+        sim_.schedule(0, w.handle);
         if (w.exclusive) {
             break;
         }

@@ -63,6 +63,30 @@ MetadataStore::shard_index(const std::string& parent_path) const
     return fnv1a(parent_path) % shards_.size();
 }
 
+size_t
+MetadataStore::shard_index_of_parent(std::string_view p) const
+{
+    // Hash "/comp" for every component but the last — byte-identical to
+    // fnv1a(path::parent(p)), including the bare "/" root-parent case.
+    uint64_t h = kFnv1aBasis;
+    std::string_view prev;
+    bool have_prev = false;
+    bool hashed = false;
+    for (std::string_view c : path::PathView(p)) {
+        if (have_prev) {
+            h = fnv1a_mix(h, "/");
+            h = fnv1a_mix(h, prev);
+            hashed = true;
+        }
+        prev = c;
+        have_prev = true;
+    }
+    if (!hashed) {
+        h = fnv1a_mix(h, "/");
+    }
+    return h % shards_.size();
+}
+
 DataNode&
 MetadataStore::shard_for(const std::string& parent_path)
 {
@@ -265,7 +289,7 @@ MetadataStore::read_op(Op op)
         sim_.tracer().start_span("store", "read_txn", op.trace);
     co_await network_.transfer(net::LatencyClass::kStore);
     OpResult result;
-    size_t shard_idx = shard_index(path::parent(op.path));
+    size_t shard_idx = shard_index_of_parent(op.path);
     // Admission checks before any lock or coherence work: a tripped
     // breaker or an already-expired deadline fails fast, paying only the
     // network round trip.
@@ -300,7 +324,7 @@ MetadataStore::read_op(Op op)
             co_await locks_.lock_shared(id);
         }
         lock_span.end();
-        DataNode& shard = shard_for(path::parent(op.path));
+        DataNode& shard = *shards_[shard_idx];
         Status st =
             co_await shard.execute_read(path::depth(op.path) + 1, op.deadline);
         breaker_record(shard_idx, st);
@@ -334,7 +358,7 @@ MetadataStore::write_op(Op op, LockedHook after_lock)
     sim::Span txn_span =
         sim_.tracer().start_span("store", "write_txn", op.trace);
     co_await network_.transfer(net::LatencyClass::kStore);
-    size_t shard_idx = shard_index(path::parent(op.path));
+    size_t shard_idx = shard_index_of_parent(op.path);
     // Admission checks before waiting on subtree flags, acquiring row
     // locks, or running the coherence round — doomed work sheds here.
     Status admit = breaker_admit(shard_idx);
@@ -366,7 +390,7 @@ MetadataStore::write_op(Op op, LockedHook after_lock)
     if (after_lock) {
         co_await after_lock();
     }
-    DataNode& shard = shard_for(path::parent(op.path));
+    DataNode& shard = *shards_[shard_idx];
     Status st = co_await shard.execute_write(
         static_cast<int>(lock_ids.size()), op.deadline);
     breaker_record(shard_idx, st);

@@ -139,6 +139,13 @@ class MetadataStore {
     /** Shard index owning metadata for paths under @p parent_path. */
     size_t shard_index(const std::string& parent_path) const;
 
+    /**
+     * shard_index(path::parent(path)) without materialising the parent
+     * string: the parent's components are folded into the FNV-1a hash
+     * directly. Op hot paths (read_op/write_op) pay zero allocations here.
+     */
+    size_t shard_index_of_parent(std::string_view path) const;
+
     /** Shard owning metadata for paths under @p parent_path. */
     DataNode& shard_for(const std::string& parent_path);
 

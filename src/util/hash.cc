@@ -5,17 +5,6 @@
 namespace lfs {
 
 uint64_t
-fnv1a(std::string_view s)
-{
-    uint64_t h = 14695981039346656037ULL;
-    for (unsigned char c : s) {
-        h ^= c;
-        h *= 1099511628211ULL;
-    }
-    return h;
-}
-
-uint64_t
 mix64(uint64_t x)
 {
     x += 0x9e3779b97f4a7c15ULL;

@@ -14,8 +14,46 @@
 
 namespace lfs {
 
+/** FNV-1a offset basis — seed for incremental hashing via fnv1a_mix. */
+inline constexpr uint64_t kFnv1aBasis = 14695981039346656037ULL;
+
+/**
+ * Fold @p s into a running FNV-1a hash @p h. Hashing pieces in sequence
+ * equals hashing their concatenation, which lets hot paths hash composite
+ * keys (e.g. a parent path assembled from components) without building the
+ * intermediate string.
+ */
+constexpr uint64_t
+fnv1a_mix(uint64_t h, std::string_view s)
+{
+    for (char c : s) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
 /** 64-bit FNV-1a hash of a byte string. */
-uint64_t fnv1a(std::string_view s);
+constexpr uint64_t
+fnv1a(std::string_view s)
+{
+    return fnv1a_mix(kFnv1aBasis, s);
+}
+
+/**
+ * Transparent (heterogeneous) hash for string-keyed unordered containers:
+ * lookups take std::string_view or const char* without materialising a
+ * std::string. Pair with std::equal_to<> as the key-equal.
+ */
+struct StringHash {
+    using is_transparent = void;
+
+    size_t
+    operator()(std::string_view s) const
+    {
+        return static_cast<size_t>(fnv1a(s));
+    }
+};
 
 /** SplitMix64 finalizer — good avalanche for integer keys. */
 uint64_t mix64(uint64_t x);

@@ -8,8 +8,8 @@ is_valid(std::string_view p)
     if (p.empty() || p[0] != '/') {
         return false;
     }
-    for (const std::string& c : split(p)) {
-        if (c.empty() || c == "." || c == "..") {
+    for (std::string_view c : PathView(p)) {
+        if (c == "." || c == "..") {
             return false;
         }
     }
@@ -19,8 +19,10 @@ is_valid(std::string_view p)
 std::string
 normalize(std::string_view p)
 {
-    std::string out = "/";
-    for (const std::string& c : split(p)) {
+    std::string out;
+    out.reserve(p.size() + 1);
+    out += '/';
+    for (std::string_view c : PathView(p)) {
         if (out.size() > 1) {
             out += '/';
         }
@@ -33,18 +35,8 @@ std::vector<std::string>
 split(std::string_view p)
 {
     std::vector<std::string> parts;
-    size_t i = 0;
-    while (i < p.size()) {
-        while (i < p.size() && p[i] == '/') {
-            ++i;
-        }
-        size_t start = i;
-        while (i < p.size() && p[i] != '/') {
-            ++i;
-        }
-        if (i > start) {
-            parts.emplace_back(p.substr(start, i - start));
-        }
+    for (std::string_view c : PathView(p)) {
+        parts.emplace_back(c);
     }
     return parts;
 }
@@ -52,23 +44,38 @@ split(std::string_view p)
 std::string
 parent(std::string_view p)
 {
-    auto parts = split(p);
-    if (parts.size() <= 1) {
-        return "/";
-    }
     std::string out;
-    for (size_t i = 0; i + 1 < parts.size(); ++i) {
-        out += '/';
-        out += parts[i];
+    out.reserve(p.size());
+    std::string_view prev;
+    bool have_prev = false;
+    for (std::string_view c : PathView(p)) {
+        if (have_prev) {
+            out += '/';
+            out += prev;
+        }
+        prev = c;
+        have_prev = true;
+    }
+    if (out.empty()) {
+        out = "/";
     }
     return out;
+}
+
+std::string_view
+basename_view(std::string_view p)
+{
+    std::string_view last;
+    for (std::string_view c : PathView(p)) {
+        last = c;
+    }
+    return last;
 }
 
 std::string
 basename(std::string_view p)
 {
-    auto parts = split(p);
-    return parts.empty() ? std::string() : parts.back();
+    return std::string(basename_view(p));
 }
 
 std::string
@@ -85,24 +92,24 @@ join(std::string_view dir, std::string_view name)
 int
 depth(std::string_view p)
 {
-    return static_cast<int>(split(p).size());
+    int n = 0;
+    for ([[maybe_unused]] std::string_view c : PathView(p)) {
+        ++n;
+    }
+    return n;
 }
 
 bool
 is_under(std::string_view p, std::string_view prefix)
 {
-    std::string np = normalize(p);
-    std::string npre = normalize(prefix);
-    if (npre == "/") {
-        return true;
+    auto pit = PathView(p).begin();
+    for (std::string_view pre : PathView(prefix)) {
+        if (pit == std::default_sentinel || *pit != pre) {
+            return false;
+        }
+        ++pit;
     }
-    if (np.size() < npre.size()) {
-        return false;
-    }
-    if (np.compare(0, npre.size(), npre) != 0) {
-        return false;
-    }
-    return np.size() == npre.size() || np[npre.size()] == '/';
+    return true;
 }
 
 std::vector<std::string>
@@ -110,12 +117,17 @@ ancestors(std::string_view p)
 {
     std::vector<std::string> out;
     out.emplace_back("/");
-    auto parts = split(p);
     std::string cur;
-    for (size_t i = 0; i + 1 < parts.size(); ++i) {
-        cur += '/';
-        cur += parts[i];
-        out.push_back(cur);
+    std::string_view prev;
+    bool have_prev = false;
+    for (std::string_view c : PathView(p)) {
+        if (have_prev) {
+            cur += '/';
+            cur += prev;
+            out.push_back(cur);
+        }
+        prev = c;
+        have_prev = true;
     }
     return out;
 }

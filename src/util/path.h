@@ -5,15 +5,90 @@
  * latter drive subtree invalidations in the coherence protocol).
  *
  * Paths are absolute, '/'-separated, with "/" denoting the root.
+ *
+ * Hot paths (resolution, the cache trie, lock-set computation) iterate
+ * components with PathView — a split-once std::string_view iterator that
+ * never allocates. The std::string-returning helpers below are built on it
+ * and perform at most the one allocation for their result.
  */
 #pragma once
 
-#include <optional>
+#include <iterator>
 #include <string>
 #include <string_view>
 #include <vector>
 
 namespace lfs::path {
+
+/**
+ * Zero-allocation, split-once iterator over the components of a path.
+ * Duplicate and trailing slashes are skipped, so iteration order matches
+ * split(normalize(p)):
+ *
+ *   for (std::string_view c : PathView("/a//b/")) use(c);  // "a", "b"
+ *
+ * The views point into the original buffer, which must outlive them.
+ */
+class PathView {
+  public:
+    explicit PathView(std::string_view p) : p_(p) {}
+
+    class iterator {
+      public:
+        using value_type = std::string_view;
+        using difference_type = std::ptrdiff_t;
+
+        std::string_view operator*() const { return comp_; }
+
+        iterator&
+        operator++()
+        {
+            advance();
+            return *this;
+        }
+
+        bool
+        operator==(std::default_sentinel_t) const
+        {
+            return done_;
+        }
+
+      private:
+        friend class PathView;
+
+        explicit iterator(std::string_view rest) : rest_(rest) { advance(); }
+
+        void
+        advance()
+        {
+            size_t i = 0;
+            while (i < rest_.size() && rest_[i] == '/') {
+                ++i;
+            }
+            size_t start = i;
+            while (i < rest_.size() && rest_[i] != '/') {
+                ++i;
+            }
+            if (i == start) {
+                done_ = true;
+                comp_ = {};
+                return;
+            }
+            comp_ = rest_.substr(start, i - start);
+            rest_ = rest_.substr(i);
+        }
+
+        std::string_view rest_;
+        std::string_view comp_;
+        bool done_ = false;
+    };
+
+    iterator begin() const { return iterator(p_); }
+    std::default_sentinel_t end() const { return {}; }
+
+  private:
+    std::string_view p_;
+};
 
 /** True if @p p is a syntactically valid absolute path. */
 bool is_valid(std::string_view p);
@@ -33,52 +108,23 @@ std::string parent(std::string_view p);
 /** Final component ("/a/b" -> "b"; "/" -> ""). */
 std::string basename(std::string_view p);
 
+/** basename without the string copy; views into @p p. */
+std::string_view basename_view(std::string_view p);
+
 /** Join a directory and a child name. */
 std::string join(std::string_view dir, std::string_view name);
 
-/** Depth in components ("/" -> 0, "/a/b" -> 2). */
+/** Depth in components ("/" -> 0, "/a/b" -> 2). Allocation-free. */
 int depth(std::string_view p);
 
 /**
  * True if @p p equals @p prefix or lies underneath it
  * (is_under("/a/b/c", "/a/b") == true; is_under("/ab", "/a") == false).
+ * Compares component-wise; never allocates.
  */
 bool is_under(std::string_view p, std::string_view prefix);
 
 /** All ancestor paths from "/" down to parent(p), inclusive. */
 std::vector<std::string> ancestors(std::string_view p);
-
-/**
- * Zero-allocation component iterator:
- *   for (Splitter s(p); auto c = s.next();) use(*c);
- * Hot paths (the cache trie) use this instead of split().
- */
-class Splitter {
-  public:
-    explicit Splitter(std::string_view p) : rest_(p) {}
-
-    /** Next component, or nullopt when exhausted. */
-    std::optional<std::string_view>
-    next()
-    {
-        size_t i = 0;
-        while (i < rest_.size() && rest_[i] == '/') {
-            ++i;
-        }
-        size_t start = i;
-        while (i < rest_.size() && rest_[i] != '/') {
-            ++i;
-        }
-        if (i == start) {
-            return std::nullopt;
-        }
-        std::string_view component = rest_.substr(start, i - start);
-        rest_ = rest_.substr(i);
-        return component;
-    }
-
-  private:
-    std::string_view rest_;
-};
 
 }  // namespace lfs::path

@@ -58,15 +58,15 @@ class Oracle {
     {
         // Fails if any prefix is a file.
         std::string cur = "/";
-        for (path::Splitter s(p); auto c = s.next();) {
-            cur = path::join(cur, std::string(*c));
+        for (std::string_view c : path::PathView(p)) {
+            cur = path::join(cur, c);
             if (exists(cur) && !is_dir(cur)) {
                 return false;
             }
         }
         cur = "/";
-        for (path::Splitter s(p); auto c = s.next();) {
-            cur = path::join(cur, std::string(*c));
+        for (std::string_view c : path::PathView(p)) {
+            cur = path::join(cur, c);
             entries_[cur] = true;
         }
         return true;

@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Unit tests for the interned path-resolution stack: the PathView
+ * component iterator (edge paths: "/", trailing slashes, duplicate
+ * slashes, deep nesting), the allocation-free path helpers built on it,
+ * the NameTable interner, and the NamespaceTree behaviours that the
+ * interned child maps must preserve (sorted listings, heterogeneous
+ * lookup, unseen-name fast path).
+ */
+#include <gtest/gtest.h>
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/namespace/namespace_tree.h"
+#include "src/util/hash.h"
+#include "src/util/path.h"
+
+namespace lfs {
+namespace {
+
+std::vector<std::string>
+components(std::string_view p)
+{
+    std::vector<std::string> out;
+    for (std::string_view c : path::PathView(p)) {
+        out.emplace_back(c);
+    }
+    return out;
+}
+
+TEST(PathView, RootYieldsNoComponents)
+{
+    EXPECT_TRUE(components("/").empty());
+    EXPECT_TRUE(components("").empty());
+    EXPECT_TRUE(components("///").empty());
+}
+
+TEST(PathView, SimplePath)
+{
+    EXPECT_EQ(components("/a/b/c"),
+              (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(PathView, TrailingAndDuplicateSlashes)
+{
+    EXPECT_EQ(components("/a/"), (std::vector<std::string>{"a"}));
+    EXPECT_EQ(components("//a//b///c//"),
+              (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(PathView, ViewsAliasTheInputBuffer)
+{
+    std::string p = "/alpha/beta";
+    for (std::string_view c : path::PathView(p)) {
+        EXPECT_GE(c.data(), p.data());
+        EXPECT_LE(c.data() + c.size(), p.data() + p.size());
+    }
+}
+
+TEST(PathView, DeepNestingMatchesSplit)
+{
+    std::string p;
+    for (int i = 0; i < 200; ++i) {
+        p += "/d" + std::to_string(i);
+    }
+    std::vector<std::string> via_split = path::split(p);
+    EXPECT_EQ(components(p), via_split);
+    EXPECT_EQ(via_split.size(), 200u);
+    EXPECT_EQ(path::depth(p), 200);
+}
+
+TEST(PathHelpers, ParentOfMessyPathsIsNormalized)
+{
+    EXPECT_EQ(path::parent("//a//b/"), "/a");
+    EXPECT_EQ(path::parent("/a"), "/");
+    EXPECT_EQ(path::parent("/"), "/");
+    EXPECT_EQ(path::parent(""), "/");
+}
+
+TEST(PathHelpers, BasenameViewPointsIntoInput)
+{
+    std::string p = "/a/b/name";
+    std::string_view b = path::basename_view(p);
+    EXPECT_EQ(b, "name");
+    EXPECT_GE(b.data(), p.data());
+    EXPECT_EQ(path::basename_view("/"), "");
+    EXPECT_EQ(path::basename_view("/x//"), "x");
+}
+
+TEST(PathHelpers, IsUnderComponentWise)
+{
+    EXPECT_TRUE(path::is_under("/a/b/c", "/a/b"));
+    EXPECT_TRUE(path::is_under("/a/b", "/a/b"));
+    EXPECT_TRUE(path::is_under("/anything", "/"));
+    EXPECT_FALSE(path::is_under("/ab", "/a"));
+    EXPECT_FALSE(path::is_under("/a", "/a/b"));
+    // Non-normalized spellings compare by components, like before.
+    EXPECT_TRUE(path::is_under("//a//b//c", "/a/b/"));
+}
+
+TEST(StringHashTest, HeterogeneousAndIncremental)
+{
+    EXPECT_EQ(StringHash{}(std::string_view("/a/b")),
+              StringHash{}(std::string("/a/b")));
+    // Hashing pieces equals hashing the concatenation.
+    uint64_t h = kFnv1aBasis;
+    h = fnv1a_mix(h, "/");
+    h = fnv1a_mix(h, "a");
+    EXPECT_EQ(h, fnv1a("/a"));
+}
+
+TEST(NameTable, InternsToStableIds)
+{
+    ns::NameTable names;
+    uint32_t a = names.intern("alpha");
+    uint32_t b = names.intern("beta");
+    EXPECT_NE(a, b);
+    EXPECT_EQ(names.intern("alpha"), a);
+    EXPECT_EQ(names.name(a), "alpha");
+    EXPECT_EQ(names.name(b), "beta");
+    EXPECT_EQ(names.size(), 2u);
+    EXPECT_EQ(names.find("alpha"), a);
+    EXPECT_EQ(names.find("never-seen"), ns::NameTable::kNoName);
+}
+
+TEST(NameTable, ManyNamesSurviveStorageGrowth)
+{
+    ns::NameTable names;
+    std::vector<uint32_t> ids;
+    for (int i = 0; i < 5000; ++i) {
+        ids.push_back(names.intern("n" + std::to_string(i)));
+    }
+    for (int i = 0; i < 5000; ++i) {
+        EXPECT_EQ(names.name(ids[i]), "n" + std::to_string(i));
+        EXPECT_EQ(names.find("n" + std::to_string(i)), ids[i]);
+    }
+}
+
+class InternedTreeTest : public ::testing::Test {
+  protected:
+    ns::NamespaceTree tree_;
+    ns::UserContext user_;
+};
+
+TEST_F(InternedTreeTest, ListIsSortedLexicographically)
+{
+    ASSERT_TRUE(tree_.mkdirs("/d", user_, 0).ok());
+    // Insert out of order; the hashed child map must not leak its order.
+    for (const char* name : {"zeta", "alpha", "mu", "beta", "omega"}) {
+        ASSERT_TRUE(
+            tree_.create_file(std::string("/d/") + name, user_, 0).ok());
+    }
+    auto listed = tree_.list("/d", user_);
+    ASSERT_TRUE(listed.ok());
+    EXPECT_EQ(*listed, (std::vector<std::string>{"alpha", "beta", "mu",
+                                                 "omega", "zeta"}));
+}
+
+TEST_F(InternedTreeTest, ChildrenOrderedByName)
+{
+    ASSERT_TRUE(tree_.mkdirs("/d", user_, 0).ok());
+    for (const char* name : {"c", "a", "b"}) {
+        ASSERT_TRUE(
+            tree_.create_file(std::string("/d/") + name, user_, 0).ok());
+    }
+    ns::INodeId dir = tree_.stat("/d", user_)->id;
+    std::vector<ns::INodeId> kids = tree_.children(dir);
+    ASSERT_EQ(kids.size(), 3u);
+    EXPECT_EQ(tree_.get(kids[0])->name, "a");
+    EXPECT_EQ(tree_.get(kids[1])->name, "b");
+    EXPECT_EQ(tree_.get(kids[2])->name, "c");
+}
+
+TEST_F(InternedTreeTest, LookupChildTakesStringView)
+{
+    ASSERT_TRUE(tree_.mkdirs("/dir", user_, 0).ok());
+    ASSERT_TRUE(tree_.create_file("/dir/file", user_, 0).ok());
+    ns::INodeId dir = tree_.stat("/dir", user_)->id;
+    std::string buffer = "some/file/suffix";
+    std::string_view name(buffer.data() + 5, 4);  // "file", not 0-terminated
+    EXPECT_NE(tree_.lookup_child(dir, name), ns::kInvalidId);
+    // Unseen names short-circuit in the name table, never touching maps.
+    EXPECT_EQ(tree_.lookup_child(dir, "no-such-name"), ns::kInvalidId);
+}
+
+TEST_F(InternedTreeTest, SameNameInManyDirectoriesInternsOnce)
+{
+    for (int i = 0; i < 16; ++i) {
+        std::string dir = "/d" + std::to_string(i);
+        ASSERT_TRUE(tree_.mkdirs(dir, user_, 0).ok());
+        ASSERT_TRUE(
+            tree_.create_file(dir + "/part-00000", user_, 0).ok());
+    }
+    // 16 dirs + 1 shared file name: 17 distinct names.
+    EXPECT_EQ(tree_.interned_names(), 17u);
+}
+
+TEST_F(InternedTreeTest, RenameRelinksInternedEntries)
+{
+    ASSERT_TRUE(tree_.mkdirs("/a", user_, 0).ok());
+    ASSERT_TRUE(tree_.mkdirs("/b", user_, 0).ok());
+    ASSERT_TRUE(tree_.create_file("/a/f", user_, 0).ok());
+    ASSERT_TRUE(tree_.rename("/a/f", "/b/g", user_, 1).ok());
+    EXPECT_FALSE(tree_.stat("/a/f", user_).ok());
+    EXPECT_EQ(tree_.stat("/b/g", user_)->name, "g");
+    auto listed = tree_.list("/a", user_);
+    ASSERT_TRUE(listed.ok());
+    EXPECT_TRUE(listed->empty());
+}
+
+TEST_F(InternedTreeTest, ResolveAcceptsMessySpellings)
+{
+    ASSERT_TRUE(tree_.mkdirs("/x/y", user_, 0).ok());
+    ASSERT_TRUE(tree_.create_file("/x/y/z", user_, 0).ok());
+    EXPECT_TRUE(tree_.stat("//x//y/z/", user_).ok());
+    EXPECT_EQ(tree_.stat("//x//y/z/", user_)->id,
+              tree_.stat("/x/y/z", user_)->id);
+}
+
+}  // namespace
+}  // namespace lfs
