@@ -20,8 +20,9 @@ void
 run_figure()
 {
     const double vcpus = env_double("LFS_VCPUS", 512.0);
+    const int max_clients = env_int("LFS_MAX_CLIENTS", 1024);
     std::vector<int> client_counts;
-    for (int c = 8; c <= 1024; c *= 2) {
+    for (int c = 8; c <= max_clients; c *= 2) {
         client_counts.push_back(c);
     }
     // results[op][system] -> series over client counts

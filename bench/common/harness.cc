@@ -4,6 +4,9 @@
 #include <chrono>
 #include <cmath>
 #include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <map>
 #include <memory>
 #include <unordered_map>
 
@@ -12,6 +15,8 @@ namespace lfs::bench {
 namespace {
 
 ObservabilityOptions g_observability;
+/** Basename of the running bench binary (for bench-log entries). */
+std::string g_bench_name;
 /**
  * Wall-clock start per armed Simulation — arm_observability() starts the
  * timer, observe_run() reports events/sec against it. Keyed by address;
@@ -23,6 +28,8 @@ std::unordered_map<const sim::Simulation*,
 // Per-run fragments accumulated by observe_run(); written at exit.
 std::vector<std::string> g_trace_fragments;
 std::vector<std::string> g_metrics_fragments;
+// Per-run perf/attribution summaries for the --bench-log trajectory.
+std::vector<std::string> g_bench_log_runs;
 
 void
 write_observability_artifacts()
@@ -72,16 +79,190 @@ write_observability_artifacts()
     }
 }
 
+/**
+ * Append one dated JSON line — the process's runs with their kernel
+ * self-profiles and attribution means — to the --bench-log trajectory
+ * file. One line per bench invocation keeps the checked-in BENCH_*.json
+ * files readable as a time series of the repo's own performance.
+ */
+void
+append_bench_log()
+{
+    if (g_bench_log_runs.empty()) {
+        return;
+    }
+    std::FILE* f = std::fopen(g_observability.bench_log.c_str(), "a");
+    if (f == nullptr) {
+        std::fprintf(stderr, "cannot append bench log: %s\n",
+                     g_observability.bench_log.c_str());
+        return;
+    }
+    char date[32] = "unknown";
+    std::time_t now = std::time(nullptr);
+    std::tm tm_utc{};
+    if (gmtime_r(&now, &tm_utc) != nullptr) {
+        std::strftime(date, sizeof(date), "%Y-%m-%dT%H:%M:%SZ", &tm_utc);
+    }
+    std::fputs("{\"date\":", f);
+    std::fputs(sim::json_quote(date).c_str(), f);
+    std::fputs(",\"bench\":", f);
+    std::fputs(sim::json_quote(g_bench_name).c_str(), f);
+    std::fputs(",\"runs\":[", f);
+    for (size_t i = 0; i < g_bench_log_runs.size(); ++i) {
+        if (i > 0) {
+            std::fputs(",", f);
+        }
+        std::fputs(g_bench_log_runs[i].c_str(), f);
+    }
+    std::fputs("]}\n", f);
+    std::fclose(f);
+    std::printf("appended bench log: %s (%zu runs)\n",
+                g_observability.bench_log.c_str(), g_bench_log_runs.size());
+}
+
+/**
+ * Print the per-segment latency attribution table for every system that
+ * recorded ledgers into @p sim's registry. Segment histograms hold only
+ * the ops where the segment saw time, so mean_ms/p50/p99 are conditional
+ * on occurrence; the additive quantity is the *contribution*
+ * mean x count / total ops, and because each finalized ledger sums to
+ * its op's end-to-end latency, the printed sum of contributions always
+ * matches the end-to-end mean exactly.
+ */
+void
+print_attribution_tables(sim::Simulation& sim, const std::string& label)
+{
+    // system label -> (segment name -> histogram)
+    std::map<std::string, std::map<std::string, const sim::Histogram*>>
+        by_system;
+    std::map<std::string, const sim::Histogram*> totals;
+    sim.metrics().for_each_histogram(
+        "attr.segment",
+        [&](const sim::MetricLabels& labels, const sim::Histogram& h) {
+            std::string system, seg;
+            for (const auto& [k, v] : labels) {
+                if (k == "system") {
+                    system = v;
+                } else if (k == "seg") {
+                    seg = v;
+                }
+            }
+            by_system[system][seg] = &h;
+        });
+    sim.metrics().for_each_histogram(
+        "attr.total",
+        [&](const sim::MetricLabels& labels, const sim::Histogram& h) {
+            for (const auto& [k, v] : labels) {
+                if (k == "system") {
+                    totals[v] = &h;
+                }
+            }
+        });
+    for (const auto& [system, segs] : by_system) {
+        auto total_it = totals.find(system);
+        const sim::Histogram* total =
+            total_it != totals.end() ? total_it->second : nullptr;
+        if (total == nullptr || total->count() == 0) {
+            continue;
+        }
+        double e2e_mean_ms = total->mean() / 1e3;
+        std::printf("  [attribution] %s (%s): ops=%llu e2e mean=%.3f ms "
+                    "p50=%.3f ms p99=%.3f ms\n",
+                    label.c_str(), system.c_str(),
+                    static_cast<unsigned long long>(total->count()),
+                    e2e_mean_ms, static_cast<double>(total->p50()) / 1e3,
+                    static_cast<double>(total->p99()) / 1e3);
+        std::printf("    %-18s %10s %10s %10s %10s %7s\n", "segment",
+                    "count", "mean_ms", "p50_ms", "p99_ms", "share%");
+        double contrib_sum_ms = 0.0;
+        double ops = static_cast<double>(total->count());
+        // Enum order, not registry (alphabetical) order: the table reads
+        // client -> gateway -> NameNode -> store top to bottom.
+        for (size_t i = 0; i < sim::kLatSegCount; ++i) {
+            const char* name =
+                sim::lat_seg_name(static_cast<sim::LatSeg>(i));
+            auto it = segs.find(name);
+            if (it == segs.end()) {
+                continue;
+            }
+            const sim::Histogram& h = *it->second;
+            if (h.count() == 0) {
+                continue;  // segment never saw time in this run
+            }
+            double contrib_ms =
+                h.mean() / 1e3 * static_cast<double>(h.count()) / ops;
+            contrib_sum_ms += contrib_ms;
+            double share =
+                e2e_mean_ms > 0.0 ? 100.0 * contrib_ms / e2e_mean_ms : 0.0;
+            std::printf("    %-18s %10llu %10.3f %10.3f %10.3f %6.1f%%\n",
+                        name, static_cast<unsigned long long>(h.count()),
+                        h.mean() / 1e3, static_cast<double>(h.p50()) / 1e3,
+                        static_cast<double>(h.p99()) / 1e3, share);
+        }
+        std::printf("    sum of segment contributions = %.3f ms "
+                    "(e2e mean %.3f ms)\n",
+                    contrib_sum_ms, e2e_mean_ms);
+    }
+}
+
+/** JSON object of per-system attribution means for the bench log. */
+std::string
+attribution_json(sim::Simulation& sim)
+{
+    std::string out = "{";
+    bool first_system = true;
+    std::map<std::string, std::string> by_system;
+    sim.metrics().for_each_histogram(
+        "attr.segment",
+        [&](const sim::MetricLabels& labels, const sim::Histogram& h) {
+            if (h.count() == 0 || h.max() == 0) {
+                return;
+            }
+            std::string system, seg;
+            for (const auto& [k, v] : labels) {
+                if (k == "system") {
+                    system = v;
+                } else if (k == "seg") {
+                    seg = v;
+                }
+            }
+            std::string& buf = by_system[system];
+            if (!buf.empty()) {
+                buf += ",";
+            }
+            buf += sim::json_quote(seg) + ":" + fmt(h.mean(), 1);
+        });
+    for (const auto& [system, buf] : by_system) {
+        if (!first_system) {
+            out += ",";
+        }
+        first_system = false;
+        out += sim::json_quote(system) + ":{" + buf + "}";
+    }
+    out += "}";
+    return out;
+}
+
 }  // namespace
 
 void
 parse_args(int argc, char** argv)
 {
+    if (argc > 0 && argv[0] != nullptr) {
+        const char* slash = std::strrchr(argv[0], '/');
+        g_bench_name = slash != nullptr ? slash + 1 : argv[0];
+    }
     if (const char* v = std::getenv("LFS_TRACE_OUT")) {
         g_observability.trace_out = v;
     }
     if (const char* v = std::getenv("LFS_METRICS_OUT")) {
         g_observability.metrics_out = v;
+    }
+    if (const char* v = std::getenv("LFS_BENCH_LOG")) {
+        g_observability.bench_log = v;
+    }
+    if (const char* v = std::getenv("LFS_ATTRIBUTION")) {
+        g_observability.attribution = std::strcmp(v, "0") != 0;
     }
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -89,11 +270,18 @@ parse_args(int argc, char** argv)
             g_observability.trace_out = arg.substr(12);
         } else if (arg.rfind("--metrics-out=", 0) == 0) {
             g_observability.metrics_out = arg.substr(14);
+        } else if (arg.rfind("--bench-log=", 0) == 0) {
+            g_observability.bench_log = arg.substr(12);
+        } else if (arg == "--attribution") {
+            g_observability.attribution = true;
         }
     }
     if (!g_observability.trace_out.empty() ||
         !g_observability.metrics_out.empty()) {
         std::atexit(write_observability_artifacts);
+    }
+    if (!g_observability.bench_log.empty()) {
+        std::atexit(append_bench_log);
     }
 }
 
@@ -111,6 +299,15 @@ arm_observability(sim::Simulation& sim)
     g_run_started.emplace(&sim, std::chrono::steady_clock::now());
     if (!g_observability.trace_out.empty()) {
         sim.tracer().set_enabled(true);
+    }
+    if (g_observability.attribution) {
+        // Ledger stamping + per-segment histograms + worst-k reservoir:
+        // the cheap accounting stack, gated at <5% overhead by
+        // bench_kernel's attribution audit. Exemplar span trees are a
+        // tracing feature — they appear when --trace-out also arms the
+        // tracer; attribution alone keeps exemplars ledger-only.
+        sim.set_attribution(true);
+        sim.flight_recorder().set_enabled(true);
     }
 }
 
@@ -134,6 +331,20 @@ run_perf(const sim::Simulation& sim)
 }
 
 void
+bench_log_entry(const std::string& label, uint64_t events,
+                double wall_seconds, double events_per_sec)
+{
+    if (g_observability.bench_log.empty()) {
+        return;
+    }
+    g_bench_log_runs.push_back(
+        "{\"label\":" + sim::json_quote(label) +
+        ",\"events\":" + std::to_string(events) +
+        ",\"wall_s\":" + fmt(wall_seconds, 4) +
+        ",\"events_per_sec\":" + fmt(events_per_sec, 0) + "}");
+}
+
+void
 observe_run(sim::Simulation& sim, const std::string& label)
 {
     RunPerf perf = run_perf(sim);
@@ -154,6 +365,13 @@ observe_run(sim::Simulation& sim, const std::string& label)
                         sim.tracer().spans_dropped()),
                     sim.tracer().flame_summary().c_str());
     }
+    std::string exemplars;
+    if (g_observability.attribution) {
+        print_attribution_tables(sim, label);
+        std::printf("  [flight-recorder] %s: retained=%zu exemplars\n",
+                    label.c_str(), sim.flight_recorder().retained());
+        exemplars = sim.flight_recorder().to_json();
+    }
     if (!g_observability.metrics_out.empty()) {
         g_metrics_fragments.push_back(
             "{\"system\":" + sim::json_quote(label) +
@@ -161,7 +379,23 @@ observe_run(sim::Simulation& sim, const std::string& label)
             ",\"wall_s\":" + fmt(perf.wall_seconds, 4) +
             ",\"events_per_sec\":" + fmt(perf.events_per_sec, 0) +
             ",\"peak_event_backlog\":" + std::to_string(perf.peak_backlog) +
-            "},\"data\":" + sim.metrics().to_json(sim.now()) + "}");
+            "}," +
+            (exemplars.empty() ? std::string()
+                               : "\"exemplars\":" + exemplars + ",") +
+            "\"data\":" + sim.metrics().to_json(sim.now()) + "}");
+    }
+    if (!g_observability.bench_log.empty()) {
+        std::string entry =
+            "{\"label\":" + sim::json_quote(label) +
+            ",\"events\":" + std::to_string(perf.events) +
+            ",\"wall_s\":" + fmt(perf.wall_seconds, 4) +
+            ",\"events_per_sec\":" + fmt(perf.events_per_sec, 0) +
+            ",\"peak_event_backlog\":" + std::to_string(perf.peak_backlog);
+        if (g_observability.attribution) {
+            entry += ",\"attr_mean_us\":" + attribution_json(sim);
+        }
+        entry += "}";
+        g_bench_log_runs.push_back(std::move(entry));
     }
 }
 

@@ -40,22 +40,30 @@ namespace lfs::bench {
 struct ObservabilityOptions {
     std::string trace_out;    ///< Chrome trace_event JSON path
     std::string metrics_out;  ///< metrics-registry JSON path
+    std::string bench_log;    ///< perf-trajectory JSONL path (appended)
+    bool attribution = false; ///< per-op latency attribution ledger
 };
 
 /**
- * Parse `--trace-out=PATH` / `--metrics-out=PATH` (also honoured via the
- * LFS_TRACE_OUT / LFS_METRICS_OUT environment variables) and register an
- * atexit hook that writes the accumulated artifacts. Call first thing in
- * every bench main(); unknown arguments are ignored.
+ * Parse `--trace-out=PATH` / `--metrics-out=PATH` / `--attribution` /
+ * `--bench-log=PATH` (also honoured via the LFS_TRACE_OUT /
+ * LFS_METRICS_OUT / LFS_ATTRIBUTION / LFS_BENCH_LOG environment
+ * variables) and register an atexit hook that writes the accumulated
+ * artifacts. `--bench-log` appends one dated JSON line per process run
+ * to the named trajectory file (see scripts/perf_smoke.sh). Call first
+ * thing in every bench main(); unknown arguments are ignored.
  */
 void parse_args(int argc, char** argv);
 
 const ObservabilityOptions& observability();
 
 /**
- * Enable tracing on @p sim when --trace-out was requested. Harnesses that
- * build their own Simulation (not via make_system/run_industrial) should
- * call this after construction.
+ * Enable tracing on @p sim when --trace-out was requested, and the
+ * attribution ledger + tail-exemplar flight recorder when --attribution
+ * was. Exemplars carry span trees only when the tracer is armed too
+ * (span capture is priced as a tracing cost, not an attribution cost).
+ * Harnesses that build their own Simulation (not via
+ * make_system/run_industrial) should call this after construction.
  */
 void arm_observability(sim::Simulation& sim);
 
@@ -74,6 +82,15 @@ struct RunPerf {
 
 /** Current self-profile of @p sim (timer keeps running). */
 RunPerf run_perf(const sim::Simulation& sim);
+
+/**
+ * Append one case entry to this process's --bench-log trajectory line
+ * (no-op when --bench-log is off). For harnesses that measure wall-clock
+ * performance outside a Simulation run (bench_kernel's cases); observe_run
+ * adds its entries automatically.
+ */
+void bench_log_entry(const std::string& label, uint64_t events,
+                     double wall_seconds, double events_per_sec);
 
 /**
  * Capture @p sim's trace + metric state as one labelled run in the output

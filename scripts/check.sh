@@ -7,7 +7,10 @@
 #      (set LFS_SKIP_SANITIZE=1 to skip this pass)
 #   4. run one bench harness at tiny scale with --trace-out/--metrics-out
 #      and confirm both artifacts are valid JSON with the expected shape
-#   5. run the perf-smoke gate (scripts/perf_smoke.sh): kernel dispatch
+#   5. run a tiny bench with --attribution and confirm the latency
+#      attribution ledger populates at least 6 segments and the flight
+#      recorder retains at least 8 tail exemplars (scripts/lfs_report.py)
+#   6. run the perf-smoke gate (scripts/perf_smoke.sh): kernel dispatch
 #      rates must stay within 20% of checked-in baselines
 #      (set LFS_SKIP_PERF=1 to skip this pass)
 #
@@ -84,6 +87,34 @@ names = {m["name"] for r in runs for m in r["data"]["metrics"]}
 for want in ("faas.cold_starts", "store.queue_depth_total", "cache.hits"):
     assert want in names, f"missing metric {want}"
 print(f"  metrics ok: {len(runs)} runs, {len(names)} distinct metrics")
+EOF
+
+echo "== attribution smoke (bench_fig11_client_scaling) =="
+ATTR_JSON="$ARTIFACT_DIR/attr_metrics.json"
+ATTR_OUT="$ARTIFACT_DIR/attr_stdout.txt"
+# --trace-out arms the tracer so the retained tail exemplars carry full
+# span trees (attribution alone keeps them ledger-only).
+LFS_OPS_PER_CLIENT=4 LFS_MAX_CLIENTS=16 \
+    "$BUILD_DIR/bench/bench_fig11_client_scaling" \
+    --attribution --metrics-out="$ATTR_JSON" \
+    --trace-out="$ARTIFACT_DIR/attr_trace.json" > "$ATTR_OUT"
+grep -q '^\s*\[attribution\]' "$ATTR_OUT" || {
+    echo "FAIL: no [attribution] table in bench output"; exit 1; }
+grep -q '^\s*\[flight-recorder\]' "$ATTR_OUT" || {
+    echo "FAIL: no [flight-recorder] line in bench output"; exit 1; }
+python3 scripts/lfs_report.py "$ATTR_JSON" \
+    --check-segments 6 --check-exemplars 8 > "$ARTIFACT_DIR/attr_report.txt"
+tail -2 "$ARTIFACT_DIR/attr_report.txt"
+python3 - "$ATTR_JSON" <<'EOF'
+import json
+import sys
+
+doc = json.load(open(sys.argv[1]))
+spanful = sum(1 for run in doc["runs"]
+              for ex in run.get("exemplars", [])
+              if ex.get("spans"))
+assert spanful >= 8, f"only {spanful} exemplars carry span trees (need 8)"
+print(f"  exemplar spans ok: {spanful} exemplars with full span trees")
 EOF
 
 scripts/perf_smoke.sh "$BUILD_DIR"

@@ -12,8 +12,13 @@
 #   2. bench_fig11_client_scaling at tiny scale: end-to-end sanity that
 #      a full harness still reports [perf] lines and clears its floor.
 #
+# Both runs append one dated JSON line to the checked-in trajectory
+# files (BENCH_kernel.json / BENCH_fig11.json) so the repo accumulates a
+# perf time series; render it with scripts/lfs_report.py --trajectory.
+#
 # Usage: scripts/perf_smoke.sh [build-dir]   (default: build)
 # Skip with LFS_SKIP_PERF=1 (e.g. on emulated or heavily-shared hosts).
+# Skip the trajectory append with LFS_SKIP_BENCH_LOG=1.
 
 set -euo pipefail
 
@@ -26,14 +31,23 @@ if [[ "${LFS_SKIP_PERF:-0}" == "1" ]]; then
     exit 0
 fi
 
+KERNEL_LOG="BENCH_kernel.json"
+FIG11_LOG="BENCH_fig11.json"
+if [[ "${LFS_SKIP_BENCH_LOG:-0}" == "1" ]]; then
+    KERNEL_LOG=""
+    FIG11_LOG=""
+fi
+
 echo "== perf smoke: bench_kernel =="
 KERNEL_OUT="$(LFS_KERNEL_EVENTS="${LFS_PERF_EVENTS:-300000}" \
     LFS_KERNEL_REPS="${LFS_PERF_REPS:-3}" \
+    LFS_BENCH_LOG="$KERNEL_LOG" \
     "$BUILD_DIR/bench/bench_kernel")"
 echo "$KERNEL_OUT" | grep '^\[bench_kernel\]'
 
 echo "== perf smoke: bench_fig11_client_scaling (tiny scale) =="
-FIG11_OUT="$(LFS_OPS_PER_CLIENT=8 "$BUILD_DIR/bench/bench_fig11_client_scaling")"
+FIG11_OUT="$(LFS_OPS_PER_CLIENT=8 LFS_BENCH_LOG="$FIG11_LOG" \
+    "$BUILD_DIR/bench/bench_fig11_client_scaling")"
 
 if ! python3 - "$BASELINE_JSON" <<'EOF' "$KERNEL_OUT" "$FIG11_OUT"
 import json

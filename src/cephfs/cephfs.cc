@@ -28,13 +28,22 @@ CephClient::revoke(const std::string& p)
 sim::Task<OpResult>
 CephClient::execute(Op op)
 {
+    sim::Simulation& sim = fs_.simulation();
+    const bool attr = sim.attribution();
     // Capability hit: read served entirely client-side.
     if (is_read_op(op.type) && op.type != OpType::kLs) {
         auto held = caps_.get(op.path);
         if (held.has_value()) {
+            sim::SimTime local_start = sim.now();
             co_await sim::delay(fs_.simulation(),
                                 fs_.config().client_local_op);
             OpResult result;
+            if (attr) {
+                // The client IS the metadata service here: the cap-hit
+                // lookup is its entire service time.
+                result.ledger.add(sim::LatSeg::kNameNodeCpu,
+                                  sim.now() - local_start);
+            }
             if (op.type == OpType::kReadFile && !held->is_file()) {
                 result.status =
                     Status::failed_precondition("not a file: " + op.path);
@@ -47,9 +56,19 @@ CephClient::execute(Op op)
         }
     }
     // Cap miss or mutating op: round trip to the owning MDS.
+    sim::SimTime t0 = sim.now();
     co_await fs_.network().transfer(net::LatencyClass::kTcp);
+    sim::SimTime t1 = sim.now();
     OpResult result = co_await fs_.mds_serve(op, this);
+    sim::SimTime t2 = sim.now();
     co_await fs_.network().transfer(net::LatencyClass::kTcp);
+    if (attr) {
+        result.ledger.add(sim::LatSeg::kNetClient,
+                          (t1 - t0) + (sim.now() - t2));
+        // Coarse attribution: everything inside the MDS (CPU queueing,
+        // journal append, cap revocation) counts as service compute.
+        result.ledger.add(sim::LatSeg::kNameNodeCpu, t2 - t1);
+    }
     if (result.status.ok() && is_read_op(op.type) &&
         op.type != OpType::kLs) {
         caps_.put(op.path, result.inode);

@@ -133,11 +133,15 @@ NameNode::run_subtree_coherence(Op op)
 sim::Task<OpResult>
 NameNode::handle_read(const Op& op)
 {
+    const bool attr = rt_.sim.attribution();
     sim::SimTime cpu = config_.read_cpu;
     if (op.type == OpType::kReadFile) {
         cpu += config_.read_block_cpu;
     }
+    sim::SimTime cpu_start = rt_.sim.now();
     co_await instance_.compute(cpu);
+    // The stamp includes vCPU queueing, not just the service demand.
+    sim::SimTime cpu_wait = rt_.sim.now() - cpu_start;
     // Only the deployment that owns a path's partition may cache it; an
     // instance serving out-of-partition traffic (anti-thrashing mode
     // routes to any connected NameNode) reads through to the store so
@@ -151,6 +155,9 @@ NameNode::handle_read(const Op& op)
     }
     if (cached.has_value()) {
         OpResult result;
+        if (attr) {
+            result.ledger.add(sim::LatSeg::kNameNodeCpu, cpu_wait);
+        }
         if (op.type == OpType::kReadFile && !cached->is_file()) {
             result.status =
                 Status::failed_precondition("not a file: " + op.path);
@@ -184,7 +191,12 @@ NameNode::handle_read(const Op& op)
         cache_.end_read(token);
     }
     if (result.status.ok() && home_partition) {
+        sim::SimTime miss_start = rt_.sim.now();
         co_await instance_.compute(config_.miss_extra_cpu);
+        cpu_wait += rt_.sim.now() - miss_start;
+    }
+    if (attr) {
+        result.ledger.add(sim::LatSeg::kNameNodeCpu, cpu_wait);
     }
     // The chain was only needed for cache installation; dropping it here
     // avoids copying it through the RPC reply path and result cache.
@@ -215,7 +227,17 @@ NameNode::cache_own_partition_entries(const std::vector<ns::INode>& chain,
 sim::Task<OpResult>
 NameNode::handle_write(const Op& op)
 {
+    const bool attr = rt_.sim.attribution();
+    sim::SimTime cpu_start = rt_.sim.now();
     co_await instance_.compute(config_.write_cpu);
+    // `pre` collects everything stamped before the store transaction:
+    // NameNode compute (incl. vCPU queueing) plus the parent-resolve
+    // round trip's own ledger; it is merged into whichever result this
+    // handler ultimately returns.
+    sim::LatencyLedger pre;
+    if (attr) {
+        pre.add(sim::LatSeg::kNameNodeCpu, rt_.sim.now() - cpu_start);
+    }
     // Path resolution: a write must validate/permission-check the parent
     // chain. With the parent cached (the "INode Hint Cache" effect) this
     // is free; otherwise it costs one batched resolve round trip.
@@ -228,6 +250,9 @@ NameNode::handle_write(const Op& op)
         resolve.user = op.user;
         const cache::MetadataCache::ReadToken token = cache_.begin_read();
         OpResult resolved = co_await rt_.store.read_op(resolve);
+        if (attr) {
+            pre.merge(resolved.ledger);
+        }
         if (resolved.status.ok() &&
             rt_.partitioner.deployment_for(op.path) ==
                 instance_.deployment_id()) {
@@ -242,6 +267,9 @@ NameNode::handle_write(const Op& op)
                 resolved.status.code() == Code::kNotFound) {
                 parent_missing = true;
             } else {
+                if (attr) {
+                    resolved.ledger = pre;
+                }
                 co_return resolved;
             }
         }
@@ -253,13 +281,18 @@ NameNode::handle_write(const Op& op)
         op, [this, &op, parent_missing]() {
             return run_coherence(op, parent_missing);
         });
+    if (attr) {
+        result.ledger.merge(pre);
+    }
     co_return result;
 }
 
 sim::Task<OpResult>
 NameNode::handle_subtree(const Op& op)
 {
+    sim::SimTime cpu_start = rt_.sim.now();
     co_await instance_.compute(config_.write_cpu);
+    sim::SimTime cpu_wait = rt_.sim.now() - cpu_start;
     int helpers = 1;
     if (config_.offload_subtree) {
         int candidates =
@@ -270,6 +303,9 @@ NameNode::handle_subtree(const Op& op)
     exec.after_lock = [this, &op]() { return run_subtree_coherence(op); };
     exec.per_row_nn_cost = config_.subtree_per_row_cpu / helpers;
     OpResult result = co_await rt_.store.subtree_op(op, exec);
+    if (rt_.sim.attribution()) {
+        result.ledger.add(sim::LatSeg::kNameNodeCpu, cpu_wait);
+    }
     co_return result;
 }
 
@@ -308,8 +344,19 @@ NameNode::handle(faas::Invocation inv)
     auto retained = co_await results.lookup_or_begin(op.op_id);
     if (retained.has_value()) {
         nn_span.annotate("result_cache", "hit");
+        sim::SimTime hit_start = rt_.sim.now();
         co_await instance_.compute(sim::usec(20));
-        co_return *retained;
+        OpResult result = *std::move(retained);
+        if (rt_.sim.attribution()) {
+            // The retained ledger describes the *original* execution,
+            // whose wall time overlaps the resubmitting client's
+            // retry-wait accounting; returning it would double-count.
+            // This attempt only spent the dedup-lookup compute.
+            result.ledger.clear();
+            result.ledger.add(sim::LatSeg::kNameNodeCpu,
+                              rt_.sim.now() - hit_start);
+        }
+        co_return result;
     }
     OpResult result;
     if (is_read_op(op.type)) {

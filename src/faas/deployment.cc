@@ -151,7 +151,13 @@ FunctionDeployment::invoke_via_gateway(Invocation inv)
         sim_.tracer().start_span("faas", "gateway", inv.op.trace);
     gateway_span.annotate("deployment", name_);
     inv.op.trace = gateway_span.context();
+    const bool attr = sim_.attribution();
+    sim::LatencyLedger led;
+    sim::SimTime t0 = sim_.now();
     co_await network_.transfer(net::LatencyClass::kHttpGateway);
+    if (attr) {
+        led.add(sim::LatSeg::kNetGateway, sim_.now() - t0);
+    }
     // Admission control at the gateway: bound the queue and refuse work
     // that is already past its deadline, paying only the HTTP round trip.
     if (config_.max_queue_depth > 0 &&
@@ -161,7 +167,12 @@ FunctionDeployment::invoke_via_gateway(Invocation inv)
         OpResult shed;
         shed.status = Status::resource_exhausted("gateway queue full: " +
                                                  name_);
+        t0 = sim_.now();
         co_await network_.transfer(net::LatencyClass::kHttpGateway);
+        if (attr) {
+            led.add(sim::LatSeg::kNetGateway, sim_.now() - t0);
+            shed.ledger = led;
+        }
         co_return shed;
     }
     if (op_expired(inv.op, sim_.now())) {
@@ -169,16 +180,25 @@ FunctionDeployment::invoke_via_gateway(Invocation inv)
         gateway_span.annotate("shed", "expired");
         OpResult shed;
         shed.status = Status::deadline_exceeded("expired at gateway");
+        t0 = sim_.now();
         co_await network_.transfer(net::LatencyClass::kHttpGateway);
+        if (attr) {
+            led.add(sim::LatSeg::kNetGateway, sim_.now() - t0);
+            shed.ledger = led;
+        }
         co_return shed;
     }
     sim::Span queue_span = sim_.tracer().start_span("faas", "queue_wait",
                                                     gateway_span.context());
     auto cell = std::make_shared<sim::OneShot<FunctionInstance*>>(sim_);
+    sim::SimTime enqueued = sim_.now();
     wait_queue_.push_back(
-        QueuedInvocation{cell, sim_.now(), inv.op.deadline});
+        QueuedInvocation{cell, enqueued, inv.op.deadline});
     drain_queue();
     FunctionInstance* inst = co_await cell->wait();
+    if (attr) {
+        led.add(sim::LatSeg::kGatewayQueue, sim_.now() - enqueued);
+    }
     if (inst == nullptr) {
         // Shed while queued (drain_queue resolved the cell to nullptr).
         bool expired = op_expired(inv.op, sim_.now());
@@ -190,12 +210,22 @@ FunctionDeployment::invoke_via_gateway(Invocation inv)
                 ? Status::deadline_exceeded("expired in gateway queue")
                 : Status::resource_exhausted("shed from gateway queue: " +
                                              name_);
+        t0 = sim_.now();
         co_await network_.transfer(net::LatencyClass::kHttpGateway);
+        if (attr) {
+            led.add(sim::LatSeg::kNetGateway, sim_.now() - t0);
+            shed.ledger = led;
+        }
         co_return shed;
     }
     queue_span.end();
     OpResult result = co_await inst->serve_http(std::move(inv));
+    t0 = sim_.now();
     co_await network_.transfer(net::LatencyClass::kHttpGateway);
+    if (attr) {
+        led.add(sim::LatSeg::kNetGateway, sim_.now() - t0);
+        result.ledger.merge(led);
+    }
     co_return result;
 }
 

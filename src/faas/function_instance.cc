@@ -130,10 +130,13 @@ FunctionInstance::serve(Invocation inv, bool via_http)
     exec_span.annotate("deployment", static_cast<int64_t>(deployment_id_));
     exec_span.annotate("instance", static_cast<int64_t>(instance_id_));
     inv.op.trace = exec_span.context();
+    sim::SimTime cold_wait = 0;
     if (!warm()) {
         sim::Span wait_span = sim_.tracer().start_span(
             "faas", "cold_start_wait", exec_span.context());
+        sim::SimTime wait_start = sim_.now();
         co_await warm_gate_.wait();
+        cold_wait = sim_.now() - wait_start;
         wait_span.end();
     }
     // Fault injection (FaultPlan): the invoker may stall before handing
@@ -162,6 +165,9 @@ FunctionInstance::serve(Invocation inv, bool via_http)
     begin_request();
     requests_.add();
     OpResult result = co_await app_->handle(std::move(inv));
+    if (cold_wait > 0 && sim_.attribution()) {
+        result.ledger.add(sim::LatSeg::kColdStartWait, cold_wait);
+    }
     // Release the HTTP concurrency slot before end_request() so the
     // deployment's queue-drain hook sees this slot as free.
     if (via_http) {

@@ -40,14 +40,25 @@ sim::Task<OpResult>
 Hdfs::name_node_serve(Op op)
 {
     OpResult result;
+    const bool attr = sim_.attribution();
     if (is_read_op(op.type)) {
+        sim::SimTime cpu_start = sim_.now();
         co_await cpu_->acquire();
         co_await sim::delay(sim_, config_.read_cpu);
         cpu_->release();
         // Short shared hold of the global namespace lock.
+        sim::SimTime lock_start = sim_.now();
         co_await lock_table_->lock_shared(kGlobalLock);
+        sim::SimTime lock_acquired = sim_.now();
         co_await sim::delay(sim_, config_.read_lock_hold);
         lock_table_->unlock_shared(kGlobalLock);
+        if (attr) {
+            result.ledger.add(sim::LatSeg::kNameNodeCpu,
+                              (lock_start - cpu_start) +
+                                  (sim_.now() - lock_acquired));
+            result.ledger.add(sim::LatSeg::kStoreLockWait,
+                              lock_acquired - lock_start);
+        }
         switch (op.type) {
           case OpType::kReadFile: {
             auto read = tree_.read_file(op.path, op.user);
@@ -82,11 +93,21 @@ Hdfs::name_node_serve(Op op)
     }
 
     // Mutations: exclusive namespace lock across the edit + journal sync.
+    sim::SimTime cpu_start = sim_.now();
     co_await cpu_->acquire();
     co_await sim::delay(sim_, config_.write_cpu);
     cpu_->release();
+    sim::SimTime lock_start = sim_.now();
     co_await lock_table_->lock_exclusive(kGlobalLock);
+    sim::SimTime lock_acquired = sim_.now();
     co_await sim::delay(sim_, config_.write_lock_hold);
+    if (attr) {
+        result.ledger.add(sim::LatSeg::kNameNodeCpu,
+                          (lock_start - cpu_start) +
+                              (sim_.now() - lock_acquired));
+        result.ledger.add(sim::LatSeg::kStoreLockWait,
+                          lock_acquired - lock_start);
+    }
     sim::SimTime now = sim_.now();
     switch (op.type) {
       case OpType::kCreateFile: {
@@ -135,11 +156,21 @@ Hdfs::name_node_serve(Op op)
     lock_table_->unlock_exclusive(kGlobalLock);
     if (result.status.ok() && !is_read_op(op.type)) {
         // Edit-log append to the JournalNode quorum (and the Standby).
+        sim::SimTime journal_start = sim_.now();
         co_await journal_->acquire();
+        sim::SimTime net_start = sim_.now();
         co_await network_.round_trip(net::LatencyClass::kTcp);
+        sim::SimTime net_end = sim_.now();
         co_await sim::delay(sim_, config_.journal_service);
         journal_->release();
         ++journal_entries_;
+        if (attr) {
+            result.ledger.add(sim::LatSeg::kStoreQueue,
+                              net_start - journal_start);
+            result.ledger.add(sim::LatSeg::kNetStore, net_end - net_start);
+            result.ledger.add(sim::LatSeg::kStoreService,
+                              sim_.now() - net_end);
+        }
     }
     co_return result;
 }
@@ -154,9 +185,17 @@ HdfsClient::execute(Op op)
 {
     (void)id_;
     (void)rng_;
+    sim::Simulation& sim = fs_.network().simulation();
+    sim::SimTime t0 = sim.now();
     co_await fs_.network().transfer(net::LatencyClass::kTcp);
+    sim::SimTime t1 = sim.now();
     OpResult result = co_await fs_.name_node_serve(std::move(op));
+    sim::SimTime t2 = sim.now();
     co_await fs_.network().transfer(net::LatencyClass::kTcp);
+    if (sim.attribution()) {
+        result.ledger.add(sim::LatSeg::kNetClient,
+                          (t1 - t0) + (sim.now() - t2));
+    }
     co_return result;
 }
 

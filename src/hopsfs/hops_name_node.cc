@@ -55,15 +55,21 @@ sim::Task<OpResult>
 HopsNameNode::serve_read(const Op& op)
 {
     // CPU for request handling / path processing.
+    sim::SimTime cpu_start = sim_.now();
     co_await cpu_.acquire();
     co_await sim::delay(sim_, cache_ ? config_.cached_read_cpu
                                      : config_.proxy_cpu);
     cpu_.release();
+    sim::SimTime cpu_wait = sim_.now() - cpu_start;
+    const bool attr = sim_.attribution();
 
     if (cache_) {
         auto cached = cache_->get(op.path);
         if (cached.has_value()) {
             OpResult result;
+            if (attr) {
+                result.ledger.add(sim::LatSeg::kNameNodeCpu, cpu_wait);
+            }
             if (op.type == OpType::kReadFile && !cached->is_file()) {
                 result.status =
                     Status::failed_precondition("not a file: " + op.path);
@@ -84,6 +90,9 @@ HopsNameNode::serve_read(const Op& op)
         }
     }
     OpResult result = co_await store_.read_op(op);
+    if (attr) {
+        result.ledger.add(sim::LatSeg::kNameNodeCpu, cpu_wait);
+    }
     if (cache_ && result.status.ok()) {
         cache_->put_chain(result.chain);
     }
@@ -123,9 +132,11 @@ HopsNameNode::subtree_inv_round(Op op)
 sim::Task<OpResult>
 HopsNameNode::serve_write(const Op& op)
 {
+    sim::SimTime cpu_start = sim_.now();
     co_await cpu_.acquire();
     co_await sim::delay(sim_, config_.proxy_cpu);
     cpu_.release();
+    sim::SimTime cpu_wait = sim_.now() - cpu_start;
 
     // Path resolution rides inside the write transaction's batched query:
     // HopsFS clients keep an "INode Hint Cache" of path prefixes, so a
@@ -138,6 +149,9 @@ HopsNameNode::serve_write(const Op& op)
         auto target = store_.tree().stat(op.path, root);
         if (target.ok() && target->is_dir()) {
             OpResult result = co_await serve_subtree(op);
+            if (sim_.attribution()) {
+                result.ledger.add(sim::LatSeg::kNameNodeCpu, cpu_wait);
+            }
             co_return result;
         }
     }
@@ -147,15 +161,20 @@ HopsNameNode::serve_write(const Op& op)
         hook = [this, &op]() { return write_inv_round(op); };
     }
     OpResult result = co_await store_.write_op(op, std::move(hook));
+    if (sim_.attribution()) {
+        result.ledger.add(sim::LatSeg::kNameNodeCpu, cpu_wait);
+    }
     co_return result;
 }
 
 sim::Task<OpResult>
 HopsNameNode::serve_subtree(const Op& op)
 {
+    sim::SimTime cpu_start = sim_.now();
     co_await cpu_.acquire();
     co_await sim::delay(sim_, config_.proxy_cpu);
     cpu_.release();
+    sim::SimTime cpu_wait = sim_.now() - cpu_start;
 
     store::MetadataStore::SubtreeExecution exec;
     exec.per_row_nn_cost = config_.subtree_per_row_cpu;
@@ -163,6 +182,9 @@ HopsNameNode::serve_subtree(const Op& op)
         exec.after_lock = [this, &op]() { return subtree_inv_round(op); };
     }
     OpResult result = co_await store_.subtree_op(op, std::move(exec));
+    if (sim_.attribution()) {
+        result.ledger.add(sim::LatSeg::kNameNodeCpu, cpu_wait);
+    }
     co_return result;
 }
 

@@ -12,9 +12,17 @@ namespace {
 sim::Task<OpResult>
 co_nn_round(net::Network& network, HopsNameNode& nn, Op op)
 {
+    sim::Simulation& sim = network.simulation();
+    sim::SimTime t0 = sim.now();
     co_await network.transfer(net::LatencyClass::kTcp);
+    sim::SimTime t1 = sim.now();
     OpResult result = co_await nn.serve(std::move(op));
+    sim::SimTime t2 = sim.now();
     co_await network.transfer(net::LatencyClass::kTcp);
+    if (sim.attribution()) {
+        result.ledger.add(sim::LatSeg::kNetClient,
+                          (t1 - t0) + (sim.now() - t2));
+    }
     co_return result;
 }
 
@@ -96,8 +104,12 @@ HopsClient::execute(Op op)
     op_span.annotate("path", op.path);
     op_span.annotate("client", static_cast<int64_t>(id_));
     op.trace = op_span.context();
+    sim::Simulation& sim = fs_.simulation();
+    const bool attr = sim.attribution();
+    sim::LatencyLedger acc;
     OpResult result;
     for (int attempt = 1; attempt <= fs_.config().max_attempts; ++attempt) {
+        sim::SimTime attempt_start = sim.now();
         // +Cache clients route deterministically by partition so exactly
         // one NameNode caches each directory; vanilla clients spread
         // requests round-robin.
@@ -119,13 +131,26 @@ HopsClient::execute(Op op)
         });
         sim::spawn(co_run_into(co_nn_round(fs_.network(), nn, op), cell));
         result = co_await cell->wait();
+        if (attr) {
+            acc.merge(result.ledger);
+            if (retryable_code(result.status.code())) {
+                acc.add(sim::LatSeg::kClientRetryWait,
+                        (sim.now() - attempt_start) - result.ledger.total());
+            }
+            result.ledger = acc;
+        }
         if (!retryable_code(result.status.code())) {
             co_return result;
         }
         // Brief jittered pause before resubmitting.
+        sim::SimTime backoff_start = sim.now();
         co_await sim::delay(fs_.simulation(),
                             rng_.uniform_duration(sim::msec(10),
                                                   sim::msec(50)));
+        acc.add(sim::LatSeg::kClientBackoff, sim.now() - backoff_start);
+    }
+    if (attr) {
+        result.ledger = acc;
     }
     co_return result;
 }

@@ -31,11 +31,16 @@ IndexFsServer::IndexFsServer(sim::Simulation& sim, sim::Rng rng,
 sim::Task<OpResult>
 IndexFsServer::serve(Op op, sim::SimTime now_version)
 {
+    sim::SimTime cpu_start = sim_.now();
     co_await cpu_.acquire();
     co_await sim::delay(sim_, cpu_service_);
     cpu_.release();
 
     OpResult result;
+    sim::SimTime lsm_start = sim_.now();
+    if (sim_.attribution()) {
+        result.ledger.add(sim::LatSeg::kNameNodeCpu, lsm_start - cpu_start);
+    }
     switch (op.type) {
       case OpType::kCreateFile:
       case OpType::kMkdir: {
@@ -72,6 +77,12 @@ IndexFsServer::serve(Op op, sim::SimTime now_version)
             Status::invalid_argument("unsupported IndexFS op");
         break;
     }
+    if (sim_.attribution()) {
+        // LSM-tree work (memtable, WAL, compaction stalls) is the
+        // store-service share of an IndexFS op.
+        result.ledger.add(sim::LatSeg::kStoreService,
+                          sim_.now() - lsm_start);
+    }
     co_return result;
 }
 
@@ -93,9 +104,15 @@ IndexFsClient::execute(Op op)
         auto it = leases_.find(op.path);
         if (it != leases_.end()) {
             if (it->second.expires > fs_.simulation().now()) {
+                sim::SimTime local_start = fs_.simulation().now();
                 co_await sim::delay(fs_.simulation(),
                                     fs_.config().client_local_op);
                 OpResult result;
+                if (fs_.simulation().attribution()) {
+                    result.ledger.add(
+                        sim::LatSeg::kNameNodeCpu,
+                        fs_.simulation().now() - local_start);
+                }
                 result.status = Status::make_ok();
                 result.inode = it->second.inode;
                 result.cache_hit = true;
@@ -104,10 +121,18 @@ IndexFsClient::execute(Op op)
             leases_.erase(it);
         }
     }
+    sim::Simulation& sim = fs_.simulation();
+    sim::SimTime t0 = sim.now();
     co_await fs_.network().transfer(net::LatencyClass::kTcp);
+    sim::SimTime t1 = sim.now();
     OpResult result = co_await fs_.server_for(op.path).serve(
         op, fs_.simulation().now());
+    sim::SimTime t2 = sim.now();
     co_await fs_.network().transfer(net::LatencyClass::kTcp);
+    if (sim.attribution()) {
+        result.ledger.add(sim::LatSeg::kNetClient,
+                          (t1 - t0) + (sim.now() - t2));
+    }
     if (result.status.ok()) {
         if (is_read_op(op.type)) {
             // Bound the lease cache without nuking it wholesale: drop

@@ -33,9 +33,17 @@ sim::Task<OpResult>
 co_tcp_round(net::Network& network, faas::FunctionInstance* instance,
              faas::Invocation inv)
 {
+    sim::Simulation& sim = network.simulation();
+    sim::SimTime t0 = sim.now();
     co_await network.transfer(net::LatencyClass::kTcp);
+    sim::SimTime t1 = sim.now();
     OpResult result = co_await instance->serve_tcp(std::move(inv));
+    sim::SimTime t2 = sim.now();
     co_await network.transfer(net::LatencyClass::kTcp);
+    if (sim.attribution()) {
+        result.ledger.add(sim::LatSeg::kNetClient,
+                          (t1 - t0) + (sim.now() - t2));
+    }
     co_return result;
 }
 
@@ -117,20 +125,33 @@ LambdaIndexNode::handle(faas::Invocation inv)
     const bool home =
         fs_.deployment_for(op.path) == instance_.deployment_id();
 
+    sim::Simulation& sim = fs_.simulation();
+    const bool attr = sim.attribution();
     if (is_read_op(op.type)) {
+        sim::SimTime cpu_start = sim.now();
         co_await instance_.compute(fs_.config().fn_read_cpu);
+        sim::SimTime cpu_wait = sim.now() - cpu_start;
         if (home) {
             auto cached = cache_.get(op.path);
             if (cached.has_value()) {
                 OpResult result;
+                if (attr) {
+                    result.ledger.add(sim::LatSeg::kNameNodeCpu, cpu_wait);
+                }
                 result.status = Status::make_ok();
                 result.inode = *cached;
                 result.cache_hit = true;
                 co_return result;
             }
         }
+        sim::SimTime lsm_start = sim.now();
         auto got = co_await fs_.lsm_for(op.path).get(op.path);
         OpResult result;
+        if (attr) {
+            result.ledger.add(sim::LatSeg::kNameNodeCpu, cpu_wait);
+            result.ledger.add(sim::LatSeg::kStoreService,
+                              sim.now() - lsm_start);
+        }
         if (!got.ok()) {
             result.status = got.status();
             co_return result;
@@ -143,15 +164,23 @@ LambdaIndexNode::handle(faas::Invocation inv)
         co_return result;
     }
 
+    sim::SimTime cpu_start = sim.now();
     co_await instance_.compute(fs_.config().fn_write_cpu);
+    sim::SimTime cpu_wait = sim.now() - cpu_start;
     // Coherence: in the flat metadata-table keyspace, creating a
     // never-before-seen key cannot invalidate cached state (there is no
     // negative caching), so only deletes/overwrites pay the INV round.
+    sim::SimTime inv_start = sim.now();
     if (op.type == OpType::kDeleteFile ||
         fs_.lsm_for(op.path).contains(op.path)) {
         co_await write_coherence(op);
     }
+    sim::SimTime lsm_start = sim.now();
     OpResult result;
+    if (attr) {
+        result.ledger.add(sim::LatSeg::kNameNodeCpu, cpu_wait);
+        result.ledger.add(sim::LatSeg::kCoherence, lsm_start - inv_start);
+    }
     switch (op.type) {
       case OpType::kCreateFile:
       case OpType::kMkdir: {
@@ -171,6 +200,9 @@ LambdaIndexNode::handle(faas::Invocation inv)
         result.status =
             Status::invalid_argument("unsupported lambda-indexfs op");
         break;
+    }
+    if (attr) {
+        result.ledger.add(sim::LatSeg::kStoreService, sim.now() - lsm_start);
     }
     if (result.status.ok()) {
         fs_.apply_to_mirror(op);
@@ -194,8 +226,12 @@ LambdaIndexClient::execute(Op op)
     op_span.annotate("client", static_cast<int64_t>(id_));
     op.trace = op_span.context();
     int target = fs_.deployment_for(op.path);
+    sim::Simulation& sim = fs_.simulation();
+    const bool attr = sim.attribution();
+    sim::LatencyLedger acc;
     OpResult result;
     for (int attempt = 1; attempt <= fs_.config().max_attempts; ++attempt) {
+        sim::SimTime attempt_start = sim.now();
         faas::FunctionInstance* conn =
             fs_.tcp_registry().find_on_vm(vm_, tcp_server_, target);
         bool use_http =
@@ -222,12 +258,25 @@ LambdaIndexClient::execute(Op op)
         // The shared predicate keeps retry classification consistent with
         // the λFS and HopsFS clients (RESOURCE_EXHAUSTED and ABORTED are
         // retryable here too).
+        if (attr) {
+            acc.merge(result.ledger);
+            if (retryable_code(result.status.code())) {
+                acc.add(sim::LatSeg::kClientRetryWait,
+                        (sim.now() - attempt_start) - result.ledger.total());
+            }
+            result.ledger = acc;
+        }
         if (!retryable_code(result.status.code())) {
             co_return result;
         }
+        sim::SimTime backoff_start = sim.now();
         co_await sim::delay(fs_.simulation(),
                             rng_.uniform_duration(sim::msec(20),
                                                   sim::msec(100)));
+        acc.add(sim::LatSeg::kClientBackoff, sim.now() - backoff_start);
+    }
+    if (attr) {
+        result.ledger = acc;
     }
     co_return result;
 }

@@ -25,11 +25,18 @@ sim::Task<OpResult>
 CacheNode::handle(faas::Invocation inv)
 {
     const Op& op = inv.op;
+    sim::Simulation& sim = fs_.simulation();
+    const bool attr = sim.attribution();
     if (is_read_op(op.type)) {
+        sim::SimTime cpu_start = sim.now();
         co_await instance_.compute(fs_.config().read_cpu);
+        sim::SimTime cpu_wait = sim.now() - cpu_start;
         auto cached = cache_.get(op.path);
         if (cached.has_value()) {
             OpResult result;
+            if (attr) {
+                result.ledger.add(sim::LatSeg::kNameNodeCpu, cpu_wait);
+            }
             if (op.type == OpType::kReadFile && !cached->is_file()) {
                 result.status =
                     Status::failed_precondition("not a file: " + op.path);
@@ -49,6 +56,9 @@ CacheNode::handle(faas::Invocation inv)
             co_return result;
         }
         OpResult result = co_await fs_.store().read_op(op);
+        if (attr) {
+            result.ledger.add(sim::LatSeg::kNameNodeCpu, cpu_wait);
+        }
         if (result.status.ok()) {
             // Single-copy discipline: cache only the target (this
             // function owns exactly the partition that hashes here).
@@ -58,7 +68,9 @@ CacheNode::handle(faas::Invocation inv)
         co_return result;
     }
 
+    sim::SimTime cpu_start = sim.now();
     co_await instance_.compute(fs_.config().write_cpu);
+    sim::SimTime cpu_wait = sim.now() - cpu_start;
     if (is_subtree_op(op.type)) {
         store::MetadataStore::SubtreeExecution exec;
         exec.after_lock = [this, &op]() -> sim::Task<void> {
@@ -66,11 +78,17 @@ CacheNode::handle(faas::Invocation inv)
             return fs_.invalidate_at_owner(path::parent(op.path));
         };
         OpResult result = co_await fs_.store().subtree_op(op, exec);
+        if (attr) {
+            result.ledger.add(sim::LatSeg::kNameNodeCpu, cpu_wait);
+        }
         co_return result;
     }
     OpResult result = co_await fs_.store().write_op(op, [this, &op]() {
         return write_invalidations(op);
     });
+    if (attr) {
+        result.ledger.add(sim::LatSeg::kNameNodeCpu, cpu_wait);
+    }
     co_return result;
 }
 
@@ -94,9 +112,13 @@ sim::Task<OpResult>
 InfiniCacheClient::execute(Op op)
 {
     op.op_id = (static_cast<uint64_t>(id_ + 1) << 40) | 0;
+    sim::Simulation& sim = fs_.simulation();
+    const bool attr = sim.attribution();
+    sim::LatencyLedger acc;
     OpResult result;
     for (int attempt = 1; attempt <= fs_.config().max_attempts; ++attempt) {
         // Every operation is a fresh invocation through the gateway.
+        sim::SimTime attempt_start = sim.now();
         int deployment = fs_.owner_for(op.path);
         faas::Invocation inv;
         inv.op = op;
@@ -107,12 +129,25 @@ InfiniCacheClient::execute(Op op)
         bool retry = result.status.code() == Code::kUnavailable ||
                      result.status.code() == Code::kDeadlineExceeded ||
                      result.status.code() == Code::kInternal;
+        if (attr) {
+            acc.merge(result.ledger);
+            if (retry) {
+                acc.add(sim::LatSeg::kClientRetryWait,
+                        (sim.now() - attempt_start) - result.ledger.total());
+            }
+            result.ledger = acc;
+        }
         if (!retry) {
             co_return result;
         }
+        sim::SimTime backoff_start = sim.now();
         co_await sim::delay(fs_.simulation(),
                             rng_.uniform_duration(sim::msec(20),
                                                   sim::msec(100)));
+        acc.add(sim::LatSeg::kClientBackoff, sim.now() - backoff_start);
+    }
+    if (attr) {
+        result.ledger = acc;
     }
     co_return result;
 }

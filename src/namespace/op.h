@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "src/namespace/inode.h"
+#include "src/sim/latency.h"
 #include "src/sim/time.h"
 #include "src/sim/trace.h"
 #include "src/util/status.h"
@@ -82,6 +83,16 @@ struct OpResult {
     std::vector<std::string> children;  ///< ls results
     bool cache_hit = false;             ///< served from a metadata cache
     int64_t inodes_touched = 1;         ///< rows affected (subtree ops)
+    /**
+     * Latency attribution ledger (DESIGN.md §11). Rides by value so a
+     * late-finishing duplicate attempt (discarded by the client's
+     * first-wins cell) can never stamp into a dead op. Empty unless
+     * Simulation::attribution() is on; compiled out with
+     * -DLFS_NO_ATTRIBUTION.
+     */
+    sim::LatencyLedger ledger;
+    /** Trace id of the op's root span (0 = untraced). */
+    uint64_t trace_id = 0;
 };
 
 inline const char*

@@ -83,6 +83,9 @@ class Network {
     /** Messages sent so far in class @p cls. */
     uint64_t messages(LatencyClass cls) const;
 
+    /** The simulation this fabric schedules on (for latency stamping). */
+    sim::Simulation& simulation() { return sim_; }
+
     const NetworkConfig& config() const { return config_; }
 
   private:

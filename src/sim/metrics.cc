@@ -206,6 +206,19 @@ MetricsRegistry::contains(const std::string& name,
     return entries_.count(make_key(name, copy)) > 0;
 }
 
+void
+MetricsRegistry::for_each_histogram(
+    const std::string& name,
+    const std::function<void(const MetricLabels&, const Histogram&)>& fn)
+    const
+{
+    for (const auto& [key, entry] : entries_) {
+        if (entry.name == name && entry.histogram != nullptr) {
+            fn(entry.labels, *entry.histogram);
+        }
+    }
+}
+
 std::string
 MetricsRegistry::to_json(SimTime now) const
 {
@@ -240,6 +253,19 @@ MetricsRegistry::to_json(SimTime now) const
             out += ",\"p95\":" + std::to_string(h.p95());
             out += ",\"p99\":" + std::to_string(h.p99());
             out += ",\"p999\":" + std::to_string(h.p999());
+            // Bucket-resolved counts so offline tools (lfs_report.py)
+            // can reconstruct full CDFs, not just the scalar summary.
+            out += ",\"buckets\":[";
+            bool first_bucket = true;
+            for (const auto& [le, n] : h.nonzero_buckets()) {
+                if (!first_bucket) {
+                    out += ",";
+                }
+                first_bucket = false;
+                out += "{\"le\":" + std::to_string(le) +
+                       ",\"count\":" + std::to_string(n) + "}";
+            }
+            out += "]";
         } else if (e.series) {
             const TimeSeries& s = *e.series;
             out += ",\"type\":\"time_series\",\"bin_width_us\":" +

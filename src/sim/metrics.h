@@ -81,6 +81,17 @@ class MetricsRegistry {
     bool contains(const std::string& name,
                   const MetricLabels& labels = {}) const;
 
+    /**
+     * Visit every histogram registered under @p name (any label set), in
+     * deterministic key order. Used by harnesses to aggregate labelled
+     * families (e.g. `attr.segment{system=...,seg=...}`) without knowing
+     * the label values in advance.
+     */
+    void for_each_histogram(
+        const std::string& name,
+        const std::function<void(const MetricLabels&, const Histogram&)>& fn)
+        const;
+
     size_t size() const { return entries_.size(); }
 
     /**

@@ -32,6 +32,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/sim/flight_recorder.h"
 #include "src/sim/metrics.h"
 #include "src/sim/time.h"
 #include "src/sim/trace.h"
@@ -70,6 +71,24 @@ class Simulation {
      */
     FaultPlan* fault_plan() const { return fault_plan_; }
     void install_fault_plan(FaultPlan* plan) { fault_plan_ = plan; }
+
+    /**
+     * Latency attribution (DESIGN.md §11): when on, layers stamp per-op
+     * segment durations into OpResult::ledger. Off by default; each
+     * stamping site costs one branch. Compiled out (constant false, dead
+     * branches fold away) when built with -DLFS_NO_ATTRIBUTION.
+     */
+#ifndef LFS_NO_ATTRIBUTION
+    bool attribution() const { return attribution_; }
+    void set_attribution(bool on) { attribution_ = on; }
+#else
+    constexpr bool attribution() const { return false; }
+    void set_attribution(bool) {}
+#endif
+
+    /** Tail-exemplar flight recorder (disabled by default). */
+    FlightRecorder& flight_recorder() { return flight_recorder_; }
+    const FlightRecorder& flight_recorder() const { return flight_recorder_; }
 
     /** Current simulated time. */
     SimTime now() const { return now_; }
@@ -356,6 +375,7 @@ class Simulation {
 
     SimTime now_ = 0;
     FaultPlan* fault_plan_ = nullptr;
+    bool attribution_ = false;
     uint64_t next_seq_ = 0;
     uint64_t executed_ = 0;
     bool stopped_ = false;
@@ -367,6 +387,7 @@ class Simulation {
     size_t next_block_size_ = 256;
     MetricsRegistry metrics_;
     Tracer tracer_;
+    FlightRecorder flight_recorder_;
 };
 
 }  // namespace lfs::sim

@@ -113,6 +113,21 @@ Histogram::cdf() const
     return points;
 }
 
+std::vector<std::pair<int64_t, uint64_t>>
+Histogram::nonzero_buckets() const
+{
+    std::vector<std::pair<int64_t, uint64_t>> out;
+    if (count_ == 0) {
+        return out;
+    }
+    for (size_t i = 0; i < buckets_.size(); ++i) {
+        if (buckets_[i] != 0) {
+            out.emplace_back(bucket_upper_edge(i), buckets_[i]);
+        }
+    }
+    return out;
+}
+
 void
 Histogram::merge(const Histogram& other)
 {

@@ -70,6 +70,13 @@ class Histogram {
      */
     std::vector<std::pair<int64_t, double>> cdf() const;
 
+    /**
+     * Non-empty buckets as (upper edge, count) pairs in ascending edge
+     * order — the raw data behind cdf(), exported into metrics JSON so
+     * tools like scripts/lfs_report.py can render CDFs offline.
+     */
+    std::vector<std::pair<int64_t, uint64_t>> nonzero_buckets() const;
+
     /** Merge another histogram into this one. */
     void merge(const Histogram& other);
 

@@ -26,6 +26,9 @@ Span::operator=(Span&& other) noexcept
 void
 Span::annotate_impl(const char* key, const std::string& value)
 {
+    if (!tracer_->annotations_enabled()) {
+        return;
+    }
     if (Tracer::Record* r = tracer_->resolve(index_, span_id_)) {
         r->annotations.emplace_back(key, value);
     }
@@ -34,6 +37,9 @@ Span::annotate_impl(const char* key, const std::string& value)
 void
 Span::annotate_impl(const char* key, const char* value)
 {
+    if (!tracer_->annotations_enabled()) {
+        return;
+    }
     if (Tracer::Record* r = tracer_->resolve(index_, span_id_)) {
         r->annotations.emplace_back(key, value);
     }
@@ -42,6 +48,9 @@ Span::annotate_impl(const char* key, const char* value)
 void
 Span::annotate_impl(const char* key, int64_t value)
 {
+    if (!tracer_->annotations_enabled()) {
+        return;
+    }
     if (Tracer::Record* r = tracer_->resolve(index_, span_id_)) {
         r->annotations.emplace_back(key, std::to_string(value));
     }
@@ -155,6 +164,37 @@ Tracer::snapshot() const
                                  r.component, r.name, r.start, r.end,
                                  &r.annotations});
     }
+    return views;
+}
+
+std::vector<SpanView>
+Tracer::spans_for_trace(uint64_t trace_id, SimTime not_before) const
+{
+    std::vector<SpanView> views;
+    // Newest-first walk: slot of span n-1, n-2, ... in creation order.
+    size_t held = ring_.size();
+    for (size_t back = 0; back < held; ++back) {
+        size_t i;
+        if (held < capacity_) {
+            i = held - 1 - back;
+        } else {
+            i = static_cast<size_t>((spans_started_ - 1 - back) % capacity_);
+        }
+        const Record& r = ring_[i];
+        if (r.span_id == 0) {
+            continue;
+        }
+        if (r.start < not_before) {
+            break;  // everything older predates the request
+        }
+        if (r.trace_id != trace_id) {
+            continue;
+        }
+        views.push_back(SpanView{r.trace_id, r.span_id, r.parent_id,
+                                 r.component, r.name, r.start, r.end,
+                                 &r.annotations});
+    }
+    std::reverse(views.begin(), views.end());
     return views;
 }
 

@@ -147,6 +147,15 @@ class Tracer {
     bool enabled() const { return enabled_; }
     void set_enabled(bool on) { enabled_ = on; }
 
+    /**
+     * Gate for span annotations. Light tracing (annotations off)
+     * records span timings — enough for the flight recorder's exemplar
+     * span trees — but skips the per-op annotation strings; full
+     * tracing keeps them on (the default).
+     */
+    bool annotations_enabled() const { return annotations_enabled_; }
+    void set_annotations_enabled(bool on) { annotations_enabled_ = on; }
+
     /** Resize the ring buffer (drops everything recorded so far). */
     void set_capacity(size_t capacity);
 
@@ -195,6 +204,18 @@ class Tracer {
     std::vector<SpanView> snapshot() const;
 
     /**
+     * Spans belonging to @p trace_id still present in the ring, oldest
+     * first. Scans backward in creation order and stops at the first
+     * record whose start predates @p not_before — spans are recorded in
+     * monotonic sim-time order, so a request's spans all start at or
+     * after the request itself and the scan is bounded by the spans
+     * recorded during the request's lifetime, not the ring size. Pass
+     * not_before = 0 (the default) for a full-ring scan.
+     */
+    std::vector<SpanView> spans_for_trace(uint64_t trace_id,
+                                          SimTime not_before = 0) const;
+
+    /**
      * The recorded spans as a comma-joined sequence of Chrome trace_event
      * "X" (complete) events with the given pid — a fragment for callers
      * merging several runs into one document.
@@ -239,6 +260,7 @@ class Tracer {
 
     Simulation& sim_;
     bool enabled_ = false;
+    bool annotations_enabled_ = true;
     size_t capacity_;
     std::vector<Record> ring_;
     uint64_t next_trace_id_ = 1;

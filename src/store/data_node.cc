@@ -50,8 +50,10 @@ DataNode::stall_while_down()
 
 sim::Task<Status>
 DataNode::admit_and_serve(sim::Semaphore& slots, sim::SimTime base_service,
-                          sim::Counter& served, sim::SimTime deadline)
+                          sim::Counter& served, sim::SimTime deadline,
+                          sim::LatencyLedger* ledger)
 {
+    sim::SimTime entry = sim_.now();
     sim::FaultPlan* plan = sim_.fault_plan();
     if (plan != nullptr && plan->store_shard_down(shard_id_)) {
         if (config_.fail_fast_when_down) {
@@ -99,33 +101,43 @@ DataNode::admit_and_serve(sim::Semaphore& slots, sim::SimTime base_service,
                 static_cast<double>(service) * multiplier);
         }
     }
+    if (ledger != nullptr) {
+        // Everything up to the service start — outage stalls plus the
+        // slot sojourn — is queueing from the caller's perspective.
+        ledger->add(sim::LatSeg::kStoreQueue, sim_.now() - entry);
+    }
     co_await sim::delay(sim_, service);
+    if (ledger != nullptr) {
+        ledger->add(sim::LatSeg::kStoreService, service);
+    }
     busy_time_ += service;
     served.add();
     co_return Status::make_ok();
 }
 
 sim::Task<Status>
-DataNode::execute_read(int components, sim::SimTime deadline)
+DataNode::execute_read(int components, sim::SimTime deadline,
+                       sim::LatencyLedger* ledger)
 {
     sim::SimTime service =
         rng_.uniform_duration(config_.read_service_min,
                               config_.read_service_max) +
         config_.per_component_cost * std::max(0, components - 1);
     Status st = co_await admit_and_serve(read_slots_, service, reads_,
-                                         deadline);
+                                         deadline, ledger);
     co_return st;
 }
 
 sim::Task<Status>
-DataNode::execute_write(int rows, sim::SimTime deadline)
+DataNode::execute_write(int rows, sim::SimTime deadline,
+                        sim::LatencyLedger* ledger)
 {
     sim::SimTime service =
         rng_.uniform_duration(config_.write_service_min,
                               config_.write_service_max) +
         config_.per_component_cost * std::max(0, rows - 1);
     Status st = co_await admit_and_serve(write_slots_, service, writes_,
-                                         deadline);
+                                         deadline, ledger);
     co_return st;
 }
 

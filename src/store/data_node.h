@@ -17,6 +17,7 @@
 
 #include <cstdint>
 
+#include "src/sim/latency.h"
 #include "src/sim/primitives.h"
 #include "src/sim/random.h"
 #include "src/sim/simulation.h"
@@ -64,10 +65,17 @@ class DataNode {
      * service capacity.
      */
     sim::Task<Status> execute_read(int components = 1,
-                                   sim::SimTime deadline = -1);
+                                   sim::SimTime deadline = -1,
+                                   sim::LatencyLedger* ledger = nullptr);
 
-    /** Execute one write transaction touching @p rows inode rows. */
-    sim::Task<Status> execute_write(int rows = 1, sim::SimTime deadline = -1);
+    /**
+     * Execute one write transaction touching @p rows inode rows. When
+     * @p ledger is non-null, the shard stamps its queue sojourn
+     * (kStoreQueue) and service time (kStoreService) into it; callers
+     * pass a frame-local ledger that outlives the call.
+     */
+    sim::Task<Status> execute_write(int rows = 1, sim::SimTime deadline = -1,
+                                    sim::LatencyLedger* ledger = nullptr);
 
     uint64_t reads_served() const { return reads_.value(); }
     uint64_t writes_served() const { return writes_.value(); }
@@ -94,7 +102,8 @@ class DataNode {
     sim::Task<Status> admit_and_serve(sim::Semaphore& slots,
                                       sim::SimTime base_service,
                                       sim::Counter& served,
-                                      sim::SimTime deadline);
+                                      sim::SimTime deadline,
+                                      sim::LatencyLedger* ledger);
 
     /**
      * Block at admission while a FaultPlan outage window covers this

@@ -287,7 +287,13 @@ MetadataStore::read_op(Op op)
 {
     sim::Span txn_span =
         sim_.tracer().start_span("store", "read_txn", op.trace);
+    const bool attr = sim_.attribution();
+    sim::LatencyLedger led;
+    sim::SimTime t0 = sim_.now();
     co_await network_.transfer(net::LatencyClass::kStore);
+    if (attr) {
+        led.add(sim::LatSeg::kNetStore, sim_.now() - t0);
+    }
     OpResult result;
     size_t shard_idx = shard_index_of_parent(op.path);
     // Admission checks before any lock or coherence work: a tripped
@@ -296,14 +302,24 @@ MetadataStore::read_op(Op op)
     result.status = breaker_admit(shard_idx);
     if (!result.status.ok()) {
         txn_span.annotate("shed", "breaker_open");
+        t0 = sim_.now();
         co_await network_.transfer(net::LatencyClass::kStore);
+        if (attr) {
+            led.add(sim::LatSeg::kNetStore, sim_.now() - t0);
+            result.ledger = led;
+        }
         co_return result;
     }
     if (op_expired(op, sim_.now())) {
         rejected_expired_->add();
         txn_span.annotate("shed", "expired");
         result.status = Status::deadline_exceeded("expired at store entry");
+        t0 = sim_.now();
         co_await network_.transfer(net::LatencyClass::kStore);
+        if (attr) {
+            led.add(sim::LatSeg::kNetStore, sim_.now() - t0);
+            result.ledger = led;
+        }
         co_return result;
     }
     while (true) {
@@ -311,6 +327,7 @@ MetadataStore::read_op(Op op)
         // previous round's span.
         sim::Span lock_span = sim_.tracer().start_span("store", "lock_wait",
                                                        txn_span.context());
+        sim::SimTime lock_start = sim_.now();
         // While a subtree operation is in flight over this path, reads
         // block behind it (the subtree flag acts as an intention lock).
         while (locks_.overlaps_active_subtree(op.path)) {
@@ -324,9 +341,13 @@ MetadataStore::read_op(Op op)
             co_await locks_.lock_shared(id);
         }
         lock_span.end();
+        if (attr) {
+            led.add(sim::LatSeg::kStoreLockWait, sim_.now() - lock_start);
+        }
         DataNode& shard = *shards_[shard_idx];
-        Status st =
-            co_await shard.execute_read(path::depth(op.path) + 1, op.deadline);
+        Status st = co_await shard.execute_read(path::depth(op.path) + 1,
+                                                op.deadline,
+                                                attr ? &led : nullptr);
         breaker_record(shard_idx, st);
         if (!st.ok()) {
             for (ns::INodeId id : lock_ids) {
@@ -348,7 +369,12 @@ MetadataStore::read_op(Op op)
             break;
         }
     }
+    t0 = sim_.now();
     co_await network_.transfer(net::LatencyClass::kStore);
+    if (attr) {
+        led.add(sim::LatSeg::kNetStore, sim_.now() - t0);
+        result.ledger = led;
+    }
     co_return result;
 }
 
@@ -357,7 +383,13 @@ MetadataStore::write_op(Op op, LockedHook after_lock)
 {
     sim::Span txn_span =
         sim_.tracer().start_span("store", "write_txn", op.trace);
+    const bool attr = sim_.attribution();
+    sim::LatencyLedger led;
+    sim::SimTime t0 = sim_.now();
     co_await network_.transfer(net::LatencyClass::kStore);
+    if (attr) {
+        led.add(sim::LatSeg::kNetStore, sim_.now() - t0);
+    }
     size_t shard_idx = shard_index_of_parent(op.path);
     // Admission checks before waiting on subtree flags, acquiring row
     // locks, or running the coherence round — doomed work sheds here.
@@ -366,7 +398,12 @@ MetadataStore::write_op(Op op, LockedHook after_lock)
         txn_span.annotate("shed", "breaker_open");
         OpResult shed;
         shed.status = admit;
+        t0 = sim_.now();
         co_await network_.transfer(net::LatencyClass::kStore);
+        if (attr) {
+            led.add(sim::LatSeg::kNetStore, sim_.now() - t0);
+            shed.ledger = led;
+        }
         co_return shed;
     }
     if (op_expired(op, sim_.now())) {
@@ -374,11 +411,17 @@ MetadataStore::write_op(Op op, LockedHook after_lock)
         txn_span.annotate("shed", "expired");
         OpResult shed;
         shed.status = Status::deadline_exceeded("expired at store entry");
+        t0 = sim_.now();
         co_await network_.transfer(net::LatencyClass::kStore);
+        if (attr) {
+            led.add(sim::LatSeg::kNetStore, sim_.now() - t0);
+            shed.ledger = led;
+        }
         co_return shed;
     }
     sim::Span lock_span =
         sim_.tracer().start_span("store", "lock_wait", txn_span.context());
+    sim::SimTime lock_start = sim_.now();
     while (locks_.overlaps_active_subtree(op.path) ||
            (op.type == OpType::kMv &&
             locks_.overlaps_active_subtree(op.dst))) {
@@ -387,52 +430,83 @@ MetadataStore::write_op(Op op, LockedHook after_lock)
     std::vector<ns::INodeId> lock_ids = write_lock_set(op);
     co_await locks_.lock_exclusive_ordered(lock_ids);
     lock_span.end();
+    if (attr) {
+        led.add(sim::LatSeg::kStoreLockWait, sim_.now() - lock_start);
+    }
     if (after_lock) {
+        // The coherence INV/ACK round is attributed here — around the
+        // hook await, never inside the coordinator — so it is stamped
+        // exactly once per write.
+        sim::SimTime coh_start = sim_.now();
         co_await after_lock();
+        if (attr) {
+            led.add(sim::LatSeg::kCoherence, sim_.now() - coh_start);
+        }
     }
     DataNode& shard = *shards_[shard_idx];
     Status st = co_await shard.execute_write(
-        static_cast<int>(lock_ids.size()), op.deadline);
+        static_cast<int>(lock_ids.size()), op.deadline,
+        attr ? &led : nullptr);
     breaker_record(shard_idx, st);
     if (!st.ok()) {
         locks_.unlock_exclusive_all(lock_ids);
         txn_span.annotate("shed", code_name(st.code()));
         OpResult shed;
         shed.status = st;
+        t0 = sim_.now();
         co_await network_.transfer(net::LatencyClass::kStore);
+        if (attr) {
+            led.add(sim::LatSeg::kNetStore, sim_.now() - t0);
+            shed.ledger = led;
+        }
         co_return shed;
     }
     OpResult result = apply_write(op);
     locks_.unlock_exclusive_all(lock_ids);
+    t0 = sim_.now();
     co_await network_.transfer(net::LatencyClass::kStore);
+    if (attr) {
+        led.add(sim::LatSeg::kNetStore, sim_.now() - t0);
+        result.ledger = led;
+    }
     co_return result;
 }
 
 sim::Task<Status>
-MetadataStore::quiesce_rows(const std::string& shard_key, int64_t rows)
+MetadataStore::quiesce_rows(const std::string& shard_key, int64_t rows,
+                            sim::LatencyLedger* ledger)
 {
     DataNode& shard = shard_for(shard_key);
     int batch = config_.subtree_batch_size;
     for (int64_t done = 0; done < rows; done += batch) {
         int64_t n = std::min<int64_t>(batch, rows - done);
-        Status st = co_await shard.execute_read(1);
+        Status st = co_await shard.execute_read(1, -1, ledger);
         if (!st.ok()) {
             co_return st;
         }
         co_await sim::delay(sim_, config_.subtree_row_read_cost * n);
+        if (ledger != nullptr) {
+            ledger->add(sim::LatSeg::kStoreService,
+                        config_.subtree_row_read_cost * n);
+        }
     }
     co_return Status::make_ok();
 }
 
 sim::Task<Status>
-MetadataStore::commit_subtree_batch(const std::string& shard_key, int64_t rows)
+MetadataStore::commit_subtree_batch(const std::string& shard_key, int64_t rows,
+                                    sim::LatencyLedger* ledger)
 {
     DataNode& shard = shard_for(shard_key);
-    Status st = co_await shard.execute_write(1);
+    Status st = co_await shard.execute_write(1, -1, ledger);
     if (!st.ok()) {
         co_return st;
     }
     co_await sim::delay(sim_, config_.subtree_row_write_cost * rows);
+    if (ledger != nullptr) {
+        ledger->add(sim::LatSeg::kStoreService,
+                    config_.subtree_row_write_cost * rows);
+    }
     co_return Status::make_ok();
 }
 
@@ -448,11 +522,18 @@ MetadataStore::subtree_op(Op op, SubtreeExecution exec)
 {
     sim::Span txn_span =
         sim_.tracer().start_span("store", "subtree_txn", op.trace);
+    const bool attr = sim_.attribution();
+    sim::LatencyLedger led;
+    sim::SimTime t0 = sim_.now();
     co_await network_.transfer(net::LatencyClass::kStore);
+    if (attr) {
+        led.add(sim::LatSeg::kNetStore, sim_.now() - t0);
+    }
 
     // Phase 1: set the subtree-lock flag; retry on overlap.
     sim::Span lock_span =
         sim_.tracer().start_span("store", "lock_wait", txn_span.context());
+    sim::SimTime lock_start = sim_.now();
     while (true) {
         Status st = locks_.try_acquire_subtree(op.path);
         if (st.ok()) {
@@ -461,6 +542,9 @@ MetadataStore::subtree_op(Op op, SubtreeExecution exec)
         co_await sim::delay(sim_, config_.subtree_retry_delay);
     }
     lock_span.end();
+    if (attr) {
+        led.add(sim::LatSeg::kStoreLockWait, sim_.now() - lock_start);
+    }
 
     OpResult result;
     ns::UserContext root;
@@ -468,7 +552,12 @@ MetadataStore::subtree_op(Op op, SubtreeExecution exec)
     if (!size.ok()) {
         locks_.release_subtree(op.path);
         result.status = size.status();
+        t0 = sim_.now();
         co_await network_.transfer(net::LatencyClass::kStore);
+        if (attr) {
+            led.add(sim::LatSeg::kNetStore, sim_.now() - t0);
+            result.ledger = led;
+        }
         co_return result;
     }
     int64_t rows = size.take();
@@ -476,7 +565,11 @@ MetadataStore::subtree_op(Op op, SubtreeExecution exec)
     // λFS: prefix-invalidation round, while the subtree flag blocks
     // conflicting reads/writes.
     if (exec.after_lock) {
+        sim::SimTime coh_start = sim_.now();
         co_await exec.after_lock();
+        if (attr) {
+            led.add(sim::LatSeg::kCoherence, sim_.now() - coh_start);
+        }
     }
 
     // Phase 2: quiesce the subtree (ordered lock walk). Subtree ops carry
@@ -485,12 +578,18 @@ MetadataStore::subtree_op(Op op, SubtreeExecution exec)
     sim::Span quiesce_span =
         sim_.tracer().start_span("store", "quiesce", txn_span.context());
     quiesce_span.annotate("rows", rows);
-    Status quiesced = co_await quiesce_rows(op.path, rows);
+    Status quiesced =
+        co_await quiesce_rows(op.path, rows, attr ? &led : nullptr);
     quiesce_span.end();
     if (!quiesced.ok()) {
         locks_.release_subtree(op.path);
         result.status = quiesced;
+        t0 = sim_.now();
         co_await network_.transfer(net::LatencyClass::kStore);
+        if (attr) {
+            led.add(sim::LatSeg::kNetStore, sim_.now() - t0);
+            result.ledger = led;
+        }
         co_return result;
     }
 
@@ -504,13 +603,22 @@ MetadataStore::subtree_op(Op op, SubtreeExecution exec)
         int64_t n = std::min<int64_t>(batch, rows - done);
         if (exec.per_row_nn_cost > 0) {
             co_await sim::delay(sim_, exec.per_row_nn_cost * n);
+            if (attr) {
+                led.add(sim::LatSeg::kNameNodeCpu, exec.per_row_nn_cost * n);
+            }
         }
-        Status committed = co_await commit_subtree_batch(op.path, n);
+        Status committed =
+            co_await commit_subtree_batch(op.path, n, attr ? &led : nullptr);
         if (!committed.ok()) {
             commit_span.end();
             locks_.release_subtree(op.path);
             result.status = committed;
+            t0 = sim_.now();
             co_await network_.transfer(net::LatencyClass::kStore);
+            if (attr) {
+                led.add(sim::LatSeg::kNetStore, sim_.now() - t0);
+                result.ledger = led;
+            }
             co_return result;
         }
     }
@@ -519,7 +627,12 @@ MetadataStore::subtree_op(Op op, SubtreeExecution exec)
     result = apply_write(op);
     result.inodes_touched = rows;
     locks_.release_subtree(op.path);
+    t0 = sim_.now();
     co_await network_.transfer(net::LatencyClass::kStore);
+    if (attr) {
+        led.add(sim::LatSeg::kNetStore, sim_.now() - t0);
+        result.ledger = led;
+    }
     co_return result;
 }
 

@@ -112,11 +112,14 @@ class MetadataStore {
     sim::Task<OpResult> subtree_op(Op op);
 
     /** One quiesce walk over @p rows rows (exposed for λFS's protocol). */
-    sim::Task<Status> quiesce_rows(const std::string& shard_key, int64_t rows);
+    sim::Task<Status> quiesce_rows(const std::string& shard_key, int64_t rows,
+                                   sim::LatencyLedger* ledger = nullptr);
 
     /** One batched subtree commit of @p rows rows on the owning shard. */
     sim::Task<Status> commit_subtree_batch(const std::string& shard_key,
-                                           int64_t rows);
+                                           int64_t rows,
+                                           sim::LatencyLedger* ledger =
+                                               nullptr);
 
     // ------------------------------------------------------------------
     // Statistics

@@ -19,6 +19,7 @@
 #include <string>
 
 #include "src/namespace/op.h"
+#include "src/sim/latency.h"
 #include "src/sim/metrics.h"
 #include "src/sim/stats.h"
 #include "src/sim/time.h"
@@ -86,6 +87,58 @@ class SystemMetrics {
     /** Record a retry/resubmission event. */
     void record_retry() { retries_->add(); }
 
+    /**
+     * Record one finalized attribution ledger. Only segments that saw
+     * time are recorded into `attr.segment{system=...,seg=...}` — a
+     * typical op touches 4-5 of the 13 segments, and skipping the zero
+     * records keeps attribution's hot-path cost inside its 5% budget
+     * (each zero record would dirty two cold cache lines). Aggregation
+     * stays exact without them: a segment's additive *contribution* is
+     * mean(seg) x count(seg) / count(attr.total), and those contributions
+     * sum to mean(attr.total) because each op's finalized ledger sums to
+     * its end-to-end latency. Segment percentiles are therefore
+     * conditional — "when this segment occurs, what does it cost".
+     * Histograms are bound lazily on the first call, so runs with
+     * attribution off export no attr.* metrics.
+     */
+    void
+    record_attribution(const sim::LatencyLedger& ledger, sim::SimTime total)
+    {
+#ifndef LFS_NO_ATTRIBUTION
+        if (attr_total_ == nullptr) {
+            attr_total_ =
+                &registry_->histogram("attr.total", {{"system", label_}});
+            for (size_t i = 0; i < sim::kLatSegCount; ++i) {
+                attr_segment_[i] = &registry_->histogram(
+                    "attr.segment",
+                    {{"system", label_},
+                     {"seg",
+                      sim::lat_seg_name(static_cast<sim::LatSeg>(i))}});
+            }
+        }
+        attr_total_->record(total);
+        for (size_t i = 0; i < sim::kLatSegCount; ++i) {
+            sim::SimTime v = ledger.get(static_cast<sim::LatSeg>(i));
+            if (v > 0) {
+                attr_segment_[i]->record(v);
+            }
+        }
+#else
+        (void)ledger;
+        (void)total;
+#endif
+    }
+
+    /** Per-segment attribution histogram, or nullptr before any record. */
+    const sim::Histogram*
+    attribution(sim::LatSeg seg) const
+    {
+        return attr_segment_[static_cast<size_t>(seg)];
+    }
+
+    /** End-to-end histogram of attributed ops, or nullptr before any. */
+    const sim::Histogram* attribution_total() const { return attr_total_; }
+
     /** Sample the current NameNode count (for the Fig. 8 right axis). */
     void
     sample_active_nodes(sim::SimTime now, int count)
@@ -129,6 +182,7 @@ class SystemMetrics {
     bind(sim::MetricsRegistry& r, const std::string& system,
          sim::SimTime bin_width)
     {
+        registry_ = &r;
         label_ = system;
         sim::MetricLabels sys = {{"system", system}};
         completed_ = &r.counter("workload.completed", sys);
@@ -155,6 +209,7 @@ class SystemMetrics {
     // Owned only when default-constructed (unit tests); otherwise the
     // harness-provided registry outlives this object.
     std::unique_ptr<sim::MetricsRegistry> own_registry_;
+    sim::MetricsRegistry* registry_ = nullptr;
     std::string label_;
     sim::Counter* completed_ = nullptr;
     sim::Counter* failed_ = nullptr;
@@ -168,6 +223,9 @@ class SystemMetrics {
     sim::Histogram* write_latency_ = nullptr;
     std::array<sim::Histogram*, static_cast<size_t>(OpType::kCount)>
         latency_by_type_{};
+    // Attribution histograms, bound lazily on first record_attribution().
+    sim::Histogram* attr_total_ = nullptr;
+    std::array<sim::Histogram*, sim::kLatSegCount> attr_segment_{};
 };
 
 }  // namespace lfs::workload

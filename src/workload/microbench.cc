@@ -42,15 +42,29 @@ co_client(sim::Simulation& sim, Dfs& dfs, size_t client, OpType op_type,
 {
     for (int i = 0; i < ops; ++i) {
         Op op = state.population.make_op(op_type);
+        const bool attr = sim.attribution();
+        std::string path;
+        if (attr) {
+            path = op.path;  // op is moved into execute below
+        }
         sim::SimTime begin = sim.now();
         OpResult result =
             co_await dfs.client(client).execute(std::move(op));
         sim::SimTime latency = sim.now() - begin;
-        if (counts_as_completed(result.status)) {
+        bool ok = counts_as_completed(result.status);
+        if (ok) {
             ++state.completed;
             state.latency.record(latency);
         } else {
             ++state.failed;
+        }
+        if (attr) {
+            result.ledger.finalize(latency);
+            dfs.metrics().record_attribution(result.ledger, latency);
+            sim.flight_recorder().observe(
+                sim.now(), op_name(op_type), path,
+                dfs.metrics().system_label(), latency, ok,
+                result.trace_id, result.ledger, &sim.tracer());
         }
     }
     state.done.done();

@@ -135,12 +135,26 @@ SpotifyWorkload::worker(size_t client_index, int vm)
         --owed_[static_cast<size_t>(vm)];
         Op op = population_.make_op(mix_.sample(rng));
         OpType type = op.type;  // population may rewrite the type
+        const bool attr = sim_.attribution();
+        std::string path;
+        if (attr) {
+            path = op.path;  // op is moved into execute below
+        }
         sim::SimTime begin = sim_.now();
         OpResult result = co_await dfs_.client(client_index).execute(
             std::move(op));
-        dfs_.metrics().record(sim_.now(), type, sim_.now() - begin,
-                              counts_as_completed(result.status),
+        sim::SimTime latency = sim_.now() - begin;
+        bool ok = counts_as_completed(result.status);
+        dfs_.metrics().record(sim_.now(), type, latency, ok,
                               result.status.code());
+        if (attr) {
+            result.ledger.finalize(latency);
+            dfs_.metrics().record_attribution(result.ledger, latency);
+            sim_.flight_recorder().observe(
+                sim_.now(), op_name(type), path,
+                dfs_.metrics().system_label(), latency, ok,
+                result.trace_id, result.ledger, &sim_.tracer());
+        }
     }
     --active_workers_;
 }
