@@ -11,8 +11,9 @@
 #      attribution ledger populates at least 6 segments and the flight
 #      recorder retains at least 8 tail exemplars (scripts/lfs_report.py)
 #   6. run the perf-smoke gate (scripts/perf_smoke.sh): kernel dispatch
-#      rates must stay within 20% of checked-in baselines
-#      (set LFS_SKIP_PERF=1 to skip this pass)
+#      rates must stay within 20% of checked-in baselines, and the
+#      bench_scenarios lifecycle sweep (links/sessions/GC on every
+#      system) must come back clean (set LFS_SKIP_PERF=1 to skip)
 #
 # Usage: scripts/check.sh [build-dir]   (default: build)
 

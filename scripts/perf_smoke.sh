@@ -11,10 +11,14 @@
 #      reintroducing a per-event heap allocation.
 #   2. bench_fig11_client_scaling at tiny scale: end-to-end sanity that
 #      a full harness still reports [perf] lines and clears its floor.
+#   3. bench_scenarios at tiny scale: the extended op surface (links,
+#      sessions, GC) must succeed on every system, reclaim every leaked
+#      lease, and leave no orphans — a cross-system lifecycle smoke.
 #
-# Both runs append one dated JSON line to the checked-in trajectory
-# files (BENCH_kernel.json / BENCH_fig11.json) so the repo accumulates a
-# perf time series; render it with scripts/lfs_report.py --trajectory.
+# All runs append one dated JSON line to the checked-in trajectory
+# files (BENCH_kernel.json / BENCH_fig11.json / BENCH_scenarios.json) so
+# the repo accumulates a perf time series; render it with
+# scripts/lfs_report.py --trajectory.
 #
 # Usage: scripts/perf_smoke.sh [build-dir]   (default: build)
 # Skip with LFS_SKIP_PERF=1 (e.g. on emulated or heavily-shared hosts).
@@ -33,9 +37,11 @@ fi
 
 KERNEL_LOG="BENCH_kernel.json"
 FIG11_LOG="BENCH_fig11.json"
+SCENARIOS_LOG="BENCH_scenarios.json"
 if [[ "${LFS_SKIP_BENCH_LOG:-0}" == "1" ]]; then
     KERNEL_LOG=""
     FIG11_LOG=""
+    SCENARIOS_LOG=""
 fi
 
 echo "== perf smoke: bench_kernel =="
@@ -48,6 +54,28 @@ echo "$KERNEL_OUT" | grep '^\[bench_kernel\]'
 echo "== perf smoke: bench_fig11_client_scaling (tiny scale) =="
 FIG11_OUT="$(LFS_OPS_PER_CLIENT=8 LFS_BENCH_LOG="$FIG11_LOG" \
     "$BUILD_DIR/bench/bench_fig11_client_scaling")"
+
+echo "== perf smoke: bench_scenarios (extended op surface, tiny scale) =="
+SCENARIOS_OUT="$(LFS_SCENARIO_ROUNDS=10 LFS_BENCH_LOG="$SCENARIOS_LOG" \
+    "$BUILD_DIR/bench/bench_scenarios")"
+if echo "$SCENARIOS_OUT" | grep -q 'MEASURED: NO'; then
+    echo "$SCENARIOS_OUT" | grep 'MEASURED:'
+    echo "FAIL: bench_scenarios lifecycle check failed"
+    echo "== perf smoke FAILED =="
+    exit 1
+fi
+if [[ "$(echo "$SCENARIOS_OUT" | grep -c 'MEASURED: yes')" -lt 3 ]]; then
+    echo "FAIL: bench_scenarios printed fewer than 3 passing checks"
+    echo "== perf smoke FAILED =="
+    exit 1
+fi
+if ! echo "$SCENARIOS_OUT" | grep -q '^\s*\[perf\]'; then
+    echo "FAIL: no [perf] events_per_sec lines in bench_scenarios output"
+    echo "== perf smoke FAILED =="
+    exit 1
+fi
+echo "  ok: extended op surface clean on every system " \
+     "($(echo "$SCENARIOS_OUT" | grep -c '^\s*\[perf\]') observed runs)"
 
 if ! python3 - "$BASELINE_JSON" <<'EOF' "$KERNEL_OUT" "$FIG11_OUT"
 import json

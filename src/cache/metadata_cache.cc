@@ -154,6 +154,13 @@ MetadataCache::put(const std::string& p, const ns::INode& inode)
     if (config_.capacity_bytes == 0) {
         return;
     }
+    // Multi-link inodes are never cached: the coherence protocols key
+    // invalidations by path, and a write through one alias could not
+    // find entries cached under another. link() itself invalidates the
+    // existing entries, and this guard keeps aliases out afterwards.
+    if (inode.nlink > 1) {
+        return;
+    }
     set_value(find_or_create(p), inode);
     evict_until_within_budget();
 }
@@ -173,6 +180,9 @@ MetadataCache::put_chain(const std::vector<ns::INode>& chain)
                 p += '/';
             }
             p += inode.name;
+        }
+        if (inode.nlink > 1) {
+            continue;  // see put(): aliases defeat path-keyed INV
         }
         set_value(find_or_create(p), inode);
     }

@@ -30,9 +30,16 @@ CephClient::execute(Op op)
 {
     sim::Simulation& sim = fs_.simulation();
     const bool attr = sim.attribution();
-    // Capability hit: read served entirely client-side.
-    if (is_read_op(op.type) && op.type != OpType::kLs) {
+    // Capability hit: read served entirely client-side. statfs is
+    // never cap-cacheable (global counters); a held symlink cap can
+    // satisfy lstat but not open-for-read, which needs the target.
+    if (is_read_op(op.type) && op.type != OpType::kLs &&
+        op.type != OpType::kStatFs) {
         auto held = caps_.get(op.path);
+        if (held.has_value() && held->is_symlink() &&
+            op.type == OpType::kReadFile) {
+            held.reset();
+        }
         if (held.has_value()) {
             sim::SimTime local_start = sim.now();
             co_await sim::delay(fs_.simulation(),
@@ -70,7 +77,10 @@ CephClient::execute(Op op)
         result.ledger.add(sim::LatSeg::kNameNodeCpu, t2 - t1);
     }
     if (result.status.ok() && is_read_op(op.type) &&
-        op.type != OpType::kLs) {
+        op.type != OpType::kLs && op.type != OpType::kStatFs &&
+        !result.via_symlink) {
+        // A symlink-resolved inode lives at its canonical path; caching
+        // it under the alias would dodge revoke_caps on the real path.
         caps_.put(op.path, result.inode);
         fs_.grant_cap(op.path, this);
     }
@@ -142,21 +152,40 @@ CephFs::mds_serve(Op op, CephClient* requester)
     if (is_read_op(op.type)) {
         switch (op.type) {
           case OpType::kReadFile: {
-            auto read = tree_.read_file(op.path, op.user);
-            if (!read.ok()) {
-                result.status = read.status();
+            auto resolved = tree_.resolve(op.path, op.user);
+            if (!resolved.ok()) {
+                result.status = resolved.status();
                 co_return result;
             }
-            result.inode = read.take();
+            if (!resolved->target().is_file()) {
+                result.status =
+                    Status::failed_precondition("not a file: " + op.path);
+                co_return result;
+            }
+            if (!ns::check_access(resolved->target(), op.user,
+                                  ns::Access::kRead)) {
+                result.status =
+                    Status::permission_denied("no read on " + op.path);
+                co_return result;
+            }
+            result.inode = resolved->target();
+            result.via_symlink = resolved->via_symlink;
             break;
           }
           case OpType::kStat: {
-            auto st = tree_.stat(op.path, op.user);
-            if (!st.ok()) {
-                result.status = st.status();
+            auto resolved =
+                tree_.resolve(op.path, op.user, ns::Follow::kNoFinal);
+            if (!resolved.ok()) {
+                result.status = resolved.status();
                 co_return result;
             }
-            result.inode = st.take();
+            result.inode = resolved->target();
+            result.via_symlink = resolved->via_symlink;
+            break;
+          }
+          case OpType::kStatFs: {
+            result.stats = tree_.statfs();
+            result.inode = *tree_.get(ns::kRootId);
             break;
           }
           default: {  // kLs
@@ -177,7 +206,7 @@ CephFs::mds_serve(Op op, CephClient* requester)
     // journal, then apply in MDS memory.
     revoke_caps(op.path);
     revoke_caps(path::parent(op.path));
-    if (op.type == OpType::kMv || op.type == OpType::kSubtreeMv) {
+    if (has_dst_path(op.type)) {
         revoke_caps(op.dst);
         revoke_caps(path::parent(op.dst));
     }
@@ -251,6 +280,58 @@ CephFs::mds_serve(Op op, CephClient* requester)
                 ++it;
             }
         }
+        break;
+      }
+      case OpType::kHardLink: {
+        auto linked = tree_.link(op.path, op.dst, op.user, now);
+        if (!linked.ok()) {
+            result.status = linked.status();
+            co_return result;
+        }
+        result.inode = linked.take();
+        break;
+      }
+      case OpType::kSymlink: {
+        auto made = tree_.symlink(op.path, op.dst, op.user, now);
+        if (!made.ok()) {
+            result.status = made.status();
+            co_return result;
+        }
+        result.inode = made.take();
+        break;
+      }
+      case OpType::kSetAttr: {
+        auto updated = tree_.setattr(op.path, op.attr, op.user, now);
+        if (!updated.ok()) {
+            result.status = updated.status();
+            co_return result;
+        }
+        result.inode = updated.take();
+        break;
+      }
+      case OpType::kOpenSession: {
+        auto opened = tree_.open_session(op.path, op.session_id,
+                                         now + op.lease_ttl, op.user);
+        if (!opened.ok()) {
+            result.status = opened.status();
+            co_return result;
+        }
+        result.inode = opened.take();
+        break;
+      }
+      case OpType::kCloseSession: {
+        auto closed = tree_.close_session(op.session_id, now);
+        if (!closed.ok()) {
+            result.status = closed.status();
+            co_return result;
+        }
+        result.inodes_touched = closed.take();
+        break;
+      }
+      case OpType::kGcPrune: {
+        ns::NamespaceTree::GcResult gc = tree_.gc_prune(now);
+        result.inodes_touched = gc.reclaimed;
+        result.stats = tree_.statfs();
         break;
       }
       default:

@@ -372,20 +372,42 @@ LfsClient::execute(Op op)
             // retry was routed to a different deployment, or the
             // retained result was evicted), a file whose ctime falls
             // inside this operation's lifetime is our own commit.
-            if (op.type == OpType::kCreateFile && may_have_committed &&
+            const bool creation_like = op.type == OpType::kCreateFile ||
+                                       op.type == OpType::kSymlink ||
+                                       op.type == OpType::kHardLink;
+            if (creation_like && may_have_committed &&
                 result.status.code() == Code::kAlreadyExists) {
                 Op probe;
                 probe.type = OpType::kStat;
-                probe.path = op.path;
+                // A hard link collides at its *new name* (op.dst); the
+                // other creation ops collide at op.path. Stat has lstat
+                // semantics, so a symlink probe sees the link itself.
+                probe.path =
+                    op.type == OpType::kHardLink ? op.dst : op.path;
                 probe.user = op.user;
                 OpResult probed = co_await execute(std::move(probe));
-                if (probed.status.ok() && probed.inode.is_file() &&
+                const bool type_matches =
+                    op.type == OpType::kSymlink ? probed.inode.is_symlink()
+                                                : probed.inode.is_file();
+                if (probed.status.ok() && type_matches &&
                     probed.inode.ctime >= issued_at) {
                     ++reconciled_creates_;
-                    op_span.annotate("reconciled", "create");
+                    op_span.annotate("reconciled", op_name(op.type));
                     result.status = Status::make_ok();
                     result.inode = probed.inode;
                 }
+            }
+            // Session ids are unique per op, so an ALREADY_EXISTS after
+            // an ambiguous open — or a NOT_FOUND after an ambiguous
+            // close — can only be our own earlier commit.
+            if (may_have_committed &&
+                ((op.type == OpType::kOpenSession &&
+                  result.status.code() == Code::kAlreadyExists) ||
+                 (op.type == OpType::kCloseSession &&
+                  result.status.code() == Code::kNotFound))) {
+                ++reconciled_creates_;
+                op_span.annotate("reconciled", op_name(op.type));
+                result.status = Status::make_ok();
             }
             record_latency(latency);
             if (config_.anti_thrashing &&

@@ -71,7 +71,7 @@ NameNode::invalidate_local(const Op& op)
 {
     cache_.invalidate(op.path);
     cache_.invalidate(path::parent(op.path));
-    if (op.type == OpType::kMv) {
+    if (has_dst_path(op.type)) {
         cache_.invalidate(op.dst);
         cache_.invalidate(path::parent(op.dst));
     }
@@ -92,7 +92,9 @@ NameNode::run_coherence(const Op& op, bool invalidate_ancestors)
             rt_.partitioner.deployment_for(parent), parent, false});
     };
     add_path(op.path);
-    if (op.type == OpType::kMv) {
+    if (has_dst_path(op.type)) {
+        // Rename destination or new hard-link name: both change the
+        // dst entry and its parent's mtime on other deployments.
         add_path(op.dst);
     }
     if (invalidate_ancestors) {
@@ -142,6 +144,16 @@ NameNode::handle_read(const Op& op)
     co_await instance_.compute(cpu);
     // The stamp includes vCPU queueing, not just the service demand.
     sim::SimTime cpu_wait = rt_.sim.now() - cpu_start;
+    if (op.type == OpType::kStatFs) {
+        // Namespace-wide aggregates are never cached — every statfs
+        // reads the per-shard counters through the store.
+        OpResult result = co_await rt_.store.read_op(op);
+        if (attr) {
+            result.ledger.add(sim::LatSeg::kNameNodeCpu, cpu_wait);
+        }
+        result.chain.clear();
+        co_return result;
+    }
     // Only the deployment that owns a path's partition may cache it; an
     // instance serving out-of-partition traffic (anti-thrashing mode
     // routes to any connected NameNode) reads through to the store so
@@ -150,6 +162,13 @@ NameNode::handle_read(const Op& op)
         rt_.partitioner.deployment_for(op.path) == instance_.deployment_id();
     auto cached = home_partition ? cache_.get(op.path)
                                  : std::optional<ns::INode>();
+    // A cached symlink satisfies lstat, but follow-ops (read, ls) need
+    // the *target*, which lives under its own canonical path — read
+    // through to the store's resolver.
+    if (cached.has_value() && cached->is_symlink() &&
+        (op.type == OpType::kReadFile || op.type == OpType::kLs)) {
+        cached.reset();
+    }
     if (home_partition) {
         (cached.has_value() ? cache_hits_ : cache_misses_).add();
     }

@@ -78,6 +78,11 @@ Hdfs::name_node_serve(Op op)
             result.inode = st.take();
             break;
           }
+          case OpType::kStatFs: {
+            result.stats = tree_.statfs();
+            result.inode = *tree_.get(ns::kRootId);
+            break;
+          }
           default: {
             auto listed = tree_.list(op.path, op.user);
             if (!listed.ok()) {
@@ -149,6 +154,64 @@ Hdfs::name_node_serve(Op op)
       case OpType::kSubtreeMv:
         result.status = tree_.rename(op.path, op.dst, op.user, now);
         break;
+      case OpType::kHardLink: {
+        auto linked = tree_.link(op.path, op.dst, op.user, now);
+        if (linked.ok()) {
+            result.inode = linked.take();
+            result.status = Status::make_ok();
+        } else {
+            result.status = linked.status();
+        }
+        break;
+      }
+      case OpType::kSymlink: {
+        auto made = tree_.symlink(op.path, op.dst, op.user, now);
+        if (made.ok()) {
+            result.inode = made.take();
+            result.status = Status::make_ok();
+        } else {
+            result.status = made.status();
+        }
+        break;
+      }
+      case OpType::kSetAttr: {
+        auto updated = tree_.setattr(op.path, op.attr, op.user, now);
+        if (updated.ok()) {
+            result.inode = updated.take();
+            result.status = Status::make_ok();
+        } else {
+            result.status = updated.status();
+        }
+        break;
+      }
+      case OpType::kOpenSession: {
+        auto opened = tree_.open_session(op.path, op.session_id,
+                                         now + op.lease_ttl, op.user);
+        if (opened.ok()) {
+            result.inode = opened.take();
+            result.status = Status::make_ok();
+        } else {
+            result.status = opened.status();
+        }
+        break;
+      }
+      case OpType::kCloseSession: {
+        auto closed = tree_.close_session(op.session_id, now);
+        if (closed.ok()) {
+            result.inodes_touched = closed.take();
+            result.status = Status::make_ok();
+        } else {
+            result.status = closed.status();
+        }
+        break;
+      }
+      case OpType::kGcPrune: {
+        ns::NamespaceTree::GcResult gc = tree_.gc_prune(now);
+        result.inodes_touched = gc.reclaimed;
+        result.stats = tree_.statfs();
+        result.status = Status::make_ok();
+        break;
+      }
       default:
         result.status = Status::invalid_argument("bad op");
         break;

@@ -63,8 +63,14 @@ HopsNameNode::serve_read(const Op& op)
     sim::SimTime cpu_wait = sim_.now() - cpu_start;
     const bool attr = sim_.attribution();
 
-    if (cache_) {
+    // statfs aggregates are never cached; symlink follow-ops (read, ls)
+    // need the target under its canonical path, not the cached link.
+    if (cache_ && op.type != OpType::kStatFs) {
         auto cached = cache_->get(op.path);
+        if (cached.has_value() && cached->is_symlink() &&
+            (op.type == OpType::kReadFile || op.type == OpType::kLs)) {
+            cached.reset();
+        }
         if (cached.has_value()) {
             OpResult result;
             if (attr) {
@@ -93,7 +99,7 @@ HopsNameNode::serve_read(const Op& op)
     if (attr) {
         result.ledger.add(sim::LatSeg::kNameNodeCpu, cpu_wait);
     }
-    if (cache_ && result.status.ok()) {
+    if (cache_ && result.status.ok() && op.type != OpType::kStatFs) {
         cache_->put_chain(result.chain);
     }
     result.chain.clear();
@@ -107,7 +113,7 @@ HopsNameNode::write_inv_round(Op op)
     // owning NameNodes while the store's locks are held.
     co_await invalidate_remote(op.path);
     co_await invalidate_remote(path::parent(op.path));
-    if (op.type == OpType::kMv) {
+    if (has_dst_path(op.type)) {
         co_await invalidate_remote(op.dst);
         co_await invalidate_remote(path::parent(op.dst));
     }

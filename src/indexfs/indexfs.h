@@ -20,6 +20,7 @@
 
 #include "src/cache/metadata_cache.h"
 #include "src/cost/pricing.h"
+#include "src/indexfs/flat_registry.h"
 #include "src/lsm/lsm_tree.h"
 #include "src/namespace/namespace_tree.h"
 #include "src/net/network.h"
@@ -52,20 +53,28 @@ class IndexFs;
 /** One IndexFS server: bounded CPU in front of its own LSM instance. */
 class IndexFsServer {
   public:
-    IndexFsServer(sim::Simulation& sim, sim::Rng rng,
+    IndexFsServer(IndexFs& fs, sim::Simulation& sim, sim::Rng rng,
                   const IndexFsConfig& config, int id);
 
     sim::Task<OpResult> serve(Op op, sim::SimTime now_version);
 
     lsm::LsmTree& lsm() { return lsm_; }
+    /** Row-type bookkeeping for this partition (statfs counters). */
+    RowRegistry& rows() { return rows_; }
     int id() const { return id_; }
 
+    /** This partition's statfs contribution (rows + session state). */
+    ns::FsStats local_stats() const;
+
   private:
+    IndexFs& fs_;
     sim::Simulation& sim_;
     int id_;
     sim::SimTime cpu_service_;
     sim::Semaphore cpu_;
     lsm::LsmTree lsm_;
+    RowRegistry rows_;
+    SessionRegistry sessions_;
 };
 
 class IndexFsClient : public workload::DfsClient {
@@ -109,6 +118,7 @@ class IndexFs : public workload::Dfs {
     const IndexFsConfig& config() const { return config_; }
     IndexFsServer& server_for(const std::string& p);
     IndexFsServer& server(int index) { return *servers_.at(index); }
+    int server_count() const { return static_cast<int>(servers_.size()); }
 
     /** Mirror a successful mutation into the logical namespace. */
     void apply_to_mirror(const Op& op, const OpResult& result);

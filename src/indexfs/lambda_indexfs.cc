@@ -111,6 +111,13 @@ LambdaIndexNode::write_coherence(Op op)
     std::vector<coord::Coordinator::InvTarget> targets;
     targets.push_back(coord::Coordinator::InvTarget{
         fs_.deployment_for(op.path), op.path, false});
+    // A hard link overwrites an existing destination row: its cached
+    // copy (keyed at the dst deployment) must flush in the same round.
+    if (has_dst_path(op.type) && fs_.lsm_for(op.dst).contains(op.dst)) {
+        cache_.invalidate(op.dst);
+        targets.push_back(coord::Coordinator::InvTarget{
+            fs_.deployment_for(op.dst), op.dst, false});
+    }
     co_await fs_.coordinator().invalidate(std::move(targets), this);
 }
 
@@ -131,8 +138,41 @@ LambdaIndexNode::handle(faas::Invocation inv)
         sim::SimTime cpu_start = sim.now();
         co_await instance_.compute(fs_.config().fn_read_cpu);
         sim::SimTime cpu_wait = sim.now() - cpu_start;
+        if (op.type == OpType::kStatFs) {
+            // Sweep the per-partition counters (one pass per LSM
+            // instance); the aggregate is never cached.
+            OpResult result;
+            for (int i = 0; i < fs_.lsm_count(); ++i) {
+                co_await instance_.compute(fs_.config().fn_read_cpu);
+            }
+            if (attr) {
+                result.ledger.add(sim::LatSeg::kNameNodeCpu,
+                                  sim.now() - cpu_start);
+            }
+            result.stats.files = fs_.rows().files();
+            result.stats.dirs = fs_.rows().dirs();
+            result.stats.symlinks = fs_.rows().symlinks();
+            result.stats.inodes =
+                fs_.rows().rows() + fs_.sessions().orphans();
+            result.stats.open_sessions = fs_.sessions().open_sessions();
+            result.stats.orphans = fs_.sessions().orphans();
+            result.stats.metadata_bytes = fs_.rows().metadata_bytes();
+            if (const ns::INode* root =
+                    fs_.authoritative_tree().get(ns::kRootId)) {
+                result.inode = *root;
+            }
+            result.inodes_touched = result.stats.inodes;
+            result.status = Status::make_ok();
+            co_return result;
+        }
         if (home) {
             auto cached = cache_.get(op.path);
+            // A cached symlink row serves lstat, not open-for-read
+            // (which must chase the target).
+            if (cached.has_value() && cached->is_symlink() &&
+                op.type == OpType::kReadFile) {
+                cached.reset();
+            }
             if (cached.has_value()) {
                 OpResult result;
                 if (attr) {
@@ -146,6 +186,27 @@ LambdaIndexNode::handle(faas::Invocation inv)
         }
         sim::SimTime lsm_start = sim.now();
         auto got = co_await fs_.lsm_for(op.path).get(op.path);
+        // Open-for-read chases symlink rows across partitions, bounded
+        // like tree resolution (ELOOP past the follow limit).
+        int hops = 0;
+        bool via_symlink = false;
+        while (got.ok() && op.type == OpType::kReadFile &&
+               got->is_symlink()) {
+            if (++hops > ns::kMaxSymlinkFollows) {
+                OpResult result;
+                if (attr) {
+                    result.ledger.add(sim::LatSeg::kNameNodeCpu, cpu_wait);
+                    result.ledger.add(sim::LatSeg::kStoreService,
+                                      sim.now() - lsm_start);
+                }
+                result.status = Status::failed_precondition(
+                    "symlink loop (ELOOP): " + op.path);
+                co_return result;
+            }
+            std::string next = got->symlink_target;
+            via_symlink = true;
+            got = co_await fs_.lsm_for(next).get(next);
+        }
         OpResult result;
         if (attr) {
             result.ledger.add(sim::LatSeg::kNameNodeCpu, cpu_wait);
@@ -158,7 +219,10 @@ LambdaIndexNode::handle(faas::Invocation inv)
         }
         result.status = Status::make_ok();
         result.inode = got.take();
-        if (home) {
+        result.via_symlink = via_symlink;
+        if (home && !via_symlink) {
+            // A symlink-followed target lives under its canonical path
+            // (likely another partition); never cache it under the alias.
             cache_.put(op.path, result.inode);
         }
         co_return result;
@@ -170,9 +234,14 @@ LambdaIndexNode::handle(faas::Invocation inv)
     // Coherence: in the flat metadata-table keyspace, creating a
     // never-before-seen key cannot invalidate cached state (there is no
     // negative caching), so only deletes/overwrites pay the INV round.
+    // Session ops and GC touch the registry, not rows: no INV either.
+    const bool row_mutating =
+        op.type == OpType::kCreateFile || op.type == OpType::kMkdir ||
+        op.type == OpType::kDeleteFile || op.type == OpType::kSymlink ||
+        op.type == OpType::kHardLink || op.type == OpType::kSetAttr;
     sim::SimTime inv_start = sim.now();
-    if (op.type == OpType::kDeleteFile ||
-        fs_.lsm_for(op.path).contains(op.path)) {
+    if (row_mutating && (op.type == OpType::kDeleteFile ||
+                         fs_.lsm_for(op.path).contains(op.path))) {
         co_await write_coherence(op);
     }
     sim::SimTime lsm_start = sim.now();
@@ -181,6 +250,7 @@ LambdaIndexNode::handle(faas::Invocation inv)
         result.ledger.add(sim::LatSeg::kNameNodeCpu, cpu_wait);
         result.ledger.add(sim::LatSeg::kCoherence, lsm_start - inv_start);
     }
+    sim::SimTime now_version = fs_.simulation().now();
     switch (op.type) {
       case OpType::kCreateFile:
       case OpType::kMkdir: {
@@ -190,12 +260,152 @@ LambdaIndexNode::handle(faas::Invocation inv)
         inode.mtime = fs_.simulation().now();
         result.status =
             co_await fs_.lsm_for(op.path).put(op.path, inode);
+        if (result.status.ok()) {
+            fs_.rows().note_put(op.path, inode);
+        }
         result.inode = inode;
         break;
       }
-      case OpType::kDeleteFile:
+      case OpType::kDeleteFile: {
+        if (fs_.sessions().open_count(op.path) > 0) {
+            // Unlink the name; sessions still hold the inode, so stash
+            // it as an orphan until the last close (or GC).
+            auto got = co_await fs_.lsm_for(op.path).get(op.path);
+            if (!got.ok()) {
+                result.status = got.status();
+                break;
+            }
+            ns::INode held = got.take();
+            result.status = co_await fs_.lsm_for(op.path).del(op.path);
+            if (result.status.ok()) {
+                fs_.rows().note_del(op.path);
+                fs_.sessions().orphan(op.path, held);
+            }
+            break;
+        }
         result.status = co_await fs_.lsm_for(op.path).del(op.path);
+        if (result.status.ok()) {
+            fs_.rows().note_del(op.path);
+        }
         break;
+      }
+      case OpType::kSymlink: {
+        if (!path::is_valid(op.dst)) {
+            result.status = Status::invalid_argument(
+                "bad symlink target: " + op.dst);
+            break;
+        }
+        ns::INode inode = synth_inode(op.path, ns::INodeType::kSymlink);
+        inode.perms.mode = 0777;
+        inode.mtime = now_version;
+        inode.ctime = now_version;
+        inode.symlink_target = path::normalize(op.dst);
+        result.status =
+            co_await fs_.lsm_for(op.path).put(op.path, inode);
+        if (result.status.ok()) {
+            fs_.rows().note_put(op.path, inode);
+        }
+        result.inode = inode;
+        break;
+      }
+      case OpType::kHardLink: {
+        auto got = co_await fs_.lsm_for(op.path).get(op.path);
+        if (!got.ok()) {
+            result.status = got.status();
+            break;
+        }
+        ns::INode src = got.take();
+        if (!src.is_file()) {
+            result.status = Status::failed_precondition(
+                "hard link target is not a file: " + op.path);
+            break;
+        }
+        src.nlink += 1;
+        src.ctime = now_version;
+        ++src.version;
+        ns::INode linked = src;
+        linked.name = path::basename(op.dst);
+        result.status = co_await fs_.lsm_for(op.path).put(op.path, src);
+        if (!result.status.ok()) {
+            break;
+        }
+        fs_.rows().note_put(op.path, src);
+        result.status = co_await fs_.lsm_for(op.dst).put(op.dst, linked);
+        if (result.status.ok()) {
+            fs_.rows().note_put(op.dst, linked);
+        }
+        result.inode = linked;
+        break;
+      }
+      case OpType::kSetAttr: {
+        auto got = co_await fs_.lsm_for(op.path).get(op.path);
+        if (!got.ok()) {
+            result.status = got.status();
+            break;
+        }
+        ns::INode inode = got.take();
+        if (!op.user.is_superuser() && op.user.uid != inode.perms.owner) {
+            result.status = Status::permission_denied(
+                "not the owner of " + op.path);
+            break;
+        }
+        if ((op.attr.mask & (AttrUpdate::kOwner | AttrUpdate::kGroup)) !=
+                0 &&
+            !op.user.is_superuser()) {
+            result.status =
+                Status::permission_denied("only the superuser may chown");
+            break;
+        }
+        apply_attr_update(inode, op.attr, now_version);
+        result.status =
+            co_await fs_.lsm_for(op.path).put(op.path, inode);
+        if (result.status.ok()) {
+            fs_.rows().note_put(op.path, inode);
+        }
+        result.inode = inode;
+        break;
+      }
+      case OpType::kOpenSession: {
+        auto got = co_await fs_.lsm_for(op.path).get(op.path);
+        if (!got.ok()) {
+            result.status = got.status();
+            break;
+        }
+        ns::INode inode = got.take();
+        if (!inode.is_file()) {
+            result.status = Status::failed_precondition(
+                "not a file: " + op.path);
+            break;
+        }
+        if (!ns::check_access(inode, op.user, ns::Access::kRead)) {
+            result.status =
+                Status::permission_denied("no read on " + op.path);
+            break;
+        }
+        fs_.sessions().open(op.session_id, op.path,
+                            now_version + op.lease_ttl);
+        result.status = Status::make_ok();
+        result.inode = inode;
+        break;
+      }
+      case OpType::kCloseSession: {
+        result.inodes_touched = fs_.sessions().close(op.session_id);
+        result.status = Status::make_ok();
+        break;
+      }
+      case OpType::kGcPrune: {
+        // One sweep per partition, like the statfs collection.
+        for (int i = 0; i < fs_.lsm_count(); ++i) {
+            co_await instance_.compute(fs_.config().fn_write_cpu);
+        }
+        auto [expired, reclaimed] = fs_.sessions().gc(now_version);
+        (void)expired;
+        result.inodes_touched = reclaimed;
+        result.stats.open_sessions = fs_.sessions().open_sessions();
+        result.stats.orphans = fs_.sessions().orphans();
+        result.status = Status::make_ok();
+        break;
+      }
       default:
         result.status =
             Status::invalid_argument("unsupported lambda-indexfs op");
@@ -353,6 +563,17 @@ LambdaIndexFs::apply_to_mirror(const Op& op)
       case OpType::kDeleteFile:
         mirror_.remove(op.path, root, false, sim_.now());
         break;
+      case OpType::kSymlink:
+        mirror_.mkdirs(path::parent(op.path), root, sim_.now());
+        mirror_.symlink(op.path, op.dst, root, sim_.now());
+        break;
+      case OpType::kHardLink:
+        mirror_.mkdirs(path::parent(op.dst), root, sim_.now());
+        mirror_.link(op.path, op.dst, root, sim_.now());
+        break;
+      case OpType::kSetAttr:
+        mirror_.setattr(op.path, op.attr, root, sim_.now());
+        break;
       default:
         break;
     }
@@ -368,7 +589,9 @@ LambdaIndexFs::preload(const std::string& p, ns::INodeType type)
         mirror_.mkdirs(path::parent(p), root, 0);
         mirror_.create_file(p, root, 0);
     }
-    sim::spawn(preload_put(lsm_for(p), p, synth_inode(p, type)));
+    ns::INode inode = synth_inode(p, type);
+    rows_.note_put(p, inode);
+    sim::spawn(preload_put(lsm_for(p), p, std::move(inode)));
 }
 
 int

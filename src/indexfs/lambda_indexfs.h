@@ -131,6 +131,17 @@ class LambdaIndexFs : public workload::Dfs {
     /** Untimed preload of an existing path (workload setup). */
     void preload(const std::string& p, ns::INodeType type);
 
+    /**
+     * Row-type bookkeeping for statfs counters. Central (not per
+     * function instance): instances are ephemeral, the keyspace is not.
+     */
+    RowRegistry& rows() { return rows_; }
+
+    /** File-session lease registry (survives instance churn). */
+    SessionRegistry& sessions() { return sessions_; }
+
+    int lsm_count() const { return static_cast<int>(lsm_instances_.size()); }
+
   private:
     sim::Simulation& sim_;
     LambdaIndexFsConfig config_;
@@ -143,6 +154,8 @@ class LambdaIndexFs : public workload::Dfs {
     ConsistentHashRing lsm_ring_;
     std::vector<std::unique_ptr<lsm::LsmTree>> lsm_instances_;
     ns::NamespaceTree mirror_;
+    RowRegistry rows_;
+    SessionRegistry sessions_;
     std::vector<std::unique_ptr<LambdaIndexClient>> clients_;
     workload::SystemMetrics metrics_;
 };

@@ -31,7 +31,14 @@ CacheNode::handle(faas::Invocation inv)
         sim::SimTime cpu_start = sim.now();
         co_await instance_.compute(fs_.config().read_cpu);
         sim::SimTime cpu_wait = sim.now() - cpu_start;
-        auto cached = cache_.get(op.path);
+        // statfs aggregates are never cached; a cached symlink cannot
+        // satisfy follow-ops (read, ls), which resolve the target.
+        auto cached = op.type == OpType::kStatFs ? std::optional<ns::INode>()
+                                                 : cache_.get(op.path);
+        if (cached.has_value() && cached->is_symlink() &&
+            (op.type == OpType::kReadFile || op.type == OpType::kLs)) {
+            cached.reset();
+        }
         if (cached.has_value()) {
             OpResult result;
             if (attr) {
@@ -59,9 +66,12 @@ CacheNode::handle(faas::Invocation inv)
         if (attr) {
             result.ledger.add(sim::LatSeg::kNameNodeCpu, cpu_wait);
         }
-        if (result.status.ok()) {
+        if (result.status.ok() && op.type != OpType::kStatFs &&
+            !result.via_symlink) {
             // Single-copy discipline: cache only the target (this
             // function owns exactly the partition that hashes here).
+            // A symlink-resolved target is keyed by its canonical path,
+            // never the alias the client asked through.
             cache_.put(op.path, result.inode);
         }
         result.chain.clear();
@@ -97,7 +107,7 @@ CacheNode::write_invalidations(Op op)
 {
     co_await fs_.invalidate_at_owner(op.path);
     co_await fs_.invalidate_at_owner(path::parent(op.path));
-    if (op.type == OpType::kMv) {
+    if (has_dst_path(op.type)) {
         co_await fs_.invalidate_at_owner(op.dst);
         co_await fs_.invalidate_at_owner(path::parent(op.dst));
     }

@@ -19,7 +19,7 @@ using INodeId = int64_t;
 constexpr INodeId kInvalidId = 0;
 constexpr INodeId kRootId = 1;
 
-enum class INodeType : uint8_t { kFile = 0, kDirectory = 1 };
+enum class INodeType : uint8_t { kFile = 0, kDirectory = 1, kSymlink = 2 };
 
 /** POSIX-ish permission bits (only user/other read-write-execute used). */
 struct Permissions {
@@ -40,16 +40,58 @@ struct INode {
     sim::SimTime mtime = 0;
     sim::SimTime ctime = 0;
     uint64_t version = 0;  ///< bumped on every mutation (cache validation)
+    /**
+     * Directory-entry reference count. Files start at 1 and gain a link
+     * per `link()`; the inode is reclaimed when the count hits zero and
+     * no file session holds it open (DESIGN.md §12). Directories and
+     * symlinks always have exactly one entry.
+     */
+    int32_t nlink = 1;
+    /** Absolute target path (symlinks only, "" otherwise). */
+    std::string symlink_target;
 
     bool is_dir() const { return type == INodeType::kDirectory; }
     bool is_file() const { return type == INodeType::kFile; }
+    bool is_symlink() const { return type == INodeType::kSymlink; }
 
     /**
      * Approximate serialized size, used for cache capacity accounting.
-     * Mirrors HopsFS' on-NDB row footprint: fixed fields plus the name.
+     * Mirrors HopsFS' on-NDB row footprint: fixed fields plus the name
+     * (and, for symlinks, the stored target path).
      */
-    size_t metadata_bytes() const { return 96 + name.size(); }
+    size_t metadata_bytes() const
+    {
+        return 96 + name.size() + symlink_target.size();
+    }
 };
+
+/**
+ * Namespace-wide counters served by `statfs`. Collected from per-shard
+ * aggregates in the sharded store; each tree maintains the type counts
+ * incrementally so the collection itself is O(shards), not O(inodes).
+ */
+struct FsStats {
+    int64_t inodes = 0;        ///< live inode records (incl. orphans)
+    int64_t files = 0;
+    int64_t dirs = 0;
+    int64_t symlinks = 0;
+    int64_t open_sessions = 0; ///< file sessions with unexpired leases
+    int64_t orphans = 0;       ///< unlinked-but-open inodes awaiting GC
+    int64_t metadata_bytes = 0;
+};
+
+/** Fold one shard/partition's counters into an aggregate. */
+inline void
+accumulate(FsStats& into, const FsStats& part)
+{
+    into.inodes += part.inodes;
+    into.files += part.files;
+    into.dirs += part.dirs;
+    into.symlinks += part.symlinks;
+    into.open_sessions += part.open_sessions;
+    into.orphans += part.orphans;
+    into.metadata_bytes += part.metadata_bytes;
+}
 
 /** Identity of the principal performing an operation. */
 struct UserContext {

@@ -32,7 +32,15 @@ NamespaceTree::NamespaceTree()
 }
 
 StatusOr<ResolvedPath>
-NamespaceTree::resolve(std::string_view p, const UserContext& user) const
+NamespaceTree::resolve(std::string_view p, const UserContext& user,
+                       Follow follow) const
+{
+    return resolve_ex(p, user, follow == Follow::kFinal, 0);
+}
+
+StatusOr<ResolvedPath>
+NamespaceTree::resolve_ex(std::string_view p, const UserContext& user,
+                          bool follow_final, int depth) const
 {
     if (!path::is_valid(p)) {
         return Status::invalid_argument(describe("bad path: ", p));
@@ -40,7 +48,21 @@ NamespaceTree::resolve(std::string_view p, const UserContext& user) const
     ResolvedPath out;
     const INode* cur = &nodes_.at(kRootId);
     out.chain.push_back(*cur);
-    for (std::string_view comp : path::PathView(p)) {
+    // Walk components by offset (not PathView) so a symlink splice can
+    // recover the unconsumed suffix of the path.
+    size_t i = 0;
+    while (i < p.size()) {
+        while (i < p.size() && p[i] == '/') {
+            ++i;
+        }
+        size_t start = i;
+        while (i < p.size() && p[i] != '/') {
+            ++i;
+        }
+        if (i == start) {
+            break;
+        }
+        std::string_view comp = p.substr(start, i - start);
         if (!cur->is_dir()) {
             return Status::not_found(describe("not a directory on path: ", p));
         }
@@ -52,7 +74,24 @@ NamespaceTree::resolve(std::string_view p, const UserContext& user) const
         if (child == kInvalidId) {
             return Status::not_found(describe("no such path: ", p));
         }
-        cur = &nodes_.at(child);
+        const INode& node = nodes_.at(child);
+        bool last = p.find_first_not_of('/', i) == std::string_view::npos;
+        if (node.is_symlink() && (!last || follow_final)) {
+            if (depth + 1 > kMaxSymlinkFollows) {
+                return Status::failed_precondition(
+                    describe("symlink loop (ELOOP): ", p));
+            }
+            // Splice: restart resolution at the link target with the
+            // unconsumed suffix (which starts with '/' or is empty).
+            std::string next(node.symlink_target);
+            next.append(p.substr(i));
+            auto spliced = resolve_ex(next, user, follow_final, depth + 1);
+            if (spliced.ok()) {
+                spliced->via_symlink = true;
+            }
+            return spliced;
+        }
+        cur = &node;
         out.chain.push_back(*cur);
     }
     return out;
@@ -61,7 +100,7 @@ NamespaceTree::resolve(std::string_view p, const UserContext& user) const
 StatusOr<INode>
 NamespaceTree::stat(std::string_view p, const UserContext& user) const
 {
-    auto resolved = resolve(p, user);
+    auto resolved = resolve(p, user, Follow::kNoFinal);
     if (!resolved.ok()) {
         return resolved.status();
     }
@@ -142,7 +181,20 @@ NamespaceTree::add_node(INodeId parent, std::string_view name, INodeType type,
     node.parent = parent;
     node.name = std::string(name);
     node.type = type;
-    node.perms.mode = type == INodeType::kDirectory ? 0755 : 0644;
+    switch (type) {
+      case INodeType::kDirectory:
+        node.perms.mode = 0755;
+        ++dirs_;
+        break;
+      case INodeType::kFile:
+        node.perms.mode = 0644;
+        ++files_;
+        break;
+      case INodeType::kSymlink:
+        node.perms.mode = 0777;
+        ++symlinks_;
+        break;
+    }
     node.perms.owner = user.uid;
     node.perms.group = user.gid;
     node.mtime = now;
@@ -212,23 +264,88 @@ NamespaceTree::mkdirs(std::string_view p, const UserContext& user,
     return *cur;
 }
 
-void
-NamespaceTree::remove_subtree(INodeId id, int64_t* removed)
+int32_t
+NamespaceTree::open_count(INodeId id) const
 {
-    auto it = children_.find(id);
-    if (it != children_.end()) {
-        // Copy ids: removal mutates the child map.
-        std::vector<INodeId> kids;
-        kids.reserve(it->second.size());
-        for (const auto& [name_id, cid] : it->second) {
-            kids.push_back(cid);
+    auto it = open_counts_.find(id);
+    return it == open_counts_.end() ? 0 : it->second;
+}
+
+void
+NamespaceTree::drop_link_record(INodeId id, INodeId parent, uint32_t name)
+{
+    auto it = links_.find(id);
+    if (it == links_.end()) {
+        return;
+    }
+    auto& refs = it->second;
+    for (size_t i = 0; i < refs.size(); ++i) {
+        if (refs[i].parent == parent && refs[i].name == name) {
+            refs.erase(refs.begin() + static_cast<ptrdiff_t>(i));
+            break;
         }
-        for (INodeId cid : kids) {
-            remove_subtree(cid, removed);
+    }
+    INode& node = nodes_.at(id);
+    bool dropped_primary =
+        node.parent == parent && names_.find(node.name) == name;
+    if (dropped_primary && !refs.empty()) {
+        node.parent = refs.front().parent;
+        node.name = names_.name(refs.front().name);
+    }
+    // One entry left: INode::parent/name describe it fully again.
+    if (refs.size() <= 1) {
+        links_.erase(it);
+    }
+}
+
+void
+NamespaceTree::reap(INodeId id, INodeId via_parent, uint32_t via_name,
+                    int64_t* removed, sim::SimTime now)
+{
+    INode& node = nodes_.at(id);
+    if (node.is_dir()) {
+        auto it = children_.find(id);
+        if (it != children_.end()) {
+            // Copy entries: removal mutates the child map.
+            std::vector<std::pair<uint32_t, INodeId>> kids(it->second.begin(),
+                                                           it->second.end());
+            for (const auto& [name_id, cid] : kids) {
+                reap(cid, id, name_id, removed, now);
+            }
+            children_.erase(id);
         }
-        children_.erase(id);
+        nodes_.erase(id);
+        --dirs_;
+        ++*removed;
+        return;
+    }
+    if (node.is_symlink()) {
+        nodes_.erase(id);
+        --symlinks_;
+        ++*removed;
+        return;
+    }
+    drop_link_record(id, via_parent, via_name);
+    if (node.nlink > 1) {
+        // Another directory entry still references the inode.
+        --node.nlink;
+        node.ctime = now;
+        ++node.version;
+        ++*removed;
+        return;
+    }
+    if (open_count(id) > 0) {
+        // Unlinked-but-open: orphan until the last session releases it.
+        node.parent = kInvalidId;
+        node.nlink = 0;
+        node.ctime = now;
+        ++node.version;
+        orphans_.insert(id);
+        ++*removed;
+        return;
     }
     nodes_.erase(id);
+    --files_;
     ++*removed;
 }
 
@@ -239,12 +356,18 @@ NamespaceTree::remove(std::string_view p, const UserContext& user,
     if (p == "/") {
         return Status::invalid_argument("cannot delete root");
     }
-    auto resolved = resolve(p, user);
+    // No-follow: deleting a symlink removes the link, not its target.
+    auto resolved = resolve(p, user, Follow::kNoFinal);
     if (!resolved.ok()) {
         return resolved.status();
     }
     INode target = resolved->target();
-    INode& parent = nodes_.at(target.parent);
+    // The entry being removed is (traversed dir, final component): with
+    // hard links the inode's primary parent/name may be a different
+    // entry; with intermediate symlinks the traversed dir may differ
+    // from a textual parent(p).
+    INodeId parent_id = resolved->chain[resolved->chain.size() - 2].id;
+    INode& parent = nodes_.at(parent_id);
     if (!check_access(parent, user, Access::kWrite)) {
         return Status::permission_denied(
             describe("no write on parent of ", p));
@@ -253,9 +376,10 @@ NamespaceTree::remove(std::string_view p, const UserContext& user,
         return Status::failed_precondition(
             describe("directory not empty: ", p));
     }
+    uint32_t name_id = names_.find(path::basename_view(p));
     int64_t removed = 0;
-    remove_subtree(target.id, &removed);
-    children_[parent.id].erase(names_.find(target.name));
+    children_[parent_id].erase(name_id);
+    reap(target.id, parent_id, name_id, &removed, now);
     parent.mtime = now;
     ++parent.version;
     return removed;
@@ -282,7 +406,8 @@ NamespaceTree::rename(std::string_view src, std::string_view dst,
         return Status::invalid_argument("bad rename: " + std::string(src) +
                                         " -> " + std::string(dst));
     }
-    auto resolved = resolve(src, user);
+    // No-follow: renaming a symlink moves the link itself.
+    auto resolved = resolve(src, user, Follow::kNoFinal);
     if (!resolved.ok()) {
         return resolved.status();
     }
@@ -302,7 +427,11 @@ NamespaceTree::rename(std::string_view src, std::string_view dst,
     if (lookup_child(dst_parent_id, dst_name) != kInvalidId) {
         return Status::already_exists(describe("destination exists: ", dst));
     }
-    INode& src_parent = nodes_.at(target.parent);
+    // The entry being moved is (traversed dir, final component of src) —
+    // see remove() for why this may differ from the inode's primary.
+    INodeId src_parent_id = resolved->chain[resolved->chain.size() - 2].id;
+    uint32_t src_name_id = names_.find(path::basename_view(src));
+    INode& src_parent = nodes_.at(src_parent_id);
     INode& dst_parent = nodes_.at(dst_parent_id);
     if (!check_access(src_parent, user, Access::kWrite) ||
         !check_access(dst_parent, user, Access::kWrite)) {
@@ -312,18 +441,238 @@ NamespaceTree::rename(std::string_view src, std::string_view dst,
         return Status::invalid_argument("cannot move under itself");
     }
 
-    children_[src_parent.id].erase(names_.find(target.name));
+    children_[src_parent_id].erase(src_name_id);
     src_parent.mtime = now;
     ++src_parent.version;
     INode& node = nodes_.at(target.id);
-    node.parent = dst_parent_id;
-    node.name = std::string(dst_name);
+    uint32_t dst_name_id = names_.intern(dst_name);
+    children_[dst_parent_id][dst_name_id] = node.id;
+    auto lit = links_.find(node.id);
+    if (lit != links_.end()) {
+        for (LinkRef& ref : lit->second) {
+            if (ref.parent == src_parent_id && ref.name == src_name_id) {
+                ref = {dst_parent_id, dst_name_id};
+                break;
+            }
+        }
+    }
+    // Re-point the primary unless a *secondary* link of a multi-link
+    // file moved (the primary entry still exists unchanged).
+    bool was_primary = node.parent == src_parent_id &&
+                       names_.find(node.name) == src_name_id;
+    if (was_primary || lit == links_.end()) {
+        node.parent = dst_parent_id;
+        node.name = std::string(dst_name);
+    }
     node.mtime = now;
     ++node.version;
-    children_[dst_parent_id][names_.intern(dst_name)] = node.id;
     dst_parent.mtime = now;
     ++dst_parent.version;
     return Status::make_ok();
+}
+
+StatusOr<INode>
+NamespaceTree::link(std::string_view src, std::string_view dst,
+                    const UserContext& user, sim::SimTime now)
+{
+    if (!path::is_valid(src) || !path::is_valid(dst) || src == "/" ||
+        dst == "/") {
+        return Status::invalid_argument("bad link: " + std::string(src) +
+                                        " -> " + std::string(dst));
+    }
+    // No-follow: link(symlink, ...) would alias the link object itself,
+    // which we reject below (files only, as HDFS/3FS do).
+    auto resolved = resolve(src, user, Follow::kNoFinal);
+    if (!resolved.ok()) {
+        return resolved.status();
+    }
+    const INode& target = resolved->target();
+    if (!target.is_file()) {
+        return Status::failed_precondition(
+            describe("hard link target not a file: ", src));
+    }
+    auto parent = resolve_mutable_parent(dst, user);
+    if (!parent.ok()) {
+        return parent.status();
+    }
+    std::string_view name = path::basename_view(dst);
+    if (lookup_child((*parent)->id, name) != kInvalidId) {
+        return Status::already_exists(describe("exists: ", dst));
+    }
+    INode& node = nodes_.at(target.id);
+    uint32_t name_id = names_.intern(name);
+    auto& refs = links_[node.id];
+    if (refs.empty()) {
+        // First extra link: register the primary entry too.
+        refs.push_back({node.parent, names_.find(node.name)});
+    }
+    refs.push_back({(*parent)->id, name_id});
+    children_[(*parent)->id][name_id] = node.id;
+    ++node.nlink;
+    node.ctime = now;
+    ++node.version;
+    (*parent)->mtime = now;
+    ++(*parent)->version;
+    return node;
+}
+
+StatusOr<INode>
+NamespaceTree::symlink(std::string_view link_path, std::string_view target,
+                       const UserContext& user, sim::SimTime now)
+{
+    if (!path::is_valid(link_path) || link_path == "/") {
+        return Status::invalid_argument(describe("bad path: ", link_path));
+    }
+    if (!path::is_valid(target)) {
+        return Status::invalid_argument(
+            describe("symlink target must be an absolute path: ", target));
+    }
+    auto parent = resolve_mutable_parent(link_path, user);
+    if (!parent.ok()) {
+        return parent.status();
+    }
+    std::string_view name = path::basename_view(link_path);
+    if (lookup_child((*parent)->id, name) != kInvalidId) {
+        return Status::already_exists(describe("exists: ", link_path));
+    }
+    INode& node =
+        add_node((*parent)->id, name, INodeType::kSymlink, user, now);
+    node.symlink_target = path::normalize(target);
+    return node;
+}
+
+StatusOr<INode>
+NamespaceTree::setattr(std::string_view p, const AttrUpdate& update,
+                       const UserContext& user, sim::SimTime now)
+{
+    auto resolved = resolve(p, user, Follow::kFinal);
+    if (!resolved.ok()) {
+        return resolved.status();
+    }
+    INode& node = nodes_.at(resolved->target().id);
+    if (!user.is_superuser() && user.uid != node.perms.owner) {
+        return Status::permission_denied(describe("not the owner of ", p));
+    }
+    if ((update.mask & (AttrUpdate::kOwner | AttrUpdate::kGroup)) != 0 &&
+        !user.is_superuser()) {
+        return Status::permission_denied("only the superuser may chown");
+    }
+    apply_attr_update(node, update, now);
+    return node;
+}
+
+StatusOr<INode>
+NamespaceTree::open_session(std::string_view p, uint64_t session_id,
+                            sim::SimTime expiry, const UserContext& user)
+{
+    if (sessions_.find(session_id) != sessions_.end()) {
+        return Status::already_exists("session already open: " +
+                                      std::to_string(session_id));
+    }
+    auto resolved = resolve(p, user, Follow::kFinal);
+    if (!resolved.ok()) {
+        return resolved.status();
+    }
+    const INode& target = resolved->target();
+    if (!target.is_file()) {
+        return Status::failed_precondition(describe("not a file: ", p));
+    }
+    if (!check_access(target, user, Access::kRead)) {
+        return Status::permission_denied(describe("no read on ", p));
+    }
+    sessions_[session_id] = {session_id, target.id, expiry};
+    ++open_counts_[target.id];
+    return target;
+}
+
+StatusOr<int64_t>
+NamespaceTree::close_session(uint64_t session_id, sim::SimTime now)
+{
+    auto it = sessions_.find(session_id);
+    if (it == sessions_.end()) {
+        return Status::not_found("no such session: " +
+                                 std::to_string(session_id));
+    }
+    INodeId id = it->second.inode;
+    sessions_.erase(it);
+    auto oc = open_counts_.find(id);
+    if (oc != open_counts_.end() && --oc->second <= 0) {
+        open_counts_.erase(oc);
+        if (orphans_.erase(id) > 0) {
+            // Last holder of an unlinked inode: reclaim it now.
+            nodes_.erase(id);
+            --files_;
+            (void)now;
+            return 1;
+        }
+    }
+    return 0;
+}
+
+NamespaceTree::GcResult
+NamespaceTree::gc_prune(sim::SimTime now)
+{
+    GcResult out;
+    // Sorted sweep so reclaim order is independent of hash-map layout.
+    std::vector<uint64_t> expired;
+    for (const auto& [sid, session] : sessions_) {
+        if (session.expiry <= now) {
+            expired.push_back(sid);
+        }
+    }
+    std::sort(expired.begin(), expired.end());
+    for (uint64_t sid : expired) {
+        auto closed = close_session(sid, now);
+        ++out.expired_sessions;
+        out.reclaimed += closed.ok() ? *closed : 0;
+    }
+    // Crashed-session leftovers: orphans nothing holds open any more.
+    for (auto it = orphans_.begin(); it != orphans_.end();) {
+        if (open_count(*it) == 0) {
+            nodes_.erase(*it);
+            --files_;
+            ++out.reclaimed;
+            it = orphans_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    return out;
+}
+
+FsStats
+NamespaceTree::statfs() const
+{
+    FsStats stats;
+    stats.inodes = static_cast<int64_t>(nodes_.size());
+    stats.files = files_;
+    stats.dirs = dirs_;
+    stats.symlinks = symlinks_;
+    stats.open_sessions = static_cast<int64_t>(sessions_.size());
+    stats.orphans = static_cast<int64_t>(orphans_.size());
+    stats.metadata_bytes = static_cast<int64_t>(total_metadata_bytes());
+    return stats;
+}
+
+std::vector<INodeId>
+NamespaceTree::orphan_ids() const
+{
+    return {orphans_.begin(), orphans_.end()};
+}
+
+std::vector<NamespaceTree::SessionView>
+NamespaceTree::sessions() const
+{
+    std::vector<SessionView> out;
+    out.reserve(sessions_.size());
+    for (const auto& [sid, session] : sessions_) {
+        out.push_back(session);
+    }
+    std::sort(out.begin(), out.end(),
+              [](const SessionView& a, const SessionView& b) {
+                  return a.id < b.id;
+              });
+    return out;
 }
 
 const INode*
@@ -373,7 +722,10 @@ NamespaceTree::children(INodeId dir) const
 StatusOr<int64_t>
 NamespaceTree::subtree_size(std::string_view p, const UserContext& user) const
 {
-    auto resolved = resolve(p, user);
+    // No-follow, matching remove/rename: subtree ops act on the entry
+    // itself, so sizing a final symlink must count the link (1 row),
+    // not the target's subtree — and must not fail on a dangling link.
+    auto resolved = resolve(p, user, Follow::kNoFinal);
     if (!resolved.ok()) {
         return resolved.status();
     }

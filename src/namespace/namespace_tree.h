@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <set>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -78,9 +79,28 @@ class NameTable {
 /** Result of resolving a path: the inode chain from root to target. */
 struct ResolvedPath {
     std::vector<INode> chain;  ///< root first, target last
+    /**
+     * True when any symlink was dereferenced: the chain is then the
+     * canonical post-resolution chain, and the *request* path must not
+     * be used as a cache key for the target (invalidations go to the
+     * canonical path, never the alias).
+     */
+    bool via_symlink = false;
 
     const INode& target() const { return chain.back(); }
 };
+
+/**
+ * Whether resolution dereferences a symlink in the *final* position.
+ * Intermediate symlink components are always followed. Reads that open
+ * the target (read, ls, setattr, open-session) follow; ops that operate
+ * on the link itself (stat/lstat, delete, rename source, hard-link
+ * source) do not.
+ */
+enum class Follow : uint8_t { kFinal, kNoFinal };
+
+/** Symlink dereference bound; exceeding it fails with ELOOP semantics. */
+constexpr int kMaxSymlinkFollows = 8;
 
 class NamespaceTree {
   public:
@@ -93,12 +113,16 @@ class NamespaceTree {
 
     /**
      * Resolve @p path, checking execute permission on every ancestor
-     * directory. Returns the full inode chain (root..target).
+     * directory and following symlinks (bounded by kMaxSymlinkFollows;
+     * ELOOP surfaces as FAILED_PRECONDITION). Returns the full inode
+     * chain (root..target); after a symlink splice the chain is the
+     * canonical post-resolution chain.
      */
     StatusOr<ResolvedPath> resolve(std::string_view path,
-                                   const UserContext& user) const;
+                                   const UserContext& user,
+                                   Follow follow = Follow::kFinal) const;
 
-    /** getattr. */
+    /** getattr with lstat semantics: a final symlink is not followed. */
     StatusOr<INode> stat(std::string_view path, const UserContext& user) const;
 
     /** Open-for-read on a file: requires read permission on the target. */
@@ -133,10 +157,70 @@ class NamespaceTree {
 
     /**
      * Rename @p src to @p dst. The destination must not exist; its parent
-     * must. Moving a directory moves the whole subtree.
+     * must. Moving a directory moves the whole subtree. A final symlink
+     * at @p src moves the link itself.
      */
     Status rename(std::string_view src, std::string_view dst,
                   const UserContext& user, sim::SimTime now);
+
+    /**
+     * Hard link: add directory entry @p dst for the existing file at
+     * @p src (files only; directories and symlinks are rejected). Bumps
+     * the shared inode's link count.
+     */
+    StatusOr<INode> link(std::string_view src, std::string_view dst,
+                         const UserContext& user, sim::SimTime now);
+
+    /**
+     * Create a symbolic link at @p link_path whose stored target is the
+     * absolute path @p target. The target need not exist (dangling links
+     * are legal); it is validated syntactically only.
+     */
+    StatusOr<INode> symlink(std::string_view link_path,
+                            std::string_view target, const UserContext& user,
+                            sim::SimTime now);
+
+    /**
+     * Update mode/owner/group/times per @p update's mask. Follows a
+     * final symlink (chmod semantics). Owner or superuser only; chown
+     * itself is superuser-only.
+     */
+    StatusOr<INode> setattr(std::string_view path, const AttrUpdate& update,
+                            const UserContext& user, sim::SimTime now);
+
+    // ------------------------------------------------------------------
+    // File sessions, orphans, and GC (DESIGN.md §12)
+    // ------------------------------------------------------------------
+
+    /**
+     * Open a leased session on the file at @p path (follows symlinks).
+     * @p session_id must be globally unique; @p expiry is the absolute
+     * lease expiry. While any session holds an inode, unlinking its last
+     * directory entry orphans the inode instead of reclaiming it.
+     */
+    StatusOr<INode> open_session(std::string_view path, uint64_t session_id,
+                                 sim::SimTime expiry, const UserContext& user);
+
+    /**
+     * Close a session. @return the number of orphaned inodes reclaimed
+     * (1 when this was the last session holding an unlinked inode).
+     */
+    StatusOr<int64_t> close_session(uint64_t session_id, sim::SimTime now);
+
+    struct GcResult {
+        int64_t expired_sessions = 0;  ///< sessions pruned (lease passed)
+        int64_t reclaimed = 0;         ///< orphaned inodes reclaimed
+    };
+
+    /**
+     * Background prune pass: expire every session whose lease has passed
+     * at @p now (crashed-client leftovers) and reclaim orphaned inodes
+     * no live session holds.
+     */
+    GcResult gc_prune(sim::SimTime now);
+
+    /** Namespace-wide counters (statfs). O(inodes) in metadata_bytes. */
+    FsStats statfs() const;
 
     // ------------------------------------------------------------------
     // Introspection (used by stores, caches, and tests)
@@ -154,7 +238,11 @@ class NamespaceTree {
      */
     std::vector<INodeId> children(INodeId dir) const;
 
-    /** Number of inodes in the subtree rooted at @p path (incl. root). */
+    /**
+     * Number of inodes in the subtree rooted at @p path (incl. root).
+     * lstat semantics: a final symlink counts as one row, matching what
+     * remove/rename would act on.
+     */
     StatusOr<int64_t> subtree_size(std::string_view path,
                                    const UserContext& user) const;
 
@@ -170,21 +258,74 @@ class NamespaceTree {
     /** Distinct component names interned so far (diagnostics). */
     size_t interned_names() const { return names_.size(); }
 
+    /** Open (unexpired or not-yet-pruned) session count. */
+    size_t open_session_count() const { return sessions_.size(); }
+
+    /** Unlinked-but-held inodes awaiting session close or GC. */
+    size_t orphan_count() const { return orphans_.size(); }
+
+    /** Orphaned inode ids, ascending (test/oracle introspection). */
+    std::vector<INodeId> orphan_ids() const;
+
+    /** One open file session (test/oracle introspection). */
+    struct SessionView {
+        uint64_t id = 0;
+        INodeId inode = kInvalidId;
+        sim::SimTime expiry = 0;
+    };
+
+    /** All open sessions, ascending by session id. */
+    std::vector<SessionView> sessions() const;
+
   private:
     /** Child map of one directory: interned name id -> inode id. */
     using ChildMap = std::unordered_map<uint32_t, INodeId>;
 
+    /** One directory entry referencing a multi-link file. */
+    struct LinkRef {
+        INodeId parent = kInvalidId;
+        uint32_t name = NameTable::kNoName;
+    };
+
+    StatusOr<ResolvedPath> resolve_ex(std::string_view path,
+                                      const UserContext& user,
+                                      bool follow_final, int depth) const;
     StatusOr<INode*> resolve_mutable_parent(std::string_view path,
                                             const UserContext& user);
     INode& add_node(INodeId parent, std::string_view name, INodeType type,
                     const UserContext& user, sim::SimTime now);
-    void remove_subtree(INodeId id, int64_t* removed);
+    /**
+     * Release the inode whose directory entry (@p via_parent, @p via_name)
+     * the caller has removed (or is removing): recurse into directories,
+     * decrement multi-link files, orphan session-held files, and erase
+     * everything else.
+     */
+    void reap(INodeId id, INodeId via_parent, uint32_t via_name,
+              int64_t* removed, sim::SimTime now);
+    /** Drop one (parent, name) entry from links_[id]; re-point the
+     *  primary (INode::parent/name) if that entry was the primary. */
+    void drop_link_record(INodeId id, INodeId parent, uint32_t name);
+    int32_t open_count(INodeId id) const;
     bool is_ancestor(INodeId maybe_ancestor, INodeId node) const;
 
     std::unordered_map<INodeId, INode> nodes_;
     std::unordered_map<INodeId, ChildMap> children_;
     NameTable names_;
+    /**
+     * All directory entries of files with nlink > 1 (id-keyed link
+     * resolution). Populated lazily on the first link(); single-link
+     * files are fully described by INode::parent/name.
+     */
+    std::unordered_map<INodeId, std::vector<LinkRef>> links_;
+    std::unordered_map<uint64_t, SessionView> sessions_;
+    std::unordered_map<INodeId, int32_t> open_counts_;
+    /** Ordered so GC reclaim sweeps deterministically. */
+    std::set<INodeId> orphans_;
     INodeId next_id_ = kRootId + 1;
+    /** Incremental type counts so statfs collection is O(1) per shard. */
+    int64_t files_ = 0;
+    int64_t dirs_ = 1;  ///< "/"
+    int64_t symlinks_ = 0;
 };
 
 }  // namespace lfs::ns

@@ -29,6 +29,13 @@ enum class OpType : uint8_t {
     kLs,              ///< list directory children
     kSubtreeMv,       ///< recursive mv of a large directory (Table 3)
     kSubtreeDelete,   ///< recursive delete
+    kHardLink,        ///< add a directory entry for an existing file
+    kSymlink,         ///< create a symbolic link (dst holds the target)
+    kSetAttr,         ///< chmod/chown/utimes (Op::attr carries the update)
+    kStatFs,          ///< namespace-wide counters from shard aggregates
+    kOpenSession,     ///< open a leased file session (Op::session_id)
+    kCloseSession,    ///< close a file session; may reclaim an orphan
+    kGcPrune,         ///< expire stale leases and reclaim orphaned inodes
     kCount,
 };
 
@@ -40,7 +47,7 @@ constexpr bool
 is_read_op(OpType type)
 {
     return type == OpType::kReadFile || type == OpType::kStat ||
-           type == OpType::kLs;
+           type == OpType::kLs || type == OpType::kStatFs;
 }
 
 /** True for subtree-granularity operations. */
@@ -50,6 +57,57 @@ is_subtree_op(OpType type)
     return type == OpType::kSubtreeMv || type == OpType::kSubtreeDelete;
 }
 
+/**
+ * True when Op::dst names a second path mutated by the op (the rename
+ * destination or the new hard-link name). kSymlink's dst is the stored
+ * target string — the target itself is never touched, so it is excluded.
+ */
+constexpr bool
+has_dst_path(OpType type)
+{
+    return type == OpType::kMv || type == OpType::kSubtreeMv ||
+           type == OpType::kHardLink;
+}
+
+/** Attribute update carried by kSetAttr (mask selects applied fields). */
+struct AttrUpdate {
+    enum Field : uint8_t {
+        kMode = 1,
+        kOwner = 2,
+        kGroup = 4,
+        kTimes = 8,
+    };
+    uint8_t mask = 0;
+    uint16_t mode = 0644;
+    int32_t owner = 0;
+    int32_t group = 0;
+    sim::SimTime mtime = 0;  ///< applied when kTimes is set
+};
+
+/**
+ * Apply @p u's masked fields to @p inode and stamp the change (ctime,
+ * version). Permission checks are the caller's job — this is the shared
+ * mutation every backend (tree rows, LSM rows) performs identically.
+ */
+inline void
+apply_attr_update(ns::INode& inode, const AttrUpdate& u, sim::SimTime now)
+{
+    if ((u.mask & AttrUpdate::kMode) != 0) {
+        inode.perms.mode = u.mode;
+    }
+    if ((u.mask & AttrUpdate::kOwner) != 0) {
+        inode.perms.owner = u.owner;
+    }
+    if ((u.mask & AttrUpdate::kGroup) != 0) {
+        inode.perms.group = u.group;
+    }
+    if ((u.mask & AttrUpdate::kTimes) != 0) {
+        inode.mtime = u.mtime;
+    }
+    inode.ctime = now;
+    ++inode.version;
+}
+
 /** One client metadata request. */
 struct Op {
     OpType type = OpType::kStat;
@@ -57,6 +115,10 @@ struct Op {
     std::string dst;         ///< destination (mv only)
     ns::UserContext user;    ///< principal
     uint64_t op_id = 0;      ///< unique id (dedup of resubmitted requests)
+    AttrUpdate attr;         ///< kSetAttr payload
+    uint64_t session_id = 0;  ///< kOpenSession/kCloseSession session id
+    /** Lease duration granted at kOpenSession (expiry = commit + ttl). */
+    sim::SimTime lease_ttl = 0;
     sim::TraceContext trace;  ///< tracing context; each layer re-parents it
     /**
      * Absolute completion deadline propagated with the request (-1 =
@@ -83,6 +145,12 @@ struct OpResult {
     std::vector<std::string> children;  ///< ls results
     bool cache_hit = false;             ///< served from a metadata cache
     int64_t inodes_touched = 1;         ///< rows affected (subtree ops)
+    ns::FsStats stats;                  ///< kStatFs payload
+    /**
+     * Resolution dereferenced a symlink: the request path is an alias,
+     * so path-keyed caches must not store the target under it.
+     */
+    bool via_symlink = false;
     /**
      * Latency attribution ledger (DESIGN.md §11). Rides by value so a
      * late-finishing duplicate attempt (discarded by the client's
@@ -117,6 +185,20 @@ op_name(OpType type)
         return "subtree_mv";
       case OpType::kSubtreeDelete:
         return "subtree_delete";
+      case OpType::kHardLink:
+        return "hardlink";
+      case OpType::kSymlink:
+        return "symlink";
+      case OpType::kSetAttr:
+        return "setattr";
+      case OpType::kStatFs:
+        return "statfs";
+      case OpType::kOpenSession:
+        return "open_session";
+      case OpType::kCloseSession:
+        return "close_session";
+      case OpType::kGcPrune:
+        return "gc_prune";
       case OpType::kCount:
         break;
     }

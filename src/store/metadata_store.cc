@@ -137,16 +137,19 @@ MetadataStore::apply_read(const Op& op) const
         }
         result.chain = resolved->chain;
         result.inode = resolved->target();
+        result.via_symlink = resolved->via_symlink;
         break;
       }
       case OpType::kStat: {
-        auto resolved = tree_.resolve(op.path, op.user);
+        // lstat semantics: a final symlink stats the link itself.
+        auto resolved = tree_.resolve(op.path, op.user, ns::Follow::kNoFinal);
         if (!resolved.ok()) {
             result.status = resolved.status();
             return result;
         }
         result.chain = resolved->chain;
         result.inode = resolved->target();
+        result.via_symlink = resolved->via_symlink;
         break;
       }
       case OpType::kLs: {
@@ -157,12 +160,19 @@ MetadataStore::apply_read(const Op& op) const
         }
         result.chain = resolved->chain;
         result.inode = resolved->target();
+        result.via_symlink = resolved->via_symlink;
         auto listed = tree_.list(op.path, op.user);
         if (!listed.ok()) {
             result.status = listed.status();
             return result;
         }
         result.children = listed.take();
+        break;
+      }
+      case OpType::kStatFs: {
+        result.stats = tree_.statfs();
+        result.inode = *tree_.get(ns::kRootId);
+        result.inodes_touched = result.stats.inodes;
         break;
       }
       default:
@@ -231,6 +241,58 @@ MetadataStore::apply_write(const Op& op)
         }
         break;
       }
+      case OpType::kHardLink: {
+        auto linked = tree_.link(op.path, op.dst, op.user, now);
+        if (!linked.ok()) {
+            result.status = linked.status();
+            return result;
+        }
+        result.inode = linked.take();
+        break;
+      }
+      case OpType::kSymlink: {
+        auto made = tree_.symlink(op.path, op.dst, op.user, now);
+        if (!made.ok()) {
+            result.status = made.status();
+            return result;
+        }
+        result.inode = made.take();
+        break;
+      }
+      case OpType::kSetAttr: {
+        auto updated = tree_.setattr(op.path, op.attr, op.user, now);
+        if (!updated.ok()) {
+            result.status = updated.status();
+            return result;
+        }
+        result.inode = updated.take();
+        break;
+      }
+      case OpType::kOpenSession: {
+        auto opened = tree_.open_session(op.path, op.session_id,
+                                         now + op.lease_ttl, op.user);
+        if (!opened.ok()) {
+            result.status = opened.status();
+            return result;
+        }
+        result.inode = opened.take();
+        break;
+      }
+      case OpType::kCloseSession: {
+        auto closed = tree_.close_session(op.session_id, now);
+        if (!closed.ok()) {
+            result.status = closed.status();
+            return result;
+        }
+        result.inodes_touched = closed.take();
+        break;
+      }
+      case OpType::kGcPrune: {
+        ns::NamespaceTree::GcResult gc = tree_.gc_prune(now);
+        result.inodes_touched = gc.reclaimed;
+        result.stats = tree_.statfs();
+        break;
+      }
       default:
         result.status = Status::invalid_argument("not a write op");
         return result;
@@ -252,7 +314,7 @@ MetadataStore::write_lock_set(const Op& op) const
     };
     add_path(path::parent(op.path));
     add_path(op.path);
-    if (op.type == OpType::kMv || op.type == OpType::kSubtreeMv) {
+    if (has_dst_path(op.type)) {
         add_path(path::parent(op.dst));
     }
     std::sort(ids.begin(), ids.end());
@@ -344,10 +406,24 @@ MetadataStore::read_op(Op op)
         if (attr) {
             led.add(sim::LatSeg::kStoreLockWait, sim_.now() - lock_start);
         }
-        DataNode& shard = *shards_[shard_idx];
-        Status st = co_await shard.execute_read(path::depth(op.path) + 1,
-                                                op.deadline,
-                                                attr ? &led : nullptr);
+        Status st;
+        if (op.type == OpType::kStatFs) {
+            // statfs collects one aggregate row from every shard — it
+            // pays a per-shard read, not an O(inodes) scan.
+            st = Status::make_ok();
+            for (auto& shard : shards_) {
+                st = co_await shard->execute_read(1, op.deadline,
+                                                  attr ? &led : nullptr);
+                if (!st.ok()) {
+                    break;
+                }
+            }
+        } else {
+            DataNode& shard = *shards_[shard_idx];
+            st = co_await shard.execute_read(path::depth(op.path) + 1,
+                                             op.deadline,
+                                             attr ? &led : nullptr);
+        }
         breaker_record(shard_idx, st);
         if (!st.ok()) {
             for (ns::INodeId id : lock_ids) {
@@ -423,7 +499,7 @@ MetadataStore::write_op(Op op, LockedHook after_lock)
         sim_.tracer().start_span("store", "lock_wait", txn_span.context());
     sim::SimTime lock_start = sim_.now();
     while (locks_.overlaps_active_subtree(op.path) ||
-           (op.type == OpType::kMv &&
+           (has_dst_path(op.type) &&
             locks_.overlaps_active_subtree(op.dst))) {
         co_await sim::delay(sim_, config_.subtree_retry_delay);
     }

@@ -28,6 +28,31 @@ OpMix::spotify()
 }
 
 OpMix
+OpMix::spotify_extended()
+{
+    // Table-2 proportions, rescaled slightly by adding the long tail of
+    // namespace ops the trace aggregates away: attribute updates and
+    // session open/close are the common extras; links, statfs, and GC
+    // are rare.
+    return OpMix({
+        {OpType::kReadFile, 69.22},
+        {OpType::kStat, 17.0},
+        {OpType::kLs, 9.01},
+        {OpType::kCreateFile, 2.7},
+        {OpType::kMv, 1.3},
+        {OpType::kDeleteFile, 0.75},
+        {OpType::kMkdir, 0.02},
+        {OpType::kSetAttr, 0.9},
+        {OpType::kOpenSession, 0.4},
+        {OpType::kCloseSession, 0.4},
+        {OpType::kSymlink, 0.25},
+        {OpType::kHardLink, 0.2},
+        {OpType::kStatFs, 0.05},
+        {OpType::kGcPrune, 0.02},
+    });
+}
+
+OpMix
 OpMix::single(OpType type)
 {
     return OpMix({{type, 1.0}});

@@ -26,6 +26,13 @@ class OpMix {
     /** The Table-2 Spotify mix. */
     static OpMix spotify();
 
+    /**
+     * The Table-2 mix extended with the full metadata op surface
+     * (links, setattr, statfs, file sessions, GC) at trace-plausible
+     * low weights. spotify() itself is frozen — goldens depend on it.
+     */
+    static OpMix spotify_extended();
+
     /** A mix containing a single operation type. */
     static OpMix single(OpType type);
 

@@ -1,7 +1,9 @@
 #include "src/workload/path_population.h"
 
 #include <cassert>
+#include <utility>
 
+#include "src/util/hash.h"
 #include "src/util/path.h"
 
 namespace lfs::workload {
@@ -10,6 +12,10 @@ PathPopulation::PathPopulation(ns::BuiltTree base, sim::Rng rng)
     : base_(std::move(base)), rng_(rng)
 {
     assert(!base_.files.empty() && !base_.dirs.empty());
+    // Derived from the stream's seed, NOT drawn from it: legacy mixes
+    // must see the exact random sequence they saw before sessions
+    // existed (golden traces pin it).
+    session_salt_ = mix64(rng_.seed()) | 1;
 }
 
 std::string
@@ -87,6 +93,55 @@ PathPopulation::make_op(OpType type)
                                   : path::parent(op.path);
         op.dst = fresh_name(dst_dir, "mv");
         created_[idx] = op.dst;
+        break;
+      }
+      case OpType::kSetAttr: {
+        op.path = random_file();
+        op.attr.mask = AttrUpdate::kMode;
+        op.attr.mode = rng_.bernoulli(0.5) ? 0600 : 0644;
+        break;
+      }
+      case OpType::kSymlink: {
+        // Link name is a fresh entry; the stored target is an existing
+        // base file (dangling links are legal but rare in traces).
+        op.dst = random_file();
+        op.path = fresh_name(random_dir(), "sl");
+        created_.push_back(op.path);
+        break;
+      }
+      case OpType::kHardLink: {
+        op.path = random_file();
+        op.dst = fresh_name(random_dir(), "ln");
+        created_.push_back(op.dst);
+        break;
+      }
+      case OpType::kStatFs:
+      case OpType::kGcPrune:
+        op.path = "/";
+        break;
+      case OpType::kOpenSession: {
+        op.path = random_file();
+        op.session_id = (session_salt_ << 20) ^ ++next_session_;
+        op.lease_ttl = sim::msec(750);
+        open_sessions_.emplace_back(op.session_id, op.path);
+        break;
+      }
+      case OpType::kCloseSession: {
+        if (open_sessions_.empty()) {
+            // Nothing to close yet: open one instead (mirrors how
+            // delete/mv degrade to create above).
+            op.type = OpType::kOpenSession;
+            op.path = random_file();
+            op.session_id = (session_salt_ << 20) ^ ++next_session_;
+            op.lease_ttl = sim::msec(750);
+            open_sessions_.emplace_back(op.session_id, op.path);
+            break;
+        }
+        size_t idx = rng_.index(open_sessions_.size());
+        op.session_id = open_sessions_[idx].first;
+        op.path = open_sessions_[idx].second;
+        open_sessions_[idx] = std::move(open_sessions_.back());
+        open_sessions_.pop_back();
         break;
       }
       default:

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/namespace/op.h"
@@ -38,6 +39,15 @@ class PathPopulation {
     sim::Rng rng_;
     std::vector<std::string> created_;  ///< files created by the workload
     uint64_t next_unique_ = 0;
+    /**
+     * Sessions issued so far, as (id, file path); kCloseSession consumes
+     * from here. The path rides on the close op because partitioned
+     * systems route session state by the file's path.
+     */
+    std::vector<std::pair<uint64_t, std::string>> open_sessions_;
+    /** Per-population salt so session ids never collide across drivers. */
+    uint64_t session_salt_ = 0;
+    uint64_t next_session_ = 0;
 };
 
 }  // namespace lfs::workload

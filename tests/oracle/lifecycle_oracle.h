@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Structural lifecycle oracle for the extended metadata op surface
+ * (DESIGN.md §12). Where ConsistencyOracle checks *histories* (reads vs
+ * acknowledged writes), this oracle checks *state*: handed the
+ * authoritative NamespaceTree at any quiescent instant, it audits the
+ * invariants that links, symlinks, file sessions, and GC must preserve:
+ *
+ *  - Link counts: every reachable file's nlink equals the number of
+ *    directory entries that reference its inode; directories and
+ *    symlinks have exactly one entry.
+ *  - Symlink sanity: every stored target is a normalized absolute path,
+ *    and resolving every symlink terminates — either cleanly or with
+ *    the bounded-follow ELOOP failure, never by looping forever.
+ *  - Sessions: every open session holds a live inode.
+ *  - Orphans: an orphaned inode is unreachable from the root, has
+ *    nlink == 0, and is held by at least one open session (the last
+ *    close or a GC pass must have reclaimed it otherwise).
+ *  - Counter consistency: statfs() counters equal a full recount of the
+ *    tree via introspection (the incremental counters never drift).
+ */
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/namespace/namespace_tree.h"
+#include "src/util/path.h"
+
+namespace lfs::oracle {
+
+struct LifecycleReport {
+    int64_t inodes_walked = 0;
+    int64_t link_count_violations = 0;
+    int64_t symlink_violations = 0;
+    int64_t session_violations = 0;
+    int64_t orphan_violations = 0;
+    int64_t counter_violations = 0;
+    std::vector<std::string> details;
+
+    int64_t violations() const
+    {
+        return link_count_violations + symlink_violations +
+               session_violations + orphan_violations + counter_violations;
+    }
+};
+
+namespace detail {
+
+inline void
+note(LifecycleReport& report, std::string detail)
+{
+    if (report.details.size() < 8) {
+        report.details.push_back(std::move(detail));
+    }
+}
+
+}  // namespace detail
+
+/** Audit every lifecycle invariant; cheap enough to run after each op
+    batch in fuzz loops (O(inodes + sessions)). */
+inline LifecycleReport
+audit_lifecycle(const ns::NamespaceTree& tree)
+{
+    LifecycleReport report;
+
+    // Walk the reachable tree once, counting directory-entry references
+    // per inode id.
+    std::unordered_map<ns::INodeId, int32_t> refs;
+    std::unordered_set<ns::INodeId> reachable;
+    std::deque<ns::INodeId> frontier{ns::kRootId};
+    reachable.insert(ns::kRootId);
+    int64_t files = 0;
+    int64_t dirs = 0;
+    int64_t symlinks = 0;
+    while (!frontier.empty()) {
+        ns::INodeId id = frontier.front();
+        frontier.pop_front();
+        ++report.inodes_walked;
+        const ns::INode* node = tree.get(id);
+        if (node == nullptr) {
+            ++report.link_count_violations;
+            detail::note(report, "reachable id " + std::to_string(id) +
+                                     " has no inode record");
+            continue;
+        }
+        if (node->is_dir()) {
+            ++dirs;
+            for (ns::INodeId child : tree.children(id)) {
+                refs[child] += 1;
+                if (reachable.insert(child).second) {
+                    frontier.push_back(child);
+                }
+            }
+        } else if (node->is_symlink()) {
+            ++symlinks;
+        } else {
+            ++files;
+        }
+    }
+
+    for (ns::INodeId id : reachable) {
+        const ns::INode* node = tree.get(id);
+        if (node == nullptr) {
+            continue;  // already reported above
+        }
+        int32_t entries = id == ns::kRootId ? 1 : refs[id];
+        if (node->is_file()) {
+            if (node->nlink != entries) {
+                ++report.link_count_violations;
+                detail::note(report,
+                             "file " + tree.full_path(id) + " nlink=" +
+                                 std::to_string(node->nlink) + " but " +
+                                 std::to_string(entries) + " entries");
+            }
+        } else if (entries != 1) {
+            ++report.link_count_violations;
+            detail::note(report, "non-file " + tree.full_path(id) +
+                                     " referenced by " +
+                                     std::to_string(entries) + " entries");
+        }
+        if (node->is_symlink()) {
+            const std::string& target = node->symlink_target;
+            if (!path::is_valid(target) ||
+                target != path::normalize(target)) {
+                ++report.symlink_violations;
+                detail::note(report, "symlink " + tree.full_path(id) +
+                                         " stores bad target '" + target +
+                                         "'");
+            }
+            // Termination: resolution either succeeds or fails with a
+            // definitive status; the bounded follow limit guarantees it
+            // returns. A crash/hang here would fail the test harness.
+            ns::UserContext superuser;
+            (void)tree.resolve(tree.full_path(id), superuser,
+                               ns::Follow::kNoFinal);
+        }
+    }
+
+    // Sessions hold live inodes; count holds per inode as we go.
+    std::unordered_map<ns::INodeId, int32_t> held;
+    for (const ns::NamespaceTree::SessionView& s : tree.sessions()) {
+        const ns::INode* node = tree.get(s.inode);
+        if (node == nullptr) {
+            ++report.session_violations;
+            detail::note(report, "session " + std::to_string(s.id) +
+                                     " holds dead inode " +
+                                     std::to_string(s.inode));
+            continue;
+        }
+        held[s.inode] += 1;
+    }
+
+    // Orphans: unreachable, unlinked, and held open by someone.
+    int64_t orphan_files = 0;
+    for (ns::INodeId id : tree.orphan_ids()) {
+        const ns::INode* node = tree.get(id);
+        if (node == nullptr) {
+            ++report.orphan_violations;
+            detail::note(report, "orphan id " + std::to_string(id) +
+                                     " has no inode record");
+            continue;
+        }
+        ++orphan_files;
+        if (reachable.count(id) != 0) {
+            ++report.orphan_violations;
+            detail::note(report, "orphan " + std::to_string(id) +
+                                     " still reachable from the root");
+        }
+        if (node->nlink != 0) {
+            ++report.orphan_violations;
+            detail::note(report, "orphan " + std::to_string(id) +
+                                     " has nlink=" +
+                                     std::to_string(node->nlink));
+        }
+        if (held[id] <= 0) {
+            ++report.orphan_violations;
+            detail::note(report, "orphan " + std::to_string(id) +
+                                     " held by no open session");
+        }
+    }
+
+    // statfs counters vs the recount.
+    ns::FsStats stats = tree.statfs();
+    auto check_counter = [&](const char* what, int64_t expect,
+                             int64_t got) {
+        if (expect != got) {
+            ++report.counter_violations;
+            detail::note(report, std::string("statfs.") + what + "=" +
+                                     std::to_string(got) + " but recount=" +
+                                     std::to_string(expect));
+        }
+    };
+    check_counter("files", files + orphan_files, stats.files);
+    check_counter("dirs", dirs, stats.dirs);
+    check_counter("symlinks", symlinks, stats.symlinks);
+    check_counter("inodes",
+                  static_cast<int64_t>(reachable.size()) + orphan_files,
+                  stats.inodes);
+    check_counter("open_sessions",
+                  static_cast<int64_t>(tree.sessions().size()),
+                  stats.open_sessions);
+    check_counter("orphans", orphan_files, stats.orphans);
+    return report;
+}
+
+/**
+ * Post-GC invariant: after expiring every lease at or before @p now and
+ * sweeping, no orphan may remain unless a *live* (unexpired) session
+ * still holds it.
+ */
+inline bool
+no_expired_orphans(const ns::NamespaceTree& tree, sim::SimTime now)
+{
+    std::unordered_map<ns::INodeId, int32_t> live_holds;
+    for (const ns::NamespaceTree::SessionView& s : tree.sessions()) {
+        if (s.expiry > now) {
+            live_holds[s.inode] += 1;
+        }
+    }
+    for (ns::INodeId id : tree.orphan_ids()) {
+        if (live_holds[id] <= 0) {
+            return false;
+        }
+    }
+    return true;
+}
+
+}  // namespace lfs::oracle

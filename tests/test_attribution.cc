@@ -122,6 +122,32 @@ make_op(OpType type, std::string p)
     return op;
 }
 
+Op
+make_dst_op(OpType type, std::string p, std::string dst)
+{
+    Op op = make_op(type, std::move(p));
+    op.dst = std::move(dst);
+    return op;
+}
+
+Op
+make_session_op(OpType type, std::string p, uint64_t sid)
+{
+    Op op = make_op(type, std::move(p));
+    op.session_id = sid;
+    op.lease_ttl = sim::sec(5);
+    return op;
+}
+
+Op
+make_chmod_op(std::string p)
+{
+    Op op = make_op(OpType::kSetAttr, std::move(p));
+    op.attr.mask = AttrUpdate::kMode;
+    op.attr.mode = 0600;
+    return op;
+}
+
 struct TimedResult {
     OpResult result;
     sim::SimTime e2e = 0;
@@ -148,7 +174,7 @@ run_timed(Simulation& sim, workload::Dfs& fs, size_t client, Op op)
 }
 
 void
-expect_invariant(const TimedResult& timed, const char* what)
+expect_invariant(const TimedResult& timed, const std::string& what)
 {
     ASSERT_TRUE(timed.result.status.ok()) << what;
     const LatencyLedger& ledger = timed.result.ledger;
@@ -159,6 +185,47 @@ expect_invariant(const TimedResult& timed, const char* what)
     finalized.finalize(timed.e2e);
     EXPECT_EQ(finalized.total(), timed.e2e)
         << what << ": finalized ledger does not sum to end-to-end";
+}
+
+/**
+ * Satellite invariant sweep: every extended op kind (links, setattr,
+ * statfs, sessions, GC) must satisfy the sum-to-e2e ledger invariant on
+ * the given system. @p base is an existing directory with file @p file
+ * in it; new names are created inside @p base.
+ */
+void
+expect_extended_ops_invariant(Simulation& sim, workload::Dfs& fs,
+                              const std::string& base,
+                              const std::string& file, const char* system)
+{
+    std::string prefix(system);
+    auto tag = [&prefix](const char* op) { return prefix + " " + op; };
+    expect_invariant(
+        run_timed(sim, fs, 0,
+                  make_dst_op(OpType::kHardLink, file, base + "/attr_ln")),
+        tag("hardlink"));
+    expect_invariant(
+        run_timed(sim, fs, 0,
+                  make_dst_op(OpType::kSymlink, base + "/attr_sl", file)),
+        tag("symlink"));
+    // Read through the link: exercises the symlink-chase ledger merge.
+    expect_invariant(
+        run_timed(sim, fs, 1, make_op(OpType::kReadFile, base + "/attr_sl")),
+        tag("read via symlink"));
+    expect_invariant(run_timed(sim, fs, 0, make_chmod_op(file)),
+                     tag("setattr"));
+    expect_invariant(run_timed(sim, fs, 1, make_op(OpType::kStatFs, "/")),
+                     tag("statfs"));
+    expect_invariant(
+        run_timed(sim, fs, 0,
+                  make_session_op(OpType::kOpenSession, file, 4001)),
+        tag("open session"));
+    expect_invariant(
+        run_timed(sim, fs, 0,
+                  make_session_op(OpType::kCloseSession, file, 4001)),
+        tag("close session"));
+    expect_invariant(run_timed(sim, fs, 0, make_op(OpType::kGcPrune, "/")),
+                     tag("gc prune"));
 }
 
 TEST(AttributionInvariant, LambdaFs)
@@ -186,6 +253,7 @@ TEST(AttributionInvariant, LambdaFs)
     // Cached re-read: still attributed (client/NN time), still bounded.
     expect_invariant(run_timed(sim, fs, 0, make_op(OpType::kStat, "/d/f")),
                      "lambda-fs cached stat");
+    expect_extended_ops_invariant(sim, fs, "/d", "/d/f", "lambda-fs");
 }
 
 TEST(AttributionInvariant, HopsFs)
@@ -207,6 +275,7 @@ TEST(AttributionInvariant, HopsFs)
     expect_invariant(
         run_timed(sim, fs, 1, make_op(OpType::kCreateFile, "/d/g")),
         "hopsfs create");
+    expect_extended_ops_invariant(sim, fs, "/d", "/d/f", "hopsfs");
 }
 
 TEST(AttributionInvariant, CephFs)
@@ -227,6 +296,7 @@ TEST(AttributionInvariant, CephFs)
     // Capability hit: served locally, attributed as metadata-service CPU.
     expect_invariant(run_timed(sim, fs, 0, make_op(OpType::kStat, "/d/f")),
                      "cephfs cap-hit stat");
+    expect_extended_ops_invariant(sim, fs, "/d", "/d/f", "cephfs");
 }
 
 TEST(AttributionInvariant, IndexFs)
@@ -247,6 +317,8 @@ TEST(AttributionInvariant, IndexFs)
     expect_invariant(
         run_timed(sim, fs, 1, make_op(OpType::kStat, "/tt/d0/n1")),
         "indexfs stat");
+    expect_extended_ops_invariant(sim, fs, "/tt/d0", "/tt/d0/n1",
+                                  "indexfs");
 }
 
 TEST(AttributionInvariant, LambdaIndexFs)
@@ -269,6 +341,8 @@ TEST(AttributionInvariant, LambdaIndexFs)
     expect_invariant(
         run_timed(sim, fs, 1, make_op(OpType::kStat, "/tt/d0/n1")),
         "lambda-indexfs stat");
+    expect_extended_ops_invariant(sim, fs, "/tt/d0", "/tt/d0/n1",
+                                  "lambda-indexfs");
 }
 
 TEST(AttributionInvariant, InfiniCache)
@@ -288,6 +362,10 @@ TEST(AttributionInvariant, InfiniCache)
 
     expect_invariant(run_timed(sim, fs, 0, make_op(OpType::kStat, "/f")),
                      "infinicache stat");
+    ns::UserContext setup_root;
+    fs.authoritative_tree().mkdirs("/d", setup_root, 0);
+    fs.authoritative_tree().create_file("/d/f", setup_root, 0);
+    expect_extended_ops_invariant(sim, fs, "/d", "/d/f", "infinicache");
 }
 
 TEST(AttributionInvariant, OffByDefaultLeavesLedgerEmpty)

@@ -1,0 +1,408 @@
+/**
+ * @file
+ * End-to-end lifecycle scenarios through the full λFS stack (client ->
+ * NameNode -> coherence -> store), each finishing with a structural
+ * audit from the lifecycle oracle:
+ *
+ *  - Symlink-farm resolve storm: many clients read through a farm of
+ *    links (including a maximal-depth chain and a loop) while the
+ *    deduplicated cache layer must never serve an alias stale.
+ *  - Session leak -> GC recovery: clients open leased sessions, the
+ *    files are unlinked, the clients "crash"; after lease expiry one GC
+ *    pass must reclaim every orphan.
+ *  - Rename-vs-hardlink under fault injection: interleaved directory
+ *    renames and hard links with message drops/duplicates and instance
+ *    crashes must never corrupt link-count bookkeeping.
+ */
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/lambda_fs.h"
+#include "src/sim/fault.h"
+#include "src/sim/random.h"
+#include "src/sim/simulation.h"
+#include "tests/oracle/lifecycle_oracle.h"
+
+namespace lfs {
+namespace {
+
+core::LambdaFs*
+make_fs(sim::Simulation& sim, std::vector<std::unique_ptr<core::LambdaFs>>& own,
+        int clients = 4)
+{
+    core::LambdaFsConfig config;
+    config.num_deployments = 4;
+    config.total_vcpus = 64.0;
+    config.function.vcpus = 4.0;
+    config.num_client_vms = 1;
+    config.clients_per_vm = clients;
+    config.client.anti_thrashing = false;
+    config.client.max_attempts = 30;
+    config.client.http_timeout = sim::sec(3);
+    own.push_back(std::make_unique<core::LambdaFs>(sim, config));
+    return own.back().get();
+}
+
+/** Execute one op to completion; append any failure to @p failures. */
+sim::Task<OpResult>
+co_must(core::LambdaFs& fs, size_t client, Op op,
+        std::vector<std::string>& failures)
+{
+    std::string what = std::string(op_name(op.type)) + " " + op.path;
+    OpResult result = co_await fs.client(client).execute(op);
+    if (!result.status.ok()) {
+        failures.push_back(what + ": " + result.status.message());
+    }
+    co_return result;
+}
+
+Op
+make(OpType type, std::string path, std::string dst = "")
+{
+    Op op;
+    op.type = type;
+    op.path = std::move(path);
+    op.dst = std::move(dst);
+    return op;
+}
+
+// ---------------------------------------------------------------------
+// Scenario 1: symlink-farm resolve storm
+// ---------------------------------------------------------------------
+
+sim::Task<void>
+co_storm_setup(core::LambdaFs& fs, int files, int links, int chain,
+               std::vector<std::string>& failures, bool& done)
+{
+    co_await co_must(fs, 0, make(OpType::kMkdir, "/data"), failures);
+    co_await co_must(fs, 0, make(OpType::kMkdir, "/farm"), failures);
+    for (int i = 0; i < files; ++i) {
+        co_await co_must(
+            fs, 0,
+            make(OpType::kCreateFile, "/data/f" + std::to_string(i)),
+            failures);
+    }
+    // The farm: direct links onto the files, round-robin.
+    for (int i = 0; i < links; ++i) {
+        co_await co_must(fs, 0,
+                         make(OpType::kSymlink,
+                              "/farm/l" + std::to_string(i),
+                              "/data/f" + std::to_string(i % files)),
+                         failures);
+    }
+    // A maximal-depth chain (c0 -> c1 -> ... -> /data/f0) and a loop.
+    std::string prev = "/data/f0";
+    for (int i = chain - 1; i >= 0; --i) {
+        co_await co_must(
+            fs, 0,
+            make(OpType::kSymlink, "/farm/c" + std::to_string(i), prev),
+            failures);
+        prev = "/farm/c" + std::to_string(i);
+    }
+    co_await co_must(fs, 0, make(OpType::kSymlink, "/farm/loop_a",
+                                 "/farm/loop_b"),
+                     failures);
+    co_await co_must(fs, 0, make(OpType::kSymlink, "/farm/loop_b",
+                                 "/farm/loop_a"),
+                     failures);
+    done = true;
+}
+
+sim::Task<void>
+co_storm_reader(core::LambdaFs& fs, size_t client, int rounds, int links,
+                int files, uint64_t seed,
+                const std::vector<ns::INodeId>& file_ids,
+                std::vector<std::string>& failures, int& done_count)
+{
+    sim::Rng rng(seed);
+    for (int r = 0; r < rounds; ++r) {
+        int pick = static_cast<int>(rng.uniform_int(0, links - 1));
+        Op op = make(OpType::kReadFile, "/farm/l" + std::to_string(pick));
+        OpResult result = co_await fs.client(client).execute(op);
+        if (!result.status.ok()) {
+            failures.push_back(op.path + ": " + result.status.message());
+        } else if (result.inode.id != file_ids[pick % files]) {
+            failures.push_back(op.path + ": aliased to wrong inode");
+        } else if (!result.inode.is_file()) {
+            failures.push_back(op.path + ": resolved to non-file");
+        }
+    }
+    ++done_count;
+}
+
+TEST(LifecycleScenario, SymlinkFarmResolveStorm)
+{
+    constexpr int kFiles = 8;
+    constexpr int kLinks = 32;
+    constexpr int kClients = 4;
+    sim::Simulation sim;
+    std::vector<std::unique_ptr<core::LambdaFs>> own;
+    core::LambdaFs& fs = *make_fs(sim, own, kClients);
+    std::vector<std::string> failures;
+
+    bool setup_done = false;
+    sim::spawn(co_storm_setup(fs, kFiles, kLinks, ns::kMaxSymlinkFollows,
+                              failures, setup_done));
+    sim.run_until(sim.now() + sim::sec(600));
+    ASSERT_TRUE(setup_done);
+    ASSERT_TRUE(failures.empty()) << failures.front();
+
+    std::vector<ns::INodeId> file_ids;
+    ns::UserContext root;
+    for (int i = 0; i < kFiles; ++i) {
+        auto st = fs.authoritative_tree().stat("/data/f" + std::to_string(i),
+                                               root);
+        ASSERT_TRUE(st.ok());
+        file_ids.push_back(st->id);
+    }
+
+    int done_count = 0;
+    for (size_t c = 0; c < kClients; ++c) {
+        sim::spawn(co_storm_reader(fs, c, 50, kLinks, kFiles, 77 + c,
+                                   file_ids, failures, done_count));
+    }
+    sim.run_until(sim.now() + sim::sec(600));
+    ASSERT_EQ(done_count, kClients);
+    EXPECT_TRUE(failures.empty()) << failures.front();
+
+    // Depth-bound semantics end to end: the full chain resolves (depth
+    // == bound), the loop trips ELOOP, lstat sees the link itself.
+    bool edge_done = false;
+    sim::spawn([](core::LambdaFs& fs, std::vector<std::string>& failures,
+                  bool& done) -> sim::Task<void> {
+        OpResult chain = co_await fs.client(0).execute(
+            make(OpType::kReadFile, "/farm/c0"));
+        if (!chain.status.ok()) {
+            failures.push_back("chain at bound: " + chain.status.message());
+        }
+        OpResult loop = co_await fs.client(0).execute(
+            make(OpType::kReadFile, "/farm/loop_a"));
+        if (loop.status.code() != Code::kFailedPrecondition) {
+            failures.push_back("loop did not ELOOP");
+        }
+        OpResult lst = co_await fs.client(0).execute(
+            make(OpType::kStat, "/farm/l0"));
+        if (!lst.status.ok() || !lst.inode.is_symlink()) {
+            failures.push_back("lstat did not see the link");
+        }
+        // Unlink a target, then read through its aliases: every cached
+        // layer must miss (no alias may revive the dead file).
+        OpResult del = co_await fs.client(0).execute(
+            make(OpType::kDeleteFile, "/data/f0"));
+        if (!del.status.ok()) {
+            failures.push_back("delete target: " + del.status.message());
+        }
+        OpResult stale = co_await fs.client(1).execute(
+            make(OpType::kReadFile, "/farm/l0"));
+        if (stale.status.ok()) {
+            failures.push_back("read through link to deleted file served");
+        }
+        done = true;
+    }(fs, failures, edge_done));
+    sim.run_until(sim.now() + sim::sec(600));
+    ASSERT_TRUE(edge_done);
+    EXPECT_TRUE(failures.empty()) << failures.front();
+
+    oracle::LifecycleReport report =
+        oracle::audit_lifecycle(fs.authoritative_tree());
+    EXPECT_EQ(report.violations(), 0)
+        << (report.details.empty() ? "" : report.details.front());
+}
+
+// ---------------------------------------------------------------------
+// Scenario 2: session leak -> GC recovery
+// ---------------------------------------------------------------------
+
+sim::Task<void>
+co_leak_sessions(core::LambdaFs& fs, int files, sim::SimTime ttl,
+                 std::vector<std::string>& failures, bool& done)
+{
+    co_await co_must(fs, 0, make(OpType::kMkdir, "/leak"), failures);
+    for (int i = 0; i < files; ++i) {
+        std::string p = "/leak/f" + std::to_string(i);
+        co_await co_must(fs, 0, make(OpType::kCreateFile, p), failures);
+        Op open = make(OpType::kOpenSession, p);
+        open.session_id = 1000 + static_cast<uint64_t>(i);
+        open.lease_ttl = ttl;
+        co_await co_must(fs, 0, std::move(open), failures);
+        // The "crashed" client never closes; the file is unlinked while
+        // the session still holds it.
+        co_await co_must(fs, 0, make(OpType::kDeleteFile, p), failures);
+    }
+    done = true;
+}
+
+TEST(LifecycleScenario, SessionLeakThenGcRecovery)
+{
+    constexpr int kLeaked = 12;
+    // Far beyond every run_until window below, so the "early" GC pass
+    // really does run while the leases are still live.
+    const sim::SimTime ttl = sim::sec(100000);
+    sim::Simulation sim;
+    std::vector<std::unique_ptr<core::LambdaFs>> own;
+    core::LambdaFs& fs = *make_fs(sim, own);
+    std::vector<std::string> failures;
+
+    bool leaked = false;
+    sim::spawn(co_leak_sessions(fs, kLeaked, ttl, failures, leaked));
+    sim.run_until(sim.now() + sim::sec(600));
+    ASSERT_TRUE(leaked);
+    ASSERT_TRUE(failures.empty()) << failures.front();
+
+    // Every unlinked file survives as an orphan held by its session.
+    const ns::NamespaceTree& tree = fs.authoritative_tree();
+    EXPECT_EQ(tree.orphan_count(), static_cast<size_t>(kLeaked));
+    EXPECT_EQ(tree.open_session_count(), static_cast<size_t>(kLeaked));
+    EXPECT_EQ(tree.statfs().orphans, kLeaked);
+    EXPECT_EQ(oracle::audit_lifecycle(tree).violations(), 0);
+
+    // A GC pass *before* expiry must reclaim nothing.
+    bool early_done = false;
+    int64_t early_reclaimed = -1;
+    sim::spawn([](core::LambdaFs& fs, int64_t& reclaimed,
+                  bool& done) -> sim::Task<void> {
+        OpResult r =
+            co_await fs.client(0).execute(make(OpType::kGcPrune, "/"));
+        reclaimed = r.status.ok() ? r.inodes_touched : -1;
+        done = true;
+    }(fs, early_reclaimed, early_done));
+    sim.run_until(sim.now() + sim::sec(60));
+    ASSERT_TRUE(early_done);
+    EXPECT_EQ(early_reclaimed, 0);
+    EXPECT_EQ(tree.orphan_count(), static_cast<size_t>(kLeaked));
+
+    // Past lease expiry, one pass reclaims every orphan.
+    sim.run_until(sim.now() + ttl + sim::sec(1));
+    bool gc_done = false;
+    int64_t reclaimed = -1;
+    sim::spawn([](core::LambdaFs& fs, int64_t& reclaimed,
+                  bool& done) -> sim::Task<void> {
+        OpResult r =
+            co_await fs.client(0).execute(make(OpType::kGcPrune, "/"));
+        reclaimed = r.status.ok() ? r.inodes_touched : -1;
+        done = true;
+    }(fs, reclaimed, gc_done));
+    sim.run_until(sim.now() + sim::sec(60));
+    ASSERT_TRUE(gc_done);
+    EXPECT_EQ(reclaimed, kLeaked);
+    EXPECT_EQ(tree.orphan_count(), 0u);
+    EXPECT_EQ(tree.open_session_count(), 0u);
+    EXPECT_EQ(tree.statfs().orphans, 0);
+    EXPECT_TRUE(oracle::no_expired_orphans(tree, sim.now()));
+    EXPECT_EQ(oracle::audit_lifecycle(tree).violations(), 0);
+}
+
+// ---------------------------------------------------------------------
+// Scenario 3: rename vs hardlink under fault injection
+// ---------------------------------------------------------------------
+
+sim::Task<void>
+co_rename_link_mixer(core::LambdaFs& fs, int rounds, uint64_t seed,
+                     int& links_ok, int& renames_ok, bool& done)
+{
+    sim::Rng rng(seed);
+    // /stable/f is the multi-link file; /dirA <-> /dirB alternate names
+    // of the directory the links live in.
+    co_await fs.client(0).execute(make(OpType::kMkdir, "/stable"));
+    co_await fs.client(0).execute(make(OpType::kCreateFile, "/stable/f"));
+    co_await fs.client(0).execute(make(OpType::kMkdir, "/dirA"));
+    std::string dir = "/dirA";
+    int made = 0;
+    for (int i = 0; i < rounds; ++i) {
+        double action = rng.uniform();
+        if (action < 0.45) {
+            // New hard link to the stable file inside the moving dir.
+            OpResult link = co_await fs.client(0).execute(
+                make(OpType::kHardLink, "/stable/f",
+                     dir + "/ln" + std::to_string(made++)));
+            links_ok += link.status.ok() ? 1 : 0;
+        } else if (action < 0.75) {
+            // Rename the whole directory (subtree protocol: every link
+            // entry moves; the shared inode's nlink must not change).
+            std::string next = dir == "/dirA" ? "/dirB" : "/dirA";
+            OpResult mv = co_await fs.client(0).execute(
+                make(OpType::kMv, dir, next));
+            if (mv.status.ok()) {
+                dir = next;
+                ++renames_ok;
+            }
+        } else if (action < 0.9 && made > 0) {
+            // Drop a random existing link (may already be gone).
+            int pick = static_cast<int>(rng.uniform_int(0, made - 1));
+            co_await fs.client(0).execute(make(
+                OpType::kDeleteFile, dir + "/ln" + std::to_string(pick)));
+        } else {
+            // Occasionally rename one link out to /stable and back in.
+            if (made > 0) {
+                int pick = static_cast<int>(rng.uniform_int(0, made - 1));
+                std::string src = dir + "/ln" + std::to_string(pick);
+                OpResult mv = co_await fs.client(0).execute(
+                    make(OpType::kMv, src, "/stable/out"));
+                if (mv.status.ok()) {
+                    co_await fs.client(0).execute(make(
+                        OpType::kMv, "/stable/out",
+                        dir + "/ln" + std::to_string(made++)));
+                }
+            }
+        }
+    }
+    done = true;
+}
+
+TEST(LifecycleScenario, RenameVsHardLinkUnderFaults)
+{
+    sim::Simulation sim;
+    std::vector<std::unique_ptr<core::LambdaFs>> own;
+    core::LambdaFs& fs = *make_fs(sim, own);
+
+    sim::FaultPlan plan(sim, 4242);
+    sim::MessageFaultWindow msg;
+    msg.from = sim::sec(3);
+    msg.until = sim::sec(90);
+    msg.drop_request_p = 0.05;
+    msg.drop_reply_p = 0.05;
+    msg.duplicate_p = 0.03;
+    msg.delay_p = 0.10;
+    msg.delay_min = sim::usec(100);
+    msg.delay_max = sim::msec(2);
+    plan.add_message_faults(msg);
+    sim::InstanceFaultWindow inst;
+    inst.from = sim::sec(3);
+    inst.until = sim::sec(90);
+    inst.crash_p = 0.01;
+    inst.stall_p = 0.02;
+    plan.add_instance_faults(inst);
+
+    sim.run_until(sim::sec(3));
+
+    int links_ok = 0;
+    int renames_ok = 0;
+    bool done = false;
+    sim::spawn(co_rename_link_mixer(fs, 160, 4242, links_ok, renames_ok,
+                                    done));
+    sim.run_until(sim.now() + sim::sec(200000));
+    ASSERT_TRUE(done) << "mixer did not finish";
+    EXPECT_GT(links_ok, 0);
+    EXPECT_GT(renames_ok, 0);
+    EXPECT_GT(plan.messages_dropped(), 0u);
+
+    // The audit recomputes per-inode entry references from scratch: any
+    // rename/link/delete interleaving that corrupted nlink bookkeeping
+    // (or leaked/duplicated a directory entry) fails here.
+    oracle::LifecycleReport report =
+        oracle::audit_lifecycle(fs.authoritative_tree());
+    EXPECT_EQ(report.violations(), 0)
+        << (report.details.empty() ? "" : report.details.front());
+
+    // The stable file's nlink equals its surviving directory entries.
+    ns::UserContext root;
+    auto st = fs.authoritative_tree().stat("/stable/f", root);
+    ASSERT_TRUE(st.ok());
+    EXPECT_GE(st->nlink, 1);
+}
+
+}  // namespace
+}  // namespace lfs

@@ -1,0 +1,266 @@
+/**
+ * @file
+ * End-to-end determinism regression for the metadata op surface: a
+ * scripted, seeded sequence of operations through the full λFS stack
+ * (client -> NameNode -> coherence -> store) must execute in exactly the
+ * same (when, seq) order forever. The golden hash below was captured
+ * BEFORE the extended op surface (links/setattr/statfs/sessions/GC)
+ * landed, so it proves the new op plumbing leaves every legacy schedule
+ * byte-identical while the new ops are not used — the same property the
+ * perf-smoke gate checks for fig11 output.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/lambda_fs.h"
+#include "src/sim/random.h"
+#include "src/sim/simulation.h"
+
+namespace lfs::core {
+namespace {
+
+/** FNV-1a accumulator for order-sensitive trace hashing. */
+class TraceHash {
+  public:
+    void
+    mix(uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i) {
+            h_ ^= (v >> (8 * i)) & 0xff;
+            h_ *= 1099511628211ull;
+        }
+    }
+
+    uint64_t value() const { return h_; }
+
+  private:
+    uint64_t h_ = 1469598103934665603ull;
+};
+
+std::string
+random_path(sim::Rng& rng, int max_depth)
+{
+    std::string p;
+    int depth = static_cast<int>(rng.uniform_int(1, max_depth));
+    for (int i = 0; i < depth; ++i) {
+        p += "/n" + std::to_string(rng.uniform_int(0, 4));
+    }
+    return p;
+}
+
+LambdaFsConfig
+small_config(uint64_t seed)
+{
+    LambdaFsConfig config;
+    config.num_deployments = 4;
+    config.total_vcpus = 64.0;
+    config.function.vcpus = 4.0;
+    config.num_client_vms = 1;
+    config.clients_per_vm = 2;
+    config.seed = seed;
+    return config;
+}
+
+/**
+ * Drive @p steps seeded legacy operations (create/mkdir/rm -r/mv/stat)
+ * through client 0, folding every outcome into @p hash. The rng is
+ * consumed inside the loop, so any divergence in op outcomes or timing
+ * cascades into a different trace.
+ */
+sim::Task<void>
+co_legacy_driver(sim::Simulation& sim, LambdaFs& fs, sim::Rng& rng,
+                 int steps, TraceHash& hash, bool& done)
+{
+    for (int step = 0; step < steps; ++step) {
+        Op op;
+        double action = rng.uniform();
+        if (action < 0.3) {
+            op.type = OpType::kCreateFile;
+            op.path = random_path(rng, 4);
+        } else if (action < 0.5) {
+            op.type = OpType::kMkdir;
+            op.path = random_path(rng, 3);
+        } else if (action < 0.6) {
+            op.type = OpType::kSubtreeDelete;
+            op.path = random_path(rng, 4);
+        } else if (action < 0.7) {
+            op.type = OpType::kMv;
+            op.path = random_path(rng, 3);
+            op.dst = random_path(rng, 3);
+        } else if (action < 0.8) {
+            op.type = OpType::kLs;
+            op.path = random_path(rng, 3);
+        } else {
+            op.type = OpType::kStat;
+            op.path = random_path(rng, 4);
+        }
+        OpResult result = co_await fs.client(0).execute(op);
+        hash.mix(static_cast<uint64_t>(sim.now()));
+        hash.mix(static_cast<uint64_t>(result.status.code()));
+        hash.mix(static_cast<uint64_t>(result.inode.id));
+        hash.mix(result.inode.version);
+    }
+    done = true;
+}
+
+uint64_t
+run_legacy_workload(uint64_t seed, int steps)
+{
+    sim::Simulation sim;
+    LambdaFs fs(sim, small_config(seed));
+    sim.run_until(sim::sec(2));
+
+    TraceHash hash;
+    sim::Rng rng(seed);
+    bool done = false;
+    sim::spawn(co_legacy_driver(sim, fs, rng, steps, hash, done));
+    sim.run_until(sim.now() + sim::sec(100000));
+    EXPECT_TRUE(done);
+    hash.mix(static_cast<uint64_t>(sim.events_executed()));
+    hash.mix(static_cast<uint64_t>(sim.now()));
+    return hash.value();
+}
+
+/**
+ * Golden hash of the 400-step legacy-op λFS run, captured from the tree
+ * BEFORE the extended op surface existed. The extended ops must not
+ * perturb this schedule while they are unused.
+ */
+constexpr uint64_t kLegacyGoldenHash = 0x3fcb297688ea8bd7ull;
+
+TEST(OpDeterminism, LegacyOpsGoldenTrace)
+{
+    EXPECT_EQ(run_legacy_workload(0x0b5e55ed, 400), kLegacyGoldenHash)
+        << "legacy-op λFS schedule diverged from the pre-extension trace";
+}
+
+TEST(OpDeterminism, LegacyRepeatRunsAreBitIdentical)
+{
+    EXPECT_EQ(run_legacy_workload(77, 150), run_legacy_workload(77, 150));
+}
+
+/**
+ * Drive the FULL op alphabet — legacy ops plus links, setattr, statfs,
+ * sessions, and GC — folding outcomes (including statfs counters and
+ * GC reclaim counts) into the trace hash.
+ */
+sim::Task<void>
+co_extended_driver(sim::Simulation& sim, LambdaFs& fs, sim::Rng& rng,
+                   int steps, TraceHash& hash, bool& done)
+{
+    uint64_t next_sid = 1;
+    std::vector<uint64_t> open_sids;
+    for (int step = 0; step < steps; ++step) {
+        Op op;
+        double action = rng.uniform();
+        if (action < 0.2) {
+            op.type = OpType::kCreateFile;
+            op.path = random_path(rng, 4);
+        } else if (action < 0.35) {
+            op.type = OpType::kMkdir;
+            op.path = random_path(rng, 3);
+        } else if (action < 0.43) {
+            op.type = OpType::kSubtreeDelete;
+            op.path = random_path(rng, 4);
+        } else if (action < 0.51) {
+            op.type = OpType::kMv;
+            op.path = random_path(rng, 3);
+            op.dst = random_path(rng, 3);
+        } else if (action < 0.6) {
+            op.type = OpType::kSymlink;
+            op.path = random_path(rng, 3);
+            op.dst = random_path(rng, 3);
+        } else if (action < 0.68) {
+            op.type = OpType::kHardLink;
+            op.path = random_path(rng, 4);
+            op.dst = random_path(rng, 4);
+        } else if (action < 0.75) {
+            op.type = OpType::kSetAttr;
+            op.path = random_path(rng, 4);
+            op.attr.mask = AttrUpdate::kMode;
+            op.attr.mode = rng.bernoulli(0.5) ? 0600 : 0644;
+        } else if (action < 0.82) {
+            op.type = OpType::kOpenSession;
+            op.path = random_path(rng, 4);
+            op.session_id = next_sid++;
+            op.lease_ttl = sim::msec(800);
+        } else if (action < 0.87) {
+            op.type = OpType::kCloseSession;
+            op.path = "/";
+            if (!open_sids.empty()) {
+                size_t idx = rng.index(open_sids.size());
+                op.session_id = open_sids[idx];
+                open_sids[idx] = open_sids.back();
+                open_sids.pop_back();
+            } else {
+                op.session_id = next_sid + 50000;
+            }
+        } else if (action < 0.9) {
+            op.type = OpType::kGcPrune;
+            op.path = "/";
+        } else if (action < 0.94) {
+            op.type = OpType::kStatFs;
+            op.path = "/";
+        } else {
+            op.type = OpType::kReadFile;
+            op.path = random_path(rng, 4);
+        }
+        OpType sent = op.type;
+        uint64_t sid = op.session_id;
+        OpResult result = co_await fs.client(0).execute(op);
+        if (sent == OpType::kOpenSession && result.status.ok()) {
+            open_sids.push_back(sid);
+        }
+        hash.mix(static_cast<uint64_t>(sim.now()));
+        hash.mix(static_cast<uint64_t>(result.status.code()));
+        hash.mix(static_cast<uint64_t>(result.inode.id));
+        hash.mix(result.inode.version);
+        hash.mix(static_cast<uint64_t>(result.inodes_touched));
+        hash.mix(static_cast<uint64_t>(result.stats.inodes));
+        hash.mix(static_cast<uint64_t>(result.stats.open_sessions));
+        hash.mix(static_cast<uint64_t>(result.stats.orphans));
+    }
+    done = true;
+}
+
+uint64_t
+run_extended_workload(uint64_t seed, int steps)
+{
+    sim::Simulation sim;
+    LambdaFs fs(sim, small_config(seed));
+    sim.run_until(sim::sec(2));
+
+    TraceHash hash;
+    sim::Rng rng(seed);
+    bool done = false;
+    sim::spawn(co_extended_driver(sim, fs, rng, steps, hash, done));
+    sim.run_until(sim.now() + sim::sec(100000));
+    EXPECT_TRUE(done);
+    hash.mix(static_cast<uint64_t>(sim.events_executed()));
+    hash.mix(static_cast<uint64_t>(sim.now()));
+    return hash.value();
+}
+
+/**
+ * Golden hash of the 400-step full-alphabet λFS run. Pins the (when,
+ * seq) schedule of the extended op surface itself: any timing or
+ * outcome change in link/session/GC plumbing shows up here.
+ */
+constexpr uint64_t kExtendedGoldenHash = 0x3949a42dd47a9b52ull;
+
+TEST(OpDeterminism, ExtendedOpsGoldenTrace)
+{
+    EXPECT_EQ(run_extended_workload(0x5ca1ab1e, 400), kExtendedGoldenHash)
+        << "extended-op λFS schedule diverged from its golden trace";
+}
+
+TEST(OpDeterminism, ExtendedRepeatRunsAreBitIdentical)
+{
+    EXPECT_EQ(run_extended_workload(99, 150), run_extended_workload(99, 150));
+}
+
+}  // namespace
+}  // namespace lfs::core
