@@ -7,10 +7,13 @@
  * uses 3072).
  */
 #include <cstdio>
+#include <cstdlib>
 #include <map>
+#include <string>
 #include <vector>
 
 #include "common/harness.h"
+#include "common/sweep.h"
 #include "src/workload/microbench.h"
 
 namespace lfs::bench {
@@ -25,24 +28,46 @@ run_figure()
     for (int c = 8; c <= max_clients; c *= 2) {
         client_counts.push_back(c);
     }
-    // results[op][system] -> series over client counts
-    std::map<OpType, std::map<std::string, std::vector<double>>> results;
-
+    // One sweep point per (op, system, clients) cell; each runs in its
+    // own forked child under LFS_SWEEP_JOBS and returns ops/sec.
+    struct Cell {
+        OpType op;
+        std::string system;
+    };
+    std::vector<Cell> cells;
+    SweepRunner sweep;
     for (OpType op : microbench_ops()) {
         for (const std::string& system : microbench_systems()) {
             for (int clients : client_counts) {
-                SystemInstance instance = make_system(system, vcpus, clients);
-                workload::MicrobenchConfig mcfg;
-                mcfg.op = op;
-                mcfg.num_clients = clients;
-                mcfg.ops_per_client = ops_per_client();
-                mcfg.seed = 1000 + static_cast<uint64_t>(clients);
-                workload::MicrobenchResult r = workload::run_microbench(
-                    *instance.sim, *instance.dfs, std::move(instance.tree),
-                    mcfg);
-                results[op][system].push_back(r.ops_per_sec);
+                std::string label = std::string("fig11/") + op_name(op) +
+                                    "/" + system +
+                                    "/clients=" + std::to_string(clients);
+                cells.push_back(Cell{op, system});
+                sweep.add(label, [=]() {
+                    SystemInstance instance =
+                        make_system(system, vcpus, clients);
+                    workload::MicrobenchConfig mcfg;
+                    mcfg.op = op;
+                    mcfg.num_clients = clients;
+                    mcfg.ops_per_client = ops_per_client();
+                    mcfg.seed = sweep_seed(label);
+                    workload::MicrobenchResult r = workload::run_microbench(
+                        *instance.sim, *instance.dfs,
+                        std::move(instance.tree), mcfg);
+                    char buf[64];
+                    std::snprintf(buf, sizeof(buf), "%.17g", r.ops_per_sec);
+                    return std::string(buf);
+                });
             }
         }
+    }
+
+    // results[op][system] -> series over client counts
+    std::map<OpType, std::map<std::string, std::vector<double>>> results;
+    std::vector<std::string> payloads = sweep.run();
+    for (size_t i = 0; i < payloads.size(); ++i) {
+        results[cells[i].op][cells[i].system].push_back(
+            std::strtod(payloads[i].c_str(), nullptr));
     }
 
     for (OpType op : microbench_ops()) {

@@ -7,10 +7,13 @@
  * architecture cannot use them; CephFS's MDS cluster does not scale out.
  */
 #include <cstdio>
+#include <cstdlib>
 #include <map>
+#include <string>
 #include <vector>
 
 #include "common/harness.h"
+#include "common/sweep.h"
 #include "src/workload/microbench.h"
 
 namespace lfs::bench {
@@ -24,23 +27,44 @@ run_figure()
     for (double v = 16; v <= 512; v *= 2) {
         budgets.push_back(v);
     }
-    std::map<OpType, std::map<std::string, std::vector<double>>> results;
-
+    // One sweep point per (op, system, vcpus) cell (see bench_fig11).
+    struct Cell {
+        OpType op;
+        std::string system;
+    };
+    std::vector<Cell> cells;
+    SweepRunner sweep;
     for (OpType op : microbench_ops()) {
         for (const std::string& system : microbench_systems()) {
             for (double vcpus : budgets) {
-                SystemInstance instance = make_system(system, vcpus, clients);
-                workload::MicrobenchConfig mcfg;
-                mcfg.op = op;
-                mcfg.num_clients = clients;
-                mcfg.ops_per_client = ops_per_client();
-                mcfg.seed = 2000 + static_cast<uint64_t>(vcpus);
-                workload::MicrobenchResult r = workload::run_microbench(
-                    *instance.sim, *instance.dfs, std::move(instance.tree),
-                    mcfg);
-                results[op][system].push_back(r.ops_per_sec);
+                std::string label = std::string("fig12/") + op_name(op) +
+                                    "/" + system + "/vcpus=" +
+                                    std::to_string(static_cast<int>(vcpus));
+                cells.push_back(Cell{op, system});
+                sweep.add(label, [=]() {
+                    SystemInstance instance =
+                        make_system(system, vcpus, clients);
+                    workload::MicrobenchConfig mcfg;
+                    mcfg.op = op;
+                    mcfg.num_clients = clients;
+                    mcfg.ops_per_client = ops_per_client();
+                    mcfg.seed = sweep_seed(label);
+                    workload::MicrobenchResult r = workload::run_microbench(
+                        *instance.sim, *instance.dfs,
+                        std::move(instance.tree), mcfg);
+                    char buf[64];
+                    std::snprintf(buf, sizeof(buf), "%.17g", r.ops_per_sec);
+                    return std::string(buf);
+                });
             }
         }
+    }
+
+    std::map<OpType, std::map<std::string, std::vector<double>>> results;
+    std::vector<std::string> payloads = sweep.run();
+    for (size_t i = 0; i < payloads.size(); ++i) {
+        results[cells[i].op][cells[i].system].push_back(
+            std::strtod(payloads[i].c_str(), nullptr));
     }
 
     for (OpType op : microbench_ops()) {

@@ -73,6 +73,88 @@ BM_CacheGetHit(benchmark::State& state)
 BENCHMARK(BM_CacheGetHit)->Arg(1024)->Arg(65536);
 
 void
+BM_CacheGetMiss(benchmark::State& state)
+{
+    // Misses at every trie level: unknown leaf under a cached directory,
+    // and an unknown first component (rejected before any descent).
+    auto paths = make_paths(static_cast<int>(state.range(0)));
+    cache::MetadataCache cache;
+    for (size_t i = 0; i < paths.size(); ++i) {
+        cache.put(paths[i], make_inode(static_cast<int>(i)));
+    }
+    std::vector<std::string> probes;
+    for (int i = 0; i < 512; ++i) {
+        probes.push_back(i % 2 == 0
+                             ? "/bench/d" + std::to_string(i % 37) + "/d" +
+                                   std::to_string(i % 11) + "/missing" +
+                                   std::to_string(i)
+                             : "/absent/d" + std::to_string(i) + "/f");
+    }
+    size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.get(probes[i % probes.size()]));
+        ++i;
+    }
+}
+BENCHMARK(BM_CacheGetMiss)->Arg(65536);
+
+void
+BM_CacheGetDeepHit(benchmark::State& state)
+{
+    // 12-component paths: the walk itself dominates, not the leaf lookup.
+    std::vector<std::string> paths;
+    for (int i = 0; i < 1024; ++i) {
+        std::string p;
+        for (int d = 0; d < 11; ++d) {
+            p += "/lvl" + std::to_string((i + d) % 23);
+        }
+        p += "/leaf" + std::to_string(i);
+        paths.push_back(std::move(p));
+    }
+    cache::MetadataCache cache;
+    for (size_t i = 0; i < paths.size(); ++i) {
+        cache.put(paths[i], make_inode(static_cast<int>(i)));
+    }
+    size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.get(paths[i % paths.size()]));
+        ++i;
+    }
+}
+BENCHMARK(BM_CacheGetDeepHit);
+
+void
+BM_CachePutChain(benchmark::State& state)
+{
+    // The λFS read-path install: cache every inode of a resolved chain.
+    std::vector<std::vector<ns::INode>> chains;
+    for (int i = 0; i < 256; ++i) {
+        std::vector<ns::INode> chain;
+        ns::INode root;
+        root.id = ns::kRootId;
+        root.type = ns::INodeType::kDirectory;
+        chain.push_back(root);
+        ns::INode d1 = make_inode(i + 2);
+        d1.name = "d" + std::to_string(i % 37);
+        d1.type = ns::INodeType::kDirectory;
+        chain.push_back(d1);
+        ns::INode d2 = make_inode(i + 3);
+        d2.name = "e" + std::to_string(i % 11);
+        d2.type = ns::INodeType::kDirectory;
+        chain.push_back(d2);
+        chain.push_back(make_inode(i + 4));
+        chains.push_back(std::move(chain));
+    }
+    cache::MetadataCache cache;
+    size_t i = 0;
+    for (auto _ : state) {
+        cache.put_chain(chains[i % chains.size()]);
+        ++i;
+    }
+}
+BENCHMARK(BM_CachePutChain);
+
+void
 BM_CachePrefixInvalidate(benchmark::State& state)
 {
     for (auto _ : state) {

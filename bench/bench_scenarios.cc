@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "common/harness.h"
+#include "common/sweep.h"
 
 namespace lfs::bench {
 namespace {
@@ -314,24 +315,75 @@ run_scenario(const std::string& kind, const char* scenario,
     return result;
 }
 
+/** Round-trip a ScenarioResult through the sweep payload string. */
+std::string
+serialize(const ScenarioResult& r)
+{
+    char buf[160];
+    std::snprintf(buf, sizeof(buf), "%lld %lld %.17g %lld %zu %zu",
+                  static_cast<long long>(r.ops_ok),
+                  static_cast<long long>(r.ops_failed), r.total_latency_ms,
+                  static_cast<long long>(r.reclaimed), r.orphans_left,
+                  r.sessions_left);
+    return buf;
+}
+
+ScenarioResult
+deserialize(const std::string& payload)
+{
+    ScenarioResult r;
+    long long ops_ok = 0;
+    long long ops_failed = 0;
+    long long reclaimed = 0;
+    std::sscanf(payload.c_str(), "%lld %lld %lg %lld %zu %zu", &ops_ok,
+                &ops_failed, &r.total_latency_ms, &reclaimed,
+                &r.orphans_left, &r.sessions_left);
+    r.ops_ok = ops_ok;
+    r.ops_failed = ops_failed;
+    r.reclaimed = reclaimed;
+    return r;
+}
+
 void
 run_sweep()
 {
     std::printf("\n  %d rounds/client, 4 clients per system "
                 "(LFS_SCENARIO_ROUNDS)\n",
                 rounds());
+
+    // One sweep point per (system, scenario); the result table and the
+    // cross-system checks are computed from the merged payloads.
+    struct Scenario {
+        const char* name;
+        ScenarioResult (*body)(SystemInstance&);
+    };
+    const Scenario scenarios[] = {{"symlink-farm", run_symlink_farm},
+                                  {"hardlink-churn", run_hardlink_churn},
+                                  {"session-gc", run_session_gc}};
+    SweepRunner sweep;
+    for (const std::string& kind : microbench_systems()) {
+        for (const Scenario& scenario : scenarios) {
+            sweep.add(kind + "/" + scenario.name, [kind, scenario]() {
+                return serialize(
+                    run_scenario(kind, scenario.name, scenario.body));
+            });
+        }
+    }
+    std::vector<std::string> payloads = sweep.run();
+
     std::printf("\n  %-14s | %21s | %21s | %25s\n", "",
                 "symlink-farm", "hardlink-churn", "session-gc");
     std::printf("  %-14s | %10s %10s | %10s %10s | %10s %10s %3s\n", "system",
                 "ops", "mean ms", "ops", "mean ms", "ops", "mean ms", "rec");
 
     std::vector<Row> rows;
+    size_t next_payload = 0;
     for (const std::string& kind : microbench_systems()) {
         Row row;
         row.system = kind;
-        row.farm = run_scenario(kind, "symlink-farm", run_symlink_farm);
-        row.churn = run_scenario(kind, "hardlink-churn", run_hardlink_churn);
-        row.gc = run_scenario(kind, "session-gc", run_session_gc);
+        row.farm = deserialize(payloads[next_payload++]);
+        row.churn = deserialize(payloads[next_payload++]);
+        row.gc = deserialize(payloads[next_payload++]);
         std::printf("  %-14s | %10lld %10.3f | %10lld %10.3f | %10lld %10.3f "
                     "%3lld\n",
                     row.system.c_str(),

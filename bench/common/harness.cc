@@ -1,7 +1,9 @@
 #include "harness.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <chrono>
+#include <climits>
 #include <cmath>
 #include <cstdlib>
 #include <cstring>
@@ -17,6 +19,18 @@ namespace {
 ObservabilityOptions g_observability;
 /** Basename of the running bench binary (for bench-log entries). */
 std::string g_bench_name;
+/** True in a forked sweep child: artifact writers stay parent-only. */
+bool g_sweep_child = false;
+/** Chrome-trace pid offset for this process's observed runs. */
+int g_trace_pid_base = 0;
+
+/**
+ * Fragment count at the current sweep point's start: pids restart from
+ * the point's base in the serial path exactly as they do in a forked
+ * child (whose fragment vector is empty), so traces are byte-identical
+ * at any LFS_SWEEP_JOBS.
+ */
+size_t g_trace_fragment_floor = 0;
 /**
  * Wall-clock start per armed Simulation — arm_observability() starts the
  * timer, observe_run() reports events/sec against it. Keyed by address;
@@ -34,6 +48,9 @@ std::vector<std::string> g_bench_log_runs;
 void
 write_observability_artifacts()
 {
+    if (g_sweep_child) {
+        return;  // the sweep parent writes merged artifacts
+    }
     if (!g_observability.trace_out.empty()) {
         std::FILE* f = std::fopen(g_observability.trace_out.c_str(), "w");
         if (f != nullptr) {
@@ -88,7 +105,7 @@ write_observability_artifacts()
 void
 append_bench_log()
 {
-    if (g_bench_log_runs.empty()) {
+    if (g_sweep_child || g_bench_log_runs.empty()) {
         return;
     }
     std::FILE* f = std::fopen(g_observability.bench_log.c_str(), "a");
@@ -355,7 +372,10 @@ observe_run(sim::Simulation& sim, const std::string& label)
                 perf.wall_seconds, perf.events_per_sec, perf.peak_backlog);
     if (!g_observability.trace_out.empty()) {
         // One pid per captured run keeps runs separable in Perfetto.
-        int pid = static_cast<int>(g_trace_fragments.size()) + 1;
+        int pid = g_trace_pid_base +
+                  static_cast<int>(g_trace_fragments.size() -
+                                   g_trace_fragment_floor) +
+                  1;
         g_trace_fragments.push_back(sim.tracer().chrome_trace_events(pid));
         std::printf("\n[trace] %s: %llu spans (%llu dropped)\n%s",
                     label.c_str(),
@@ -414,20 +434,87 @@ ops_per_client()
 int
 env_int(const char* name, int fallback)
 {
-    if (const char* v = std::getenv(name)) {
-        return std::atoi(v);
+    const char* v = std::getenv(name);
+    if (v == nullptr || *v == '\0') {
+        return fallback;
     }
-    return fallback;
+    errno = 0;
+    char* end = nullptr;
+    long parsed = std::strtol(v, &end, 10);
+    if (end == v || *end != '\0' || errno == ERANGE ||
+        parsed < INT_MIN || parsed > INT_MAX) {
+        std::fprintf(stderr, "%s: '%s' is not an integer\n", name, v);
+        std::exit(2);
+    }
+    return static_cast<int>(parsed);
 }
 
 double
 env_double(const char* name, double fallback)
 {
-    if (const char* v = std::getenv(name)) {
-        return std::atof(v);
+    const char* v = std::getenv(name);
+    if (v == nullptr || *v == '\0') {
+        return fallback;
     }
-    return fallback;
+    errno = 0;
+    char* end = nullptr;
+    double parsed = std::strtod(v, &end);
+    if (end == v || *end != '\0' || errno == ERANGE) {
+        std::fprintf(stderr, "%s: '%s' is not a number\n", name, v);
+        std::exit(2);
+    }
+    return parsed;
 }
+
+namespace detail {
+
+void
+sweep_point_begin(int trace_pid_base)
+{
+    g_trace_pid_base = trace_pid_base;
+    g_trace_fragment_floor = g_trace_fragments.size();
+}
+
+void
+sweep_child_begin(int trace_pid_base)
+{
+    g_sweep_child = true;
+    g_trace_pid_base = trace_pid_base;
+    g_trace_fragment_floor = 0;
+    g_trace_fragments.clear();
+    g_metrics_fragments.clear();
+    g_bench_log_runs.clear();
+    g_run_started.clear();
+}
+
+HarnessFragments
+take_fragments()
+{
+    HarnessFragments fragments;
+    fragments.trace = std::move(g_trace_fragments);
+    fragments.metrics = std::move(g_metrics_fragments);
+    fragments.bench_log = std::move(g_bench_log_runs);
+    g_trace_fragments.clear();
+    g_metrics_fragments.clear();
+    g_bench_log_runs.clear();
+    return fragments;
+}
+
+void
+absorb_fragments(HarnessFragments fragments)
+{
+    for (std::string& s : fragments.trace) {
+        g_trace_fragments.push_back(std::move(s));
+    }
+    for (std::string& s : fragments.metrics) {
+        g_metrics_fragments.push_back(std::move(s));
+    }
+    for (std::string& s : fragments.bench_log) {
+        g_bench_log_runs.push_back(std::move(s));
+    }
+}
+
+}  // namespace detail
 
 store::StoreConfig
 make_store_config(double s)

@@ -128,11 +128,57 @@ double scale();
 /** LFS_OPS_PER_CLIENT (default 192). */
 int ops_per_client();
 
-/** Integer env with default. */
+/**
+ * Integer env with default. Unset or empty uses @p fallback; anything
+ * that does not parse cleanly to the end (e.g. LFS_SWEEP_JOBS=4x) aborts
+ * the process naming the variable — a mistyped knob must never silently
+ * truncate into a different experiment.
+ */
 int env_int(const char* name, int fallback);
 
-/** Double env with default. */
+/** Double env with default; same strict-parse contract as env_int. */
 double env_double(const char* name, double fallback);
+
+// ----------------------------------------------------------------------
+// Sweep-child plumbing (internal; used by bench::SweepRunner)
+// ----------------------------------------------------------------------
+
+namespace detail {
+
+/**
+ * Observability state accumulated by observe_run()/bench_log_entry() in
+ * one process — shipped from forked sweep children to the parent, which
+ * absorbs them in grid order so the artifacts written at exit match a
+ * serial run.
+ */
+struct HarnessFragments {
+    std::vector<std::string> trace;
+    std::vector<std::string> metrics;
+    std::vector<std::string> bench_log;
+};
+
+/**
+ * Start a sweep point in the serial (inline) path: offset Chrome-trace
+ * pids by @p trace_pid_base and restart per-point pid numbering, so a
+ * jobs=1 trace is byte-identical to the merged trace of a forked run.
+ */
+void sweep_point_begin(int trace_pid_base);
+
+/**
+ * Mark this process as a forked sweep child: clear fragments accumulated
+ * before the fork, offset Chrome-trace pids by @p trace_pid_base (so the
+ * per-point pid ranges stay disjoint across children), and suppress the
+ * atexit artifact writers — only the parent writes files.
+ */
+void sweep_child_begin(int trace_pid_base);
+
+/** Move this process's accumulated fragments out (child serialization). */
+HarnessFragments take_fragments();
+
+/** Append a child's fragments (parent merge, called in grid order). */
+void absorb_fragments(HarnessFragments fragments);
+
+}  // namespace detail
 
 // ----------------------------------------------------------------------
 // Standard system configurations (§5.1)

@@ -1,0 +1,266 @@
+#include "sweep.h"
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+#include "harness.h"
+#include "src/util/hash.h"
+
+namespace lfs::bench {
+
+namespace {
+
+/**
+ * Pid stride between points in merged Chrome traces: each child offsets
+ * its run pids by index * stride, so a point may observe up to this many
+ * runs before its pid range would collide with the next point's.
+ */
+constexpr int kTracePidStride = 64;
+
+/** Create (and leave behind) an empty temp file; returns its path. */
+std::string
+make_temp_file(const char* tag)
+{
+    const char* dir = std::getenv("TMPDIR");
+    if (dir == nullptr || *dir == '\0') {
+        dir = "/tmp";
+    }
+    std::string templ =
+        std::string(dir) + "/lfs_sweep_" + tag + "_XXXXXX";
+    std::vector<char> buf(templ.begin(), templ.end());
+    buf.push_back('\0');
+    int fd = mkstemp(buf.data());
+    if (fd < 0) {
+        std::perror("sweep: mkstemp");
+        std::exit(1);
+    }
+    close(fd);
+    return std::string(buf.data());
+}
+
+/** Length-prefixed section framing for the child result blob. */
+void
+write_section(std::FILE* f, const std::string& s)
+{
+    std::fprintf(f, "%zu\n", s.size());
+    if (!s.empty()) {
+        std::fwrite(s.data(), 1, s.size(), f);
+    }
+    std::fputc('\n', f);
+}
+
+bool
+read_section(std::FILE* f, std::string& out)
+{
+    size_t len = 0;
+    if (std::fscanf(f, "%zu", &len) != 1 || std::fgetc(f) != '\n') {
+        return false;
+    }
+    out.assign(len, '\0');
+    if (len != 0 && std::fread(out.data(), 1, len, f) != len) {
+        return false;
+    }
+    return std::fgetc(f) == '\n';
+}
+
+void
+write_vector(std::FILE* f, const std::vector<std::string>& v)
+{
+    std::fprintf(f, "%zu\n", v.size());
+    for (const std::string& s : v) {
+        write_section(f, s);
+    }
+}
+
+bool
+read_vector(std::FILE* f, std::vector<std::string>& out)
+{
+    size_t n = 0;
+    if (std::fscanf(f, "%zu", &n) != 1 || std::fgetc(f) != '\n') {
+        return false;
+    }
+    out.resize(n);
+    for (std::string& s : out) {
+        if (!read_section(f, s)) {
+            return false;
+        }
+    }
+    return true;
+}
+
+/** Copy the whole of @p path to stdout (child output replay). */
+void
+replay_file(const std::string& path)
+{
+    std::FILE* f = std::fopen(path.c_str(), "r");
+    if (f == nullptr) {
+        return;
+    }
+    char buf[1 << 16];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+        std::fwrite(buf, 1, n, stdout);
+    }
+    std::fclose(f);
+}
+
+}  // namespace
+
+uint64_t
+sweep_seed(std::string_view label)
+{
+    return fnv1a(label);
+}
+
+int
+sweep_jobs()
+{
+    int fallback = static_cast<int>(std::thread::hardware_concurrency());
+    if (fallback < 1) {
+        fallback = 1;
+    }
+    int jobs = env_int("LFS_SWEEP_JOBS", fallback);
+    return jobs < 1 ? 1 : jobs;
+}
+
+void
+SweepRunner::add(std::string label, Body body)
+{
+    points_.push_back(Point{std::move(label), std::move(body)});
+}
+
+std::vector<std::string>
+SweepRunner::run()
+{
+    const size_t n = points_.size();
+    std::vector<std::string> payloads(n);
+    const int jobs = sweep_jobs();
+    if (jobs <= 1 || n <= 1) {
+        // Legacy serial path: bodies run inline, in add() order,
+        // printing straight to this process's stdout. Trace pids use the
+        // same per-point stride as forked children so the --trace-out
+        // artifact is byte-identical at any job count.
+        for (size_t i = 0; i < n; ++i) {
+            detail::sweep_point_begin(static_cast<int>(i) * kTracePidStride);
+            payloads[i] = points_[i].body();
+        }
+        return payloads;
+    }
+
+    struct Slot {
+        pid_t pid = -1;
+        std::string out_path;   ///< captured stdout
+        std::string blob_path;  ///< payload + observability fragments
+    };
+    std::vector<Slot> slots(n);
+
+    auto spawn = [&](size_t i) {
+        slots[i].out_path = make_temp_file("out");
+        slots[i].blob_path = make_temp_file("blob");
+        // Flush before forking so buffered parent output is not
+        // duplicated into the child's captured stream.
+        std::fflush(stdout);
+        std::fflush(stderr);
+        pid_t pid = fork();
+        if (pid < 0) {
+            std::perror("sweep: fork");
+            std::exit(1);
+        }
+        if (pid != 0) {
+            slots[i].pid = pid;
+            return;
+        }
+        // --- child: one grid point, then _exit (no atexit writers) ---
+        detail::sweep_child_begin(static_cast<int>(i) * kTracePidStride);
+        if (std::freopen(slots[i].out_path.c_str(), "w", stdout) ==
+            nullptr) {
+            _exit(3);
+        }
+        std::string payload = points_[i].body();
+        std::fflush(stdout);
+        detail::HarnessFragments fragments = detail::take_fragments();
+        std::FILE* f = std::fopen(slots[i].blob_path.c_str(), "w");
+        if (f == nullptr) {
+            _exit(3);
+        }
+        write_section(f, payload);
+        write_vector(f, fragments.trace);
+        write_vector(f, fragments.metrics);
+        write_vector(f, fragments.bench_log);
+        std::fclose(f);
+        _exit(0);
+    };
+
+    // Window scheduler: keep up to `jobs` children in flight; completion
+    // order is irrelevant because the merge below runs in add() order.
+    size_t next = 0;
+    size_t running = 0;
+    bool failed = false;
+    while (next < n && running < static_cast<size_t>(jobs)) {
+        spawn(next++);
+        ++running;
+    }
+    while (running > 0) {
+        int status = 0;
+        pid_t pid = waitpid(-1, &status, 0);
+        if (pid < 0) {
+            std::perror("sweep: waitpid");
+            std::exit(1);
+        }
+        size_t idx = n;
+        for (size_t i = 0; i < n; ++i) {
+            if (slots[i].pid == pid) {
+                idx = i;
+                break;
+            }
+        }
+        if (idx == n) {
+            continue;  // not one of ours
+        }
+        --running;
+        slots[idx].pid = -1;
+        if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+            std::fprintf(stderr, "sweep: point '%s' failed (status %d)\n",
+                         points_[idx].label.c_str(), status);
+            failed = true;
+        }
+        if (next < n && !failed) {
+            spawn(next++);
+            ++running;
+        }
+    }
+    if (failed) {
+        std::exit(1);
+    }
+
+    // Deterministic merge: replay stdout, absorb fragments, and collect
+    // payloads strictly in grid order.
+    for (size_t i = 0; i < n; ++i) {
+        replay_file(slots[i].out_path);
+        std::FILE* f = std::fopen(slots[i].blob_path.c_str(), "r");
+        detail::HarnessFragments fragments;
+        bool ok = f != nullptr && read_section(f, payloads[i]) &&
+                  read_vector(f, fragments.trace) &&
+                  read_vector(f, fragments.metrics) &&
+                  read_vector(f, fragments.bench_log);
+        if (f != nullptr) {
+            std::fclose(f);
+        }
+        if (!ok) {
+            std::fprintf(stderr, "sweep: point '%s' left a corrupt result\n",
+                         points_[i].label.c_str());
+            std::exit(1);
+        }
+        detail::absorb_fragments(std::move(fragments));
+        std::remove(slots[i].out_path.c_str());
+        std::remove(slots[i].blob_path.c_str());
+    }
+    std::fflush(stdout);
+    return payloads;
+}
+
+}  // namespace lfs::bench

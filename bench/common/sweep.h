@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Parallel experiment fabric for the sweep harnesses (DESIGN.md §14).
+ *
+ * A sweep is a grid of independent points — (op, system, clients) for
+ * Figure 11, (system, scenario) for the lifecycle sweep — each of which
+ * builds its own Simulation from scratch. SweepRunner forks one child
+ * process per point (at most sweep_jobs() concurrently), captures each
+ * child's stdout and observability fragments into per-point temp files,
+ * and merges everything back in deterministic grid (add()) order, so the
+ * merged stdout, --metrics-out, --trace-out, and --bench-log artifacts
+ * are byte-identical to a serial run — wall-clock [perf] figures aside —
+ * no matter how completions interleave.
+ *
+ * Determinism contract:
+ *   - every point's simulation is self-contained (fresh Simulation,
+ *     seed derived from the point's label via sweep_seed), so results
+ *     cannot depend on execution order or concurrency;
+ *   - children inherit the parent's environment and observability
+ *     options, reset the accumulated fragment state (so a child ships
+ *     only its own runs), and _exit(0) without running atexit writers;
+ *   - the parent replays captured stdout and absorbs fragments strictly
+ *     in add() order, then writes artifacts once at exit as usual.
+ *
+ * LFS_SWEEP_JOBS selects the fan-out (default: hardware concurrency);
+ * 1 runs every body inline in add() order — the exact legacy serial
+ * path with no fork, capture, or merge involved.
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lfs::bench {
+
+/**
+ * Deterministic per-point seed: FNV-1a of the point's label. Labels are
+ * unique within a sweep, so distinct points draw distinct, reproducible
+ * seeds regardless of grid shape or execution order.
+ */
+uint64_t sweep_seed(std::string_view label);
+
+/** LFS_SWEEP_JOBS (default: hardware concurrency, minimum 1). */
+int sweep_jobs();
+
+class SweepRunner {
+  public:
+    /**
+     * One grid point: prints everything the point contributes to stdout
+     * and returns the machine-readable payload the harness merges after
+     * the sweep (parsed by the caller; opaque to the runner).
+     */
+    using Body = std::function<std::string()>;
+
+    /** Register a point. @p label must be unique within the sweep. */
+    void add(std::string label, Body body);
+
+    /**
+     * Run every registered point and return payloads in add() order.
+     * Serial (sweep_jobs() == 1) runs bodies inline; parallel forks a
+     * child per point and merges. A failed child aborts the sweep with
+     * the offending label on stderr.
+     */
+    std::vector<std::string> run();
+
+  private:
+    struct Point {
+        std::string label;
+        Body body;
+    };
+
+    std::vector<Point> points_;
+};
+
+}  // namespace lfs::bench

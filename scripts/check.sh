@@ -10,8 +10,13 @@
 #   5. run a tiny bench with --attribution and confirm the latency
 #      attribution ledger populates at least 6 segments and the flight
 #      recorder retains at least 8 tail exemplars (scripts/lfs_report.py)
-#   6. run the perf-smoke gate (scripts/perf_smoke.sh): kernel dispatch
-#      rates must stay within 20% of checked-in baselines, and the
+#   6. parallel-determinism gate: run one sweep harness twice — serial
+#      (LFS_SWEEP_JOBS=1) and forked (LFS_SWEEP_JOBS=4) — and diff the
+#      outputs byte-for-byte after dropping the wall-clock [perf] lines
+#      (DESIGN.md par.14); the ASan pass also exercises the forked path
+#   7. run the perf-smoke gate (scripts/perf_smoke.sh): kernel dispatch
+#      rates must stay within 20% of checked-in baselines, the cache-walk
+#      micro cases must stay under their ns/op ceilings, and the
 #      bench_scenarios lifecycle sweep (links/sessions/GC on every
 #      system) must come back clean (set LFS_SKIP_PERF=1 to skip)
 #
@@ -51,6 +56,11 @@ if [[ "${LFS_SKIP_SANITIZE:-0}" != "1" ]]; then
     # use-after-free/overflow checks and UBSan remain fully active.
     ASAN_OPTIONS=detect_leaks=0 \
         ctest --test-dir "$BUILD_DIR-asan" --output-on-failure -j"$(nproc)"
+    echo "== ASan sweep-fabric smoke (forked children) =="
+    ASAN_OPTIONS=detect_leaks=0 \
+        LFS_OPS_PER_CLIENT=2 LFS_MAX_CLIENTS=8 LFS_SWEEP_JOBS=4 \
+        "$BUILD_DIR-asan/bench/bench_fig11_client_scaling" >/dev/null
+    echo "  ok: forked sweep clean under ASan+UBSan"
 else
     echo "== ASan + UBSan pass skipped (LFS_SKIP_SANITIZE=1) =="
 fi
@@ -117,6 +127,24 @@ spanful = sum(1 for run in doc["runs"]
 assert spanful >= 8, f"only {spanful} exemplars carry span trees (need 8)"
 print(f"  exemplar spans ok: {spanful} exemplars with full span trees")
 EOF
+
+echo "== parallel-determinism gate (LFS_SWEEP_JOBS=1 vs 4) =="
+SWEEP_SERIAL="$ARTIFACT_DIR/sweep_serial.txt"
+SWEEP_PARALLEL="$ARTIFACT_DIR/sweep_parallel.txt"
+# [perf] lines carry wall-clock figures and are the only legitimate
+# difference between a serial and a forked sweep; everything else —
+# tables, checks, run ordering — must match byte-for-byte.
+LFS_OPS_PER_CLIENT=4 LFS_MAX_CLIENTS=16 LFS_SWEEP_JOBS=1 \
+    "$BUILD_DIR/bench/bench_fig11_client_scaling" | \
+    grep -v '^\s*\[perf\]' > "$SWEEP_SERIAL"
+LFS_OPS_PER_CLIENT=4 LFS_MAX_CLIENTS=16 LFS_SWEEP_JOBS=4 \
+    "$BUILD_DIR/bench/bench_fig11_client_scaling" | \
+    grep -v '^\s*\[perf\]' > "$SWEEP_PARALLEL"
+if ! diff -u "$SWEEP_SERIAL" "$SWEEP_PARALLEL"; then
+    echo "FAIL: serial and parallel sweep outputs differ"
+    exit 1
+fi
+echo "  ok: serial and parallel sweeps byte-identical (modulo [perf])"
 
 scripts/perf_smoke.sh "$BUILD_DIR"
 

@@ -9,16 +9,22 @@
 #      measured rates so ordinary machine variance never false-fails —
 #      the gate is tuned to catch the >20% regression class, e.g.
 #      reintroducing a per-event heap allocation.
-#   2. bench_fig11_client_scaling at tiny scale: end-to-end sanity that
+#   2. bench_micro_structures cache-walk cases (hit/miss/deep/put_chain/
+#      prefix-invalidate): per-op nanoseconds must stay below the
+#      checked-in ceilings — the gate for the zero-allocation metadata-
+#      cache walk (DESIGN.md par.14).
+#   3. bench_fig11_client_scaling at tiny scale: end-to-end sanity that
 #      a full harness still reports [perf] lines and clears its floor.
-#   3. bench_scenarios at tiny scale: the extended op surface (links,
+#      Pinned to LFS_SWEEP_JOBS=1: the wall-clock floor assumes runs do
+#      not share the machine with sibling sweep points.
+#   4. bench_scenarios at tiny scale: the extended op surface (links,
 #      sessions, GC) must succeed on every system, reclaim every leaked
 #      lease, and leave no orphans — a cross-system lifecycle smoke.
 #
 # All runs append one dated JSON line to the checked-in trajectory
-# files (BENCH_kernel.json / BENCH_fig11.json / BENCH_scenarios.json) so
-# the repo accumulates a perf time series; render it with
-# scripts/lfs_report.py --trajectory.
+# files (BENCH_kernel.json / BENCH_micro.json / BENCH_fig11.json /
+# BENCH_scenarios.json) so the repo accumulates a perf time series;
+# render it with scripts/lfs_report.py --trajectory.
 #
 # Usage: scripts/perf_smoke.sh [build-dir]   (default: build)
 # Skip with LFS_SKIP_PERF=1 (e.g. on emulated or heavily-shared hosts).
@@ -36,10 +42,12 @@ if [[ "${LFS_SKIP_PERF:-0}" == "1" ]]; then
 fi
 
 KERNEL_LOG="BENCH_kernel.json"
+MICRO_LOG="BENCH_micro.json"
 FIG11_LOG="BENCH_fig11.json"
 SCENARIOS_LOG="BENCH_scenarios.json"
 if [[ "${LFS_SKIP_BENCH_LOG:-0}" == "1" ]]; then
     KERNEL_LOG=""
+    MICRO_LOG=""
     FIG11_LOG=""
     SCENARIOS_LOG=""
 fi
@@ -51,12 +59,20 @@ KERNEL_OUT="$(LFS_KERNEL_EVENTS="${LFS_PERF_EVENTS:-300000}" \
     "$BUILD_DIR/bench/bench_kernel")"
 echo "$KERNEL_OUT" | grep '^\[bench_kernel\]'
 
-echo "== perf smoke: bench_fig11_client_scaling (tiny scale) =="
-FIG11_OUT="$(LFS_OPS_PER_CLIENT=8 LFS_BENCH_LOG="$FIG11_LOG" \
+echo "== perf smoke: bench_micro_structures (cache-walk ceilings) =="
+MICRO_JSON="$(mktemp)"
+trap 'rm -f "$MICRO_JSON"' EXIT
+"$BUILD_DIR/bench/bench_micro_structures" --benchmark_filter='Cache' \
+    --benchmark_format=json --benchmark_min_time=0.1 > "$MICRO_JSON"
+
+echo "== perf smoke: bench_fig11_client_scaling (tiny scale, serial) =="
+FIG11_OUT="$(LFS_OPS_PER_CLIENT=8 LFS_SWEEP_JOBS=1 \
+    LFS_BENCH_LOG="$FIG11_LOG" \
     "$BUILD_DIR/bench/bench_fig11_client_scaling")"
 
 echo "== perf smoke: bench_scenarios (extended op surface, tiny scale) =="
-SCENARIOS_OUT="$(LFS_SCENARIO_ROUNDS=10 LFS_BENCH_LOG="$SCENARIOS_LOG" \
+SCENARIOS_OUT="$(LFS_SCENARIO_ROUNDS=10 LFS_SWEEP_JOBS=1 \
+    LFS_BENCH_LOG="$SCENARIOS_LOG" \
     "$BUILD_DIR/bench/bench_scenarios")"
 if echo "$SCENARIOS_OUT" | grep -q 'MEASURED: NO'; then
     echo "$SCENARIOS_OUT" | grep 'MEASURED:'
@@ -77,13 +93,17 @@ fi
 echo "  ok: extended op surface clean on every system " \
      "($(echo "$SCENARIOS_OUT" | grep -c '^\s*\[perf\]') observed runs)"
 
-if ! python3 - "$BASELINE_JSON" <<'EOF' "$KERNEL_OUT" "$FIG11_OUT"
+if ! python3 - "$BASELINE_JSON" "$MICRO_JSON" "$MICRO_LOG" \
+        <<'EOF' "$KERNEL_OUT" "$FIG11_OUT"
 import json
 import re
 import sys
+import time
 
 baseline = json.load(open(sys.argv[1]))
-kernel_out, fig11_out = sys.argv[2], sys.argv[3]
+micro = json.load(open(sys.argv[2]))
+micro_log = sys.argv[3]
+kernel_out, fig11_out = sys.argv[4], sys.argv[5]
 tolerance = baseline["regression_tolerance"]
 
 def eps_lines(text, tag):
@@ -113,6 +133,39 @@ for case, base in baseline["bench_kernel"].items():
         fail = True
     else:
         print(f"  ok: {case} {got[0]} events/sec (floor {floor:.0f})")
+
+# Cache-walk ceilings: per-op real_time (ns) must stay below the
+# checked-in ceiling. Ceilings carry their own slack (~2.5x a healthy
+# run), so no further tolerance is applied.
+micro_times = {b["name"]: b["real_time"] for b in micro.get("benchmarks", [])
+               if b.get("time_unit", "ns") == "ns"}
+micro_runs = []
+for case, ceiling in baseline["bench_micro_structures"]["cache_ns_ceiling"].items():
+    got = micro_times.get(case)
+    if got is None:
+        print(f"FAIL: bench_micro_structures did not report {case}")
+        fail = True
+        continue
+    micro_runs.append((case, got))
+    if got > ceiling:
+        print(f"FAIL: {case} at {got:.0f} ns/op, above ceiling {ceiling} ns")
+        fail = True
+    else:
+        print(f"  ok: {case} {got:.0f} ns/op (ceiling {ceiling})")
+
+if micro_log and micro_runs:
+    # One dated trajectory line; ns/op is recorded as ops/sec so the
+    # --trajectory renderer and its trend math apply unchanged.
+    entry = {
+        "date": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "bench": "bench_micro_structures",
+        "runs": [{"label": case, "ns_per_op": round(t, 1),
+                  "events_per_sec": round(1e9 / t) if t else 0}
+                 for case, t in micro_runs],
+    }
+    with open(micro_log, "a") as f:
+        f.write(json.dumps(entry, separators=(",", ":")) + "\n")
+    print(f"appended bench log: {micro_log} ({len(micro_runs)} runs)")
 
 fig11_rates = [r for rs in eps_lines(fig11_out, "[perf]").values() for r in rs]
 base = baseline["bench_fig11_client_scaling"]["best_run_events_per_sec"]

@@ -1,26 +1,133 @@
 #include "src/cache/metadata_cache.h"
 
 #include <cassert>
-#include <unordered_map>
+#include <vector>
 
 #include "src/util/hash.h"
 #include "src/util/path.h"
 
 namespace lfs::cache {
 
+namespace {
+
+/** Slot index for hash @p h in a table of @p mask + 1 slots. */
+inline size_t
+slot_index(uint64_t h, size_t mask)
+{
+    return static_cast<size_t>(h ^ (h >> 32)) & mask;
+}
+
+}  // namespace
+
+/**
+ * Open-addressing child index: linear probing over contiguous
+ * (hash, Node*) slots, power-of-two capacity, backward-shift deletion.
+ * Keys are the 64-bit FNV-1a hashes of component names; the caller
+ * verifies the stored spelling on a hash match (a walk therefore hashes
+ * each component's bytes exactly once and compares strings at most once
+ * per level). Owns no memory beyond the slot array — Node lifetime is
+ * managed by the enclosing trie.
+ */
+struct MetadataCache::ChildTable {
+    struct Slot {
+        uint64_t hash = 0;
+        Node* node = nullptr;  ///< nullptr marks an empty slot
+    };
+
+    std::vector<Slot> slots;  ///< power-of-two capacity (empty until first insert)
+    size_t count = 0;
+
+    bool empty() const { return count == 0; }
+
+    void
+    grow()
+    {
+        size_t cap = slots.empty() ? 8 : slots.size() * 2;
+        std::vector<Slot> next(cap);
+        size_t mask = cap - 1;
+        for (const Slot& s : slots) {
+            if (s.node == nullptr) {
+                continue;
+            }
+            size_t i = slot_index(s.hash, mask);
+            while (next[i].node != nullptr) {
+                i = (i + 1) & mask;
+            }
+            next[i] = s;
+        }
+        slots = std::move(next);
+    }
+
+    void
+    insert(uint64_t h, Node* node)
+    {
+        if ((count + 1) * 8 >= slots.size() * 7) {
+            grow();
+        }
+        size_t mask = slots.size() - 1;
+        size_t i = slot_index(h, mask);
+        while (slots[i].node != nullptr) {
+            i = (i + 1) & mask;
+        }
+        slots[i] = Slot{h, node};
+        ++count;
+    }
+
+    /**
+     * Remove @p node (must be present). Backward-shift deletion keeps
+     * probe chains dense, so lookups need no tombstone checks.
+     */
+    void
+    erase(uint64_t h, Node* node)
+    {
+        size_t mask = slots.size() - 1;
+        size_t i = slot_index(h, mask);
+        while (slots[i].node != node) {
+            i = (i + 1) & mask;
+        }
+        size_t j = i;  // hole
+        for (;;) {
+            slots[j] = Slot{};
+            size_t k = j;
+            for (;;) {
+                k = (k + 1) & mask;
+                if (slots[k].node == nullptr) {
+                    --count;
+                    return;
+                }
+                // slots[k] may fill the hole iff its home position lies
+                // cyclically at or before the hole (else it would become
+                // unreachable from its home).
+                size_t home = slot_index(slots[k].hash, mask);
+                if (((k - home) & mask) >= ((k - j) & mask)) {
+                    slots[j] = slots[k];
+                    j = k;
+                    break;
+                }
+            }
+        }
+    }
+};
+
 /** One trie node; holds a value iff an inode is cached at this path. */
 struct MetadataCache::Node {
     Node* parent = nullptr;
-    std::string component;  ///< name within parent ("" for root)
-    // Transparent hash: lookups take string_view without allocating.
-    std::unordered_map<std::string, std::unique_ptr<Node>, StringHash,
-                       std::equal_to<>>
-        children;
+    uint64_t name_hash = 0;  ///< fnv1a(name); key within parent->children
+    /** Interned spelling (views NameTable storage — stable addresses). */
+    std::string_view name;
+    ChildTable children;
     std::optional<ns::INode> value;
     size_t value_bytes = 0;
     // Intrusive LRU links (valid only while value is set).
     Node* lru_prev = nullptr;
     Node* lru_next = nullptr;
+
+    ~Node()
+    {
+        for (const ChildTable::Slot& s : children.slots) {
+            delete s.node;
+        }
+    }
 };
 
 MetadataCache::MetadataCache(CacheConfig config)
@@ -31,34 +138,66 @@ MetadataCache::MetadataCache(CacheConfig config)
 MetadataCache::~MetadataCache() = default;
 
 MetadataCache::Node*
-MetadataCache::find(const std::string& p) const
+MetadataCache::find(std::string_view p) const
 {
     Node* cur = root_.get();
     for (std::string_view comp : path::PathView(p)) {
-        auto it = cur->children.find(comp);
-        if (it == cur->children.end()) {
+        const uint64_t h = fnv1a(comp);
+        const ChildTable& tab = cur->children;
+        if (tab.slots.empty()) {
             return nullptr;
         }
-        cur = it->second.get();
+        const size_t mask = tab.slots.size() - 1;
+        Node* next = nullptr;
+        for (size_t i = slot_index(h, mask);; i = (i + 1) & mask) {
+            const ChildTable::Slot& s = tab.slots[i];
+            if (s.node == nullptr) {
+                return nullptr;
+            }
+            if (s.hash == h && s.node->name == comp) {
+                next = s.node;
+                break;
+            }
+        }
+        cur = next;
     }
     return cur;
 }
 
 MetadataCache::Node*
-MetadataCache::find_or_create(const std::string& p)
+MetadataCache::child_or_create(Node* cur, std::string_view comp)
+{
+    const uint64_t h = fnv1a(comp);
+    ChildTable& tab = cur->children;
+    if (!tab.slots.empty()) {
+        const size_t mask = tab.slots.size() - 1;
+        for (size_t i = slot_index(h, mask);; i = (i + 1) & mask) {
+            const ChildTable::Slot& s = tab.slots[i];
+            if (s.node == nullptr) {
+                break;
+            }
+            if (s.hash == h && s.node->name == comp) {
+                return s.node;
+            }
+        }
+    }
+    // Intern the spelling so the node's name view stays valid for the
+    // cache's lifetime (NameTable storage addresses are stable).
+    uint32_t id = names_.intern(comp);
+    Node* node = new Node;
+    node->parent = cur;
+    node->name_hash = h;
+    node->name = names_.name(id);
+    tab.insert(h, node);
+    return node;
+}
+
+MetadataCache::Node*
+MetadataCache::find_or_create(std::string_view p)
 {
     Node* cur = root_.get();
     for (std::string_view comp : path::PathView(p)) {
-        auto it = cur->children.find(comp);
-        if (it == cur->children.end()) {
-            auto node = std::make_unique<Node>();
-            node->parent = cur;
-            node->component = std::string(comp);
-            it = cur->children
-                     .emplace(std::string(comp), std::move(node))
-                     .first;
-        }
-        cur = it->second.get();
+        cur = child_or_create(cur, comp);
     }
     return cur;
 }
@@ -132,7 +271,8 @@ MetadataCache::prune(Node* node)
     while (node != root_.get() && !node->value.has_value() &&
            node->children.empty()) {
         Node* parent = node->parent;
-        parent->children.erase(node->component);
+        parent->children.erase(node->name_hash, node);
+        delete node;
         node = parent;
     }
 }
@@ -149,7 +289,7 @@ MetadataCache::evict_until_within_budget()
 }
 
 void
-MetadataCache::put(const std::string& p, const ns::INode& inode)
+MetadataCache::put(std::string_view p, const ns::INode& inode)
 {
     if (config_.capacity_bytes == 0) {
         return;
@@ -171,26 +311,23 @@ MetadataCache::put_chain(const std::vector<ns::INode>& chain)
     if (config_.capacity_bytes == 0) {
         return;
     }
-    // Incremental path assembly: chains arrive normalized root-first, so
-    // each level extends the previous path in place (no join/normalize).
-    std::string p = "/";
+    // Chains arrive normalized root-first: descend the trie one component
+    // per chain entry directly — no path strings are ever assembled.
+    Node* cur = root_.get();
     for (const ns::INode& inode : chain) {
         if (inode.id != ns::kRootId) {
-            if (p.size() > 1) {
-                p += '/';
-            }
-            p += inode.name;
+            cur = child_or_create(cur, inode.name);
         }
         if (inode.nlink > 1) {
             continue;  // see put(): aliases defeat path-keyed INV
         }
-        set_value(find_or_create(p), inode);
+        set_value(cur, inode);
     }
     evict_until_within_budget();
 }
 
 std::optional<ns::INode>
-MetadataCache::get(const std::string& p)
+MetadataCache::get(std::string_view p)
 {
     Node* node = find(p);
     if (!node || !node->value.has_value()) {
@@ -204,14 +341,14 @@ MetadataCache::get(const std::string& p)
 }
 
 bool
-MetadataCache::contains(const std::string& p) const
+MetadataCache::contains(std::string_view p) const
 {
     Node* node = find(p);
     return node && node->value.has_value();
 }
 
 void
-MetadataCache::invalidate(const std::string& p)
+MetadataCache::invalidate(std::string_view p)
 {
     // Log even when nothing is cached at p: an in-flight read may be
     // about to install exactly this path, and the invalidation must win.
@@ -225,34 +362,52 @@ MetadataCache::invalidate(const std::string& p)
 }
 
 int64_t
-MetadataCache::drop_subtree_values(Node* node)
+MetadataCache::destroy_subtree(Node* node)
 {
+    // Single fused pass: drop the value, recurse, free — instead of a
+    // drop traversal followed by a destructor traversal.
     int64_t dropped = 0;
     if (node->value.has_value()) {
         drop_value(node, /*count_as_invalidation=*/true);
         ++dropped;
     }
-    for (auto& [name, child] : node->children) {
-        dropped += drop_subtree_values(child.get());
+    for (const ChildTable::Slot& s : node->children.slots) {
+        if (s.node != nullptr) {
+            dropped += destroy_subtree(s.node);
+        }
     }
+    node->children.slots.clear();  // children already freed above
+    node->children.count = 0;
+    delete node;
     return dropped;
 }
 
 int64_t
-MetadataCache::invalidate_prefix(const std::string& prefix)
+MetadataCache::invalidate_prefix(std::string_view prefix)
 {
     log_invalidation(prefix, /*prefix=*/true);
     Node* node = find(prefix);
     if (!node) {
         return 0;
     }
-    int64_t dropped = drop_subtree_values(node);
+    int64_t dropped = 0;
     if (node != root_.get()) {
         Node* parent = node->parent;
-        parent->children.erase(node->component);
+        parent->children.erase(node->name_hash, node);
+        dropped = destroy_subtree(node);
         prune(parent);
     } else {
-        node->children.clear();
+        if (node->value.has_value()) {
+            drop_value(node, /*count_as_invalidation=*/true);
+            ++dropped;
+        }
+        for (const ChildTable::Slot& s : node->children.slots) {
+            if (s.node != nullptr) {
+                dropped += destroy_subtree(s.node);
+            }
+        }
+        node->children.slots.clear();
+        node->children.count = 0;
     }
     return dropped;
 }
@@ -290,7 +445,7 @@ MetadataCache::end_read(ReadToken token)
 }
 
 void
-MetadataCache::put_guarded(const std::string& p, const ns::INode& inode,
+MetadataCache::put_guarded(std::string_view p, const ns::INode& inode,
                            ReadToken token)
 {
     if (invalidated_since(p, token)) {
@@ -301,22 +456,55 @@ MetadataCache::put_guarded(const std::string& p, const ns::INode& inode,
 }
 
 void
-MetadataCache::log_invalidation(const std::string& p, bool prefix)
+MetadataCache::log_invalidation(std::string_view p, bool prefix)
 {
     ++inv_seq_;
-    if (!active_reads_.empty()) {
-        inv_log_.push_back(InvLogEntry{inv_seq_, p, prefix});
+    if (active_reads_.empty()) {
+        return;
     }
+    InvLogEntry entry;
+    entry.seq = inv_seq_;
+    entry.prefix = prefix;
+    // Interned (not find): the invalidated path may never have been
+    // cached, but a racing install of exactly that path must still match
+    // the log — so its components need ids.
+    for (std::string_view comp : path::PathView(p)) {
+        entry.comps.push_back(names_.intern(comp));
+    }
+    inv_log_.push_back(std::move(entry));
 }
 
 bool
-MetadataCache::invalidated_since(const std::string& p, ReadToken token) const
+MetadataCache::matches(const InvLogEntry& entry, std::string_view p) const
 {
-    for (const InvLogEntry& e : inv_log_) {
-        if (e.seq <= token) {
+    // Lockstep component-wise compare of p against the entry's interned
+    // id sequence; allocation-free (the log is consulted per install).
+    size_t i = 0;
+    for (std::string_view comp : path::PathView(p)) {
+        if (i == entry.comps.size()) {
+            // p lies strictly under the logged path.
+            return entry.prefix;
+        }
+        uint32_t id = names_.find(comp);
+        if (id == ns::NameTable::kNoName || id != entry.comps[i]) {
+            // A never-interned component cannot equal any logged id.
+            return false;
+        }
+        ++i;
+    }
+    // p exhausted: equal iff the entry is exhausted too (equality matches
+    // point and prefix entries alike).
+    return i == entry.comps.size();
+}
+
+bool
+MetadataCache::invalidated_since(std::string_view p, ReadToken token) const
+{
+    for (const InvLogEntry& entry : inv_log_) {
+        if (entry.seq <= token) {
             continue;
         }
-        if (e.prefix ? path::is_under(p, e.path) : p == e.path) {
+        if (matches(entry, p)) {
             return true;
         }
     }

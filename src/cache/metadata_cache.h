@@ -8,6 +8,19 @@
  * path, reads that hit serve entirely from the trie, and the subtree
  * coherence protocol invalidates whole prefixes in one operation. Entries
  * are evicted LRU under a byte budget.
+ *
+ * Hot-path layout (DESIGN.md §14): every trie node keys its children in a
+ * flat open-addressing table by the component's 64-bit FNV-1a hash — the
+ * same heterogeneous-hash discipline as NamespaceTree, with linear probing
+ * over contiguous slots instead of bucket chains. A walk hashes each
+ * component's bytes exactly once and, per level, does one probe sequence
+ * plus at most one string verify against the interned spelling (component
+ * names live in a per-cache ns::NameTable; nodes view its stable
+ * storage). get/contains/invalidate walk via path::PathView and construct
+ * no temporary std::string — a steady-state get performs zero heap
+ * allocations. Lookups never intern, so probing for absent paths cannot
+ * grow the table; the in-flight read-guard log stores interned id
+ * sequences and matches installs by 4-byte id compares.
  */
 #pragma once
 
@@ -16,10 +29,11 @@
 #include <memory>
 #include <optional>
 #include <set>
-#include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/namespace/inode.h"
+#include "src/namespace/namespace_tree.h"
 #include "src/sim/stats.h"
 
 namespace lfs::cache {
@@ -41,7 +55,7 @@ class MetadataCache {
      * Cache one inode under @p path, replacing any previous entry. May
      * evict LRU entries to respect the byte budget.
      */
-    void put(const std::string& path, const ns::INode& inode);
+    void put(std::string_view path, const ns::INode& inode);
 
     /**
      * In-flight read guard. A NameNode reads the store under shared row
@@ -66,30 +80,31 @@ class MetadataCache {
      * put(), unless @p path was invalidated (point or covering prefix)
      * after @p token was taken — then the install is discarded.
      */
-    void put_guarded(const std::string& path, const ns::INode& inode,
+    void put_guarded(std::string_view path, const ns::INode& inode,
                      ReadToken token);
 
     /**
      * Cache a whole resolved chain (root..target). @p chain entries carry
-     * component names; paths are reconstructed from them.
+     * component names; the trie is descended directly from them (no path
+     * strings are ever assembled).
      */
     void put_chain(const std::vector<ns::INode>& chain);
 
     /** Look up @p path; refreshes LRU position and hit/miss statistics. */
-    std::optional<ns::INode> get(const std::string& path);
+    std::optional<ns::INode> get(std::string_view path);
 
     /** Presence probe without stats/LRU side effects. */
-    bool contains(const std::string& path) const;
+    bool contains(std::string_view path) const;
 
     /** Drop the entry at @p path (point invalidation). */
-    void invalidate(const std::string& path);
+    void invalidate(std::string_view path);
 
     /**
      * Drop every entry at or under @p prefix — the subtree/prefix
      * invalidation used by the λFS coherence protocol (Appendix D).
      * @return number of entries dropped.
      */
-    int64_t invalidate_prefix(const std::string& prefix);
+    int64_t invalidate_prefix(std::string_view prefix);
 
     /** Remove everything. */
     void clear();
@@ -97,6 +112,9 @@ class MetadataCache {
     size_t entries() const { return entries_; }
     size_t bytes() const { return bytes_; }
     size_t capacity_bytes() const { return config_.capacity_bytes; }
+
+    /** Distinct component names interned so far (diagnostics). */
+    size_t interned_names() const { return names_.size(); }
 
     uint64_t hits() const { return hits_.value(); }
     uint64_t misses() const { return misses_.value(); }
@@ -110,24 +128,32 @@ class MetadataCache {
 
   private:
     struct Node;
+    struct ChildTable;
 
-    /** One invalidation observed while ≥1 store read was in flight. */
+    /**
+     * One invalidation observed while ≥1 store read was in flight. The
+     * path is stored as its interned component-id sequence, so matching
+     * an install against the log compares 4-byte ids, not string
+     * prefixes.
+     */
     struct InvLogEntry {
         uint64_t seq = 0;
-        std::string path;
+        std::vector<uint32_t> comps;  ///< interned ids, root-first
         bool prefix = false;
     };
 
-    void log_invalidation(const std::string& path, bool prefix);
-    bool invalidated_since(const std::string& path, ReadToken token) const;
+    void log_invalidation(std::string_view path, bool prefix);
+    bool invalidated_since(std::string_view path, ReadToken token) const;
+    bool matches(const InvLogEntry& entry, std::string_view path) const;
 
-    Node* find(const std::string& path) const;
-    Node* find_or_create(const std::string& path);
+    Node* find(std::string_view path) const;
+    Node* child_or_create(Node* cur, std::string_view comp);
+    Node* find_or_create(std::string_view path);
     void set_value(Node* node, const ns::INode& inode);
     void drop_value(Node* node, bool count_as_invalidation);
     void prune(Node* node);
     void evict_until_within_budget();
-    int64_t drop_subtree_values(Node* node);
+    int64_t destroy_subtree(Node* node);
 
     // Intrusive LRU list over nodes holding values.
     void lru_push_front(Node* node);
@@ -135,6 +161,9 @@ class MetadataCache {
 
     CacheConfig config_;
     std::unique_ptr<Node> root_;
+    /** Component-name interner: stable spellings for trie nodes, id
+     *  sequences for the invalidation log. Never probed on the get path. */
+    ns::NameTable names_;
     size_t entries_ = 0;
     size_t bytes_ = 0;
     Node* lru_head_ = nullptr;

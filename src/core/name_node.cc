@@ -70,10 +70,10 @@ void
 NameNode::invalidate_local(const Op& op)
 {
     cache_.invalidate(op.path);
-    cache_.invalidate(path::parent(op.path));
+    cache_.invalidate(path::parent_view(op.path));
     if (has_dst_path(op.type)) {
         cache_.invalidate(op.dst);
-        cache_.invalidate(path::parent(op.dst));
+        cache_.invalidate(path::parent_view(op.dst));
     }
 }
 

@@ -38,6 +38,12 @@ namespace lfs::ns {
  * id; the directory tables compare ids instead of strings, and each name's
  * bytes are stored once no matter how many directories contain it (hot
  * directories in the paper's workloads share names like "part-00000").
+ *
+ * The name -> id index is an open-addressing table over (hash, id) slots:
+ * one FNV-1a hash of the component, a linear probe through contiguous
+ * 16-byte slots, and a full-hash compare before the single string verify.
+ * No per-lookup allocation, no bucket chains, no modulo — measurably
+ * cheaper than the former unordered_map on the resolve hot path.
  */
 class NameTable {
   public:
@@ -47,13 +53,28 @@ class NameTable {
     uint32_t
     intern(std::string_view name)
     {
-        auto it = ids_.find(name);
-        if (it != ids_.end()) {
-            return it->second;
+        const uint64_t h = fnv1a(name);
+        if (!slots_.empty()) {
+            for (size_t i = h & mask_;; i = (i + 1) & mask_) {
+                const Slot& s = slots_[i];
+                if (s.id == kNoName) {
+                    break;
+                }
+                if (s.hash == h && storage_[s.id] == name) {
+                    return s.id;
+                }
+            }
+        }
+        if ((storage_.size() + 1) * 10 >= slots_.size() * 7) {
+            grow();
         }
         uint32_t id = static_cast<uint32_t>(storage_.size());
         storage_.emplace_back(name);  // deque: stable addresses
-        ids_.emplace(std::string_view(storage_.back()), id);
+        size_t i = h & mask_;
+        while (slots_[i].id != kNoName) {
+            i = (i + 1) & mask_;
+        }
+        slots_[i] = Slot{h, id};
         return id;
     }
 
@@ -61,8 +82,19 @@ class NameTable {
     uint32_t
     find(std::string_view name) const
     {
-        auto it = ids_.find(name);
-        return it == ids_.end() ? kNoName : it->second;
+        if (slots_.empty()) {
+            return kNoName;
+        }
+        const uint64_t h = fnv1a(name);
+        for (size_t i = h & mask_;; i = (i + 1) & mask_) {
+            const Slot& s = slots_[i];
+            if (s.id == kNoName) {
+                return kNoName;
+            }
+            if (s.hash == h && storage_[s.id] == name) {
+                return s.id;
+            }
+        }
     }
 
     /** The interned spelling of @p id (must be a valid id). */
@@ -71,9 +103,33 @@ class NameTable {
     size_t size() const { return storage_.size(); }
 
   private:
+    struct Slot {
+        uint64_t hash = 0;
+        uint32_t id = kNoName;  ///< kNoName marks an empty slot
+    };
+
+    void
+    grow()
+    {
+        size_t cap = slots_.empty() ? 64 : slots_.size() * 2;
+        std::vector<Slot> next(cap);
+        mask_ = cap - 1;
+        for (const Slot& s : slots_) {
+            if (s.id == kNoName) {
+                continue;
+            }
+            size_t i = s.hash & mask_;
+            while (next[i].id != kNoName) {
+                i = (i + 1) & mask_;
+            }
+            next[i] = s;
+        }
+        slots_ = std::move(next);
+    }
+
     std::deque<std::string> storage_;  ///< id -> name, addresses stable
-    /** Views key into storage_, so each name's bytes exist once. */
-    std::unordered_map<std::string_view, uint32_t, StringHash> ids_;
+    std::vector<Slot> slots_;          ///< open-addressing name index
+    size_t mask_ = 0;
 };
 
 /** Result of resolving a path: the inode chain from root to target. */

@@ -63,6 +63,26 @@ parent(std::string_view p)
 }
 
 std::string_view
+parent_view(std::string_view p)
+{
+    // Trim trailing slashes, the final component, then its slashes.
+    size_t end = p.size();
+    while (end > 0 && p[end - 1] == '/') {
+        --end;
+    }
+    while (end > 0 && p[end - 1] != '/') {
+        --end;
+    }
+    while (end > 1 && p[end - 1] == '/') {
+        --end;
+    }
+    if (end <= 1) {
+        return "/";
+    }
+    return p.substr(0, end);
+}
+
+std::string_view
 basename_view(std::string_view p)
 {
     std::string_view last;

@@ -105,6 +105,14 @@ std::vector<std::string> split(std::string_view p);
 /** Parent directory ("/a/b" -> "/a"; "/a" -> "/"; "/" -> "/"). */
 std::string parent(std::string_view p);
 
+/**
+ * parent without the string copy; views a prefix of @p p (or the static
+ * "/"). Not normalized — interior duplicate slashes survive — so use it
+ * only with component-wise consumers (PathView walkers like the metadata
+ * cache), never as a map key.
+ */
+std::string_view parent_view(std::string_view p);
+
 /** Final component ("/a/b" -> "b"; "/" -> ""). */
 std::string basename(std::string_view p);
 

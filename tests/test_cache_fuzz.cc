@@ -1,0 +1,321 @@
+/**
+ * @file
+ * Randomized equivalence testing of MetadataCache against a trivially
+ * correct reference model (std::map<std::string, INode>), plus targeted
+ * regressions for the interned-trie rewrite (DESIGN.md §14): guarded
+ * installs racing invalidations must still lose after the switch from
+ * string-prefix matching to interned-id matching.
+ *
+ * Two regimes:
+ *   - unlimited budget: the cache must agree with the model exactly on
+ *     every get/contains after any interleaving of put / put_chain /
+ *     invalidate / invalidate_prefix;
+ *   - small budget: eviction makes the cache a subset — every hit must
+ *     match the model's value, and entries() must track the model's
+ *     upper bound (soundness, not completeness).
+ */
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/cache/metadata_cache.h"
+
+namespace lfs {
+namespace {
+
+/** Deterministic xorshift — the test must not depend on libc rand. */
+class Rng {
+  public:
+    explicit Rng(uint64_t seed) : state_(seed ? seed : 0x9e3779b97f4a7c15ull)
+    {
+    }
+
+    uint64_t
+    next()
+    {
+        state_ ^= state_ << 13;
+        state_ ^= state_ >> 7;
+        state_ ^= state_ << 17;
+        return state_;
+    }
+
+    uint64_t next(uint64_t bound) { return next() % bound; }
+
+  private:
+    uint64_t state_;
+};
+
+ns::INode
+make_inode(uint64_t id, std::string name)
+{
+    ns::INode inode;
+    inode.id = static_cast<ns::INodeId>(id + 2);  // skip root id
+    inode.name = std::move(name);
+    inode.type = ns::INodeType::kFile;
+    inode.size = id * 17;
+    return inode;
+}
+
+/**
+ * A small closed path universe: depth <= 3 over a few component names,
+ * so collisions between put / invalidate / prefix ops are frequent.
+ */
+std::vector<std::string>
+path_universe()
+{
+    const std::vector<std::string> dirs = {"a", "b", "cc", "dd"};
+    const std::vector<std::string> leaves = {"x", "y", "zz"};
+    std::vector<std::string> paths;
+    for (const std::string& d : dirs) {
+        paths.push_back("/" + d);
+        for (const std::string& m : dirs) {
+            paths.push_back("/" + d + "/" + m);
+            for (const std::string& l : leaves) {
+                paths.push_back("/" + d + "/" + m + "/" + l);
+            }
+        }
+    }
+    return paths;
+}
+
+bool
+is_under(const std::string& p, const std::string& prefix)
+{
+    if (prefix == "/") {
+        return true;
+    }
+    if (p == prefix) {
+        return true;
+    }
+    return p.size() > prefix.size() && p.compare(0, prefix.size(), prefix) == 0 &&
+           p[prefix.size()] == '/';
+}
+
+/** Root-first inode chain for @p path ("/a/b" -> [a, b], named). */
+std::vector<ns::INode>
+chain_for(const std::string& path, uint64_t version)
+{
+    std::vector<ns::INode> chain;
+    size_t begin = 1;
+    std::string assembled;
+    while (begin <= path.size()) {
+        size_t end = path.find('/', begin);
+        if (end == std::string::npos) {
+            end = path.size();
+        }
+        std::string comp = path.substr(begin, end - begin);
+        if (!comp.empty()) {
+            chain.push_back(make_inode(version + chain.size(), comp));
+        }
+        begin = end + 1;
+    }
+    return chain;
+}
+
+/** Prefixes of @p path, shallowest first ("/a/b/x" -> /a, /a/b, /a/b/x). */
+std::vector<std::string>
+prefixes_of(const std::string& path)
+{
+    std::vector<std::string> out;
+    size_t pos = 1;
+    while (pos <= path.size()) {
+        size_t end = path.find('/', pos);
+        if (end == std::string::npos) {
+            end = path.size();
+        }
+        out.push_back(path.substr(0, end));
+        pos = end + 1;
+    }
+    return out;
+}
+
+TEST(CacheFuzz, MatchesReferenceModelUnlimitedBudget)
+{
+    const std::vector<std::string> paths = path_universe();
+    for (uint64_t seed = 1; seed <= 8; ++seed) {
+        Rng rng(seed * 0x1234567ull);
+        cache::MetadataCache cache;  // default budget: effectively unlimited
+        std::map<std::string, ns::INode> model;
+        uint64_t version = 0;
+
+        for (int step = 0; step < 4000; ++step) {
+            const std::string& p = paths[rng.next(paths.size())];
+            switch (rng.next(6)) {
+            case 0:
+            case 1: {  // put
+                ns::INode inode = make_inode(++version, p.substr(p.rfind('/') + 1));
+                cache.put(p, inode);
+                model[p] = inode;
+                break;
+            }
+            case 2: {  // put_chain: installs every prefix of p
+                std::vector<ns::INode> chain = chain_for(p, ++version);
+                cache.put_chain(chain);
+                std::vector<std::string> prefixes = prefixes_of(p);
+                ASSERT_EQ(prefixes.size(), chain.size());
+                for (size_t i = 0; i < prefixes.size(); ++i) {
+                    model[prefixes[i]] = chain[i];
+                }
+                version += chain.size();
+                break;
+            }
+            case 3: {  // point invalidate
+                cache.invalidate(p);
+                model.erase(p);
+                break;
+            }
+            case 4: {  // prefix invalidate
+                cache.invalidate_prefix(p);
+                for (auto it = model.begin(); it != model.end();) {
+                    if (is_under(it->first, p)) {
+                        it = model.erase(it);
+                    } else {
+                        ++it;
+                    }
+                }
+                break;
+            }
+            default: {  // probe
+                auto hit = cache.get(p);
+                auto it = model.find(p);
+                ASSERT_EQ(hit.has_value(), it != model.end())
+                    << "seed=" << seed << " step=" << step << " path=" << p;
+                if (hit.has_value()) {
+                    EXPECT_EQ(hit->id, it->second.id);
+                    EXPECT_EQ(hit->name, it->second.name);
+                    EXPECT_EQ(hit->size, it->second.size);
+                }
+                EXPECT_EQ(cache.contains(p), it != model.end());
+                break;
+            }
+            }
+        }
+
+        // Full sweep: cache and model agree on the entire universe.
+        size_t live = 0;
+        for (const std::string& p : paths) {
+            auto it = model.find(p);
+            ASSERT_EQ(cache.contains(p), it != model.end())
+                << "seed=" << seed << " path=" << p;
+            if (it != model.end()) {
+                ++live;
+                auto hit = cache.get(p);
+                ASSERT_TRUE(hit.has_value());
+                EXPECT_EQ(hit->id, it->second.id);
+            }
+        }
+        EXPECT_EQ(cache.entries(), live);
+    }
+}
+
+TEST(CacheFuzz, BudgetedCacheIsSoundSubsetOfModel)
+{
+    const std::vector<std::string> paths = path_universe();
+    for (uint64_t seed = 1; seed <= 4; ++seed) {
+        Rng rng(seed * 0xdeadbeefull);
+        cache::CacheConfig config;
+        config.capacity_bytes = 2048;  // a handful of entries -> eviction
+        cache::MetadataCache cache(config);
+        std::map<std::string, ns::INode> model;
+        uint64_t version = 0;
+
+        for (int step = 0; step < 4000; ++step) {
+            const std::string& p = paths[rng.next(paths.size())];
+            switch (rng.next(5)) {
+            case 0:
+            case 1: {
+                ns::INode inode = make_inode(++version, p.substr(p.rfind('/') + 1));
+                cache.put(p, inode);
+                model[p] = inode;
+                break;
+            }
+            case 2: {
+                cache.invalidate(p);
+                model.erase(p);
+                break;
+            }
+            case 3: {
+                cache.invalidate_prefix(p);
+                for (auto it = model.begin(); it != model.end();) {
+                    if (is_under(it->first, p)) {
+                        it = model.erase(it);
+                    } else {
+                        ++it;
+                    }
+                }
+                break;
+            }
+            default: {
+                // Every hit must be the model's value; misses are allowed
+                // (eviction), absent-in-model must never hit.
+                auto hit = cache.get(p);
+                auto it = model.find(p);
+                if (it == model.end()) {
+                    EXPECT_FALSE(hit.has_value())
+                        << "seed=" << seed << " step=" << step
+                        << " stale hit at " << p;
+                } else if (hit.has_value()) {
+                    EXPECT_EQ(hit->id, it->second.id);
+                    EXPECT_EQ(hit->size, it->second.size);
+                }
+                break;
+            }
+            }
+            ASSERT_LE(cache.bytes(), config.capacity_bytes);
+            ASSERT_LE(cache.entries(), model.size());
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Read-guard regressions after the interned-key rewrite
+// ----------------------------------------------------------------------
+
+TEST(CacheGuardRegression, PointInvalidationStillBeatsLateInstall)
+{
+    cache::MetadataCache cache;
+    auto token = cache.begin_read();
+    // The racing invalidation names a path the cache has NEVER seen —
+    // its components must still be interned into the log and matched.
+    cache.invalidate("/never/cached/file");
+    cache.put_guarded("/never/cached/file", make_inode(1, "file"), token);
+    cache.end_read(token);
+    EXPECT_FALSE(cache.contains("/never/cached/file"));
+    EXPECT_EQ(cache.guard_rejections(), 1u);
+}
+
+TEST(CacheGuardRegression, PrefixInvalidationStillBeatsLateInstall)
+{
+    cache::MetadataCache cache;
+    auto token = cache.begin_read();
+    cache.invalidate_prefix("/warm/dir");
+    // Install strictly below the invalidated prefix: must be rejected.
+    cache.put_guarded("/warm/dir/sub/f", make_inode(2, "f"), token);
+    // Sibling outside the prefix: must be installed.
+    cache.put_guarded("/warm/other", make_inode(3, "other"), token);
+    cache.end_read(token);
+    EXPECT_FALSE(cache.contains("/warm/dir/sub/f"));
+    EXPECT_TRUE(cache.contains("/warm/other"));
+    EXPECT_EQ(cache.guard_rejections(), 1u);
+}
+
+TEST(CacheGuardRegression, SharedSpellingDoesNotFalseMatch)
+{
+    // Interned ids are shared across directories; matching must compare
+    // the full component sequence, not mere id membership.
+    cache::MetadataCache cache;
+    cache.put("/x/data", make_inode(1, "data"));
+    auto token = cache.begin_read();
+    cache.invalidate("/y/data");  // same leaf spelling, different parent
+    cache.put_guarded("/x/other", make_inode(2, "other"), token);
+    cache.end_read(token);
+    EXPECT_TRUE(cache.contains("/x/data"));
+    EXPECT_TRUE(cache.contains("/x/other"));
+    EXPECT_EQ(cache.guard_rejections(), 0u);
+}
+
+}  // namespace
+}  // namespace lfs
