@@ -11,6 +11,8 @@
 #include <vector>
 
 #include "src/cache/metadata_cache.h"
+#include "src/namespace/namespace_tree.h"
+#include "src/namespace/tree_builder.h"
 #include "src/sim/random.h"
 #include "src/sim/simulation.h"
 #include "src/sim/stats.h"
@@ -223,6 +225,66 @@ BM_HistogramRecord(benchmark::State& state)
     }
 }
 BENCHMARK(BM_HistogramRecord);
+
+void
+BM_NsResolveIds(benchmark::State& state)
+{
+    // The id-centric resolve over the slab-resident hot tier (budget
+    // unset): one hash probe per component, no INode materialization.
+    ns::NamespaceTree tree;
+    ns::UserContext user{0, 0};
+    ns::BuiltTree built = ns::build_wide_subtree(
+        tree, "/bench", state.range(0), /*fanout=*/16, user, 0);
+    ns::IdChain chain;
+    size_t i = 0;
+    for (auto _ : state) {
+        const std::string& p = built.files[i % built.files.size()];
+        benchmark::DoNotOptimize(
+            tree.resolve_ids(p, user, ns::Follow::kFinal, &chain));
+        ++i;
+    }
+}
+BENCHMARK(BM_NsResolveIds)->Arg(65536);
+
+void
+BM_NsLookupChild(benchmark::State& state)
+{
+    // Single directory-table probe: intern-free lookup by (parent, name).
+    ns::NamespaceTree tree;
+    ns::UserContext user{0, 0};
+    ns::build_wide_subtree(tree, "/bench", 4096, /*fanout=*/16, user, 0);
+    std::vector<std::string> names;
+    for (int i = 0; i < 16; ++i) {
+        names.push_back("d" + std::to_string(i));
+    }
+    size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            tree.lookup_child(ns::kRootId, names[i % names.size()]));
+        ++i;
+    }
+}
+BENCHMARK(BM_NsLookupChild);
+
+void
+BM_NsCreate(benchmark::State& state)
+{
+    // Path-checked file creation into one directory (slab append, name
+    // intern, child-table insert).
+    ns::NamespaceTree tree;
+    ns::UserContext user{0, 0};
+    if (!tree.mkdirs("/bench", user, 0).ok()) {
+        state.SkipWithError("mkdirs failed");
+        return;
+    }
+    int i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            tree.create_file("/bench/f" + std::to_string(i), user, i));
+        ++i;
+    }
+}
+BENCHMARK(BM_NsCreate);
 
 void
 BM_EventLoopScheduleStep(benchmark::State& state)

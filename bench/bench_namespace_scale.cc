@@ -1,0 +1,305 @@
+/**
+ * @file
+ * Namespace scale — the two-tier residency experiment (DESIGN.md §15):
+ * wide-subtree namespaces of 1M-10M inodes (LFS_NS_MAX_INODES raises the
+ * ceiling to 20M) built at slab speed, then resolved by 1..N interleaved
+ * client streams, with the slab budget unset (fully resident) versus a
+ * sub-resident LFS_NS_BUDGET_MB (default 64 MB) that forces the cold
+ * tier to carry most file records.
+ *
+ * Reported per point: residency split (resident/cold inodes and bytes),
+ * bytes-per-inode against the ~216 B/inode legacy node-per-inode layout,
+ * page-in/page-out traffic, and — as wall-clock [perf] lines exempt from
+ * the determinism gate — build rate, resolve ns/op, and demand-fault
+ * service percentiles. Everything outside [perf] lines is deterministic
+ * across LFS_SWEEP_JOBS settings.
+ */
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/harness.h"
+#include "common/sweep.h"
+#include "src/namespace/namespace_tree.h"
+#include "src/namespace/tree_builder.h"
+
+namespace lfs::bench {
+namespace {
+
+/** The std::map-of-nodes layout this tree replaced: one heap node per
+    inode (~160 B of std::map bookkeeping + key) plus per-node child map
+    overhead — measured at ~216 B/inode before the slab refactor. */
+constexpr double kLegacyBytesPerInode = 216.0;
+
+/** Everything one sweep point measures, shipped child -> parent. */
+struct PointResult {
+    // Deterministic fields (printed in the result table).
+    size_t resident_inodes = 0;
+    size_t cold_inodes = 0;
+    size_t resident_bytes = 0;
+    size_t cold_bytes = 0;
+    double bytes_per_inode = 0.0;
+    uint64_t pageins = 0;
+    uint64_t pageouts = 0;
+    // Wall-clock fields (printed only on [perf] lines).
+    double build_inodes_per_sec = 0.0;
+    double resolve_ns_per_op = 0.0;
+    double fault_p50_ns = 0.0;
+    double fault_p99_ns = 0.0;
+};
+
+std::string
+encode(const PointResult& r)
+{
+    char buf[320];
+    std::snprintf(buf, sizeof(buf),
+                  "%zu %zu %zu %zu %.17g %llu %llu %.17g %.17g %.17g %.17g",
+                  r.resident_inodes, r.cold_inodes, r.resident_bytes,
+                  r.cold_bytes, r.bytes_per_inode,
+                  static_cast<unsigned long long>(r.pageins),
+                  static_cast<unsigned long long>(r.pageouts),
+                  r.build_inodes_per_sec, r.resolve_ns_per_op, r.fault_p50_ns,
+                  r.fault_p99_ns);
+    return std::string(buf);
+}
+
+PointResult
+decode(const std::string& payload)
+{
+    PointResult r;
+    unsigned long long pageins = 0;
+    unsigned long long pageouts = 0;
+    std::sscanf(payload.c_str(),
+                "%zu %zu %zu %zu %lg %llu %llu %lg %lg %lg %lg",
+                &r.resident_inodes, &r.cold_inodes, &r.resident_bytes,
+                &r.cold_bytes, &r.bytes_per_inode, &pageins, &pageouts,
+                &r.build_inodes_per_sec, &r.resolve_ns_per_op, &r.fault_p50_ns,
+                &r.fault_p99_ns);
+    r.pageins = pageins;
+    r.pageouts = pageouts;
+    return r;
+}
+
+/**
+ * Run one sweep point: build a wide subtree of @p inodes under @p budget,
+ * then drive @p clients interleaved resolve streams over the file
+ * population (@p resolves total lookups, deterministic per-label seed).
+ */
+PointResult
+run_point(const std::string& label, int64_t inodes, size_t budget_bytes,
+          int clients, int64_t resolves)
+{
+    ns::NamespaceTree tree;
+    tree.set_budget_bytes(budget_bytes);
+    const ns::UserContext user{};
+
+    auto t0 = std::chrono::steady_clock::now();
+    ns::BuiltTree built =
+        ns::build_wide_subtree(tree, "/scale", inodes, /*fanout=*/64, user, 0);
+    double build_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+
+    // Interleaved client streams: each stream is an independent splitmix64
+    // walk over the file population, consumed round-robin. More streams
+    // spread the touch pattern, defeating clock-eviction locality the way
+    // concurrent NameNodes would.
+    std::vector<uint64_t> stream(static_cast<size_t>(clients));
+    uint64_t seed = sweep_seed(label);
+    for (int c = 0; c < clients; ++c) {
+        stream[static_cast<size_t>(c)] =
+            seed + 0x9e3779b97f4a7c15ull * static_cast<uint64_t>(c + 1);
+    }
+    auto next_index = [&](int c) {
+        uint64_t& s = stream[static_cast<size_t>(c)];
+        s += 0x9e3779b97f4a7c15ull;
+        uint64_t z = s;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        z ^= z >> 31;
+        return static_cast<size_t>(z % built.files.size());
+    };
+
+    ns::IdChain chain;
+    int64_t failures = 0;
+    if (built.files.empty()) {
+        resolves = 0;  // degenerate smoke sizes: nothing to look up
+    }
+    auto r0 = std::chrono::steady_clock::now();
+    for (int64_t i = 0; i < resolves; ++i) {
+        const std::string& p = built.files[next_index(
+            static_cast<int>(i % static_cast<int64_t>(clients)))];
+        chain.clear();
+        Status st = tree.resolve_ids(p, user, ns::Follow::kFinal, &chain);
+        if (!st.ok()) {
+            ++failures;
+        }
+    }
+    double resolve_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - r0)
+            .count();
+    if (failures != 0) {
+        std::fprintf(stderr, "bench_namespace_scale: %lld failed resolves\n",
+                     static_cast<long long>(failures));
+        std::exit(1);
+    }
+
+    ns::ResidencyStats stats = tree.residency_stats();
+    PointResult r;
+    r.resident_inodes = stats.resident_inodes;
+    r.cold_inodes = stats.cold_inodes;
+    r.resident_bytes = stats.resident_bytes;
+    r.cold_bytes = stats.cold_bytes;
+    r.bytes_per_inode = stats.bytes_per_inode;
+    r.pageins = stats.pageins;
+    r.pageouts = stats.pageouts;
+    r.build_inodes_per_sec =
+        build_s > 0 ? static_cast<double>(inodes) / build_s : 0.0;
+    r.resolve_ns_per_op =
+        resolves > 0 ? resolve_s * 1e9 / static_cast<double>(resolves) : 0.0;
+    r.fault_p50_ns = static_cast<double>(tree.fault_latency().p50());
+    r.fault_p99_ns = static_cast<double>(tree.fault_latency().p99());
+    bench_log_entry(label, static_cast<uint64_t>(resolves), resolve_s,
+                    resolve_s > 0
+                        ? static_cast<double>(resolves) / resolve_s
+                        : 0.0);
+    return r;
+}
+
+void
+run_bench()
+{
+    const int64_t max_inodes =
+        env_int("LFS_NS_MAX_INODES", 10'000'000);
+    const size_t budget_mb =
+        static_cast<size_t>(env_int("LFS_NS_BUDGET_MB", 64));
+    const int64_t resolves = env_int("LFS_NS_RESOLVES", 200'000);
+
+    std::vector<int64_t> sizes;
+    for (int64_t n : {int64_t{1'000'000}, int64_t{4'000'000},
+                      int64_t{10'000'000}, int64_t{20'000'000}}) {
+        if (n <= max_inodes) {
+            sizes.push_back(n);
+        }
+    }
+    if (sizes.empty() || sizes.back() != max_inodes) {
+        sizes.push_back(max_inodes);
+    }
+
+    // Per size: a fully-resident reference point, then the sub-resident
+    // budget under 1 and 16 interleaved client streams.
+    struct Point {
+        int64_t inodes;
+        bool budgeted;
+        int clients;
+    };
+    std::vector<Point> points;
+    std::vector<std::string> labels;
+    SweepRunner sweep;
+    for (int64_t n : sizes) {
+        for (auto [budgeted, clients] :
+             {std::pair<bool, int>{false, 1}, {true, 1}, {true, 16}}) {
+            std::string label =
+                "ns/inodes=" + std::to_string(n) +
+                "/budget=" + (budgeted ? std::to_string(budget_mb) + "mb"
+                                       : std::string("unset")) +
+                "/clients=" + std::to_string(clients);
+            points.push_back(Point{n, budgeted, clients});
+            labels.push_back(label);
+            size_t budget_bytes =
+                budgeted ? budget_mb * (size_t{1} << 20) : SIZE_MAX;
+            sweep.add(label, [=]() {
+                return encode(
+                    run_point(label, n, budget_bytes, clients, resolves));
+            });
+        }
+    }
+
+    std::vector<std::string> payloads = sweep.run();
+    std::vector<PointResult> results;
+    results.reserve(payloads.size());
+    for (const std::string& p : payloads) {
+        results.push_back(decode(p));
+    }
+
+    std::printf("\n  Residency under budget (resolves per point: %lld):\n",
+                static_cast<long long>(resolves));
+    std::printf("  %-44s %10s %10s %12s %8s %10s %10s\n", "point", "resident",
+                "cold", "res_mb", "B/inode", "pageins", "pageouts");
+    for (size_t i = 0; i < results.size(); ++i) {
+        const PointResult& r = results[i];
+        std::printf("  %-44s %10zu %10zu %12.1f %8.1f %10llu %10llu\n",
+                    labels[i].c_str(), r.resident_inodes, r.cold_inodes,
+                    static_cast<double>(r.resident_bytes) / (1 << 20),
+                    r.bytes_per_inode,
+                    static_cast<unsigned long long>(r.pageins),
+                    static_cast<unsigned long long>(r.pageouts));
+    }
+    for (size_t i = 0; i < results.size(); ++i) {
+        const PointResult& r = results[i];
+        std::printf("  [perf] %s: build_inodes_per_sec=%.0f "
+                    "resolve_ns_per_op=%.0f fault_p50_ns=%.0f "
+                    "fault_p99_ns=%.0f\n",
+                    labels[i].c_str(), r.build_inodes_per_sec,
+                    r.resolve_ns_per_op, r.fault_p50_ns, r.fault_p99_ns);
+    }
+
+    // Checks against the §15 acceptance bar: the largest budgeted point
+    // must hold the namespace with at most a third of the legacy layout's
+    // per-inode footprint, and the budget must actually be sub-resident.
+    const PointResult* biggest = nullptr;
+    const PointResult* biggest_unset = nullptr;
+    for (size_t i = 0; i < results.size(); ++i) {
+        if (points[i].inodes != sizes.back()) {
+            continue;
+        }
+        if (points[i].budgeted && points[i].clients == 1) {
+            biggest = &results[i];
+        }
+        if (!points[i].budgeted) {
+            biggest_unset = &results[i];
+        }
+    }
+    std::printf("\n  Checks (%lld inodes):\n",
+                static_cast<long long>(sizes.back()));
+    if (biggest != nullptr && biggest_unset != nullptr) {
+        print_check("budgeted bytes/inode <= legacy/3 (216 -> 72)",
+                    fmt(biggest->bytes_per_inode, 1) + " B/inode" +
+                        (biggest->bytes_per_inode <= kLegacyBytesPerInode / 3
+                             ? " (ok)"
+                             : " (EXCEEDED)"));
+        print_check("cold tier carries most file records",
+                    fmt(100.0 * static_cast<double>(biggest->cold_inodes) /
+                            static_cast<double>(biggest->cold_inodes +
+                                                biggest->resident_inodes),
+                        1) +
+                        "% cold");
+        print_check("unset budget never touches the cold tier",
+                    biggest_unset->pageouts == 0 &&
+                            biggest_unset->cold_inodes == 0
+                        ? "0 pageouts, 0 cold"
+                        : "COLD TIER TOUCHED");
+        print_check("resident footprint within budget + structural floor",
+                    fmt(static_cast<double>(biggest->resident_bytes) /
+                            (1 << 20),
+                        1) +
+                        " MB resident");
+    }
+}
+
+}  // namespace
+}  // namespace lfs::bench
+
+int
+main(int argc, char** argv)
+{
+    lfs::bench::parse_args(argc, argv);
+    lfs::bench::print_banner(
+        "Namespace scale",
+        "Two-tier residency: slab-resident hot set, demand-paged cold tier");
+    lfs::bench::run_bench();
+    return 0;
+}

@@ -650,6 +650,29 @@ microbench_ops()
             OpType::kCreateFile, OpType::kMkdir};
 }
 
+namespace {
+
+/**
+ * Report the slab bulk-load rate of a just-built bench tree. The key is
+ * inodes_per_sec (not events_per_sec) so perf_smoke's event-rate floor
+ * regex never matches a build line.
+ */
+void
+report_tree_build(const ns::NamespaceTree& tree,
+                  std::chrono::steady_clock::time_point t0)
+{
+    double wall = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+    size_t inodes = tree.inode_count();
+    std::printf("  [perf] tree_build: inodes=%zu wall_s=%.3f "
+                "inodes_per_sec=%.0f\n",
+                inodes, wall,
+                wall > 0.0 ? static_cast<double>(inodes) / wall : 0.0);
+}
+
+}  // namespace
+
 ns::BuiltTree
 build_bench_tree(ns::NamespaceTree& tree)
 {
@@ -658,7 +681,11 @@ build_bench_tree(ns::NamespaceTree& tree)
     spec.depth = 4;
     spec.fanout = 8;
     spec.files_per_dir = 2;  // 4681 dirs, ~9.4k files
-    return ns::build_balanced_tree(tree, spec, ns::UserContext{}, 0);
+    auto t0 = std::chrono::steady_clock::now();
+    ns::BuiltTree out =
+        ns::build_balanced_tree(tree, spec, ns::UserContext{}, 0);
+    report_tree_build(tree, t0);
+    return out;
 }
 
 ns::BuiltTree
@@ -670,7 +697,11 @@ build_scaled_tree(ns::NamespaceTree& tree, double s)
     spec.fanout = 8;
     spec.files_per_dir = std::max(
         4, static_cast<int>(std::lround(48 * s)));
-    return ns::build_balanced_tree(tree, spec, ns::UserContext{}, 0);
+    auto t0 = std::chrono::steady_clock::now();
+    ns::BuiltTree out =
+        ns::build_balanced_tree(tree, spec, ns::UserContext{}, 0);
+    report_tree_build(tree, t0);
+    return out;
 }
 
 IndustrialRun

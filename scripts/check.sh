@@ -3,8 +3,10 @@
 # Tier-1 verification plus an observability smoke test:
 #   1. configure + build everything
 #   2. run the full ctest suite
-#   3. rebuild with AddressSanitizer + UBSan and rerun the suite
-#      (set LFS_SKIP_SANITIZE=1 to skip this pass)
+#   3. rebuild with AddressSanitizer + UBSan and rerun the suite, plus
+#      a forked-sweep smoke and a two-tier namespace paging smoke (a
+#      sub-resident budget drives the evict/fault/compact paths) under
+#      the sanitizers (set LFS_SKIP_SANITIZE=1 to skip this pass)
 #   4. run one bench harness at tiny scale with --trace-out/--metrics-out
 #      and confirm both artifacts are valid JSON with the expected shape
 #   5. run a tiny bench with --attribution and confirm the latency
@@ -16,9 +18,11 @@
 #      (DESIGN.md par.14); the ASan pass also exercises the forked path
 #   7. run the perf-smoke gate (scripts/perf_smoke.sh): kernel dispatch
 #      rates must stay within 20% of checked-in baselines, the cache-walk
-#      micro cases must stay under their ns/op ceilings, and the
-#      bench_scenarios lifecycle sweep (links/sessions/GC on every
-#      system) must come back clean (set LFS_SKIP_PERF=1 to skip)
+#      and namespace micro cases must stay under their ns/op ceilings,
+#      the bench_scenarios lifecycle sweep (links/sessions/GC on every
+#      system) must come back clean, and the two-tier namespace must
+#      hold its bytes/inode ceiling at 1M inodes (set LFS_SKIP_PERF=1
+#      to skip)
 #
 # Usage: scripts/check.sh [build-dir]   (default: build)
 
@@ -61,6 +65,15 @@ if [[ "${LFS_SKIP_SANITIZE:-0}" != "1" ]]; then
         LFS_OPS_PER_CLIENT=2 LFS_MAX_CLIENTS=8 LFS_SWEEP_JOBS=4 \
         "$BUILD_DIR-asan/bench/bench_fig11_client_scaling" >/dev/null
     echo "  ok: forked sweep clean under ASan+UBSan"
+    echo "== ASan two-tier paging smoke (evict/fault/compact paths) =="
+    # A 4 MB budget under a ~16 MB slab forces sustained eviction, cold
+    # seals + tiered merges, and demand faults on the resolve stream —
+    # the memcpy-heavy paths ASan must walk (DESIGN.md par.15).
+    ASAN_OPTIONS=detect_leaks=0 \
+        LFS_NS_MAX_INODES=200000 LFS_NS_BUDGET_MB=4 LFS_NS_RESOLVES=20000 \
+        LFS_SWEEP_JOBS=2 \
+        "$BUILD_DIR-asan/bench/bench_namespace_scale" >/dev/null
+    echo "  ok: two-tier paging clean under ASan+UBSan"
 else
     echo "== ASan + UBSan pass skipped (LFS_SKIP_SANITIZE=1) =="
 fi

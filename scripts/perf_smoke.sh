@@ -9,10 +9,11 @@
 #      measured rates so ordinary machine variance never false-fails —
 #      the gate is tuned to catch the >20% regression class, e.g.
 #      reintroducing a per-event heap allocation.
-#   2. bench_micro_structures cache-walk cases (hit/miss/deep/put_chain/
-#      prefix-invalidate): per-op nanoseconds must stay below the
-#      checked-in ceilings — the gate for the zero-allocation metadata-
-#      cache walk (DESIGN.md par.14).
+#   2. bench_micro_structures cache-walk and namespace cases (hit/miss/
+#      deep/put_chain/prefix-invalidate, resolve_ids/lookup_child/create):
+#      per-op nanoseconds must stay below the checked-in ceilings — the
+#      gate for the zero-allocation metadata-cache walk (DESIGN.md
+#      par.14) and the slab-resident namespace hot paths (par.15).
 #   3. bench_fig11_client_scaling at tiny scale: end-to-end sanity that
 #      a full harness still reports [perf] lines and clears its floor.
 #      Pinned to LFS_SWEEP_JOBS=1: the wall-clock floor assumes runs do
@@ -20,10 +21,15 @@
 #   4. bench_scenarios at tiny scale: the extended op surface (links,
 #      sessions, GC) must succeed on every system, reclaim every leaked
 #      lease, and leave no orphans — a cross-system lifecycle smoke.
+#   5. bench_namespace_scale at 1M inodes under the default 64 MB budget:
+#      the two-tier namespace must page file records out, keep budgeted
+#      bytes/inode under its checked-in ceiling, and keep the unbudgeted
+#      point entirely out of the cold tier (DESIGN.md par.15).
 #
 # All runs append one dated JSON line to the checked-in trajectory
 # files (BENCH_kernel.json / BENCH_micro.json / BENCH_fig11.json /
-# BENCH_scenarios.json) so the repo accumulates a perf time series;
+# BENCH_scenarios.json / BENCH_namespace.json) so the repo accumulates
+# a perf time series;
 # render it with scripts/lfs_report.py --trajectory.
 #
 # Usage: scripts/perf_smoke.sh [build-dir]   (default: build)
@@ -45,11 +51,13 @@ KERNEL_LOG="BENCH_kernel.json"
 MICRO_LOG="BENCH_micro.json"
 FIG11_LOG="BENCH_fig11.json"
 SCENARIOS_LOG="BENCH_scenarios.json"
+NAMESPACE_LOG="BENCH_namespace.json"
 if [[ "${LFS_SKIP_BENCH_LOG:-0}" == "1" ]]; then
     KERNEL_LOG=""
     MICRO_LOG=""
     FIG11_LOG=""
     SCENARIOS_LOG=""
+    NAMESPACE_LOG=""
 fi
 
 echo "== perf smoke: bench_kernel =="
@@ -59,10 +67,10 @@ KERNEL_OUT="$(LFS_KERNEL_EVENTS="${LFS_PERF_EVENTS:-300000}" \
     "$BUILD_DIR/bench/bench_kernel")"
 echo "$KERNEL_OUT" | grep '^\[bench_kernel\]'
 
-echo "== perf smoke: bench_micro_structures (cache-walk ceilings) =="
+echo "== perf smoke: bench_micro_structures (cache-walk + namespace ceilings) =="
 MICRO_JSON="$(mktemp)"
 trap 'rm -f "$MICRO_JSON"' EXIT
-"$BUILD_DIR/bench/bench_micro_structures" --benchmark_filter='Cache' \
+"$BUILD_DIR/bench/bench_micro_structures" --benchmark_filter='Cache|BM_Ns' \
     --benchmark_format=json --benchmark_min_time=0.1 > "$MICRO_JSON"
 
 echo "== perf smoke: bench_fig11_client_scaling (tiny scale, serial) =="
@@ -93,8 +101,14 @@ fi
 echo "  ok: extended op surface clean on every system " \
      "($(echo "$SCENARIOS_OUT" | grep -c '^\s*\[perf\]') observed runs)"
 
+echo "== perf smoke: bench_namespace_scale (two-tier paging, 1M inodes) =="
+NS_OUT="$(LFS_NS_MAX_INODES="${LFS_PERF_NS_INODES:-1000000}" \
+    LFS_NS_RESOLVES=50000 LFS_SWEEP_JOBS=1 \
+    LFS_BENCH_LOG="$NAMESPACE_LOG" \
+    "$BUILD_DIR/bench/bench_namespace_scale")"
+
 if ! python3 - "$BASELINE_JSON" "$MICRO_JSON" "$MICRO_LOG" \
-        <<'EOF' "$KERNEL_OUT" "$FIG11_OUT"
+        <<'EOF' "$KERNEL_OUT" "$FIG11_OUT" "$NS_OUT"
 import json
 import re
 import sys
@@ -103,7 +117,7 @@ import time
 baseline = json.load(open(sys.argv[1]))
 micro = json.load(open(sys.argv[2]))
 micro_log = sys.argv[3]
-kernel_out, fig11_out = sys.argv[4], sys.argv[5]
+kernel_out, fig11_out, ns_out = sys.argv[4], sys.argv[5], sys.argv[6]
 tolerance = baseline["regression_tolerance"]
 
 def eps_lines(text, tag):
@@ -140,7 +154,10 @@ for case, base in baseline["bench_kernel"].items():
 micro_times = {b["name"]: b["real_time"] for b in micro.get("benchmarks", [])
                if b.get("time_unit", "ns") == "ns"}
 micro_runs = []
-for case, ceiling in baseline["bench_micro_structures"]["cache_ns_ceiling"].items():
+ceilings = dict(baseline["bench_micro_structures"]["cache_ns_ceiling"])
+ceilings.update(baseline["bench_micro_structures"].get(
+    "namespace_ns_ceiling", {}))
+for case, ceiling in ceilings.items():
     got = micro_times.get(case)
     if got is None:
         print(f"FAIL: bench_micro_structures did not report {case}")
@@ -180,6 +197,50 @@ elif max(fig11_rates) < floor:
 else:
     print(f"  ok: fig11 best rate {max(fig11_rates)} events/sec "
           f"(floor {floor:.0f})")
+
+# Two-tier namespace gate: parse the deterministic residency table
+# (point resident cold res_mb B/inode pageins pageouts). The budgeted
+# single-client point must actually page out and stay under the
+# bytes/inode ceiling; the unbudgeted point must never touch the cold
+# tier.
+row_re = re.compile(r"^\s*(ns/\S+)\s+(\d+)\s+(\d+)\s+([\d.]+)\s+([\d.]+)"
+                    r"\s+(\d+)\s+(\d+)\s*$")
+ns_rows = {}
+for line in ns_out.splitlines():
+    m = row_re.match(line)
+    if m:
+        ns_rows[m.group(1)] = {
+            "resident": int(m.group(2)), "cold": int(m.group(3)),
+            "bpi": float(m.group(5)), "pageins": int(m.group(6)),
+            "pageouts": int(m.group(7)),
+        }
+budgeted = next((r for label, r in ns_rows.items()
+                 if "budget=unset" not in label and "clients=1" in label),
+                None)
+unset = next((r for label, r in ns_rows.items()
+              if "budget=unset" in label), None)
+bpi_ceiling = baseline["bench_namespace_scale"][
+    "budgeted_bytes_per_inode_ceiling"]
+ns_fail = False
+if budgeted is None or unset is None:
+    print("FAIL: bench_namespace_scale printed no parseable residency rows")
+    ns_fail = True
+else:
+    if budgeted["cold"] == 0 or budgeted["pageouts"] == 0:
+        print("FAIL: budgeted namespace point paged nothing out")
+        ns_fail = True
+    if budgeted["bpi"] > bpi_ceiling:
+        print(f"FAIL: budgeted bytes/inode {budgeted['bpi']} above "
+              f"ceiling {bpi_ceiling}")
+        ns_fail = True
+    if unset["cold"] != 0 or unset["pageouts"] != 0 or unset["pageins"] != 0:
+        print("FAIL: unbudgeted namespace point touched the cold tier")
+        ns_fail = True
+    if not ns_fail:
+        print(f"  ok: namespace {budgeted['bpi']} B/inode budgeted "
+              f"(ceiling {bpi_ceiling}), {budgeted['cold']} cold records, "
+              f"unbudgeted fully resident")
+fail = fail or ns_fail
 
 sys.exit(1 if fail else 0)
 EOF

@@ -8,109 +8,12 @@
 
 namespace lfs::cache {
 
-namespace {
-
-/** Slot index for hash @p h in a table of @p mask + 1 slots. */
-inline size_t
-slot_index(uint64_t h, size_t mask)
-{
-    return static_cast<size_t>(h ^ (h >> 32)) & mask;
-}
-
-}  // namespace
-
-/**
- * Open-addressing child index: linear probing over contiguous
- * (hash, Node*) slots, power-of-two capacity, backward-shift deletion.
- * Keys are the 64-bit FNV-1a hashes of component names; the caller
- * verifies the stored spelling on a hash match (a walk therefore hashes
- * each component's bytes exactly once and compares strings at most once
- * per level). Owns no memory beyond the slot array — Node lifetime is
- * managed by the enclosing trie.
- */
-struct MetadataCache::ChildTable {
-    struct Slot {
-        uint64_t hash = 0;
-        Node* node = nullptr;  ///< nullptr marks an empty slot
-    };
-
-    std::vector<Slot> slots;  ///< power-of-two capacity (empty until first insert)
-    size_t count = 0;
-
-    bool empty() const { return count == 0; }
-
-    void
-    grow()
-    {
-        size_t cap = slots.empty() ? 8 : slots.size() * 2;
-        std::vector<Slot> next(cap);
-        size_t mask = cap - 1;
-        for (const Slot& s : slots) {
-            if (s.node == nullptr) {
-                continue;
-            }
-            size_t i = slot_index(s.hash, mask);
-            while (next[i].node != nullptr) {
-                i = (i + 1) & mask;
-            }
-            next[i] = s;
-        }
-        slots = std::move(next);
-    }
-
-    void
-    insert(uint64_t h, Node* node)
-    {
-        if ((count + 1) * 8 >= slots.size() * 7) {
-            grow();
-        }
-        size_t mask = slots.size() - 1;
-        size_t i = slot_index(h, mask);
-        while (slots[i].node != nullptr) {
-            i = (i + 1) & mask;
-        }
-        slots[i] = Slot{h, node};
-        ++count;
-    }
-
-    /**
-     * Remove @p node (must be present). Backward-shift deletion keeps
-     * probe chains dense, so lookups need no tombstone checks.
-     */
-    void
-    erase(uint64_t h, Node* node)
-    {
-        size_t mask = slots.size() - 1;
-        size_t i = slot_index(h, mask);
-        while (slots[i].node != node) {
-            i = (i + 1) & mask;
-        }
-        size_t j = i;  // hole
-        for (;;) {
-            slots[j] = Slot{};
-            size_t k = j;
-            for (;;) {
-                k = (k + 1) & mask;
-                if (slots[k].node == nullptr) {
-                    --count;
-                    return;
-                }
-                // slots[k] may fill the hole iff its home position lies
-                // cyclically at or before the hole (else it would become
-                // unreachable from its home).
-                size_t home = slot_index(slots[k].hash, mask);
-                if (((k - home) & mask) >= ((k - j) & mask)) {
-                    slots[j] = slots[k];
-                    j = k;
-                    break;
-                }
-            }
-        }
-    }
-};
-
 /** One trie node; holds a value iff an inode is cached at this path. */
 struct MetadataCache::Node {
+    /** Trie child index: hash-keyed slots verified against the stored
+        spelling (see util::ChildTable's hash-key discipline). */
+    using ChildTable = util::ChildTable<Node*>;
+
     Node* parent = nullptr;
     uint64_t name_hash = 0;  ///< fnv1a(name); key within parent->children
     /** Interned spelling (views NameTable storage — stable addresses). */
@@ -124,8 +27,8 @@ struct MetadataCache::Node {
 
     ~Node()
     {
-        for (const ChildTable::Slot& s : children.slots) {
-            delete s.node;
+        for (const ChildTable::Slot& s : children.slots()) {
+            delete s.value;  // empty slots are nullptr; delete is a no-op
         }
     }
 };
@@ -143,21 +46,10 @@ MetadataCache::find(std::string_view p) const
     Node* cur = root_.get();
     for (std::string_view comp : path::PathView(p)) {
         const uint64_t h = fnv1a(comp);
-        const ChildTable& tab = cur->children;
-        if (tab.slots.empty()) {
+        Node* next = cur->children.find(
+            h, [comp](const Node* n) { return n->name == comp; });
+        if (next == nullptr) {
             return nullptr;
-        }
-        const size_t mask = tab.slots.size() - 1;
-        Node* next = nullptr;
-        for (size_t i = slot_index(h, mask);; i = (i + 1) & mask) {
-            const ChildTable::Slot& s = tab.slots[i];
-            if (s.node == nullptr) {
-                return nullptr;
-            }
-            if (s.hash == h && s.node->name == comp) {
-                next = s.node;
-                break;
-            }
         }
         cur = next;
     }
@@ -168,18 +60,9 @@ MetadataCache::Node*
 MetadataCache::child_or_create(Node* cur, std::string_view comp)
 {
     const uint64_t h = fnv1a(comp);
-    ChildTable& tab = cur->children;
-    if (!tab.slots.empty()) {
-        const size_t mask = tab.slots.size() - 1;
-        for (size_t i = slot_index(h, mask);; i = (i + 1) & mask) {
-            const ChildTable::Slot& s = tab.slots[i];
-            if (s.node == nullptr) {
-                break;
-            }
-            if (s.hash == h && s.node->name == comp) {
-                return s.node;
-            }
-        }
+    if (Node* hit = cur->children.find(
+            h, [comp](const Node* n) { return n->name == comp; })) {
+        return hit;
     }
     // Intern the spelling so the node's name view stays valid for the
     // cache's lifetime (NameTable storage addresses are stable).
@@ -188,7 +71,7 @@ MetadataCache::child_or_create(Node* cur, std::string_view comp)
     node->parent = cur;
     node->name_hash = h;
     node->name = names_.name(id);
-    tab.insert(h, node);
+    cur->children.insert(h, node);
     return node;
 }
 
@@ -371,13 +254,12 @@ MetadataCache::destroy_subtree(Node* node)
         drop_value(node, /*count_as_invalidation=*/true);
         ++dropped;
     }
-    for (const ChildTable::Slot& s : node->children.slots) {
-        if (s.node != nullptr) {
-            dropped += destroy_subtree(s.node);
+    for (const Node::ChildTable::Slot& s : node->children.slots()) {
+        if (s.value != nullptr) {
+            dropped += destroy_subtree(s.value);
         }
     }
-    node->children.slots.clear();  // children already freed above
-    node->children.count = 0;
+    node->children.clear();  // children already freed above
     delete node;
     return dropped;
 }
@@ -401,13 +283,12 @@ MetadataCache::invalidate_prefix(std::string_view prefix)
             drop_value(node, /*count_as_invalidation=*/true);
             ++dropped;
         }
-        for (const ChildTable::Slot& s : node->children.slots) {
-            if (s.node != nullptr) {
-                dropped += destroy_subtree(s.node);
+        for (const Node::ChildTable::Slot& s : node->children.slots()) {
+            if (s.value != nullptr) {
+                dropped += destroy_subtree(s.value);
             }
         }
-        node->children.slots.clear();
-        node->children.count = 0;
+        node->children.clear();
     }
     return dropped;
 }

@@ -128,7 +128,6 @@ class MetadataCache {
 
   private:
     struct Node;
-    struct ChildTable;
 
     /**
      * One invalidation observed while ≥1 store read was in flight. The

@@ -1,0 +1,282 @@
+#include "src/lsm/cold_store.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+namespace lfs::lsm {
+
+namespace {
+
+constexpr size_t kRecBytes = sizeof(ns::INodeRec);
+
+}  // namespace
+
+void
+ColdPageStore::Run::decode(size_t i, ns::INodeRec* out) const
+{
+    std::memcpy(out, bytes.get() + i * kRecBytes, kRecBytes);
+}
+
+ns::INodeId
+ColdPageStore::Run::id_at(size_t i) const
+{
+    // The id is the first field of the packed record.
+    ns::INodeId id;
+    std::memcpy(&id, bytes.get() + i * kRecBytes, sizeof(id));
+    return id;
+}
+
+bool
+ColdPageStore::Run::find(ns::INodeId id, ns::INodeRec* out) const
+{
+    size_t lo = 0;
+    size_t hi = n;
+    while (lo < hi) {
+        size_t mid = lo + (hi - lo) / 2;
+        if (id_at(mid) < id) {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    if (lo == n || id_at(lo) != id) {
+        return false;
+    }
+    decode(lo, out);
+    return true;
+}
+
+size_t
+ColdPageStore::active_pos(ns::INodeId id) const
+{
+    return static_cast<size_t>(
+        active_index_.find_exact(static_cast<uint64_t>(id)));
+}
+
+void
+ColdPageStore::put(const ns::INodeRec& rec)
+{
+    assert(rec.id != ns::kInvalidId);
+    if (size_t pos = active_pos(rec.id); pos != 0) {
+        active_[pos - 1] = rec;
+        active_[pos - 1].flags &= ~ns::INodeRec::kFlagTombstone;
+        return;
+    }
+    active_.push_back(rec);
+    active_.back().flags &= ~ns::INodeRec::kFlagTombstone;
+    active_index_.insert(static_cast<uint64_t>(rec.id), active_.size());
+    if (active_.size() >= kSealThreshold) {
+        seal_active();
+    }
+}
+
+bool
+ColdPageStore::get(ns::INodeId id, ns::INodeRec* out) const
+{
+    if (size_t pos = active_pos(id); pos != 0) {
+        const ns::INodeRec& rec = active_[pos - 1];
+        if ((rec.flags & ns::INodeRec::kFlagTombstone) != 0) {
+            return false;
+        }
+        *out = rec;
+        return true;
+    }
+    for (auto it = runs_.rbegin(); it != runs_.rend(); ++it) {
+        const Run& run = *it;
+        if (id < run.min_id || id > run.max_id ||
+            !run.bloom.may_contain(static_cast<uint64_t>(id))) {
+            ++bloom_skips_;
+            continue;
+        }
+        ns::INodeRec rec;
+        if (run.find(id, &rec)) {
+            if ((rec.flags & ns::INodeRec::kFlagTombstone) != 0) {
+                return false;
+            }
+            *out = rec;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+ColdPageStore::erase(ns::INodeId id)
+{
+    if (size_t pos = active_pos(id); pos != 0) {
+        // Keep the slot (positions are indexed) but mask any run version.
+        active_[pos - 1].flags |= ns::INodeRec::kFlagTombstone;
+        return;
+    }
+    // A tombstone record masks older run versions after the next seal.
+    ns::INodeRec dead{};
+    dead.id = id;
+    dead.flags = ns::INodeRec::kFlagTombstone;
+    active_.push_back(dead);
+    active_index_.insert(static_cast<uint64_t>(id), active_.size());
+    if (active_.size() >= kSealThreshold) {
+        seal_active();
+    }
+}
+
+ColdPageStore::Run
+ColdPageStore::make_run(const std::vector<ns::INodeRec>& records)
+{
+    Run run(records.size());
+    run.n = records.size();
+    run.bytes = std::make_unique<uint8_t[]>(run.n * kRecBytes);
+    for (size_t i = 0; i < run.n; ++i) {
+        std::memcpy(run.bytes.get() + i * kRecBytes, &records[i], kRecBytes);
+        run.bloom.insert(static_cast<uint64_t>(records[i].id));
+    }
+    run.min_id = records.front().id;
+    run.max_id = records.back().id;
+    return run;
+}
+
+void
+ColdPageStore::seal_active()
+{
+    if (active_.empty()) {
+        return;
+    }
+    std::sort(active_.begin(), active_.end(),
+              [](const ns::INodeRec& a, const ns::INodeRec& b) {
+                  return a.id < b.id;
+              });
+    runs_.push_back(make_run(active_));
+    active_.clear();
+    active_index_.clear();
+    ++seals_;
+    merge_tiers();
+}
+
+void
+ColdPageStore::merge_tiers()
+{
+    // Binary-counter tiering: merge the newest two runs while they are of
+    // equal or inverted size, so each record survives O(log(cold/seal))
+    // merges over its cold lifetime. The periodic full merge this
+    // replaces re-processed the entire tier every kMaxRuns seals —
+    // quadratic in cold records over a long page-out stream.
+    while (runs_.size() > 1 && runs_[runs_.size() - 2].n <= runs_.back().n) {
+        merge_last_two();
+    }
+    if (runs_.size() >= kMaxRuns) {
+        compact();
+    }
+}
+
+void
+ColdPageStore::merge_last_two()
+{
+    Run older = std::move(runs_[runs_.size() - 2]);
+    Run newer = std::move(runs_.back());
+    runs_.pop_back();
+    runs_.pop_back();
+    // Tombstones drop out only when nothing older remains for them to
+    // mask; anywhere higher in the ladder they must survive the merge.
+    const bool bottom = runs_.empty();
+    std::vector<ns::INodeRec> merged;
+    merged.reserve(older.n + newer.n);
+    size_t i = 0;
+    size_t j = 0;
+    ns::INodeRec rec;
+    while (i < older.n || j < newer.n) {
+        bool take_newer;
+        if (i >= older.n) {
+            take_newer = true;
+        } else if (j >= newer.n) {
+            take_newer = false;
+        } else {
+            ns::INodeId a = older.id_at(i);
+            ns::INodeId b = newer.id_at(j);
+            if (a == b) {
+                ++i;  // shadowed by the newer run's version
+                take_newer = true;
+            } else {
+                take_newer = b < a;
+            }
+        }
+        if (take_newer) {
+            newer.decode(j++, &rec);
+        } else {
+            older.decode(i++, &rec);
+        }
+        if (bottom && (rec.flags & ns::INodeRec::kFlagTombstone) != 0) {
+            continue;
+        }
+        merged.push_back(rec);
+    }
+    ++compactions_;
+    if (!merged.empty()) {
+        runs_.push_back(make_run(merged));
+    }
+}
+
+void
+ColdPageStore::compact()
+{
+    // Full merge: newest version of every id wins, tombstones drop out.
+    // Decode newest-run-first so the first record seen per id is the
+    // survivor; a final stable pass keeps ids sorted for binary search.
+    std::vector<ns::INodeRec> merged;
+    size_t total = 0;
+    for (const Run& run : runs_) {
+        total += run.n;
+    }
+    merged.reserve(total);
+    util::ChildTable<uint64_t> seen;
+    for (auto it = runs_.rbegin(); it != runs_.rend(); ++it) {
+        for (size_t i = 0; i < it->n; ++i) {
+            ns::INodeRec rec;
+            it->decode(i, &rec);
+            uint64_t key = static_cast<uint64_t>(rec.id);
+            if (seen.find_exact(key) != 0) {
+                continue;  // shadowed by a newer run
+            }
+            seen.insert(key, 1);
+            if ((rec.flags & ns::INodeRec::kFlagTombstone) == 0) {
+                merged.push_back(rec);
+            }
+        }
+    }
+    runs_.clear();
+    ++compactions_;
+    if (merged.empty()) {
+        return;
+    }
+    std::sort(merged.begin(), merged.end(),
+              [](const ns::INodeRec& a, const ns::INodeRec& b) {
+                  return a.id < b.id;
+              });
+    runs_.push_back(make_run(merged));
+}
+
+size_t
+ColdPageStore::bytes() const
+{
+    size_t total = active_.size() * kRecBytes;
+    for (const Run& run : runs_) {
+        total += run.n * kRecBytes;
+    }
+    return total;
+}
+
+ColdPageStore::Stats
+ColdPageStore::stats() const
+{
+    Stats out;
+    out.runs = runs_.size();
+    out.active_records = active_.size();
+    for (const Run& run : runs_) {
+        out.run_records += run.n;
+    }
+    out.seals = seals_;
+    out.compactions = compactions_;
+    out.bloom_skips = bloom_skips_;
+    return out;
+}
+
+}  // namespace lfs::lsm

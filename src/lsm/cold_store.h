@@ -1,0 +1,113 @@
+/**
+ * @file
+ * The cold tier of the two-tier namespace (DESIGN.md §15): an LSM-shaped,
+ * untimed store of serialized fixed-size inode records keyed by inode id.
+ * NamespaceTree pages cold *file* inodes out here under its byte budget
+ * and demand-pages them back on miss; directories and symlinks never
+ * leave the hot slab.
+ *
+ * Layout mirrors the path-keyed lfs::lsm store one level up: an unsorted
+ * active buffer absorbs puts, seals into immutable id-sorted byte runs
+ * guarded by bloom filters (the integer-key variant of lsm::BloomFilter),
+ * and a full merge compacts runs once enough accumulate, dropping
+ * tombstones and shadowed versions. Records cross the tier boundary by
+ * memcpy — INodeRec is trivially copyable by design — so run bytes model
+ * exactly what a serverless NameNode would ship to shared storage.
+ *
+ * Migration between tiers is exclusive: the namespace erases a record
+ * here the moment it pages it back in, so an inode lives in exactly one
+ * tier and staleness cannot arise. Timing is layered on by the store
+ * (LatSeg::kNsFault); this class is purely functional, like the
+ * NamespaceTree it backs.
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/lsm/sstable.h"
+#include "src/namespace/inode.h"
+#include "src/util/name_table.h"
+
+namespace lfs::lsm {
+
+class ColdPageStore {
+  public:
+    /** Runs seal at this many buffered records (~5 MB of record bytes). */
+    static constexpr size_t kSealThreshold = 64 * 1024;
+    /**
+     * Safety valve: a full compaction merges every run once this many
+     * accumulate. Tiered merging (equal-size neighbours merge on seal,
+     * the binary-counter invariant) keeps the steady-state run count at
+     * O(log(cold records / seal threshold)), so this only fires under
+     * erase-heavy churn that breaks the doubling ladder.
+     */
+    static constexpr size_t kMaxRuns = 16;
+
+    /** Insert or overwrite the record for @p rec.id. */
+    void put(const ns::INodeRec& rec);
+
+    /**
+     * Read the record for @p id into @p out without migrating it.
+     * @return false when absent (or deleted).
+     */
+    bool get(ns::INodeId id, ns::INodeRec* out) const;
+
+    /** Delete @p id (tombstone; space is reclaimed by compaction). */
+    void erase(ns::INodeId id);
+
+    /** Serialized bytes across the active buffer and all runs. */
+    size_t bytes() const;
+
+    struct Stats {
+        size_t runs = 0;            ///< sealed immutable runs
+        size_t run_records = 0;     ///< records in runs (incl. shadowed)
+        size_t active_records = 0;  ///< records in the active buffer
+        uint64_t seals = 0;
+        uint64_t compactions = 0;
+        uint64_t bloom_skips = 0;  ///< run probes short-circuited
+    };
+
+    Stats stats() const;
+
+  private:
+    /** One immutable id-sorted run of serialized 80-byte records. */
+    struct Run {
+        size_t n = 0;
+        std::unique_ptr<uint8_t[]> bytes;  ///< n * sizeof(INodeRec)
+        BloomFilter bloom;
+        ns::INodeId min_id = 0;
+        ns::INodeId max_id = 0;
+
+        explicit Run(size_t records) : bloom(records) {}
+
+        void decode(size_t i, ns::INodeRec* out) const;
+        ns::INodeId id_at(size_t i) const;
+        /** Newest record for @p id in this run, or false. */
+        bool find(ns::INodeId id, ns::INodeRec* out) const;
+    };
+
+    void seal_active();
+    /** Merge equal-size tail runs until the doubling ladder holds. */
+    void merge_tiers();
+    /** Two-way merge of the newest two runs (newer versions win). */
+    void merge_last_two();
+    void compact();
+    /** Seal @p records (already id-sorted) into an immutable run. */
+    static Run make_run(const std::vector<ns::INodeRec>& records);
+
+    /** Position+1 of @p id in the active buffer, or 0. */
+    size_t active_pos(ns::INodeId id) const;
+
+    std::vector<ns::INodeRec> active_;
+    /** id -> active position + 1. */
+    util::ChildTable<uint64_t> active_index_;
+    /** Oldest first; reads probe newest first. */
+    std::vector<Run> runs_;
+    uint64_t seals_ = 0;
+    uint64_t compactions_ = 0;
+    mutable uint64_t bloom_skips_ = 0;
+};
+
+}  // namespace lfs::lsm

@@ -15,9 +15,8 @@ BloomFilter::BloomFilter(size_t expected_keys)
 }
 
 void
-BloomFilter::insert(const std::string& key)
+BloomFilter::set_probes(uint64_t h)
 {
-    uint64_t h = fnv1a(key);
     size_t bits = words_.size() * 64;
     for (int i = 0; i < kProbes; ++i) {
         uint64_t probe = mix64(h + static_cast<uint64_t>(i) *
@@ -28,9 +27,8 @@ BloomFilter::insert(const std::string& key)
 }
 
 bool
-BloomFilter::may_contain(const std::string& key) const
+BloomFilter::test_probes(uint64_t h) const
 {
-    uint64_t h = fnv1a(key);
     size_t bits = words_.size() * 64;
     for (int i = 0; i < kProbes; ++i) {
         uint64_t probe = mix64(h + static_cast<uint64_t>(i) *
@@ -41,6 +39,30 @@ BloomFilter::may_contain(const std::string& key) const
         }
     }
     return true;
+}
+
+void
+BloomFilter::insert(const std::string& key)
+{
+    set_probes(fnv1a(key));
+}
+
+bool
+BloomFilter::may_contain(const std::string& key) const
+{
+    return test_probes(fnv1a(key));
+}
+
+void
+BloomFilter::insert(uint64_t key)
+{
+    set_probes(mix64(key));
+}
+
+bool
+BloomFilter::may_contain(uint64_t key) const
+{
+    return test_probes(mix64(key));
 }
 
 SSTable::SSTable(std::vector<std::pair<std::string, Entry>> entries)

@@ -26,10 +26,18 @@ class BloomFilter {
     /** May return false positives, never false negatives. */
     bool may_contain(const std::string& key) const;
 
+    /** Integer-keyed variants (inode-id keys in the cold inode store). */
+    void insert(uint64_t key);
+    bool may_contain(uint64_t key) const;
+
     size_t bits() const { return words_.size() * 64; }
 
   private:
     static constexpr int kProbes = 4;
+
+    void set_probes(uint64_t h);
+    bool test_probes(uint64_t h) const;
+
     std::vector<uint64_t> words_;
 };
 

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <string>
+#include <type_traits>
 
 #include "src/sim/time.h"
 
@@ -64,6 +65,49 @@ struct INode {
         return 96 + name.size() + symlink_target.size();
     }
 };
+
+/**
+ * The fixed-size, trivially-copyable inode record the namespace actually
+ * stores (DESIGN.md §15). Strings are flattened to interned 32-bit ids
+ * (component name, symlink target), so records pack into slab pages, cold
+ * records serialize by memcpy, and resolve walks ids without touching the
+ * heap. INode remains the materialized *view* handed across API
+ * boundaries; conversion happens at the namespace edge.
+ */
+struct INodeRec {
+    INodeId id = kInvalidId;
+    INodeId parent = kInvalidId;
+    int64_t size = 0;
+    sim::SimTime mtime = 0;
+    sim::SimTime ctime = 0;
+    uint64_t version = 0;
+    /** Interned final-component name (NameTable id; kNoName for "/"). */
+    uint32_t name_id = 0xffffffffu;
+    /**
+     * Type-dependent payload: directories store their child-table index,
+     * symlinks store the interned id of the normalized target path.
+     */
+    uint32_t aux = 0;
+    int32_t block_count = 0;
+    int32_t nlink = 1;
+    int32_t owner = 0;
+    int32_t group = 0;
+    uint16_t mode = 0644;
+    INodeType type = INodeType::kFile;
+    /** Residency bookkeeping (clock referenced bit, cold tombstone). */
+    uint8_t flags = 0;
+
+    static constexpr uint8_t kFlagReferenced = 0x01;
+    static constexpr uint8_t kFlagTombstone = 0x80;
+
+    bool is_dir() const { return type == INodeType::kDirectory; }
+    bool is_file() const { return type == INodeType::kFile; }
+    bool is_symlink() const { return type == INodeType::kSymlink; }
+};
+
+static_assert(std::is_trivially_copyable_v<INodeRec>,
+              "cold records serialize by memcpy");
+static_assert(sizeof(INodeRec) == 80, "slab/cold layout is 80 bytes");
 
 /**
  * Namespace-wide counters served by `statfs`. Collected from per-shard

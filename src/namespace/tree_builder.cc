@@ -9,29 +9,49 @@ namespace lfs::ns {
 
 namespace {
 
+/**
+ * Builders append children by parent inode id (bulk_add) instead of
+ * re-resolving a path per create: state effects are identical to
+ * create_file/mkdirs on the equivalent path, but construction runs at
+ * slab speed, which is what makes the 10M+-inode scale benches loadable.
+ */
 void
-build_level(NamespaceTree& tree, const std::string& dir, int levels_left,
-            const TreeSpec& spec, const UserContext& user, sim::SimTime now,
-            BuiltTree* out)
+build_level(NamespaceTree& tree, const std::string& dir, INodeId dir_id,
+            int levels_left, const TreeSpec& spec, const UserContext& user,
+            sim::SimTime now, BuiltTree* out)
 {
     out->dirs.push_back(dir);
     for (int f = 0; f < spec.files_per_dir; ++f) {
-        std::string file = path::join(dir, "f" + std::to_string(f));
-        auto created = tree.create_file(file, user, now);
-        assert(created.ok());
-        (void)created;
-        out->files.push_back(file);
+        std::string name = "f" + std::to_string(f);
+        INodeId id = tree.bulk_add(dir_id, name, INodeType::kFile, user, now);
+        assert(id != kInvalidId);
+        (void)id;
+        out->files.push_back(path::join(dir, name));
     }
     if (levels_left == 0) {
         return;
     }
     for (int d = 0; d < spec.fanout; ++d) {
-        std::string sub = path::join(dir, "d" + std::to_string(d));
-        auto made = tree.mkdirs(sub, user, now);
-        assert(made.ok());
-        (void)made;
-        build_level(tree, sub, levels_left - 1, spec, user, now, out);
+        std::string name = "d" + std::to_string(d);
+        INodeId sub_id =
+            tree.bulk_add(dir_id, name, INodeType::kDirectory, user, now);
+        build_level(tree, path::join(dir, name), sub_id, levels_left - 1,
+                    spec, user, now, out);
     }
+}
+
+int64_t
+balanced_inode_count(const TreeSpec& spec)
+{
+    // Directories form a complete fanout-ary tree of `depth` levels below
+    // the root; every directory also holds files_per_dir files.
+    int64_t dirs = 0;
+    int64_t level = 1;
+    for (int i = 0; i <= spec.depth; ++i) {
+        dirs += level;
+        level *= spec.fanout;
+    }
+    return dirs * (1 + spec.files_per_dir);
 }
 
 }  // namespace
@@ -43,9 +63,9 @@ build_balanced_tree(NamespaceTree& tree, const TreeSpec& spec,
     BuiltTree out;
     auto made = tree.mkdirs(spec.root, user, now);
     assert(made.ok());
-    (void)made;
-    build_level(tree, path::normalize(spec.root), spec.depth, spec, user, now,
-                &out);
+    tree.bulk_reserve(static_cast<size_t>(balanced_inode_count(spec)));
+    build_level(tree, path::normalize(spec.root), made->id, spec.depth, spec,
+                user, now, &out);
     return out;
 }
 
@@ -57,15 +77,16 @@ build_flat_directory(NamespaceTree& tree, const std::string& dir,
     BuiltTree out;
     auto made = tree.mkdirs(dir, user, now);
     assert(made.ok());
-    (void)made;
-    out.dirs.push_back(path::normalize(dir));
+    std::string ndir = path::normalize(dir);
+    out.dirs.push_back(ndir);
     out.files.reserve(static_cast<size_t>(num_files));
+    tree.bulk_reserve(static_cast<size_t>(num_files));
     for (int64_t i = 0; i < num_files; ++i) {
-        std::string file = path::join(dir, "f" + std::to_string(i));
-        auto created = tree.create_file(file, user, now);
-        assert(created.ok());
-        (void)created;
-        out.files.push_back(std::move(file));
+        std::string name = "f" + std::to_string(i);
+        INodeId id = tree.bulk_add(made->id, name, INodeType::kFile, user, now);
+        assert(id != kInvalidId);
+        (void)id;
+        out.files.push_back(path::join(ndir, name));
     }
     return out;
 }
@@ -78,31 +99,37 @@ build_wide_subtree(NamespaceTree& tree, const std::string& root,
     BuiltTree out;
     auto made = tree.mkdirs(root, user, now);
     assert(made.ok());
-    (void)made;
     std::string nroot = path::normalize(root);
     out.dirs.push_back(nroot);
+    tree.bulk_reserve(static_cast<size_t>(total_inodes));
     int64_t created = 1;
     // Breadth-first: create `fanout` subdirectories per directory, then fill
     // each with files until the budget is spent.
-    std::vector<std::string> frontier{nroot};
+    struct Frame {
+        std::string path;
+        INodeId id;
+    };
+    std::vector<Frame> frontier{{nroot, made->id}};
     while (created < total_inodes) {
-        std::vector<std::string> next;
-        for (const std::string& dir : frontier) {
+        std::vector<Frame> next;
+        for (const Frame& dir : frontier) {
             for (int d = 0; d < fanout && created < total_inodes; ++d) {
-                std::string sub = path::join(dir, "d" + std::to_string(d));
-                auto sub_made = tree.mkdirs(sub, user, now);
-                assert(sub_made.ok());
-                (void)sub_made;
+                std::string name = "d" + std::to_string(d);
+                INodeId sub_id = tree.bulk_add(dir.id, name,
+                                               INodeType::kDirectory, user,
+                                               now);
+                std::string sub = path::join(dir.path, name);
                 out.dirs.push_back(sub);
-                next.push_back(sub);
+                next.push_back({std::move(sub), sub_id});
                 ++created;
             }
             for (int f = 0; f < fanout * 4 && created < total_inodes; ++f) {
-                std::string file = path::join(dir, "f" + std::to_string(f));
-                auto file_made = tree.create_file(file, user, now);
-                assert(file_made.ok());
-                (void)file_made;
-                out.files.push_back(file);
+                std::string name = "f" + std::to_string(f);
+                INodeId id =
+                    tree.bulk_add(dir.id, name, INodeType::kFile, user, now);
+                assert(id != kInvalidId);
+                (void)id;
+                out.files.push_back(path::join(dir.path, name));
                 ++created;
             }
         }

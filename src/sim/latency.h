@@ -48,6 +48,7 @@ enum class LatSeg : uint8_t {
     kStoreQueue,         ///< store shard admission-queue sojourn
     kStoreService,       ///< store shard service time
     kCoherence,          ///< cache-coherence INV/ACK under write locks
+    kNsFault,            ///< namespace cold-tier page-in (two-tier paging)
     kUnattributed,       ///< end-to-end minus every stamped segment
     kCount,
 };
@@ -83,6 +84,8 @@ lat_seg_name(LatSeg seg)
         return "store_service";
       case LatSeg::kCoherence:
         return "coherence";
+      case LatSeg::kNsFault:
+        return "ns_fault";
       case LatSeg::kUnattributed:
         return "unattributed";
       case LatSeg::kCount:

@@ -31,6 +31,43 @@ MetadataStore::MetadataStore(sim::Simulation& sim, net::Network& network,
     sim_.metrics().register_callback_gauge(
         "store.writes", {},
         [this] { return static_cast<double>(total_writes()); }, this);
+    // Two-tier namespace residency gauges (DESIGN.md §15). Sampled on
+    // metric dumps only; residency_stats() is O(directories).
+    sim_.metrics().register_callback_gauge(
+        "ns.resident_inodes", {},
+        [this] {
+            return static_cast<double>(
+                tree_.residency_stats().resident_inodes);
+        },
+        this);
+    sim_.metrics().register_callback_gauge(
+        "ns.cold_inodes", {},
+        [this] {
+            return static_cast<double>(tree_.residency_stats().cold_inodes);
+        },
+        this);
+    sim_.metrics().register_callback_gauge(
+        "ns.resident_bytes", {},
+        [this] {
+            return static_cast<double>(
+                tree_.residency_stats().resident_bytes);
+        },
+        this);
+    sim_.metrics().register_callback_gauge(
+        "ns.cold_bytes", {},
+        [this] {
+            return static_cast<double>(tree_.residency_stats().cold_bytes);
+        },
+        this);
+    sim_.metrics().register_callback_gauge(
+        "ns.bytes_per_inode", {},
+        [this] { return tree_.residency_stats().bytes_per_inode; }, this);
+    sim_.metrics().register_callback_gauge(
+        "ns.pagein", {},
+        [this] { return static_cast<double>(tree_.pageins()); }, this);
+    sim_.metrics().register_callback_gauge(
+        "ns.pageout", {},
+        [this] { return static_cast<double>(tree_.pageouts()); }, this);
     rejected_expired_ = &sim_.metrics().counter("overload.store_rejected",
                                                 {{"reason", "expired"}});
     rejected_breaker_ = &sim_.metrics().counter("overload.store_rejected",
@@ -304,12 +341,14 @@ MetadataStore::apply_write(const Op& op)
 std::vector<ns::INodeId>
 MetadataStore::write_lock_set(const Op& op) const
 {
+    // Id-centric resolve: lock-set computation walks inode ids and never
+    // materializes INode views (the chains were thrown away here before).
     std::vector<ns::INodeId> ids;
+    ns::IdChain chain;
     auto add_path = [&](const std::string& p) {
         ns::UserContext root;  // lock-set computation ignores permissions
-        auto resolved = tree_.resolve(p, root);
-        if (resolved.ok()) {
-            ids.push_back(resolved->target().id);
+        if (tree_.resolve_ids(p, root, ns::Follow::kFinal, &chain).ok()) {
+            ids.push_back(chain.back());
         }
     };
     add_path(path::parent(op.path));
@@ -327,21 +366,37 @@ MetadataStore::read_lock_set(const std::string& p) const
 {
     std::vector<ns::INodeId> ids;
     ns::UserContext root;
-    auto resolved = tree_.resolve(p, root);
-    if (resolved.ok()) {
-        ids.push_back(resolved->target().id);
-        if (resolved->chain.size() > 1) {
-            ids.push_back(resolved->chain[resolved->chain.size() - 2].id);
+    ns::IdChain chain;
+    if (tree_.resolve_ids(p, root, ns::Follow::kFinal, &chain).ok()) {
+        ids.push_back(chain.back());
+        if (chain.size() > 1) {
+            ids.push_back(chain[chain.size() - 2]);
         }
-    } else {
-        auto parent_resolved = tree_.resolve(path::parent(p), root);
-        if (parent_resolved.ok()) {
-            ids.push_back(parent_resolved->target().id);
-        }
+    } else if (tree_
+                   .resolve_ids(path::parent(p), root, ns::Follow::kFinal,
+                                &chain)
+                   .ok()) {
+        ids.push_back(chain.back());
     }
     std::sort(ids.begin(), ids.end());
     ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
     return ids;
+}
+
+sim::Task<void>
+MetadataStore::charge_ns_faults(uint64_t faults_before,
+                                sim::LatencyLedger* ledger)
+{
+    uint64_t faults = tree_.pageins() - faults_before;
+    if (faults == 0 || config_.fault_page_cost <= 0) {
+        co_return;
+    }
+    sim::SimTime cost =
+        config_.fault_page_cost * static_cast<sim::SimTime>(faults);
+    co_await sim::delay(sim_, cost);
+    if (ledger != nullptr) {
+        ledger->add(sim::LatSeg::kNsFault, cost);
+    }
 }
 
 sim::Task<OpResult>
@@ -384,6 +439,7 @@ MetadataStore::read_op(Op op)
         }
         co_return result;
     }
+    uint64_t faults_before = tree_.pageins();
     while (true) {
         // One lock_wait span per retry round; move-assign ends the
         // previous round's span.
@@ -445,6 +501,7 @@ MetadataStore::read_op(Op op)
             break;
         }
     }
+    co_await charge_ns_faults(faults_before, attr ? &led : nullptr);
     t0 = sim_.now();
     co_await network_.transfer(net::LatencyClass::kStore);
     if (attr) {
@@ -495,6 +552,7 @@ MetadataStore::write_op(Op op, LockedHook after_lock)
         }
         co_return shed;
     }
+    uint64_t faults_before = tree_.pageins();
     sim::Span lock_span =
         sim_.tracer().start_span("store", "lock_wait", txn_span.context());
     sim::SimTime lock_start = sim_.now();
@@ -538,6 +596,9 @@ MetadataStore::write_op(Op op, LockedHook after_lock)
         co_return shed;
     }
     OpResult result = apply_write(op);
+    // Faults are charged while the row locks are held: a sub-resident
+    // namespace pays its page-ins inside the transaction window.
+    co_await charge_ns_faults(faults_before, attr ? &led : nullptr);
     locks_.unlock_exclusive_all(lock_ids);
     t0 = sim_.now();
     co_await network_.transfer(net::LatencyClass::kStore);
@@ -623,6 +684,7 @@ MetadataStore::subtree_op(Op op, SubtreeExecution exec)
     }
 
     OpResult result;
+    uint64_t faults_before = tree_.pageins();
     ns::UserContext root;
     auto size = tree_.subtree_size(op.path, root);
     if (!size.ok()) {
@@ -702,6 +764,7 @@ MetadataStore::subtree_op(Op op, SubtreeExecution exec)
 
     result = apply_write(op);
     result.inodes_touched = rows;
+    co_await charge_ns_faults(faults_before, attr ? &led : nullptr);
     locks_.release_subtree(op.path);
     t0 = sim_.now();
     co_await network_.transfer(net::LatencyClass::kStore);

@@ -40,6 +40,13 @@ struct StoreConfig {
     /** Delay between retries when a subtree lock conflicts. */
     sim::SimTime subtree_retry_delay = sim::msec(20);
     /**
+     * Simulated cost of one namespace cold-tier page-in (DESIGN.md §15):
+     * charged per fault a transaction incurs, modelling the intermediate
+     * read from shared storage that a sub-resident namespace pays. Zero
+     * faults (budget unset) charge nothing.
+     */
+    sim::SimTime fault_page_cost = sim::usec(250);
+    /**
      * Per-shard circuit breakers: a rolling error window trips the shard
      * open, failing store transactions fast with UNAVAILABLE instead of
      * queueing them behind a struggling shard; half-open probes re-close
@@ -167,6 +174,14 @@ class MetadataStore {
 
     /** Ids that a read on @p p locks shared (parent and target). */
     std::vector<ns::INodeId> read_lock_set(const std::string& p) const;
+
+    /**
+     * Charge the simulated cost of namespace page-ins incurred since
+     * @p faults_before (fault_page_cost each) and stamp kNsFault. A
+     * fully-resident tree never faults, so this awaits nothing then.
+     */
+    sim::Task<void> charge_ns_faults(uint64_t faults_before,
+                                     sim::LatencyLedger* ledger);
 
     /** Apply the semantic mutation (no timing). */
     OpResult apply_write(const Op& op);

@@ -1,0 +1,26 @@
+#include "src/util/name_table.h"
+
+namespace lfs::util {
+
+// Growth is the cold path of intern(); keeping it out of line keeps the
+// header's hot probe loops small enough to inline at every call site.
+void
+NameTable::grow()
+{
+    size_t cap = slots_.empty() ? 64 : slots_.size() * 2;
+    std::vector<Slot> next(cap);
+    mask_ = cap - 1;
+    for (const Slot& s : slots_) {
+        if (s.id == kNoName) {
+            continue;
+        }
+        size_t i = s.hash & mask_;
+        while (next[i].id != kNoName) {
+            i = (i + 1) & mask_;
+        }
+        next[i] = s;
+    }
+    slots_ = std::move(next);
+}
+
+}  // namespace lfs::util

@@ -40,12 +40,14 @@ struct LifecycleReport {
     int64_t session_violations = 0;
     int64_t orphan_violations = 0;
     int64_t counter_violations = 0;
+    int64_t residency_violations = 0;
     std::vector<std::string> details;
 
     int64_t violations() const
     {
         return link_count_violations + symlink_violations +
-               session_violations + orphan_violations + counter_violations;
+               session_violations + orphan_violations + counter_violations +
+               residency_violations;
     }
 };
 
@@ -205,6 +207,33 @@ audit_lifecycle(const ns::NamespaceTree& tree)
                   static_cast<int64_t>(tree.sessions().size()),
                   stats.open_sessions);
     check_counter("orphans", orphan_files, stats.orphans);
+
+    // Two-tier residency (DESIGN.md §15): the hot slab and the cold tier
+    // partition the inode set exactly — migration is exclusive, so every
+    // inode lives in exactly one tier. Holds whether or not a budget is
+    // set; every orphan/session/reachable get() above already proved the
+    // cold tier serves reads. The traffic counters must agree with the
+    // gauges exported through residency_stats().
+    ns::ResidencyStats res = tree.residency_stats();
+    if (res.resident_inodes + res.cold_inodes != tree.inode_count()) {
+        ++report.residency_violations;
+        detail::note(report,
+                     "residency partition broken: resident=" +
+                         std::to_string(res.resident_inodes) + " cold=" +
+                         std::to_string(res.cold_inodes) + " inode_count=" +
+                         std::to_string(tree.inode_count()));
+    }
+    if (res.pageins != tree.pageins() || res.pageouts != tree.pageouts()) {
+        ++report.residency_violations;
+        detail::note(report, "residency traffic gauges drifted from "
+                             "pagein/pageout counters");
+    }
+    if (tree.budget_bytes() == SIZE_MAX && tree.pageouts() == 0 &&
+        res.cold_inodes != 0) {
+        ++report.residency_violations;
+        detail::note(report, "cold tier populated although no budget was "
+                             "ever enforced");
+    }
     return report;
 }
 

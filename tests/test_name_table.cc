@@ -1,0 +1,323 @@
+/**
+ * @file
+ * Unit tests for the shared flat-hash building blocks (DESIGN.md §14,
+ * §15): the component-name interner (NameTable) and the open-addressing
+ * slot table (ChildTable) that back both the namespace's per-directory
+ * child maps and the metadata cache's trie child index. Includes a
+ * regression for the slot-placement finalizer mix: dense sequential keys
+ * must not form one contiguous probe cluster, which made backward-shift
+ * deletion O(live keys) per erase.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <random>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/util/hash.h"
+#include "src/util/name_table.h"
+
+namespace lfs::util {
+namespace {
+
+// ---------------------------------------------------------------------------
+// NameTable
+// ---------------------------------------------------------------------------
+
+TEST(NameTable, InternAssignsDenseSequentialIds)
+{
+    NameTable t;
+    EXPECT_EQ(t.intern("alpha"), 0u);
+    EXPECT_EQ(t.intern("beta"), 1u);
+    EXPECT_EQ(t.intern("gamma"), 2u);
+    EXPECT_EQ(t.size(), 3u);
+}
+
+TEST(NameTable, RepeatedInternDeduplicates)
+{
+    NameTable t;
+    uint32_t a = t.intern("part-00000");
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(t.intern("part-00000"), a);
+    }
+    EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(NameTable, FindReturnsKNoNameForUnseen)
+{
+    NameTable t;
+    EXPECT_EQ(t.find("never"), NameTable::kNoName);
+    t.intern("seen");
+    EXPECT_EQ(t.find("seen"), 0u);
+    EXPECT_EQ(t.find("never"), NameTable::kNoName);
+    EXPECT_EQ(t.find(""), NameTable::kNoName);
+}
+
+TEST(NameTable, EmptyStringIsInternable)
+{
+    NameTable t;
+    uint32_t id = t.intern("");
+    EXPECT_EQ(t.find(""), id);
+    EXPECT_EQ(t.name(id), "");
+}
+
+TEST(NameTable, NameAddressesStableAcrossGrowth)
+{
+    NameTable t;
+    std::vector<const std::string*> addrs;
+    std::vector<std::string> expect;
+    for (int i = 0; i < 4096; ++i) {
+        std::string n = "file-" + std::to_string(i);
+        uint32_t id = t.intern(n);
+        EXPECT_EQ(id, static_cast<uint32_t>(i));
+        addrs.push_back(&t.name(id));
+        expect.push_back(n);
+    }
+    // Interned spellings live in a deque: growth must not move them.
+    for (size_t i = 0; i < addrs.size(); ++i) {
+        EXPECT_EQ(addrs[i], &t.name(static_cast<uint32_t>(i)));
+        EXPECT_EQ(*addrs[i], expect[i]);
+    }
+}
+
+TEST(NameTable, FindAgreesWithInternAfterGrowth)
+{
+    NameTable t;
+    for (int i = 0; i < 1000; ++i) {
+        t.intern("n" + std::to_string(i));
+    }
+    for (int i = 0; i < 1000; ++i) {
+        std::string n = "n" + std::to_string(i);
+        EXPECT_EQ(t.find(n), static_cast<uint32_t>(i));
+        EXPECT_EQ(t.intern(n), static_cast<uint32_t>(i));  // still deduped
+    }
+    EXPECT_EQ(t.size(), 1000u);
+}
+
+TEST(NameTable, ResidentBytesGrowsMonotonically)
+{
+    NameTable t;
+    size_t prev = t.resident_bytes();
+    for (int i = 0; i < 500; ++i) {
+        t.intern("some-component-name-" + std::to_string(i));
+        size_t now = t.resident_bytes();
+        EXPECT_GE(now, prev);
+        prev = now;
+    }
+    // The footprint must at least cover the raw name bytes stored.
+    EXPECT_GT(t.resident_bytes(), 500u * 20u);
+}
+
+// ---------------------------------------------------------------------------
+// ChildTable: unique-key discipline (find_exact / erase_key)
+// ---------------------------------------------------------------------------
+
+TEST(ChildTable, InsertFindExactRoundTrip)
+{
+    ChildTable<uint64_t> t;
+    EXPECT_TRUE(t.empty());
+    EXPECT_EQ(t.find_exact(42), 0u);  // empty table
+    for (uint64_t k = 1; k <= 1000; ++k) {
+        t.insert(k, k * 10);
+    }
+    EXPECT_EQ(t.size(), 1000u);
+    for (uint64_t k = 1; k <= 1000; ++k) {
+        EXPECT_EQ(t.find_exact(k), k * 10);
+    }
+    EXPECT_EQ(t.find_exact(0), 0u);
+    EXPECT_EQ(t.find_exact(1001), 0u);
+}
+
+TEST(ChildTable, SequentialKeysEraseInInsertionOrder)
+{
+    // Regression for the slot_index64 finalizer mix: sequential integer
+    // keys (inode ids, interned name ids) once mapped to one contiguous
+    // probe cluster, and backward-shift deletion scanned to the cluster
+    // end — O(live) per erase. Erasing half a dense range in insertion
+    // order exercises exactly that pathology; correctness-wise, every
+    // surviving key must remain findable after each batch of erases.
+    ChildTable<uint64_t> t;
+    constexpr uint64_t kN = 20'000;
+    for (uint64_t k = 1; k <= kN; ++k) {
+        t.insert(k, k);
+    }
+    for (uint64_t k = 1; k <= kN / 2; ++k) {
+        EXPECT_TRUE(t.erase_key(k));
+    }
+    EXPECT_EQ(t.size(), kN / 2);
+    for (uint64_t k = 1; k <= kN; ++k) {
+        EXPECT_EQ(t.find_exact(k), k <= kN / 2 ? 0u : k);
+    }
+}
+
+TEST(ChildTable, EraseKeyAbsentReturnsFalse)
+{
+    ChildTable<uint64_t> t;
+    EXPECT_FALSE(t.erase_key(7));  // empty table
+    t.insert(7, 70);
+    EXPECT_FALSE(t.erase_key(8));
+    EXPECT_TRUE(t.erase_key(7));
+    EXPECT_FALSE(t.erase_key(7));  // already gone
+    EXPECT_TRUE(t.empty());
+}
+
+TEST(ChildTable, BackwardShiftKeepsProbeChainsIntact)
+{
+    // Insert a cluster, erase interior members, and verify every
+    // survivor stays reachable — backward-shift must only move slots
+    // whose home position lies cyclically at or before the hole.
+    ChildTable<uint64_t> t;
+    constexpr uint64_t kN = 4096;
+    for (uint64_t k = 1; k <= kN; ++k) {
+        t.insert(k, k);
+    }
+    // Erase every third key, scattered through the range.
+    std::set<uint64_t> gone;
+    for (uint64_t k = 2; k <= kN; k += 3) {
+        EXPECT_TRUE(t.erase_key(k));
+        gone.insert(k);
+    }
+    for (uint64_t k = 1; k <= kN; ++k) {
+        if (gone.count(k)) {
+            EXPECT_EQ(t.find_exact(k), 0u);
+        } else {
+            EXPECT_EQ(t.find_exact(k), k);
+        }
+    }
+}
+
+TEST(ChildTable, ReserveThenInsertTriggersNoGrowth)
+{
+    ChildTable<uint64_t> t;
+    t.reserve(10'000);
+    const size_t cap = t.capacity_bytes();
+    EXPECT_GT(cap, 0u);
+    for (uint64_t k = 1; k <= 10'000; ++k) {
+        t.insert(k, k);
+    }
+    EXPECT_EQ(t.capacity_bytes(), cap);
+    EXPECT_EQ(t.size(), 10'000u);
+}
+
+TEST(ChildTable, ClearResets)
+{
+    ChildTable<uint64_t> t;
+    for (uint64_t k = 1; k <= 100; ++k) {
+        t.insert(k, k);
+    }
+    t.clear();
+    EXPECT_TRUE(t.empty());
+    EXPECT_EQ(t.size(), 0u);
+    EXPECT_EQ(t.find_exact(5), 0u);
+    // Reusable after clear.
+    t.insert(5, 50);
+    EXPECT_EQ(t.find_exact(5), 50u);
+}
+
+TEST(ChildTable, SlotsExposeRawUnmixedKeys)
+{
+    // The finalizer mix is placement-only: dir-table iteration reads
+    // Slot::key back as the real interned name id / inode id, so stored
+    // keys must be the raw values, not the mixed ones.
+    ChildTable<uint64_t> t;
+    std::set<uint64_t> want;
+    for (uint64_t k = 100; k < 200; ++k) {
+        t.insert(k, k + 1);
+        want.insert(k);
+    }
+    std::set<uint64_t> got;
+    for (const auto& s : t.slots()) {
+        if (s.value != 0) {
+            got.insert(s.key);
+            EXPECT_EQ(s.value, s.key + 1);
+        }
+    }
+    EXPECT_EQ(got, want);
+}
+
+TEST(ChildTable, PointerPayloadUsesNullptrSentinel)
+{
+    int a = 1;
+    int b = 2;
+    ChildTable<int*> t;
+    EXPECT_EQ(t.find_exact(1), nullptr);
+    t.insert(1, &a);
+    t.insert(2, &b);
+    EXPECT_EQ(t.find_exact(1), &a);
+    EXPECT_EQ(t.find_exact(2), &b);
+    EXPECT_TRUE(t.erase_key(1));
+    EXPECT_EQ(t.find_exact(1), nullptr);
+    EXPECT_EQ(t.find_exact(2), &b);
+}
+
+// ---------------------------------------------------------------------------
+// ChildTable: hash-key discipline (find with verify / erase(key, value))
+// ---------------------------------------------------------------------------
+
+TEST(ChildTable, HashKeysWithVerifyDisambiguateCollisions)
+{
+    // Model the metadata-cache use: several distinct payloads share one
+    // slot key (a hash collision); the verify closure picks the right one.
+    ChildTable<uint64_t> t;
+    const uint64_t h = fnv1a("colliding");
+    t.insert(h, 11);
+    t.insert(h, 22);
+    t.insert(h, 33);
+    EXPECT_EQ(t.find(h, [](uint64_t v) { return v == 22; }), 22u);
+    EXPECT_EQ(t.find(h, [](uint64_t v) { return v == 33; }), 33u);
+    EXPECT_EQ(t.find(h, [](uint64_t v) { return v == 44; }), 0u);
+    // erase(key, value) removes exactly one colliding entry.
+    EXPECT_TRUE(t.erase(h, 22u));
+    EXPECT_EQ(t.find(h, [](uint64_t v) { return v == 22; }), 0u);
+    EXPECT_EQ(t.find(h, [](uint64_t v) { return v == 11; }), 11u);
+    EXPECT_EQ(t.find(h, [](uint64_t v) { return v == 33; }), 33u);
+    EXPECT_FALSE(t.erase(h, 22u));  // already gone
+}
+
+TEST(ChildTable, FuzzAgainstStdMap)
+{
+    // Randomized insert/erase/find against a std::map reference, over a
+    // narrow key range so collisions of the *slot* (not the key) are
+    // frequent and backward-shift runs constantly.
+    std::mt19937_64 rng(0x5eedu);
+    ChildTable<uint64_t> t;
+    std::map<uint64_t, uint64_t> ref;
+    for (int step = 0; step < 50'000; ++step) {
+        uint64_t key = 1 + rng() % 512;
+        switch (rng() % 3) {
+            case 0: {  // insert if absent
+                if (!ref.count(key)) {
+                    uint64_t val = 1 + rng();
+                    if (val == 0) {
+                        val = 1;
+                    }
+                    t.insert(key, val);
+                    ref[key] = val;
+                }
+                break;
+            }
+            case 1: {  // erase
+                bool want = ref.erase(key) > 0;
+                EXPECT_EQ(t.erase_key(key), want);
+                break;
+            }
+            default: {  // find
+                auto it = ref.find(key);
+                EXPECT_EQ(t.find_exact(key),
+                          it == ref.end() ? 0u : it->second);
+                break;
+            }
+        }
+        ASSERT_EQ(t.size(), ref.size());
+    }
+    for (const auto& [k, v] : ref) {
+        EXPECT_EQ(t.find_exact(k), v);
+    }
+}
+
+}  // namespace
+}  // namespace lfs::util

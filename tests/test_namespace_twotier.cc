@@ -1,0 +1,394 @@
+/**
+ * @file
+ * Tests for the two-tier namespace residency machinery (DESIGN.md §15):
+ * a budgeted tree must be observably identical to an unbudgeted one —
+ * same status codes, same attributes, same listings — while paging file
+ * records between the hot slab and the cold LSM tier. Covers the
+ * differential fuzz across budgets, residency invariants via the
+ * lifecycle oracle, demand-paging attribute round-trips, mid-run budget
+ * changes (eviction-ring rebuild), and generation safety of the ring
+ * under create/delete churn.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "src/namespace/namespace_tree.h"
+#include "src/namespace/tree_builder.h"
+#include "tests/oracle/lifecycle_oracle.h"
+
+namespace lfs::ns {
+namespace {
+
+UserContext
+root_user()
+{
+    return UserContext{0, 0};
+}
+
+/**
+ * Deterministic random path over a small component alphabet, depth 1-3.
+ * Narrow on purpose: the same stream hits existing and missing paths,
+ * files and directories, so every op exercises success and error arms.
+ */
+std::string
+random_path(std::mt19937_64& rng)
+{
+    static const char* kNames[] = {"a", "b", "c", "dir0", "dir1",
+                                   "f0", "f1", "f2", "link0"};
+    int depth = 1 + static_cast<int>(rng() % 3);
+    std::string path;
+    for (int i = 0; i < depth; ++i) {
+        path += '/';
+        path += kNames[rng() % (sizeof(kNames) / sizeof(kNames[0]))];
+    }
+    return path;
+}
+
+/** Field-by-field equality of the materialized views two twins return. */
+void
+expect_same_inode(const INode& a, const INode& b)
+{
+    EXPECT_EQ(a.id, b.id);
+    EXPECT_EQ(a.parent, b.parent);
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.type, b.type);
+    EXPECT_EQ(a.size, b.size);
+    EXPECT_EQ(a.mtime, b.mtime);
+    EXPECT_EQ(a.ctime, b.ctime);
+    EXPECT_EQ(a.version, b.version);
+    EXPECT_EQ(a.nlink, b.nlink);
+    EXPECT_EQ(a.symlink_target, b.symlink_target);
+}
+
+/**
+ * Run @p steps random ops against two trees — one under @p budget_bytes,
+ * one never budgeted — asserting identical observable behavior after
+ * every op and auditing the lifecycle+residency oracle periodically.
+ */
+void
+run_differential_fuzz(size_t budget_bytes, int steps, uint64_t seed)
+{
+    NamespaceTree budgeted;
+    NamespaceTree plain;
+    budgeted.set_budget_bytes(budget_bytes);
+
+    std::mt19937_64 rng(seed);
+    UserContext user = root_user();
+    sim::SimTime now = 0;
+    uint64_t next_session = 1;
+
+    for (int step = 0; step < steps; ++step) {
+        now += 10;
+        std::string path = random_path(rng);
+        switch (rng() % 10) {
+            case 0: {
+                auto a = budgeted.create_file(path, user, now);
+                auto b = plain.create_file(path, user, now);
+                ASSERT_EQ(a.code(), b.code()) << path;
+                if (a.ok()) {
+                    expect_same_inode(*a, *b);
+                }
+                break;
+            }
+            case 1: {
+                auto a = budgeted.mkdirs(path, user, now);
+                auto b = plain.mkdirs(path, user, now);
+                ASSERT_EQ(a.code(), b.code()) << path;
+                if (a.ok()) {
+                    expect_same_inode(*a, *b);
+                }
+                break;
+            }
+            case 2: {
+                bool recursive = rng() % 2 == 0;
+                auto a = budgeted.remove(path, user, recursive, now);
+                auto b = plain.remove(path, user, recursive, now);
+                ASSERT_EQ(a.code(), b.code()) << path;
+                if (a.ok()) {
+                    EXPECT_EQ(*a, *b);
+                }
+                break;
+            }
+            case 3: {
+                std::string dst = random_path(rng);
+                auto a = budgeted.rename(path, dst, user, now);
+                auto b = plain.rename(path, dst, user, now);
+                ASSERT_EQ(a.code(), b.code()) << path << " -> " << dst;
+                break;
+            }
+            case 4: {
+                std::string dst = random_path(rng);
+                auto a = budgeted.link(path, dst, user, now);
+                auto b = plain.link(path, dst, user, now);
+                ASSERT_EQ(a.code(), b.code()) << path << " -> " << dst;
+                break;
+            }
+            case 5: {
+                auto a = budgeted.symlink(path, "/a", user, now);
+                auto b = plain.symlink(path, "/a", user, now);
+                ASSERT_EQ(a.code(), b.code()) << path;
+                break;
+            }
+            case 6: {
+                auto a = budgeted.stat(path, user);
+                auto b = plain.stat(path, user);
+                ASSERT_EQ(a.code(), b.code()) << path;
+                if (a.ok()) {
+                    expect_same_inode(*a, *b);
+                }
+                break;
+            }
+            case 7: {
+                auto a = budgeted.list(path, user);
+                auto b = plain.list(path, user);
+                ASSERT_EQ(a.code(), b.code()) << path;
+                if (a.ok()) {
+                    EXPECT_EQ(*a, *b);
+                }
+                break;
+            }
+            case 8: {
+                IdChain ca;
+                IdChain cb;
+                Status a = budgeted.resolve_ids(path, user,
+                                                Follow::kFinal, &ca);
+                Status b =
+                    plain.resolve_ids(path, user, Follow::kFinal, &cb);
+                ASSERT_EQ(a.code(), b.code()) << path;
+                if (a.ok()) {
+                    ASSERT_EQ(ca.size(), cb.size());
+                    for (size_t i = 0; i < ca.size(); ++i) {
+                        EXPECT_EQ(ca[i], cb[i]);
+                    }
+                }
+                break;
+            }
+            default: {
+                uint64_t sid = next_session++;
+                auto a = budgeted.open_session(path, sid, now + 1000, user);
+                auto b = plain.open_session(path, sid, now + 1000, user);
+                ASSERT_EQ(a.code(), b.code()) << path;
+                if (rng() % 2 == 0) {
+                    auto ca = budgeted.close_session(sid, now);
+                    auto cb = plain.close_session(sid, now);
+                    ASSERT_EQ(ca.code(), cb.code());
+                }
+                break;
+            }
+        }
+        ASSERT_EQ(budgeted.inode_count(), plain.inode_count());
+        if (step % 500 == 499) {
+            auto ga = budgeted.gc_prune(now);
+            auto gb = plain.gc_prune(now);
+            EXPECT_EQ(ga.reclaimed, gb.reclaimed);
+            EXPECT_EQ(ga.expired_sessions, gb.expired_sessions);
+            oracle::LifecycleReport ra = oracle::audit_lifecycle(budgeted);
+            ASSERT_EQ(ra.violations(), 0)
+                << (ra.details.empty() ? "" : ra.details.front());
+            oracle::LifecycleReport rb = oracle::audit_lifecycle(plain);
+            ASSERT_EQ(rb.violations(), 0)
+                << (rb.details.empty() ? "" : rb.details.front());
+        }
+    }
+}
+
+TEST(NamespaceTwoTier, DifferentialFuzzTinyBudget)
+{
+    // 4 KB holds ~51 records: constant eviction, near-every-read faults.
+    run_differential_fuzz(4 * 1024, 4000, 0x7001);
+}
+
+TEST(NamespaceTwoTier, DifferentialFuzzMidBudget)
+{
+    run_differential_fuzz(1 << 20, 4000, 0x7002);
+}
+
+TEST(NamespaceTwoTier, DifferentialFuzzUnlimitedBudget)
+{
+    // Explicit SIZE_MAX must equal never-set: paging fully disabled.
+    run_differential_fuzz(SIZE_MAX, 2000, 0x7003);
+}
+
+TEST(NamespaceTwoTier, BudgetedTreePagesFilesOut)
+{
+    NamespaceTree tree;
+    // ~20k inodes at fanout 16 pin ~4k directories (~320 KB): 512 KB
+    // sits above the pinned floor but well below the full ~1.6 MB slab,
+    // so enforcement must page files out until the budget holds.
+    tree.set_budget_bytes(512 * 1024);
+    UserContext user = root_user();
+    BuiltTree built = build_wide_subtree(tree, "/scale", 20'000, 16, user, 0);
+    ASSERT_GT(built.files.size(), 0u);
+
+    ResidencyStats res = tree.residency_stats();
+    EXPECT_EQ(res.resident_inodes + res.cold_inodes, tree.inode_count());
+    EXPECT_GT(res.cold_inodes, 0u);
+    EXPECT_GT(tree.pageouts(), 0u);
+    // Only files are evictable; every directory stays pinned, so the
+    // cold tier can never hold more records than there are files.
+    EXPECT_LE(res.cold_inodes, built.files.size());
+    // The slab honors the budget once evictable supply exists.
+    EXPECT_LE(res.slab_bytes, 512u * 1024u);
+
+    // Every path still resolves; faults are recorded per page-in.
+    uint64_t faults_before = tree.pageins();
+    for (size_t i = 0; i < built.files.size(); i += 97) {
+        EXPECT_TRUE(tree.stat(built.files[i], user).ok()) << built.files[i];
+    }
+    EXPECT_GT(tree.pageins(), faults_before);
+    EXPECT_EQ(tree.fault_latency().count(),
+              static_cast<int64_t>(tree.pageins()));
+
+    oracle::LifecycleReport report = oracle::audit_lifecycle(tree);
+    EXPECT_EQ(report.violations(), 0)
+        << (report.details.empty() ? "" : report.details.front());
+}
+
+TEST(NamespaceTwoTier, UnbudgetedTreeNeverTouchesColdTier)
+{
+    NamespaceTree tree;
+    UserContext user = root_user();
+    build_wide_subtree(tree, "/scale", 20'000, 16, user, 0);
+    EXPECT_EQ(tree.pageouts(), 0u);
+    EXPECT_EQ(tree.pageins(), 0u);
+    ResidencyStats res = tree.residency_stats();
+    EXPECT_EQ(res.cold_inodes, 0u);
+    EXPECT_EQ(res.cold_bytes, 0u);
+    EXPECT_EQ(res.resident_inodes, tree.inode_count());
+}
+
+TEST(NamespaceTwoTier, DemandPagingRoundTripPreservesAttributes)
+{
+    NamespaceTree tree;
+    UserContext user = root_user();
+    ASSERT_TRUE(tree.mkdirs("/d", user, 1).ok());
+    // Distinct attributes per file so a paging bug that swaps or
+    // truncates records is caught field-by-field.
+    std::vector<INode> expected;
+    for (int i = 0; i < 2000; ++i) {
+        std::string path = "/d/file-" + std::to_string(i);
+        auto created = tree.create_file(path, user, 100 + i);
+        ASSERT_TRUE(created.ok());
+        AttrUpdate update;
+        update.mask = AttrUpdate::kMode | AttrUpdate::kTimes;
+        update.mode = static_cast<uint16_t>(0600 + (i % 64));
+        update.mtime = 5000 + i;
+        auto touched = tree.setattr(path, update, user, 200 + i);
+        ASSERT_TRUE(touched.ok());
+        expected.push_back(*touched);
+    }
+
+    // Shrink the budget so nearly everything pages out, then read every
+    // file back through the demand-fault path.
+    tree.set_budget_bytes(4 * 1024);
+    ASSERT_GT(tree.pageouts(), 0u);
+    for (int i = 0; i < 2000; ++i) {
+        auto st = tree.stat("/d/file-" + std::to_string(i), user);
+        ASSERT_TRUE(st.ok()) << i;
+        expect_same_inode(*st, expected[static_cast<size_t>(i)]);
+    }
+}
+
+TEST(NamespaceTwoTier, MidRunBudgetChangesRebuildEvictionState)
+{
+    NamespaceTree tree;
+    UserContext user = root_user();
+    BuiltTree built = build_wide_subtree(tree, "/scale", 10'000, 16, user, 0);
+    EXPECT_EQ(tree.pageouts(), 0u);
+
+    // Unbudgeted -> small: the eviction ring is rebuilt from the slab
+    // and enforcement pages file records out immediately. 256 KB sits
+    // above the ~160 KB pinned directory floor of this tree, so the
+    // budget is actually reachable.
+    tree.set_budget_bytes(256 * 1024);
+    EXPECT_GT(tree.pageouts(), 0u);
+    ResidencyStats res = tree.residency_stats();
+    EXPECT_EQ(res.resident_inodes + res.cold_inodes, tree.inode_count());
+    EXPECT_LE(res.slab_bytes, 256u * 1024u);
+
+    // Tiny -> unlimited: no further paging, but cold records stay cold
+    // until demand-faulted; reads migrate them back one by one.
+    tree.set_budget_bytes(SIZE_MAX);
+    uint64_t outs = tree.pageouts();
+    for (const std::string& path : built.files) {
+        ASSERT_TRUE(tree.stat(path, user).ok()) << path;
+    }
+    EXPECT_EQ(tree.pageouts(), outs);
+    EXPECT_EQ(tree.residency_stats().cold_inodes, 0u);
+
+    oracle::LifecycleReport report = oracle::audit_lifecycle(tree);
+    EXPECT_EQ(report.violations(), 0)
+        << (report.details.empty() ? "" : report.details.front());
+}
+
+TEST(NamespaceTwoTier, EvictionRingSurvivesCreateDeleteChurn)
+{
+    // Generation safety: ring entries hold (slot, id); deleting and
+    // re-creating files recycles slots under new ids, so stale entries
+    // must be dropped, never evict the wrong record, and never starve
+    // enforcement. Invariants are re-audited every round.
+    NamespaceTree tree;
+    tree.set_budget_bytes(8 * 1024);
+    UserContext user = root_user();
+    ASSERT_TRUE(tree.mkdirs("/churn", user, 0).ok());
+    sim::SimTime now = 1;
+    for (int round = 0; round < 20; ++round) {
+        for (int i = 0; i < 200; ++i) {
+            std::string path = "/churn/f" + std::to_string(i);
+            ASSERT_TRUE(tree.create_file(path, user, ++now).ok());
+        }
+        // Interleave reads so cold records migrate back mid-churn.
+        for (int i = 0; i < 200; i += 7) {
+            std::string path = "/churn/f" + std::to_string(i);
+            ASSERT_TRUE(tree.stat(path, user).ok());
+        }
+        for (int i = 0; i < 200; ++i) {
+            std::string path = "/churn/f" + std::to_string(i);
+            ASSERT_TRUE(tree.remove(path, user, false, ++now).ok());
+        }
+        ResidencyStats res = tree.residency_stats();
+        ASSERT_EQ(res.resident_inodes + res.cold_inodes, tree.inode_count());
+        oracle::LifecycleReport report = oracle::audit_lifecycle(tree);
+        ASSERT_EQ(report.violations(), 0)
+            << (report.details.empty() ? "" : report.details.front());
+    }
+    EXPECT_EQ(tree.inode_count(), 2u);  // "/" and "/churn"
+    EXPECT_GT(tree.pageouts(), 0u);
+}
+
+TEST(NamespaceTwoTier, ExplicitUnlimitedEqualsNeverSet)
+{
+    // Byte-identical deterministic state: the same build on a tree that
+    // explicitly sets SIZE_MAX and one that never calls set_budget_bytes.
+    NamespaceTree explicit_unlimited;
+    explicit_unlimited.set_budget_bytes(SIZE_MAX);
+    NamespaceTree never_set;
+    UserContext user = root_user();
+    BuiltTree a =
+        build_wide_subtree(explicit_unlimited, "/s", 5'000, 16, user, 0);
+    BuiltTree b = build_wide_subtree(never_set, "/s", 5'000, 16, user, 0);
+    ASSERT_EQ(a.files.size(), b.files.size());
+    EXPECT_EQ(explicit_unlimited.inode_count(), never_set.inode_count());
+    EXPECT_EQ(explicit_unlimited.total_metadata_bytes(),
+              never_set.total_metadata_bytes());
+    for (size_t i = 0; i < a.files.size(); i += 59) {
+        auto sa = explicit_unlimited.stat(a.files[i], user);
+        auto sb = never_set.stat(b.files[i], user);
+        ASSERT_TRUE(sa.ok());
+        ASSERT_TRUE(sb.ok());
+        expect_same_inode(*sa, *sb);
+    }
+    ResidencyStats ra = explicit_unlimited.residency_stats();
+    ResidencyStats rb = never_set.residency_stats();
+    EXPECT_EQ(ra.resident_inodes, rb.resident_inodes);
+    EXPECT_EQ(ra.cold_inodes, 0u);
+    EXPECT_EQ(rb.cold_inodes, 0u);
+    EXPECT_EQ(ra.slab_bytes, rb.slab_bytes);
+}
+
+}  // namespace
+}  // namespace lfs::ns
